@@ -1,0 +1,96 @@
+"""Optimization ablation (§6.4).
+
+Paper: optimized Achilles finishes the FSP analysis in 1h03 against 2h15
+for non-optimized a-posteriori constraint differencing (≈2.1×). Here the
+same comparison runs at laptop scale, plus per-optimization variants for
+the design choices DESIGN.md calls out (incremental predicate dropping,
+the differentFrom matrix, state pruning). All variants must find exactly
+the same 80 Trojan classes — the optimizations trade time, not accuracy.
+"""
+
+import statistics
+
+import pytest
+
+from repro.bench.experiments import run_ablation
+from repro.bench.tables import format_table
+from repro.systems.fsp import GroundTruth
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return run_ablation()
+
+
+def test_all_variants_find_the_same_trojans(benchmark, outcomes, artifact):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    scores = {label: GroundTruth.score(report.witnesses())
+              for label, report in outcomes.items()}
+    for label, score in scores.items():
+        assert len(score.classes_found) == 80, label
+        assert score.false_positives == 0, label
+
+    rows = []
+    for label, report in outcomes.items():
+        score = scores[label]
+        rows.append([label, len(score.classes_found),
+                     report.server_paths_pruned,
+                     report.solver_queries,
+                     f"{report.timings.server_analysis:.2f}s"])
+    artifact("ablation_optimizations", format_table(
+        ["Variant", "Classes", "Paths pruned", "Solver queries",
+         "Server analysis"],
+        rows, title="Optimization ablation (paper: optimized 1h03 vs "
+                    "a-posteriori 2h15, ~2.1x)"))
+
+
+def test_incremental_drop_shrinks_final_queries(benchmark, outcomes,
+                                                artifact):
+    """The §6.4 headline *mechanism*: incremental predicate dropping
+    makes the Trojan queries small.
+
+    The paper credits its 2.1x wall-clock win (1h03 vs 2h15) to exactly
+    this: by acceptance time, most client predicates have been dropped,
+    so the satisfiability query carries a handful of negations instead
+    of all of them. We assert the mechanism directly — the wall-clock
+    payoff depends on the SMT solver's superlinear cost in formula
+    size, which our substituted solver deliberately does not exhibit
+    (see EXPERIMENTS.md for the measured timings and discussion).
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    optimized = outcomes["achilles-optimized"]
+    posterior = outcomes["a-posteriori"]
+
+    mean_live_optimized = statistics.mean(
+        len(f.live_predicates) for f in optimized.findings)
+    mean_live_posterior = statistics.mean(
+        len(f.live_predicates) for f in posterior.findings)
+
+    # A-posteriori queries always carry every predicate's negation; the
+    # incremental search acceptance queries carry a small residue.
+    assert mean_live_posterior == optimized.client_predicate_count == 32
+    assert mean_live_optimized <= 4
+
+    artifact("ablation_headline", format_table(
+        ["", "Paper", "Here"],
+        [["Negations per accept query (optimized)", "few",
+          f"{mean_live_optimized:.1f}"],
+         ["Negations per accept query (a-posteriori)", "all (thousands)",
+          f"{mean_live_posterior:.0f}"],
+         ["Optimized wall clock", "1h03",
+          f"{optimized.timings.server_analysis:.2f}s"],
+         ["A-posteriori wall clock", "2h15",
+          f"{posterior.timings.server_analysis:.2f}s"]],
+        title="§6.4 ablation: query-size mechanism (see EXPERIMENTS.md "
+              "for the wall-clock discussion)"))
+
+
+def test_pruning_reduces_explored_paths(benchmark, outcomes):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    with_pruning = outcomes["achilles-optimized"]
+    without_pruning = outcomes["no-pruning"]
+    assert with_pruning.server_paths_pruned > 0
+    assert without_pruning.server_paths_pruned == 0
+    # Without pruning, valid accepting paths run to completion.
+    assert (without_pruning.server_paths_explored
+            > with_pruning.server_paths_explored)

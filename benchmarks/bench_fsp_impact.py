@@ -1,0 +1,121 @@
+"""FSP Trojan impact: the wildcard and mismatched-length bugs (§6.3).
+
+These regenerate the paper's two impact narratives against the concrete
+deployment:
+
+* **wildcard** — Achilles (globbing clients) finds wildcard-path Trojans;
+  a ``mv f f*`` then makes the file ``f*`` un-deletable without
+  collateral damage (``rm f*`` also deletes ``f1``, ``f2``; escaping does
+  not exist);
+* **mismatched lengths** — a message whose path ends before ``bb_len``
+  smuggles an arbitrary hidden payload past validation.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_fsp_wildcard
+from repro.bench.tables import format_table
+from repro.messages.concrete import encode
+from repro.net.inject import Injector
+from repro.net.network import Network, Node
+from repro.systems.fsp import (
+    FSP_LAYOUT,
+    FspServerNode,
+    client_command,
+    expand_argument,
+    rename_command,
+)
+from repro.systems.fsp.protocol import COMMANDS, STUBS
+
+
+class _User(Node):
+    def __init__(self):
+        super().__init__("user")
+        self.replies = []
+
+    def handle(self, source, payload, network):
+        self.replies.append(payload)
+
+
+def _deployment():
+    network = Network()
+    server = network.attach(FspServerNode("server"))
+    network.attach(_User())
+    for name in ("f", "f1", "f2", "bank"):
+        server.fs.write_file(f"/srv/{name}", name.encode())
+    return network, server
+
+
+def test_wildcard_trojans_found_by_achilles(benchmark, artifact):
+    report = benchmark.pedantic(run_fsp_wildcard, rounds=1, iterations=1)
+    buf = FSP_LAYOUT.view("buf")
+    wildcard = [w for w in report.witnesses()
+                if any(b in (ord("*"), ord("?"))
+                       for b in w[buf.offset:buf.end])]
+    assert wildcard, "globbing clients cannot emit wildcards: Trojan"
+    artifact("fsp_wildcard_analysis", format_table(
+        ["", "Value"],
+        [["Findings (globbing clients)", report.trojan_count],
+         ["Wildcard-carrying witnesses", len(wildcard)],
+         ["Example witness buf",
+          repr(bytes(wildcard[0][buf.offset:buf.end]))]],
+        title="Wildcard Trojan discovery (§6.3)"))
+
+
+def test_wildcard_impact_scenario(benchmark, artifact):
+    """The paper's full story: create 'f*', then try to remove it."""
+
+    def scenario():
+        network, server = _deployment()
+        # Step 1: 'fmv f f*' - destination is never globbed.
+        network.send("user", "server", rename_command("f", "f*"))
+        network.run()
+        created = server.fs.exists("/srv/f*")
+        # Step 2: 'frm f*' - the argument globs with no escape.
+        targets = expand_argument("f*", server.fs.listdir("/srv"))
+        for target in targets:
+            network.send("user", "server", client_command("frm", target))
+            network.run()
+        return created, targets, server.fs.listdir("/srv")
+
+    created, targets, remaining = benchmark.pedantic(scenario, rounds=1,
+                                                     iterations=1)
+    assert created
+    assert set(targets) == {"f*", "f1", "f2"}
+    assert remaining == ["bank"]  # innocent f1, f2 destroyed
+
+    artifact("fsp_wildcard_impact", format_table(
+        ["Step", "Effect"],
+        [["mv f f*", "literal file 'f*' created"],
+         ["rm f*", f"deleted {sorted(targets)} (collateral: f1, f2)"],
+         ["surviving files", ", ".join(remaining)]],
+        title="Wildcard impact: 'f*' cannot be removed safely (§6.3)"))
+
+
+def test_mismatched_length_impact(benchmark, artifact):
+    """A NUL before bb_len smuggles an unvalidated payload (§6.3)."""
+
+    def scenario():
+        network, server = _deployment()
+        trojan = encode(FSP_LAYOUT, {
+            "cmd": COMMANDS["frm"], "sum": STUBS["sum"],
+            "bb_key": STUBS["bb_key"], "bb_seq": STUBS["bb_seq"],
+            "bb_len": 4, "bb_pos": STUBS["bb_pos"],
+            # Path 'f', then two arbitrary hidden bytes, terminator at 4.
+            "buf": b"f\x00\xde\xad\x00",
+        })
+        injector = Injector(network, "server", spoof_source="user",
+                            probe=lambda: tuple(server.fs.listdir("/srv")))
+        outcome = injector.inject(trojan)
+        return server, outcome
+
+    server, outcome = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    assert server.accepted == 1, "the Trojan passed full validation"
+    assert outcome.changed_state, "and the action executed ('f' deleted)"
+
+    artifact("fsp_mismatched_length_impact", format_table(
+        ["", "Value"],
+        [["bb_len", 4], ["true path", "'f' (length 1)"],
+         ["hidden payload", "0xDEAD"],
+         ["server verdict", "accepted + executed"]],
+        title="Mismatched-length impact: hidden payload accepted (§6.3)"))

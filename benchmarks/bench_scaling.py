@@ -1,0 +1,74 @@
+"""Scaling sweep: Achilles cost vs client-predicate count.
+
+Not a paper figure, but the scaling behaviour behind Figures 10/11: both
+phases grow with ``|PC|`` — pre-processing quadratically (the
+``differentFrom`` matrix is pairwise) and the server search roughly
+linearly in the per-path live-predicate load. The sweep varies the number
+of FSP utilities analyzed (2 → 4 → 8) and records the phase costs.
+"""
+
+import itertools
+
+import pytest
+
+from repro.achilles import Achilles, AchillesConfig
+from repro.bench.experiments import FSP_SESSION_MASK
+from repro.bench.tables import format_table
+from repro.systems import fsp
+
+
+def _run(utilities: int):
+    commands = dict(itertools.islice(fsp.COMMANDS.items(), utilities))
+    achilles = Achilles(AchillesConfig(layout=fsp.FSP_LAYOUT,
+                                       mask=FSP_SESSION_MASK))
+    predicates = achilles.extract_clients(fsp.literal_clients(commands))
+    report = achilles.search(fsp.fsp_server, predicates)
+    return predicates, report
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {n: _run(n) for n in (2, 4, 8)}
+
+
+def test_scaling_sweep(benchmark, sweep, artifact):
+    benchmark.pedantic(_run, args=(4,), rounds=1, iterations=1)
+    rows = []
+    for utilities, (predicates, report) in sweep.items():
+        rows.append([
+            utilities, len(predicates),
+            report.trojan_count,
+            f"{predicates.stats.preprocess_seconds:.2f}s",
+            f"{report.timings.server_analysis:.2f}s",
+            report.solver_queries,
+        ])
+    artifact("scaling_sweep", format_table(
+        ["Utilities", "|PC|", "Findings", "Preprocess", "Server",
+         "Queries"],
+        rows, title="Scaling with client-predicate count"))
+
+    # |PC| grows linearly with utilities (4 predicates each).
+    assert [len(sweep[n][0]) for n in (2, 4, 8)] == [8, 16, 32]
+
+
+def test_finding_count_tracks_uncovered_commands(benchmark, sweep):
+    """With fewer utilities, *more* messages are Trojan: the uncovered
+    commands' accepting paths have no generating client at all."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    findings = {n: sweep[n][1].trojan_count for n in (2, 4, 8)}
+    # 8 utilities: 80 (the ground-truth classes). Fewer utilities: the
+    # remaining commands' valid paths also become Trojan (14 paths per
+    # uncovered command at bound 5: 10 mismatch + 4 valid).
+    assert findings[8] == 80
+    assert findings[4] == 40 + 4 * 14
+    assert findings[2] == 20 + 6 * 14
+
+
+def test_preprocess_grows_superlinearly(benchmark, sweep):
+    """The differentFrom matrix is pairwise: doubling |PC| should far
+    more than double pre-processing work (queries, not seconds, to stay
+    robust on noisy machines)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    small = sweep[2][0].different_from.stats.solver_queries
+    large = sweep[8][0].different_from.stats.solver_queries
+    assert large > 4 * small

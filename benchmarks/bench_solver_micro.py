@@ -1,0 +1,93 @@
+"""Microbenchmarks of the solver on Achilles-shaped queries.
+
+Not a paper figure — this measures the substituted substrate itself, so
+regressions in the solver (the repo's hot path) show up in benchmark
+history. Rounds > 1 give pytest-benchmark real statistics, unlike the
+experiment benches which run once.
+"""
+
+import pytest
+
+from repro.messages.symbolic import message_vars, wire_equalities
+from repro.solver import ast
+from repro.solver.ast import bv_const, bv_var
+from repro.solver.solver import Solver
+from repro.systems.fsp import FSP_LAYOUT
+from repro.systems.toy import TOY_LAYOUT
+from repro.systems.toy.protocol import toy_checksum
+
+
+def test_feasibility_query_toy_crc(benchmark):
+    """A toy-server path condition with the real additive checksum."""
+    msg = message_vars(TOY_LAYOUT)
+    crc = toy_checksum(list(msg[:10]))
+    constraints = [
+        ast.or_(ast.eq(msg[0], bv_const(1, 8)), ast.eq(msg[0], bv_const(2, 8))),
+        ast.eq(msg[10], crc),
+        ast.eq(msg[1], bv_const(1, 8)),
+    ]
+
+    def solve():
+        return Solver().check(constraints).is_sat
+
+    assert benchmark(solve)
+
+
+def test_combination_query_fsp(benchmark):
+    """A pathS ∧ pathC combination: equalities + range constraints."""
+    server = message_vars(FSP_LAYOUT, "s")
+    value = bv_var("arg", 8)
+    client = tuple(
+        [bv_const(0x41, 8), bv_const(0x5A, 8)]
+        + [bv_const(0, 8)] * 10 + [value]
+        + [bv_const(0, 8)] * (FSP_LAYOUT.total_size - 13))
+    constraints = (
+        wire_equalities(server, client)
+        + [ast.uge(value, bv_const(33, 8)), ast.ule(value, bv_const(126, 8))]
+        + [ast.eq(server[0], bv_const(0x41, 8))])
+
+    def solve():
+        return Solver().check(constraints).is_sat
+
+    assert benchmark(solve)
+
+
+def test_negation_disjunction_query(benchmark):
+    """A Trojan query shape: path condition + many negation disjuncts."""
+    msg = message_vars(FSP_LAYOUT, "m")
+    negations = []
+    for index in range(16):
+        fresh = bv_var(f"~{index}", 8)
+        negations.append(ast.or_(
+            ast.ne(msg[0], bv_const(0x41 + index % 8, 8)),
+            ast.and_(ast.eq(msg[12], fresh),
+                     ast.not_(ast.ult(fresh, bv_const(100, 8))))))
+    constraints = [ast.eq(msg[0], bv_const(0x41, 8))] + negations
+
+    def solve():
+        return Solver().check(constraints).is_sat
+
+    assert benchmark(solve)
+
+
+def test_wide_variable_byte_split(benchmark):
+    """32-bit signed bounds + equality: exercises byte splitting."""
+    x = bv_var("x", 32)
+    constraints = [x.slt(0), ast.eq(ast.extract(x, 7, 0), bv_const(5, 8))]
+
+    def solve():
+        result = Solver().check(constraints)
+        return result.is_sat and result.value(x) >= 1 << 31
+
+    assert benchmark(solve)
+
+
+def test_unsat_proof(benchmark):
+    """Unsat answers are complete proofs over the finite domains."""
+    msg = message_vars(TOY_LAYOUT)
+    constraints = [msg[2] < 10, msg[2] > 20]
+
+    def solve():
+        return not Solver().check(constraints).is_sat
+
+    assert benchmark(solve)

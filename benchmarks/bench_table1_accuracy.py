@@ -1,0 +1,79 @@
+"""Table 1 — Achilles vs classic symbolic execution on FSP (§6.2).
+
+Paper row:  Achilles TP=80 FP=0; classic symex TP=80 FP=7,520.
+Shape here: Achilles finds all 80 classes with zero false positives;
+classic symbolic execution also covers all 80 classes but reports them
+inside an undifferentiated bag of accepted messages dominated by
+non-Trojan (false positive) entries.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_classic_baseline, run_fsp_accuracy
+from repro.bench.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def achilles_outcome():
+    return run_fsp_accuracy()
+
+
+@pytest.fixture(scope="module")
+def classic_outcome():
+    return run_classic_baseline(per_path_limit=512)
+
+
+def test_table1_achilles_column(benchmark, achilles_outcome, artifact):
+    outcome = benchmark.pedantic(run_fsp_accuracy, rounds=1, iterations=1)
+    assert outcome.true_positives == 80
+    assert outcome.false_positives == 0
+    assert outcome.classes_found == outcome.classes_total == 80
+
+    table = format_table(
+        ["", "Achilles (paper)", "Achilles (here)"],
+        [["True positives", 80, outcome.true_positives],
+         ["False positives", 0, outcome.false_positives],
+         ["Classes covered", "80/80", f"{outcome.classes_found}/80"]],
+        title="Table 1 (Achilles column)")
+    artifact("table1_achilles", table)
+
+
+def test_table1_classic_column(benchmark, classic_outcome, artifact):
+    result, score = classic_outcome
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    # Classic symex finds every Trojan class...
+    assert len(score.classes_found) == 80
+    # ...but buried: most reported messages are not Trojans, and nothing
+    # in its output distinguishes the two (§6.2).
+    assert score.false_positives > score.true_positives or \
+        score.false_positives > 80
+    assert result.accepting_paths == 112  # 80 Trojan + 32 valid paths
+
+    table = format_table(
+        ["", "Classic (paper)", "Classic (here)"],
+        [["True positives", 80, f"{len(score.classes_found)} classes "
+                                f"({score.true_positives} msgs)"],
+         ["False positives", 7520, score.false_positives],
+         ["Accepting paths", "-", result.accepting_paths]],
+        title="Table 1 (classic symbolic execution column)")
+    artifact("table1_classic", table)
+
+
+def test_signal_to_noise_gap(benchmark, achilles_outcome, classic_outcome,
+                             artifact):
+    """The qualitative Table 1 claim: Achilles' output is pure signal,
+    classic symex output is mostly noise."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _, score = classic_outcome
+    achilles_noise = achilles_outcome.false_positives / max(
+        1, achilles_outcome.true_positives)
+    classic_noise = score.false_positives / max(1, score.true_positives)
+    assert achilles_noise == 0.0
+    assert classic_noise > 0.0
+
+    artifact("table1_signal_to_noise", format_table(
+        ["Tool", "FP per TP (paper)", "FP per TP (here)"],
+        [["Achilles", "0", f"{achilles_noise:.2f}"],
+         ["Classic symex", f"{7520 / 80:.0f}", f"{classic_noise:.2f}"]],
+        title="Signal-to-noise comparison"))

@@ -1,0 +1,29 @@
+"""Shared fixtures for the evaluation benchmarks.
+
+Every benchmark renders its paper-shaped table/series through the
+``artifact`` fixture, which both prints it (visible with ``pytest -s``)
+and writes it under ``benchmarks/results/`` so the regenerated rows can
+be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def artifact():
+    """Persist a rendered experiment output: ``artifact(name, text)``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def save(name: str, text: str) -> pathlib.Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return save

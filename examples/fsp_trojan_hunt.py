@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""The §6.2 FSP accuracy experiment, end to end.
+
+Runs Achilles over the eight FSP client utilities and the FSP server with
+file paths bounded below length 5, then scores the findings against the
+mathematically known 80 Trojan classes — reproducing Table 1's Achilles
+column (80 true positives, 0 false positives) and the Figure 10 curve.
+
+Run::
+
+    python examples/fsp_trojan_hunt.py
+"""
+
+from collections import Counter
+
+from repro.bench.experiments import run_fsp_accuracy
+from repro.bench.tables import format_series, format_table
+from repro.systems.fsp import FSP_LAYOUT, classify_message
+
+
+def main() -> None:
+    print("Running Achilles on FSP (8 utilities, path bound 5)...")
+    outcome = run_fsp_accuracy()
+    report = outcome.report
+
+    print(format_table(
+        ["", "Paper", "This run"],
+        [["True positives", 80, outcome.true_positives],
+         ["False positives", 0, outcome.false_positives],
+         ["Class coverage", "80/80",
+          f"{outcome.classes_found}/{outcome.classes_total}"],
+         ["Server paths pruned", "-", report.server_paths_pruned],
+         ["Total time", "1h03",
+          f"{report.timings.total:.1f}s"]],
+        title="Table 1 — Achilles on FSP"))
+
+    print("\nFindings per utility:")
+    by_utility = Counter(
+        classify_message(w).utility for w in report.witnesses())
+    for utility, count in sorted(by_utility.items()):
+        print(f"  {utility}: {count} Trojan classes")
+
+    print("\n" + format_series(
+        report.discovery_fractions()[::8] + [report.discovery_fractions()[-1]],
+        title="Figure 10 — discovery over analysis time",
+        x_label="time", y_label="found"))
+
+    example = report.findings[0]
+    fields = example.witness_fields(FSP_LAYOUT)
+    trojan_class = classify_message(example.witness)
+    print(f"\nExample Trojan: {trojan_class}")
+    print(f"  wire bytes: {example.witness.hex()}")
+    print(f"  bb_len says {fields['bb_len']}, but the path ends at "
+          f"{trojan_class.true_length} - the unvalidated gap is a "
+          f"hidden payload channel.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""The FSP wildcard bug, from discovery to impact (§6.3).
+
+Part 1 runs Achilles with *globbing* clients: because FSP clients always
+expand ``*``/``?`` before sending (and no escape syntax exists), no
+correct client can put a wildcard on the wire — while the server happily
+accepts any printable character. Wildcard paths are Trojans.
+
+Part 2 replays the paper's impact narrative on a concrete deployment:
+``mv f f*`` creates a literal file ``f*`` (rename destinations are never
+globbed), after which every attempt to delete it safely fails —
+``rm f*`` destroys the innocent ``f1`` and ``f2`` too, and ``rm f\\*``
+matches nothing at all.
+
+Run::
+
+    python examples/fsp_wildcard_bug.py
+"""
+
+from repro.bench.experiments import run_fsp_wildcard
+from repro.net.network import Network, Node
+from repro.systems.fsp import (
+    FSP_LAYOUT,
+    FspServerNode,
+    client_command,
+    expand_argument,
+    rename_command,
+)
+
+
+class User(Node):
+    def __init__(self):
+        super().__init__("user")
+        self.replies = []
+
+    def handle(self, source, payload, network):
+        self.replies.append(payload)
+
+
+def discovery() -> None:
+    print("=== Part 1: discovery ===")
+    print("Achilles with globbing clients (wildcards expanded client-side)")
+    report = run_fsp_wildcard(listing=("f1", "f2", "doc"))
+    buf = FSP_LAYOUT.view("buf")
+    wildcard = [w for w in report.witnesses()
+                if any(b in (ord("*"), ord("?"))
+                       for b in w[buf.offset:buf.end])]
+    print(f"findings: {report.trojan_count}; "
+          f"wildcard-carrying witnesses: {len(wildcard)}")
+    example = wildcard[0]
+    path = bytes(example[buf.offset:buf.end]).split(b"\x00")[0]
+    print(f"example Trojan path on the wire: {path!r}\n")
+
+
+def impact() -> None:
+    print("=== Part 2: impact on a live deployment ===")
+    network = Network()
+    server = network.attach(FspServerNode("server"))
+    network.attach(User())
+    for name in ("f", "f1", "f2", "bank"):
+        server.fs.write_file(f"/srv/{name}", name.encode())
+    print(f"initial files: {server.fs.listdir('/srv')}")
+
+    # mv f f* : the rename destination is never globbed.
+    network.send("user", "server", rename_command("f", "f*"))
+    network.run()
+    print(f"after 'fmv f f*': {server.fs.listdir('/srv')}")
+
+    # rm f\* : no escape character exists; matches nothing.
+    escaped = expand_argument(r"f\*", server.fs.listdir("/srv"))
+    print(f"'frm f\\*' expands to {escaped} - the file survives")
+
+    # rm f* : globs to everything f-prefixed, including innocents.
+    targets = expand_argument("f*", server.fs.listdir("/srv"))
+    print(f"'frm f*' expands to {targets}")
+    for target in targets:
+        network.send("user", "server", client_command("frm", target))
+        network.run()
+    print(f"after 'frm f*': {server.fs.listdir('/srv')} "
+          f"- f1 and f2 are collateral damage")
+
+
+def main() -> None:
+    discovery()
+    impact()
+
+
+if __name__ == "__main__":
+    main()

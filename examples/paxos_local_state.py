@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The three Achilles local-state modes on a Paxos acceptor (§3.4).
+
+An acceptor's accept predicate depends on its promised ballot, so "is
+this message Trojan?" depends on state. This example runs the same
+analysis three ways:
+
+* **Concrete** — acceptor promised ballot 3, proposer proposes value 7:
+  ACCEPT with any other (ballot, value) is Trojan;
+* **Constructed symbolic** — the proposer's value is symbolic: the value
+  Trojans disappear (some correct proposer could send any value), the
+  ballot Trojans remain — one run replaces re-running per value;
+* **Over-approximate symbolic** — the acceptor's promise is a constrained
+  symbolic value: one run covers promises 0..10.
+
+Run::
+
+    python examples/paxos_local_state.py
+"""
+
+from repro.achilles import Achilles, AchillesConfig
+from repro.systems.paxos import (
+    PAXOS_LAYOUT,
+    acceptor_program,
+    overapprox_acceptor,
+    phase2_proposer,
+    symbolic_value_proposer,
+)
+
+
+def achilles() -> Achilles:
+    return Achilles(AchillesConfig(layout=PAXOS_LAYOUT,
+                                   destination="acceptor"))
+
+
+def show(title: str, report) -> None:
+    print(f"--- {title} ---")
+    for finding in report.findings:
+        fields = finding.witness_fields(PAXOS_LAYOUT)
+        print(f"  {finding.labels[0]}: kind={fields['kind']} "
+              f"ballot={fields['ballot']} value={fields['value']}")
+    print()
+
+
+def main() -> None:
+    # Concrete Local State: promised=3, proposing value 7.
+    tool = achilles()
+    concrete_pc = tool.extract_clients(
+        {"proposer": phase2_proposer(ballot=3, value=7)})
+    show("Concrete local state (promised=3, proposer sends ACCEPT(3,7))",
+         tool.search(acceptor_program(promised=3), concrete_pc))
+
+    # Constructed Symbolic Local State: the value is symbolic.
+    symbolic_pc = tool.extract_clients(
+        {"proposer": symbolic_value_proposer(ballot=3)})
+    show("Constructed symbolic state (value symbolic: value-Trojans gone)",
+         tool.search(acceptor_program(promised=3), symbolic_pc))
+
+    # Over-approximate Symbolic Local State: promise in [0, 10].
+    show("Over-approximate state (symbolic promise 0..10, one run)",
+         tool.search(overapprox_acceptor(max_promise=10), concrete_pc))
+
+
+if __name__ == "__main__":
+    main()

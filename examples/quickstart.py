@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Quickstart: find the Trojan message in the paper's working example.
+
+The system under test is §2.1 of the paper: a server handling READ/WRITE
+requests that checks ``address < DATASIZE`` but forgets ``address >= 0``
+on the READ path. Correct clients validate both bounds, so a READ with a
+negative address is a Trojan message — accepted by the server, producible
+by no correct client.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from repro.achilles import Achilles, AchillesConfig
+from repro.net.inject import Injector
+from repro.net.network import Network, Node
+from repro.systems.toy import (
+    PEERS,
+    READ,
+    TOY_LAYOUT,
+    ToyServerNode,
+    toy_client,
+    toy_server,
+)
+
+
+def signed32(value: int) -> int:
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+def main() -> None:
+    # 1. Configure Achilles with the wire layout both sides share.
+    achilles = Achilles(AchillesConfig(layout=TOY_LAYOUT))
+
+    # 2. Phase one: symbolically execute the client, extract PC.
+    predicates = achilles.extract_clients({"toy-client": toy_client})
+    print(f"Client predicate PC: {len(predicates)} path predicates")
+    for pred in predicates.predicates:
+        fields = [d.field for d in predicates.negations[pred.index].disjuncts]
+        print(f"  path {pred.source_path_id}: request="
+              f"{pred.field_value('request').value}, negatable fields: "
+              f"{', '.join(fields)}")
+
+    # 3. Phase two: explore the server, searching for PS ∧ ¬PC.
+    report = achilles.search(toy_server, predicates)
+    print(f"\nTrojan findings: {report.trojan_count} "
+          f"(server paths explored: {report.server_paths_explored}, "
+          f"pruned: {report.server_paths_pruned})")
+    for finding in report.findings:
+        fields = finding.witness_fields(TOY_LAYOUT)
+        print(f"  witness: request={fields['request']} "
+              f"address={signed32(fields['address'])} "
+              f"value={fields['value']} (sender={fields['sender']}, "
+              f"valid crc={fields['crc']})")
+
+    # 4. Inject the concrete witness into a live deployment (§4.1).
+    network = Network()
+    server = network.attach(ToyServerNode("server"))
+    replies = []
+
+    class User(Node):
+        def handle(self, source, payload, network):
+            replies.append(payload)
+
+    network.attach(User("client"))
+    injector = Injector(network, "server", spoof_source="client")
+    outcome = injector.inject(report.findings[0].witness)
+    print(f"\nInjected the witness: server delivered {outcome.delivered} "
+          f"message(s), replied: {bool(replies)}, crashed: {server.crashed}")
+
+    # A targeted small negative offset leaks adjacent memory instead of
+    # crashing: craft READ(address=-1) with a valid checksum.
+    from repro.messages.concrete import encode
+    from repro.systems.toy import toy_checksum
+    from repro.systems.toy.protocol import CHECKSUM_SPAN
+
+    fresh = Network()
+    leak_server = fresh.attach(ToyServerNode("server"))
+    fresh.attach(User("client"))
+    body = {"sender": PEERS[0], "request": READ,
+            "address": (1 << 32) - 1, "value": 0}
+    partial = encode(TOY_LAYOUT, {**body, "crc": 0})
+    crafted = encode(TOY_LAYOUT, {
+        **body, "crc": toy_checksum(list(partial[:CHECKSUM_SPAN]))})
+    replies.clear()
+    Injector(fresh, "server", "client").inject(crafted)
+    if replies:
+        print(f"READ(address=-1) leaked the byte below the data array: "
+              f"0x{replies[-1][1]:02x} — the last entry of the peer list "
+              f"{PEERS}")
+
+
+if __name__ == "__main__":
+    main()

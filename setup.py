@@ -1,0 +1,4 @@
+"""Legacy setup shim so `pip install -e .` / `setup.py develop` work offline."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""Achilles reproduction: finding Trojan message vulnerabilities.
+
+A complete Python reproduction of Banabic, Candea, Guerraoui — "Finding
+Trojan Message Vulnerabilities in Distributed Systems" (ASPLOS 2014).
+
+Most users want :class:`repro.achilles.Achilles`::
+
+    from repro.achilles import Achilles, AchillesConfig
+
+The package layout mirrors the system inventory in ``DESIGN.md``:
+
+* ``repro.solver`` — bitvector constraint solver (Z3/STP stand-in);
+* ``repro.symex`` — symbolic execution engine (S2E stand-in);
+* ``repro.messages`` / ``repro.crypto`` / ``repro.fsys`` / ``repro.net``
+  — protocol and deployment substrates;
+* ``repro.achilles`` — the paper's contribution;
+* ``repro.baselines`` — classic symbolic execution and fuzzing;
+* ``repro.systems`` — toy (§2.1), FSP, PBFT, Paxos under test;
+* ``repro.bench`` — the evaluation experiment drivers.
+"""
+
+__version__ = "1.0.0"

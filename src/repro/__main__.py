@@ -1,0 +1,106 @@
+"""Command-line entry point: run the reproduction experiments.
+
+Usage::
+
+    python -m repro toy            # §2.1 working example
+    python -m repro fsp            # Table 1 accuracy run on FSP
+    python -m repro fsp-wildcard   # §6.3 wildcard experiment
+    python -m repro pbft           # MAC-attack analysis + cluster impact
+    python -m repro list           # show available experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.tables import format_table
+
+
+def _run_toy() -> int:
+    from repro.achilles import Achilles, AchillesConfig
+    from repro.systems.toy import TOY_LAYOUT, toy_client, toy_server
+
+    achilles = Achilles(AchillesConfig(layout=TOY_LAYOUT))
+    predicates = achilles.extract_clients({"toy": toy_client})
+    report = achilles.search(toy_server, predicates)
+    rows = [[f.server_path_id, f.witness.hex(),
+             str(f.witness_fields(TOY_LAYOUT))] for f in report.findings]
+    print(format_table(["path", "witness", "fields"], rows,
+                       title=f"{report.trojan_count} Trojan finding(s) "
+                             f"in {report.timings.total:.2f}s"))
+    return 0
+
+
+def _run_fsp() -> int:
+    from repro.bench.experiments import run_fsp_accuracy
+
+    outcome = run_fsp_accuracy()
+    print(format_table(
+        ["metric", "paper", "here"],
+        [["true positives", 80, outcome.true_positives],
+         ["false positives", 0, outcome.false_positives],
+         ["classes", "80/80",
+          f"{outcome.classes_found}/{outcome.classes_total}"],
+         ["time", "1h03", f"{outcome.report.timings.total:.1f}s"]],
+        title="FSP accuracy (Table 1, Achilles column)"))
+    return 0 if outcome.false_positives == 0 else 1
+
+
+def _run_fsp_wildcard() -> int:
+    from repro.bench.experiments import run_fsp_wildcard
+    from repro.systems.fsp import FSP_LAYOUT
+
+    report = run_fsp_wildcard()
+    buf = FSP_LAYOUT.view("buf")
+    wildcard = [w for w in report.witnesses()
+                if any(b in (42, 63) for b in w[buf.offset:buf.end])]
+    print(f"findings: {report.trojan_count}; wildcard witnesses: "
+          f"{len(wildcard)}")
+    for witness in wildcard[:5]:
+        path = bytes(witness[buf.offset:buf.end]).split(b"\x00")[0]
+        print(f"  Trojan path: {path!r}")
+    return 0 if wildcard else 1
+
+
+def _run_pbft() -> int:
+    from repro.bench.experiments import run_pbft_impact
+
+    outcome = run_pbft_impact()
+    print(f"findings: {outcome.report.trojan_count} "
+          f"(MAC != {outcome.mac_stub.hex()}) in "
+          f"{outcome.report.timings.total:.2f}s")
+    rows = [[label, stats.committed, stats.view_changes,
+             f"{stats.throughput:.4f}"]
+            for label, stats in outcome.impact.items()]
+    print(format_table(["workload", "committed", "view changes",
+                        "throughput"], rows, title="MAC attack impact"))
+    return 0
+
+
+_EXPERIMENTS = {
+    "toy": (_run_toy, "the §2.1 working example"),
+    "fsp": (_run_fsp, "Table 1 accuracy run on FSP"),
+    "fsp-wildcard": (_run_fsp_wildcard, "§6.3 wildcard experiment"),
+    "pbft": (_run_pbft, "MAC-attack analysis + cluster impact"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run Achilles reproduction experiments.")
+    parser.add_argument("experiment",
+                        choices=sorted(_EXPERIMENTS) + ["list"],
+                        help="experiment to run, or 'list'")
+    args = parser.parse_args(argv)
+    if args.experiment == "list":
+        for name, (_, description) in sorted(_EXPERIMENTS.items()):
+            print(f"{name:14} {description}")
+        return 0
+    runner, _ = _EXPERIMENTS[args.experiment]
+    return runner()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Achilles: find Trojan messages in distributed system implementations.
+
+Trojan messages are messages a correct *server* accepts that no correct
+*client* can generate (Banabic, Candea, Guerraoui — ASPLOS 2014). This
+package implements the paper's two-phase analysis:
+
+1. :mod:`~repro.achilles.client_analysis` symbolically executes the
+   clients and extracts the client predicate ``PC``;
+2. :mod:`~repro.achilles.server_analysis` symbolically executes the
+   server while incrementally searching for messages satisfying
+   ``PS ∧ ¬PC``, using the under-approximate
+   :mod:`~repro.achilles.negate` operator and the
+   :mod:`~repro.achilles.difference` matrix to keep solver queries small.
+
+:class:`Achilles` in :mod:`~repro.achilles.core` ties the phases together.
+"""
+
+from repro.achilles.client_analysis import (
+    ClientAnalysisStats,
+    ClientPredicateSet,
+    extract_client_predicates,
+    preprocess,
+)
+from repro.achilles.core import Achilles, AchillesConfig
+from repro.achilles.difference import DifferentFrom
+from repro.achilles.localstate import (
+    capture_sent_message,
+    replay_into,
+    with_concrete_state,
+)
+from repro.achilles.mask import FieldMask
+from repro.achilles.negate import (
+    NegationDisjunct,
+    PredicateNegation,
+    negate_field,
+    negate_predicate,
+)
+from repro.achilles.predicates import ClientPathPredicate
+from repro.achilles.refine import (
+    RefinementOutcome,
+    refine_findings,
+    witness_is_generable,
+)
+from repro.achilles.report import AchillesReport, PhaseTimings, TrojanFinding
+from repro.achilles.server_analysis import (
+    OptimizationFlags,
+    TrojanSearchObserver,
+    a_posteriori_search,
+    search_server,
+)
+
+__all__ = [
+    "Achilles",
+    "AchillesConfig",
+    "AchillesReport",
+    "ClientAnalysisStats",
+    "ClientPathPredicate",
+    "ClientPredicateSet",
+    "DifferentFrom",
+    "FieldMask",
+    "NegationDisjunct",
+    "OptimizationFlags",
+    "PhaseTimings",
+    "PredicateNegation",
+    "RefinementOutcome",
+    "TrojanFinding",
+    "TrojanSearchObserver",
+    "a_posteriori_search",
+    "capture_sent_message",
+    "extract_client_predicates",
+    "negate_field",
+    "negate_predicate",
+    "preprocess",
+    "refine_findings",
+    "replay_into",
+    "search_server",
+    "with_concrete_state",
+    "witness_is_generable",
+]

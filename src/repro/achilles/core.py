@@ -1,0 +1,107 @@
+"""The Achilles orchestrator: two phases plus pre-processing (§3).
+
+Usage::
+
+    config = AchillesConfig(layout=FSP_LAYOUT,
+                            mask=FieldMask.hide("sum", "bb_key"))
+    achilles = Achilles(config)
+    report = achilles.run(clients={"fget": fget_client, ...},
+                          server=fsp_server)
+    for finding in report.findings:
+        print(finding.witness_fields(FSP_LAYOUT))
+
+``run`` executes phase 1 (client predicate extraction), the pre-processing
+step (de-duplication, negations, ``differentFrom``), and phase 2 (server
+exploration with incremental Trojan search), reporting the wall-clock
+split the paper quotes in §6.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.achilles.client_analysis import (
+    ClientPredicateSet,
+    extract_client_predicates,
+    preprocess,
+)
+from repro.achilles.mask import FieldMask
+from repro.achilles.report import AchillesReport
+from repro.achilles.server_analysis import (
+    OptimizationFlags,
+    ServerProgram,
+    search_server,
+)
+from repro.errors import AchillesError
+from repro.messages.layout import MessageLayout
+from repro.messages.symbolic import message_vars
+from repro.solver.solver import Solver
+from repro.symex.engine import EngineConfig, NodeProgram
+
+
+@dataclass
+class AchillesConfig:
+    """Configuration of one Achilles run.
+
+    Attributes:
+        layout: wire layout shared by client and server.
+        mask: fields hidden from the Trojan check (§5.2).
+        client_engine / server_engine: exploration limits per phase.
+        optimizations: the §3.3 switches (all on by default).
+        destination: when set, only client messages sent to this node
+            name enter ``PC``.
+        msg_name: base name of the server's symbolic message variables.
+    """
+
+    layout: MessageLayout
+    mask: FieldMask = field(default_factory=FieldMask.none)
+    client_engine: EngineConfig = field(default_factory=EngineConfig)
+    server_engine: EngineConfig = field(default_factory=EngineConfig)
+    optimizations: OptimizationFlags = field(default_factory=OptimizationFlags)
+    destination: str | None = None
+    msg_name: str = "msg"
+
+
+class Achilles:
+    """Finds Trojan messages: accepted by the server, ungenerable by clients."""
+
+    def __init__(self, config: AchillesConfig):
+        config.mask.validate(config.layout)
+        self.config = config
+        self.server_msg = message_vars(config.layout, config.msg_name)
+
+    # -- individual phases --------------------------------------------------------
+
+    def extract_clients(self,
+                        clients: dict[str, NodeProgram] | list[NodeProgram],
+                        ) -> ClientPredicateSet:
+        """Phase 1 + pre-processing: build ``PC`` ready for the search."""
+        predicates, stats = extract_client_predicates(
+            clients, self.config.layout, self.config.client_engine,
+            self.config.destination)
+        if not predicates:
+            raise AchillesError(
+                "no client messages captured; check the destination filter "
+                "and that the clients reach ctx.send()")
+        return preprocess(
+            predicates, self.config.layout, self.server_msg,
+            self.config.mask, Solver(), stats,
+            build_difference=self.config.optimizations.use_different_from)
+
+    def search(self, server: ServerProgram,
+               clients: ClientPredicateSet) -> AchillesReport:
+        """Phase 2: incremental Trojan search over the server."""
+        report, _ = search_server(
+            server, clients, self.server_msg, self.config.server_engine,
+            self.config.optimizations, self.config.msg_name)
+        report.timings.client_extraction = clients.stats.extraction_seconds
+        report.timings.preprocessing = clients.stats.preprocess_seconds
+        return report
+
+    # -- one-call entry point --------------------------------------------------------
+
+    def run(self, clients: dict[str, NodeProgram] | list[NodeProgram],
+            server: ServerProgram) -> AchillesReport:
+        """Full pipeline: extract ``PC``, preprocess, search the server."""
+        predicate_set = self.extract_clients(clients)
+        return self.search(server, predicate_set)

@@ -1,0 +1,142 @@
+"""The ``differentFrom`` matrix (§3.3).
+
+``differentFrom[i][j][field] = TRUE`` means predicate *i* admits at least
+one message whose ``field`` value no message of predicate *j* can carry.
+The matrix is precomputed once (the paper's pre-processing phase) by
+running the per-field negate operator between every pair of predicates,
+and consulted during the server exploration: when a *single-field* server
+constraint kills predicate *i*, every predicate *j* with
+``differentFrom[j][i][field] = FALSE`` offers no additional values for
+that field and is dropped without a solver call.
+
+The matrix is only defined for fields that are *independent* in both
+predicates (no shared constraints or data flow with other fields) —
+dependent fields could smuggle cross-field information past the argument
+above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+from repro.achilles.mask import FieldMask
+from repro.achilles.negate import negate_field
+from repro.achilles.predicates import ClientPathPredicate
+from repro.solver.ast import Expr
+from repro.solver.solver import Solver
+
+
+@dataclass
+class DifferenceStats:
+    """Counters from one matrix precomputation."""
+
+    pairs_checked: int = 0
+    solver_queries: int = 0
+    entries_true: int = 0
+    entries_false: int = 0
+    fields_skipped_dependent: int = 0
+
+
+class DifferentFrom:
+    """Precomputed pairwise field-difference information.
+
+    Args:
+        predicates: the client predicate list ``PC`` (indices must match
+            :attr:`ClientPathPredicate.index`).
+        server_msg: the server message byte variables (shared frame for
+            all combination queries).
+        mask: fields hidden from analysis are skipped here too.
+        solver: shared solver (queries are independent; the paper notes
+            this step is trivially parallelizable).
+    """
+
+    def __init__(self, predicates: list[ClientPathPredicate],
+                 server_msg: tuple[Expr, ...],
+                 mask: FieldMask | None = None,
+                 solver: Solver | None = None):
+        self._predicates = predicates
+        self._server_msg = server_msg
+        self._mask = mask or FieldMask.none()
+        self._solver = solver or Solver()
+        self._table: dict[tuple[int, int, str], bool] = {}
+        self._independent: dict[tuple[int, str], bool] = {}
+        self.stats = DifferenceStats()
+        self._build()
+
+    # -- queries -------------------------------------------------------------------
+
+    def different(self, i: int, j: int, field: str) -> bool:
+        """``differentFrom[i][j][field]``.
+
+        Missing entries (dependent fields, abandoned negations) default to
+        True — "assume they might differ", which disables the shortcut and
+        is always sound.
+        """
+        if i == j:
+            return False
+        return self._table.get((i, j, field), True)
+
+    def droppable_with(self, i: int, field: str) -> list[int]:
+        """All j that can be dropped when i is killed by a ``field`` constraint.
+
+        These are the j with ``differentFrom[j][i][field] = FALSE``: every
+        field value of j is also a field value of i.
+        """
+        return [
+            j for j in range(len(self._predicates))
+            if j != i and not self.different(j, i, field)
+        ]
+
+    def is_independent(self, index: int, field: str) -> bool:
+        return self._independent.get((index, field), False)
+
+    # -- construction ----------------------------------------------------------------
+
+    def _build(self) -> None:
+        layout = self._predicates[0].layout if self._predicates else None
+        if layout is None:
+            return
+        fields = self._mask.visible_fields(layout)
+        for pred in self._predicates:
+            for field in fields:
+                self._independent[(pred.index, field)] = (
+                    pred.field_is_independent(field))
+
+        negations = self._field_negations(fields)
+        for i_pred in self._predicates:
+            for j_pred in self._predicates:
+                if i_pred.index == j_pred.index:
+                    continue
+                self.stats.pairs_checked += 1
+                for field in fields:
+                    self._fill_entry(i_pred, j_pred, field, negations)
+
+    def _field_negations(self, fields: tuple[str, ...]):
+        """negate_field(pred, field) for every pair, computed once."""
+        table: dict[tuple[int, str], Expr | None] = {}
+        for pred in self._predicates:
+            for field in fields:
+                disjunct = negate_field(pred, field, self._server_msg,
+                                        self._solver)
+                table[(pred.index, field)] = (
+                    None if disjunct is None else disjunct.expr)
+        return table
+
+    def _fill_entry(self, i_pred: ClientPathPredicate,
+                    j_pred: ClientPathPredicate, field: str,
+                    negations: dict[tuple[int, str], Expr | None]) -> None:
+        if not (self._independent[(i_pred.index, field)]
+                and self._independent[(j_pred.index, field)]):
+            self.stats.fields_skipped_dependent += 1
+            return
+        negation_j = negations[(j_pred.index, field)]
+        if negation_j is None:
+            return  # negate abandoned: stay conservative (defaults True)
+        query = i_pred.combined(self._server_msg) + (negation_j,)
+        self.stats.solver_queries += 1
+        entry = self._solver.check(query).is_sat
+        self._table[(i_pred.index, j_pred.index, field)] = entry
+        if entry:
+            self.stats.entries_true += 1
+        else:
+            self.stats.entries_false += 1

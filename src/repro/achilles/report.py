@@ -1,0 +1,132 @@
+"""Achilles output records: findings, phase timings, discovery timeline.
+
+For every server execution path that reaches an accept marker while still
+admitting Trojan messages, Achilles outputs both a *symbolic expression*
+(the path condition plus the matched negations) and a *concrete example*
+(§3.2), so testers can inject the example into a live deployment (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.messages.concrete import decode_ints
+from repro.messages.layout import MessageLayout
+from repro.solver.ast import Expr
+from repro.solver.printer import to_string
+
+
+@dataclass(frozen=True)
+class TrojanFinding:
+    """One server execution path that accepts Trojan messages.
+
+    Attributes:
+        server_path_id: engine path id of the accepting server path.
+        decisions: branch decision vector identifying the path.
+        path_condition: the server path constraints (over ``msg[i]`` vars).
+        negation: the conjunction of live client-predicate negations that
+            was satisfiable together with the path condition.
+        witness: concrete example Trojan message (wire bytes).
+        live_predicates: client predicate indices still live when the path
+            accepted (the Trojan may be "bundled" with their messages).
+        elapsed_seconds: when the finding was produced, measured from the
+            start of the server analysis (drives the Figure 10 curve).
+        labels: free-form marks the server program recorded on the path.
+    """
+
+    server_path_id: int
+    decisions: tuple[bool, ...]
+    path_condition: tuple[Expr, ...]
+    negation: tuple[Expr, ...]
+    witness: bytes
+    live_predicates: tuple[int, ...]
+    elapsed_seconds: float
+    labels: tuple[str, ...] = ()
+
+    def witness_fields(self, layout: MessageLayout) -> dict[str, int]:
+        """The witness decoded into per-field unsigned ints."""
+        return decode_ints(layout, self.witness)
+
+    def symbolic_expression(self, max_terms: int = 12) -> str:
+        """Human-readable rendering of the Trojan class expression."""
+        parts = [to_string(c) for c in self.path_condition[:max_terms]]
+        if len(self.path_condition) > max_terms:
+            parts.append(f"... (+{len(self.path_condition) - max_terms} more)")
+        return " ∧ ".join(parts) if parts else "true"
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock split across the three Achilles phases (§6.2).
+
+    The paper reports 3 min / 15 min / 45 min for FSP — roughly
+    5% / 24% / 71%; the benchmarks compare this *split*, not absolute
+    seconds.
+    """
+
+    client_extraction: float = 0.0
+    preprocessing: float = 0.0
+    server_analysis: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (self.client_extraction + self.preprocessing
+                + self.server_analysis)
+
+    def fractions(self) -> dict[str, float]:
+        total = self.total or 1.0
+        return {
+            "client_extraction": self.client_extraction / total,
+            "preprocessing": self.preprocessing / total,
+            "server_analysis": self.server_analysis / total,
+        }
+
+
+@dataclass
+class AchillesReport:
+    """Complete result of one Achilles run.
+
+    Attributes:
+        findings: one entry per Trojan-accepting server path, in discovery
+            order.
+        client_predicate_count: size of ``PC`` after de-duplication.
+        timings: phase wall-clock split.
+        predicate_samples: ``(path_length, live_predicate_count)`` pairs
+            recorded at every server constraint append — the raw data of
+            Figure 11.
+        server_paths_explored / server_paths_pruned: exploration counters
+            (pruning is the §3.2 "dropped from the exploration" rule).
+        solver_queries: total satisfiability checks issued by the search.
+    """
+
+    findings: list[TrojanFinding] = field(default_factory=list)
+    client_predicate_count: int = 0
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+    predicate_samples: list[tuple[int, int]] = field(default_factory=list)
+    server_paths_explored: int = 0
+    server_paths_pruned: int = 0
+    solver_queries: int = 0
+
+    @property
+    def trojan_count(self) -> int:
+        return len(self.findings)
+
+    def witnesses(self) -> list[bytes]:
+        """Concrete Trojan examples, ready for fault injection."""
+        return [f.witness for f in self.findings]
+
+    def timeline(self) -> list[tuple[float, int]]:
+        """Cumulative discovery curve: (seconds, findings so far) — Fig 10."""
+        points = []
+        for count, finding in enumerate(self.findings, start=1):
+            points.append((finding.elapsed_seconds, count))
+        return points
+
+    def discovery_fractions(self) -> list[tuple[float, float]]:
+        """Figure 10 normalized: (fraction of analysis time, fraction found)."""
+        if not self.findings:
+            return []
+        total_time = self.timings.server_analysis or max(
+            f.elapsed_seconds for f in self.findings) or 1.0
+        total = len(self.findings)
+        return [(t / total_time, n / total) for t, n in self.timeline()]

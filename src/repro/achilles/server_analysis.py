@@ -1,0 +1,271 @@
+"""Phase 2: server exploration with incremental Trojan search (§3.2-§3.3).
+
+The server runs on an unconstrained symbolic message. A
+:class:`TrojanSearchObserver` rides along with the engine and, at every
+appended constraint:
+
+1. re-checks which client path predicates can still trigger the path
+   (``pathS ∧ pathC_i`` satisfiable) and drops the rest — plus, for
+   single-field constraints, everything the ``differentFrom`` matrix says
+   cannot add new values for that field;
+2. checks whether the path can still be triggered by *any* Trojan message
+   (``pathS ∧ ⋀ negate(pathC_live)``) and prunes the path when it cannot —
+   dropped predicates are implicitly-true negations and are omitted from
+   the query, which is what keeps it small (§3.3, Figure 11).
+
+A path that reaches an accept marker therefore *has* Trojan messages by
+construction; the observer emits a finding with the symbolic expression
+and a concrete witness.
+
+Each optimization can be disabled individually (the §6.4 ablation), and
+:func:`a_posteriori_search` implements the paper's non-optimized
+comparison point: explore the server with vanilla symbolic execution
+first, difference the predicates afterwards.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.achilles.client_analysis import ClientPredicateSet
+from repro.achilles.negate import single_field_of
+from repro.achilles.report import AchillesReport, TrojanFinding
+from repro.solver.ast import Expr
+from repro.symex.context import ExecutionContext
+from repro.symex.engine import Engine, EngineConfig, ExplorationResult
+from repro.symex.observers import PathObserver
+from repro.symex.state import ACCEPTED, PathResult
+
+#: A server node program as Achilles drives it: the engine hands it the
+#: execution context plus the unconstrained symbolic message byte vector.
+ServerProgram = Callable[[ExecutionContext, tuple[Expr, ...]], None]
+
+
+@dataclass
+class OptimizationFlags:
+    """Feature switches for the §3.3 optimizations (§6.4 ablation).
+
+    Attributes:
+        incremental_drop: track per-path live predicate lists, dropping
+            predicates whose combination with the path became unsat.
+        use_different_from: on a single-field drop, also drop everything
+            the precomputed matrix proves redundant.
+        prune_unreachable: abandon server paths whose Trojan query is
+            unsat ("as soon as an execution path cannot be triggered by
+            any Trojan messages, it is dropped from the exploration").
+    """
+
+    incremental_drop: bool = True
+    use_different_from: bool = True
+    prune_unreachable: bool = True
+
+    @classmethod
+    def all_off(cls) -> "OptimizationFlags":
+        return cls(False, False, False)
+
+
+@dataclass
+class _PathSlot:
+    """Per-path search state (lives in ``PathState.observer_slot``)."""
+
+    live: set[int] = field(default_factory=set)
+
+
+class TrojanSearchObserver(PathObserver):
+    """The Achilles plugin: incremental Trojan search during exploration.
+
+    All solver work goes through the engine's memoized queries, so replays
+    of forked prefixes (the engine re-executes paths) cost dictionary
+    lookups, not solver calls.
+    """
+
+    def __init__(self, engine: Engine, clients: ClientPredicateSet,
+                 server_msg: tuple[Expr, ...],
+                 flags: OptimizationFlags | None = None):
+        self._engine = engine
+        self._clients = clients
+        self._server_msg = server_msg
+        self._flags = flags or OptimizationFlags()
+        self._combined = [p.combined(server_msg) for p in clients.predicates]
+        self._negation_exprs = [n.expr for n in clients.negations]
+        self._trojan_cache: dict[tuple[tuple[Expr, ...], frozenset[int]], bool] = {}
+        self._started = time.perf_counter()
+        self.findings: list[TrojanFinding] = []
+        self.samples: list[tuple[int, int]] = []
+        self.paths_pruned = 0
+        self.paths_seen = 0
+
+    # -- engine hooks ---------------------------------------------------------------
+
+    def on_path_start(self, ctx: ExecutionContext) -> None:
+        self.paths_seen += 1
+        ctx.state.observer_slot = _PathSlot(
+            live=set(range(len(self._clients.predicates))))
+
+    def on_constraint(self, ctx: ExecutionContext, constraint: Expr) -> bool:
+        slot: _PathSlot = ctx.state.observer_slot
+        pc = tuple(ctx.state.constraints)
+        if self._flags.incremental_drop:
+            self._drop_dead_predicates(pc, constraint, slot)
+        self.samples.append((len(pc), len(slot.live)))
+        if self._flags.prune_unreachable and not self._trojan_feasible(
+                pc, frozenset(slot.live)):
+            self.paths_pruned += 1
+            return False
+        return True
+
+    def on_path_end(self, ctx: ExecutionContext, result: PathResult) -> None:
+        if result.verdict != ACCEPTED:
+            return
+        slot: _PathSlot = ctx.state.observer_slot
+        live = frozenset(slot.live)
+        pc = result.constraints
+        if not self._trojan_feasible(pc, live):
+            return  # accepting, but only by non-Trojan messages
+        negation = self._negation_query(live)
+        model = self._engine.solve(pc + negation)
+        if model is None:  # pragma: no cover - guarded by trojan_feasible
+            return
+        witness = bytes(model.get(var, 0) for var in self._server_msg)
+        self.findings.append(TrojanFinding(
+            server_path_id=result.path_id,
+            decisions=result.decisions,
+            path_condition=pc,
+            negation=negation,
+            witness=witness,
+            live_predicates=tuple(sorted(live)),
+            elapsed_seconds=time.perf_counter() - self._started,
+            labels=result.labels,
+        ))
+
+    # -- search internals --------------------------------------------------------------
+
+    def _drop_dead_predicates(self, pc: tuple[Expr, ...], constraint: Expr,
+                              slot: _PathSlot) -> None:
+        dropped_now: list[int] = []
+        for index in sorted(slot.live):
+            if not self._pred_feasible(pc, index):
+                slot.live.discard(index)
+                dropped_now.append(index)
+        if not (self._flags.use_different_from and dropped_now):
+            return
+        constraint_field = single_field_of(
+            constraint, self._server_msg, self._clients.layout)
+        if constraint_field is None:
+            return
+        for index in dropped_now:
+            for other in self._clients.different_from.droppable_with(
+                    index, constraint_field):
+                slot.live.discard(other)
+
+    def _pred_feasible(self, pc: tuple[Expr, ...], index: int) -> bool:
+        """Can predicate ``index`` still trigger this path? (memoized)"""
+        return self._engine.is_feasible(pc + self._combined[index])
+
+    def _negation_query(self, live: frozenset[int]) -> tuple[Expr, ...]:
+        """Negations of the live predicates; dropped ones are implicit."""
+        if self._flags.incremental_drop:
+            indices = sorted(live)
+        else:
+            indices = range(len(self._negation_exprs))
+        return tuple(self._negation_exprs[i] for i in indices)
+
+    def _trojan_feasible(self, pc: tuple[Expr, ...],
+                         live: frozenset[int]) -> bool:
+        key = (pc, live if self._flags.incremental_drop else frozenset())
+        cached = self._trojan_cache.get(key)
+        if cached is None:
+            cached = self._engine.is_feasible(pc + self._negation_query(live))
+            self._trojan_cache[key] = cached
+        return cached
+
+
+def search_server(server, clients: ClientPredicateSet,
+                  server_msg: tuple[Expr, ...],
+                  engine_config: EngineConfig | None = None,
+                  flags: OptimizationFlags | None = None,
+                  msg_name: str = "msg") -> tuple[AchillesReport, ExplorationResult]:
+    """Explore a server program under the incremental Trojan search.
+
+    Args:
+        server: callable ``server(ctx, msg)`` receiving the symbolic
+            message byte vector.
+        clients: preprocessed ``PC``.
+        server_msg: message variables (must match what the wrapped
+            program will receive — see :func:`wrap_server`).
+        engine_config: exploration limits.
+        flags: optimization switches.
+        msg_name: base name used when materializing the message vars.
+
+    Returns:
+        The (partially filled) report and the raw exploration result; the
+        orchestrator merges in client stats and timings.
+    """
+    engine = Engine(engine_config or EngineConfig())
+    observer = TrojanSearchObserver(engine, clients, server_msg, flags)
+
+    def program(ctx: ExecutionContext) -> None:
+        wire = tuple(ctx.fresh_bytes(msg_name, len(server_msg)))
+        server(ctx, wire)
+
+    started = time.perf_counter()
+    exploration = engine.explore(program, observer)
+    elapsed = time.perf_counter() - started
+
+    report = AchillesReport(
+        findings=observer.findings,
+        client_predicate_count=len(clients),
+        predicate_samples=observer.samples,
+        server_paths_explored=len(exploration.paths),
+        server_paths_pruned=observer.paths_pruned,
+        solver_queries=engine.solver.stats.queries,
+    )
+    report.timings.server_analysis = elapsed
+    return report, exploration
+
+
+def a_posteriori_search(server, clients: ClientPredicateSet,
+                        server_msg: tuple[Expr, ...],
+                        engine_config: EngineConfig | None = None,
+                        msg_name: str = "msg") -> AchillesReport:
+    """The §6.4 non-optimized baseline: explore first, difference after.
+
+    Runs vanilla symbolic execution of the server (no per-path predicate
+    tracking, no pruning), then checks every accepting path against the
+    full conjunction of all client negations.
+    """
+    engine = Engine(engine_config or EngineConfig())
+
+    def program(ctx: ExecutionContext) -> None:
+        wire = tuple(ctx.fresh_bytes(msg_name, len(server_msg)))
+        server(ctx, wire)
+
+    started = time.perf_counter()
+    exploration = engine.explore(program)
+    negations = tuple(n.expr for n in clients.negations)
+    report = AchillesReport(
+        client_predicate_count=len(clients),
+        server_paths_explored=len(exploration.paths),
+    )
+    for path in exploration.paths:
+        if path.verdict != ACCEPTED:
+            continue
+        model = engine.solve(path.constraints + negations)
+        if model is None:
+            continue
+        witness = bytes(model.get(var, 0) for var in server_msg)
+        report.findings.append(TrojanFinding(
+            server_path_id=path.path_id,
+            decisions=path.decisions,
+            path_condition=path.constraints,
+            negation=negations,
+            witness=witness,
+            live_predicates=tuple(range(len(clients))),
+            elapsed_seconds=time.perf_counter() - started,
+            labels=path.labels,
+        ))
+    report.timings.server_analysis = time.perf_counter() - started
+    report.solver_queries = engine.solver.stats.queries
+    return report

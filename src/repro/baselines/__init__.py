@@ -1,0 +1,22 @@
+"""Baselines the paper compares Achilles against (§6.2).
+
+* :mod:`~repro.baselines.classic` — vanilla symbolic execution of the
+  server alone: finds every accepted message class but cannot tell Trojan
+  from valid, burying the 80 true positives under thousands of false
+  ones;
+* :mod:`~repro.baselines.fuzzer` — black-box random fuzzing against the
+  concrete server: measured throughput plus the closed-form expected
+  Trojan yield, reproducing the paper's "orders of magnitude worse"
+  arithmetic.
+"""
+
+from repro.baselines.classic import ClassicResult, classic_symbolic_execution
+from repro.baselines.fuzzer import FuzzCampaign, FuzzResult, expected_trojans_per_hour
+
+__all__ = [
+    "ClassicResult",
+    "FuzzCampaign",
+    "FuzzResult",
+    "classic_symbolic_execution",
+    "expected_trojans_per_hour",
+]

@@ -1,0 +1,138 @@
+"""Black-box fuzzing baseline (§6.2).
+
+The paper compares Achilles against naive random fuzzing analytically:
+measure the fuzzer's raw throughput, compute the density of Trojan
+messages in the fuzzed space, and multiply — on their testbed, 75,000
+tests/minute against a Trojan density of ``6.6e7 / 256^8`` yields an
+expected 0.00001 Trojans per hour.
+
+:class:`FuzzCampaign` reproduces both halves on this substrate: a real
+random campaign against the concrete oracle (measured throughput,
+accepted/Trojan tallies) and the closed-form expectation for any time
+budget.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+#: Accept/Trojan oracles over raw wire bytes.
+Oracle = Callable[[bytes], bool]
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of a timed random-fuzzing campaign.
+
+    Attributes:
+        tests: messages generated and executed.
+        accepted: messages the server accepted (all of which a naive
+            fuzzer must report, hence the paper counting non-Trojan
+            accepts as false positives).
+        trojans_found: accepted messages that are genuine Trojans.
+        elapsed_seconds: campaign wall-clock time.
+    """
+
+    tests: int = 0
+    accepted: int = 0
+    trojans_found: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def tests_per_minute(self) -> float:
+        if self.elapsed_seconds == 0:
+            return 0.0
+        return self.tests / self.elapsed_seconds * 60.0
+
+    @property
+    def false_positives(self) -> int:
+        return self.accepted - self.trojans_found
+
+
+class FuzzCampaign:
+    """Random message fuzzing against concrete accept/Trojan oracles.
+
+    Args:
+        template: a concrete base message; bytes outside the randomized
+            positions keep their template values. The paper fuzzes "the
+            same message fields that are analyzed by Achilles", holding
+            the stubbed session fields fixed — pass those as template
+            content and list only the analyzed bytes in ``positions``.
+        positions: byte offsets the fuzzer randomizes; None randomizes
+            the whole message.
+        accepts: the server's accept predicate (concrete reference).
+        is_trojan: ground-truth Trojan oracle.
+        seed: RNG seed for reproducibility.
+    """
+
+    def __init__(self, template: bytes, accepts: Oracle, is_trojan: Oracle,
+                 positions: list[int] | None = None, seed: int = 20140301):
+        self._template = bytearray(template)
+        self._positions = (list(range(len(template)))
+                           if positions is None else list(positions))
+        for position in self._positions:
+            if not 0 <= position < len(template):
+                raise ValueError(f"position {position} outside the message")
+        self._accepts = accepts
+        self._is_trojan = is_trojan
+        self._random = random.Random(seed)
+
+    @property
+    def randomized_bits(self) -> int:
+        """log2 of the fuzzed space size (for the yield arithmetic)."""
+        return 8 * len(self._positions)
+
+    def generate(self) -> bytes:
+        """One random test message."""
+        message = bytearray(self._template)
+        for position in self._positions:
+            message[position] = self._random.randrange(256)
+        return bytes(message)
+
+    def run_tests(self, count: int) -> FuzzResult:
+        """Run a fixed number of random tests."""
+        result = FuzzResult()
+        started = time.perf_counter()
+        for _ in range(count):
+            message = self.generate()
+            result.tests += 1
+            if self._accepts(message):
+                result.accepted += 1
+                if self._is_trojan(message):
+                    result.trojans_found += 1
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    def run_for(self, seconds: float) -> FuzzResult:
+        """Run tests until the time budget expires."""
+        result = FuzzResult()
+        started = time.perf_counter()
+        while time.perf_counter() - started < seconds:
+            message = self.generate()
+            result.tests += 1
+            if self._accepts(message):
+                result.accepted += 1
+                if self._is_trojan(message):
+                    result.trojans_found += 1
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+
+def expected_trojans_per_hour(tests_per_minute: float, trojan_messages: int,
+                              space_bits: int) -> float:
+    """The paper's closed-form fuzzing yield (§6.2).
+
+    Args:
+        tests_per_minute: measured fuzzer throughput.
+        trojan_messages: number of Trojan bit patterns in the randomized
+            space (66 million for FSP's 8 relevant bytes).
+        space_bits: log2 of the randomized space size (64 for 8 bytes).
+
+    Returns:
+        Expected number of Trojan messages found in one hour.
+    """
+    density = trojan_messages / float(1 << space_bits)
+    return tests_per_minute * 60.0 * density

@@ -1,0 +1,212 @@
+"""Experiment drivers — one per table/figure of the paper's §6.
+
+Each driver runs a complete experiment at laptop scale and returns a
+structured outcome; the benchmark files print the paper-shaped rows and
+assert the qualitative claims (who wins, by what rough factor, where the
+curves bend). Absolute times differ from the paper's 16-core testbed by
+construction — the shapes are what reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.achilles import Achilles, AchillesConfig, FieldMask, OptimizationFlags
+from repro.achilles.report import AchillesReport
+from repro.achilles.server_analysis import a_posteriori_search
+from repro.baselines.classic import ClassicResult, classic_symbolic_execution
+from repro.baselines.fuzzer import FuzzCampaign, FuzzResult, expected_trojans_per_hour
+from repro.messages.concrete import encode
+from repro.systems import fsp
+from repro.systems.fsp.protocol import STUBS
+from repro.systems.pbft import (
+    MAC_STUB,
+    REQUEST_LAYOUT,
+    pbft_client,
+    pbft_replica,
+    run_workload,
+)
+from repro.systems.pbft.cluster import ClusterStats
+
+#: The §6.1 annotation mask: session fields are stubbed, not analyzed.
+FSP_SESSION_MASK = FieldMask.hide("sum", "bb_key", "bb_seq", "bb_pos")
+
+
+@dataclass
+class AccuracyOutcome:
+    """Result of one full Achilles run on FSP plus ground-truth scoring."""
+
+    report: AchillesReport
+    true_positives: int
+    false_positives: int
+    classes_found: int
+    classes_total: int
+
+    @property
+    def coverage(self) -> float:
+        return self.classes_found / self.classes_total
+
+
+def _fsp_achilles(optimizations: OptimizationFlags | None = None) -> Achilles:
+    config = AchillesConfig(layout=fsp.FSP_LAYOUT, mask=FSP_SESSION_MASK,
+                            optimizations=optimizations or OptimizationFlags())
+    return Achilles(config)
+
+
+def run_fsp_accuracy(optimizations: OptimizationFlags | None = None,
+                     ) -> AccuracyOutcome:
+    """Table 1 (Achilles column) + Figures 10/11 raw data."""
+    achilles = _fsp_achilles(optimizations)
+    predicates = achilles.extract_clients(fsp.literal_clients())
+    report = achilles.search(fsp.fsp_server, predicates)
+    score = fsp.GroundTruth.score(report.witnesses())
+    return AccuracyOutcome(
+        report=report,
+        true_positives=score.true_positives,
+        false_positives=score.false_positives,
+        classes_found=len(score.classes_found),
+        classes_total=len(fsp.all_trojan_classes()),
+    )
+
+
+def run_fsp_wildcard(listing: tuple[str, ...] = ("f1", "f2", "doc"),
+                     ) -> AchillesReport:
+    """§6.3 wildcard experiment: globbing clients, same server."""
+    achilles = _fsp_achilles()
+    predicates = achilles.extract_clients(fsp.globbing_clients(listing))
+    return achilles.search(fsp.fsp_server, predicates)
+
+
+def run_classic_baseline(per_path_limit: int = 512) -> tuple[ClassicResult,
+                                                             "fsp.GroundTruth"]:
+    """Table 1 (classic symbolic execution column)."""
+    result = classic_symbolic_execution(
+        fsp.fsp_server, fsp.FSP_LAYOUT, per_path_limit=per_path_limit)
+    score = fsp.GroundTruth.score(result.messages)
+    return result, score
+
+
+@dataclass
+class FuzzingOutcome:
+    """Measured fuzzing throughput plus the closed-form yield (§6.2)."""
+
+    result: FuzzResult
+    trojan_density_space_bits: int
+    trojan_messages_in_space: int
+    expected_trojans_in_one_hour: float
+    paper_tests_per_minute: float = 75_000.0
+    paper_expected_per_hour: float = 1.65e-5
+
+
+def run_fuzzing_comparison(tests: int = 200_000) -> FuzzingOutcome:
+    """§6.2 fuzzing comparison on the same 8 relevant bytes.
+
+    The fuzzer randomizes cmd, bb_len and buf (8 bytes) while holding the
+    stubbed session fields at their constants, exactly as the paper
+    scopes it ("we only fuzz the same message fields that are analyzed").
+    """
+    template = encode(fsp.FSP_LAYOUT, {
+        "cmd": 0, "sum": STUBS["sum"], "bb_key": STUBS["bb_key"],
+        "bb_seq": STUBS["bb_seq"], "bb_len": 0, "bb_pos": STUBS["bb_pos"],
+        "buf": b"\x00" * fsp.PATH_SPACE,
+    })
+    positions = (list(fsp.FSP_LAYOUT.view("cmd").byte_range)
+                 + list(fsp.FSP_LAYOUT.view("bb_len").byte_range)
+                 + list(fsp.FSP_LAYOUT.view("buf").byte_range))
+    campaign = FuzzCampaign(
+        template,
+        accepts=fsp.is_server_accepted,
+        is_trojan=lambda m: fsp.classify_message(m) is not None,
+        positions=positions)
+    result = campaign.run_tests(tests)
+
+    trojan_count = _count_trojan_bit_patterns()
+    expected = expected_trojans_per_hour(
+        result.tests_per_minute, trojan_count, campaign.randomized_bits)
+    return FuzzingOutcome(
+        result=result,
+        trojan_density_space_bits=campaign.randomized_bits,
+        trojan_messages_in_space=trojan_count,
+        expected_trojans_in_one_hour=expected,
+    )
+
+
+def _count_trojan_bit_patterns() -> int:
+    """Closed-form count of Trojan bit patterns in the fuzzed space.
+
+    For class (cmd, L, t): positions t and L are NUL, characters before t
+    are printable (94 choices), bytes strictly between t and L and after
+    L are unconstrained *except* that the scan never reaches them — the
+    accept predicate leaves them free (256 choices each). The paper's
+    equivalent count for real FSP is 66 million.
+    """
+    printable = 94
+    free = 256
+    total = 0
+    for cls in fsp.all_trojan_classes():
+        length, true_length = cls.reported_length, cls.true_length
+        buf_positions = fsp.PATH_SPACE
+        pinned = {true_length, length}
+        before = true_length  # printable characters
+        rest = buf_positions - before - len(pinned)
+        total += (printable ** before) * (free ** rest)
+    return total
+
+
+def run_ablation() -> dict[str, AchillesReport]:
+    """§6.4: optimized Achilles vs the a-posteriori differencing run.
+
+    Also includes single-optimization-off variants (the design-choice
+    ablation DESIGN.md calls out).
+    """
+    achilles = _fsp_achilles()
+    predicates = achilles.extract_clients(fsp.literal_clients())
+
+    outcomes: dict[str, AchillesReport] = {}
+    outcomes["achilles-optimized"] = achilles.search(fsp.fsp_server,
+                                                     predicates)
+
+    for label, flags in {
+        "no-differentfrom": OptimizationFlags(use_different_from=False),
+        "no-pruning": OptimizationFlags(prune_unreachable=False),
+        "no-incremental-drop": OptimizationFlags(incremental_drop=False,
+                                                 use_different_from=False),
+    }.items():
+        variant = Achilles(AchillesConfig(
+            layout=fsp.FSP_LAYOUT, mask=FSP_SESSION_MASK,
+            optimizations=flags))
+        variant_preds = variant.extract_clients(fsp.literal_clients())
+        outcomes[label] = variant.search(fsp.fsp_server, variant_preds)
+
+    posterior = a_posteriori_search(
+        fsp.fsp_server, predicates, achilles.server_msg)
+    posterior.timings.client_extraction = predicates.stats.extraction_seconds
+    posterior.timings.preprocessing = predicates.stats.preprocess_seconds
+    outcomes["a-posteriori"] = posterior
+    return outcomes
+
+
+@dataclass
+class PbftOutcome:
+    """PBFT analysis report plus the cluster impact sweep."""
+
+    report: AchillesReport
+    mac_stub: bytes
+    impact: dict[str, ClusterStats] = field(default_factory=dict)
+
+
+def run_pbft_analysis() -> AchillesReport:
+    """§6.2 PBFT run: the MAC Trojan on every accepting path."""
+    achilles = Achilles(AchillesConfig(layout=REQUEST_LAYOUT,
+                                       destination="replica0"))
+    predicates = achilles.extract_clients({"pbft-client": pbft_client})
+    return achilles.search(pbft_replica, predicates)
+
+
+def run_pbft_impact(requests: int = 40) -> PbftOutcome:
+    """§6.3 MAC attack impact: throughput under increasing attack rates."""
+    report = run_pbft_analysis()
+    outcome = PbftOutcome(report=report, mac_stub=MAC_STUB)
+    for label, every in {"clean": 0, "attack-10%": 10, "attack-50%": 2}.items():
+        outcome.impact[label] = run_workload(requests, malicious_every=every)
+    return outcome

@@ -1,0 +1,45 @@
+"""Plain-text rendering of tables and series for the benchmarks."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Render rows as an aligned ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(parts: Sequence[str]) -> str:
+        return "  ".join(part.ljust(width)
+                         for part, width in zip(parts, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def format_series(points: Sequence[tuple[float, float]], title: str = "",
+                  x_label: str = "x", y_label: str = "y",
+                  width: int = 50) -> str:
+    """Render an (x, y) series as a horizontal ASCII bar chart."""
+    out = []
+    if title:
+        out.append(title)
+    if not points:
+        out.append("(no data)")
+        return "\n".join(out)
+    peak = max(y for _, y in points) or 1.0
+    out.append(f"{x_label:>10}  {y_label}")
+    for x, y in points:
+        bar = "#" * max(1, int(round(width * y / peak)))
+        out.append(f"{x:>10.3g}  {bar} {y:.3g}")
+    return "\n".join(out)

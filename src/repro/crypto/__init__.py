@@ -1,0 +1,26 @@
+"""Toy integrity primitives used by the modeled protocols.
+
+FSP protects commands with a one-byte additive checksum; PBFT protects
+requests with per-replica message authenticators (MACs). This package
+provides small, deterministic stand-ins for both that work over *mixed*
+concrete/symbolic byte vectors:
+
+* given plain ints they return ints (concrete deployments),
+* given solver expressions they return expressions (symbolic execution),
+
+so the same node program runs under both the simulated network and the
+symbolic engine. The paper's evaluation bypasses these computations with
+constant stubs (§6.1); both the real and the stubbed configuration are
+exercised by the test suite.
+"""
+
+from repro.crypto.checksum import byte_sum_checksum, xor_checksum
+from repro.crypto.mac import Authenticator, mac_tag, verify_mac
+
+__all__ = [
+    "Authenticator",
+    "byte_sum_checksum",
+    "mac_tag",
+    "verify_mac",
+    "xor_checksum",
+]

@@ -1,0 +1,61 @@
+"""Additive and XOR checksums over mixed concrete/symbolic bytes.
+
+FSP's ``sum`` header is an 8-bit additive checksum of the whole message
+(with the checksum byte itself taken as zero). The symbolic variant builds
+the full chain of add operations, which is exactly the "full chain of
+operations that transform the symbolic inputs" the paper describes for the
+client's CRC expression (§3.1, Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.solver import ast
+from repro.solver.ast import Expr
+
+ByteLike = Expr | int
+
+
+def _as_expr(byte: ByteLike) -> Expr:
+    if isinstance(byte, int):
+        return ast.bv_const(byte & 0xFF, 8)
+    return byte
+
+
+def _all_concrete(data: Sequence[ByteLike]) -> bool:
+    return all(isinstance(b, int) or b.is_const for b in data)
+
+
+def _concrete_value(byte: ByteLike) -> int:
+    return byte if isinstance(byte, int) else byte.value
+
+
+def byte_sum_checksum(data: Sequence[ByteLike], initial: int = 0) -> ByteLike:
+    """8-bit additive checksum: ``(initial + sum(bytes)) mod 256``.
+
+    Returns an int when every input byte is concrete, otherwise a solver
+    expression over the symbolic bytes.
+    """
+    if _all_concrete(data):
+        total = initial
+        for byte in data:
+            total = (total + _concrete_value(byte)) & 0xFF
+        return total
+    result: Expr = ast.bv_const(initial & 0xFF, 8)
+    for byte in data:
+        result = ast.add(result, _as_expr(byte))
+    return result
+
+
+def xor_checksum(data: Sequence[ByteLike], initial: int = 0) -> ByteLike:
+    """8-bit XOR checksum (a second, cheaper integrity code)."""
+    if _all_concrete(data):
+        total = initial & 0xFF
+        for byte in data:
+            total ^= _concrete_value(byte) & 0xFF
+        return total
+    result: Expr = ast.bv_const(initial & 0xFF, 8)
+    for byte in data:
+        result = ast.bvxor(result, _as_expr(byte))
+    return result

@@ -1,0 +1,98 @@
+"""Toy keyed message authenticators (the PBFT ``MAC`` field).
+
+PBFT clients append one authenticator per replica, each computed with a
+pairwise secret key. The stand-in here is a two-byte keyed mix — strong
+enough that a wrong key or tampered payload is detected with high
+probability in the simulated deployments, cheap enough to run symbolically
+when needed. The Achilles evaluation replaces it with a constant stub on
+both sides (§6.1); the *vulnerability* is that replicas skip verification
+entirely, which is independent of the MAC's strength.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.crypto.checksum import ByteLike, _all_concrete, _as_expr, _concrete_value
+from repro.solver import ast
+from repro.solver.ast import Expr
+
+#: MAC tag width, in bytes.
+TAG_SIZE = 2
+
+
+def mac_tag(key: int, data: Sequence[ByteLike]) -> tuple[ByteLike, ByteLike]:
+    """Two-byte keyed tag over ``data``.
+
+    The mix keeps byte order significant (a swapped payload changes the
+    tag) and folds the 16-bit key into both output bytes.
+    """
+    key &= 0xFFFF
+    key_hi, key_lo = key >> 8, key & 0xFF
+    if _all_concrete(data):
+        acc_hi, acc_lo = key_hi, key_lo
+        for position, byte in enumerate(data):
+            value = _concrete_value(byte) & 0xFF
+            acc_hi = (acc_hi + value + position) & 0xFF
+            acc_lo ^= (value + acc_hi) & 0xFF
+        return acc_hi, acc_lo
+    acc_hi: Expr = ast.bv_const(key_hi, 8)
+    acc_lo: Expr = ast.bv_const(key_lo, 8)
+    for position, byte in enumerate(data):
+        value = _as_expr(byte)
+        acc_hi = ast.add(ast.add(acc_hi, value), ast.bv_const(position & 0xFF, 8))
+        acc_lo = ast.bvxor(acc_lo, ast.add(value, acc_hi))
+    return acc_hi, acc_lo
+
+
+def verify_mac(key: int, data: Sequence[int], tag: Sequence[int]) -> bool:
+    """Check a concrete two-byte tag."""
+    expected = mac_tag(key, list(data))
+    return tuple(tag) == expected
+
+
+@dataclass(frozen=True)
+class Authenticator:
+    """A vector of per-replica MAC tags, as carried by PBFT requests.
+
+    Attributes:
+        tags: one ``(hi, lo)`` tag per replica, in replica-id order.
+    """
+
+    tags: tuple[tuple[int, int], ...]
+
+    @classmethod
+    def sign(cls, keys: Sequence[int], data: Sequence[int]) -> "Authenticator":
+        """Authenticate ``data`` for every replica key."""
+        return cls(tuple(mac_tag(key, list(data)) for key in keys))
+
+    def verify(self, replica_id: int, key: int, data: Sequence[int]) -> bool:
+        """Check the tag addressed to ``replica_id``."""
+        if replica_id < 0 or replica_id >= len(self.tags):
+            return False
+        return mac_tag(key, list(data)) == self.tags[replica_id]
+
+    def wire_bytes(self) -> list[int]:
+        """Flatten to wire bytes, replica order, (hi, lo) per replica."""
+        out: list[int] = []
+        for hi, lo in self.tags:
+            out.append(hi)
+            out.append(lo)
+        return out
+
+    @classmethod
+    def from_wire(cls, data: Sequence[int]) -> "Authenticator":
+        """Parse wire bytes produced by :meth:`wire_bytes`."""
+        if len(data) % TAG_SIZE:
+            raise ValueError("authenticator bytes must come in (hi, lo) pairs")
+        pairs = tuple(
+            (data[i], data[i + 1]) for i in range(0, len(data), TAG_SIZE))
+        return cls(pairs)
+
+    def corrupt(self, replica_id: int) -> "Authenticator":
+        """A copy with the tag for ``replica_id`` flipped (the MAC attack)."""
+        tags = list(self.tags)
+        hi, lo = tags[replica_id]
+        tags[replica_id] = (hi ^ 0xFF, lo ^ 0xA5)
+        return Authenticator(tuple(tags))

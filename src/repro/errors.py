@@ -1,0 +1,61 @@
+"""Shared exception hierarchy for the repro library.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SortError(ReproError):
+    """An expression was built from operands of incompatible sorts."""
+
+
+class SolverError(ReproError):
+    """The constraint solver was used incorrectly or hit an internal limit."""
+
+
+class SolverTimeout(SolverError):
+    """The constraint solver exceeded its configured budget."""
+
+
+class SymexError(ReproError):
+    """The symbolic execution engine was driven into an invalid state."""
+
+
+class PathInfeasible(SymexError):
+    """Raised internally when a path's constraints become unsatisfiable.
+
+    Node programs never see this exception; the engine catches it and
+    abandons the path.
+    """
+
+
+class PathDropped(SymexError):
+    """Raised by the ``drop_path`` annotation to abandon the current path."""
+
+
+class ExplorationLimit(SymexError):
+    """A path exceeded the engine's branch/step budget."""
+
+
+class MessageError(ReproError):
+    """A message buffer or layout was used inconsistently."""
+
+
+class NetworkError(ReproError):
+    """The simulated network was driven into an invalid state."""
+
+
+class FileSystemError(ReproError):
+    """The in-memory filesystem rejected an operation."""
+
+
+class AchillesError(ReproError):
+    """The Achilles analysis was configured or driven incorrectly."""
+
+
+class AnnotationError(AchillesError):
+    """An Achilles annotation (§5.2) was used incorrectly."""

@@ -1,0 +1,14 @@
+"""In-memory filesystem with FSP-style globbing.
+
+The FSP server performs real filesystem actions on behalf of clients; the
+impact experiments (§6.3) need those actions to be observable and
+resettable. :class:`~repro.fsys.memfs.MemFS` is a small hierarchical
+filesystem, and :mod:`repro.fsys.glob` implements the exact globbing
+dialect the FSP clients use — ``*`` and ``?`` wildcards with **no escape
+character**, which is the root cause of the wildcard Trojan.
+"""
+
+from repro.fsys.glob import expand, glob_match, has_wildcard
+from repro.fsys.memfs import MemFS
+
+__all__ = ["MemFS", "expand", "glob_match", "has_wildcard"]

@@ -1,0 +1,61 @@
+"""FSP-dialect globbing: ``*`` and ``?``, no escaping.
+
+This mirrors the behaviour Achilles exposed in FSP (§6.3): the client
+expands wildcards in *source* paths before sending, and there is no way to
+escape a wildcard — ``rm file\\*`` matches names starting with ``file\\``,
+it does not match the literal name ``file*``. The server, by contrast,
+treats ``*`` like any printable character.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def has_wildcard(name: str) -> bool:
+    """True when ``name`` contains a glob metacharacter."""
+    return "*" in name or "?" in name
+
+
+def glob_match(pattern: str, name: str) -> bool:
+    """Match ``name`` against ``pattern``.
+
+    ``*`` matches any (possibly empty) character sequence, ``?`` matches
+    exactly one character. Every other character — including backslash —
+    matches only itself: there is deliberately no escape syntax.
+    """
+    return _match(pattern, 0, name, 0)
+
+
+def _match(pattern: str, pi: int, name: str, ni: int) -> bool:
+    while pi < len(pattern):
+        ch = pattern[pi]
+        if ch == "*":
+            # Collapse consecutive stars, then try every split point.
+            while pi + 1 < len(pattern) and pattern[pi + 1] == "*":
+                pi += 1
+            if pi == len(pattern) - 1:
+                return True
+            for split in range(ni, len(name) + 1):
+                if _match(pattern, pi + 1, name, split):
+                    return True
+            return False
+        if ni >= len(name):
+            return False
+        if ch != "?" and ch != name[ni]:
+            return False
+        pi += 1
+        ni += 1
+    return ni == len(name)
+
+
+def expand(pattern: str, names: Iterable[str]) -> list[str]:
+    """Names matching ``pattern``, sorted; like shell expansion over a dir.
+
+    Following UNIX shell convention (and FSP's client), a pattern that
+    matches nothing expands to itself — this is how a literal ``file*``
+    ends up on the wire when no file matches, and why the wildcard Trojan
+    is reachable at all from a *faulty* (but unmodified) client.
+    """
+    matches = sorted(name for name in names if glob_match(pattern, name))
+    return matches if matches else [pattern]

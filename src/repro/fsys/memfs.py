@@ -1,0 +1,162 @@
+"""A small hierarchical in-memory filesystem.
+
+Backs the FSP server in both symbolic analysis (as concrete local state,
+§3.4) and the concrete impact experiments (§6.3). Paths are ``/``-separated
+strings; any printable byte — including ``*`` — is legal in a component,
+exactly like a POSIX filesystem, which is what makes the FSP wildcard bug
+expressible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FileSystemError
+from repro.fsys.glob import glob_match
+
+
+@dataclass
+class _Node:
+    """One directory entry: a file with content, or a directory."""
+
+    is_dir: bool
+    content: bytes = b""
+    children: dict[str, "_Node"] = field(default_factory=dict)
+
+
+def _split(path: str) -> list[str]:
+    parts = [p for p in path.split("/") if p]
+    if not parts and path.strip("/") == "" and path != "/":
+        raise FileSystemError(f"invalid path {path!r}")
+    return parts
+
+
+class MemFS:
+    """In-memory filesystem with files, directories, and rename.
+
+    All mutating operations raise :class:`FileSystemError` on conflicts
+    (missing parents, wrong node kinds, existing targets) rather than
+    guessing, since the impact experiments assert on exact outcomes.
+    """
+
+    def __init__(self):
+        self._root = _Node(is_dir=True)
+
+    # -- lookup -----------------------------------------------------------------
+
+    def _walk(self, parts: list[str]) -> _Node | None:
+        node = self._root
+        for part in parts:
+            if not node.is_dir:
+                return None
+            child = node.children.get(part)
+            if child is None:
+                return None
+            node = child
+        return node
+
+    def _parent_of(self, path: str) -> tuple[_Node, str]:
+        parts = _split(path)
+        if not parts:
+            raise FileSystemError("the root directory has no parent")
+        parent = self._walk(parts[:-1])
+        if parent is None or not parent.is_dir:
+            raise FileSystemError(f"no such directory: /{'/'.join(parts[:-1])}")
+        return parent, parts[-1]
+
+    def exists(self, path: str) -> bool:
+        return self._walk(_split(path)) is not None
+
+    def is_file(self, path: str) -> bool:
+        node = self._walk(_split(path))
+        return node is not None and not node.is_dir
+
+    def is_dir(self, path: str) -> bool:
+        node = self._walk(_split(path))
+        return node is not None and node.is_dir
+
+    # -- file operations ----------------------------------------------------------
+
+    def write_file(self, path: str, content: bytes = b"") -> None:
+        """Create or overwrite a file; the parent directory must exist."""
+        parent, name = self._parent_of(path)
+        existing = parent.children.get(name)
+        if existing is not None and existing.is_dir:
+            raise FileSystemError(f"{path!r} is a directory")
+        parent.children[name] = _Node(is_dir=False, content=bytes(content))
+
+    def read_file(self, path: str) -> bytes:
+        node = self._walk(_split(path))
+        if node is None:
+            raise FileSystemError(f"no such file: {path!r}")
+        if node.is_dir:
+            raise FileSystemError(f"{path!r} is a directory")
+        return node.content
+
+    def delete(self, path: str) -> None:
+        """Remove a file or an *empty* directory."""
+        parent, name = self._parent_of(path)
+        node = parent.children.get(name)
+        if node is None:
+            raise FileSystemError(f"no such entry: {path!r}")
+        if node.is_dir and node.children:
+            raise FileSystemError(f"directory not empty: {path!r}")
+        del parent.children[name]
+
+    def rename(self, source: str, target: str) -> None:
+        """Move ``source`` to ``target``; overwrites an existing target file."""
+        src_parent, src_name = self._parent_of(source)
+        node = src_parent.children.get(src_name)
+        if node is None:
+            raise FileSystemError(f"no such entry: {source!r}")
+        dst_parent, dst_name = self._parent_of(target)
+        existing = dst_parent.children.get(dst_name)
+        if existing is not None and existing.is_dir:
+            raise FileSystemError(f"target is a directory: {target!r}")
+        del src_parent.children[src_name]
+        dst_parent.children[dst_name] = node
+
+    # -- directory operations ----------------------------------------------------
+
+    def mkdir(self, path: str) -> None:
+        parent, name = self._parent_of(path)
+        if name in parent.children:
+            raise FileSystemError(f"entry exists: {path!r}")
+        parent.children[name] = _Node(is_dir=True)
+
+    def listdir(self, path: str = "/") -> list[str]:
+        node = self._walk(_split(path)) if path != "/" else self._root
+        if node is None:
+            raise FileSystemError(f"no such directory: {path!r}")
+        if not node.is_dir:
+            raise FileSystemError(f"{path!r} is not a directory")
+        return sorted(node.children)
+
+    def glob(self, directory: str, pattern: str) -> list[str]:
+        """Entries of ``directory`` matching ``pattern`` (FSP dialect)."""
+        return [n for n in self.listdir(directory) if glob_match(pattern, n)]
+
+    # -- bulk helpers --------------------------------------------------------------
+
+    def tree(self) -> dict[str, bytes | None]:
+        """Flat snapshot: path -> file content, or None for directories."""
+        snapshot: dict[str, bytes | None] = {}
+
+        def visit(node: _Node, prefix: str) -> None:
+            for name, child in sorted(node.children.items()):
+                path = f"{prefix}/{name}"
+                snapshot[path] = None if child.is_dir else child.content
+                if child.is_dir:
+                    visit(child, path)
+
+        visit(self._root, "")
+        return snapshot
+
+    def populate(self, entries: dict[str, bytes | None]) -> None:
+        """Create files/directories from a :meth:`tree`-style dict."""
+        for path in sorted(entries, key=lambda p: p.count("/")):
+            content = entries[path]
+            if content is None:
+                self.mkdir(path)
+            else:
+                self.write_file(path, content)

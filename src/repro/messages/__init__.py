@@ -1,0 +1,47 @@
+"""Wire-message layouts and field views.
+
+Achilles reasons about messages as flat byte vectors (one solver expression
+per wire byte) while its negate operator, ``differentFrom`` matrix and masks
+all work per *field* (§3.2-§3.3). This package provides the bridge:
+
+* :class:`MessageLayout` — named, sized, ordered fields over a byte buffer;
+* :class:`FieldView` / :func:`field_expr` — slice a byte vector into a
+  per-field bitvector expression;
+* :class:`MessageBuilder` — compose a wire message from field values
+  (client side);
+* concrete encode/decode helpers for the simulated deployments.
+"""
+
+from repro.messages.layout import Field, FieldView, MessageLayout
+from repro.messages.symbolic import (
+    MessageBuilder,
+    field_bytes,
+    field_expr,
+    fresh_message,
+    message_vars,
+    wire_equalities,
+)
+from repro.messages.concrete import (
+    decode,
+    decode_ints,
+    encode,
+    pack_int,
+    unpack_int,
+)
+
+__all__ = [
+    "Field",
+    "FieldView",
+    "MessageBuilder",
+    "MessageLayout",
+    "decode",
+    "decode_ints",
+    "encode",
+    "field_bytes",
+    "field_expr",
+    "fresh_message",
+    "message_vars",
+    "pack_int",
+    "unpack_int",
+    "wire_equalities",
+]

@@ -1,0 +1,69 @@
+"""Concrete message encoding for the simulated deployments.
+
+The fault-injection side of the evaluation (§6.3) runs nodes *concretely*:
+Achilles concretizes a Trojan expression into real bytes and the harness
+injects those bytes into a running deployment. These helpers convert
+between field dictionaries and wire byte strings using the same layouts as
+the symbolic side, so both sides agree on offsets and endianness.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import MessageError
+from repro.messages.layout import MessageLayout
+
+
+def pack_int(value: int, size: int) -> bytes:
+    """Big-endian fixed-size encoding of an unsigned int."""
+    if size <= 0:
+        raise MessageError("size must be positive")
+    if value < 0 or value >= (1 << (8 * size)):
+        raise MessageError(f"value {value} does not fit in {size} bytes")
+    return value.to_bytes(size, "big")
+
+def unpack_int(data: bytes) -> int:
+    """Big-endian decoding of an unsigned int."""
+    return int.from_bytes(data, "big")
+
+
+def encode(layout: MessageLayout, fields: Mapping[str, int | bytes | Sequence[int]]) -> bytes:
+    """Encode a field dictionary into wire bytes.
+
+    Int values are packed big-endian to the field size; bytes / int
+    sequences must match the field size exactly. Every field of the layout
+    must be present.
+    """
+    missing = set(layout.field_names) - set(fields)
+    if missing:
+        raise MessageError(f"missing fields: {', '.join(sorted(missing))}")
+    extra = set(fields) - set(layout.field_names)
+    if extra:
+        raise MessageError(f"unknown fields: {', '.join(sorted(extra))}")
+    out = bytearray()
+    for view in layout.views():
+        value = fields[view.name]
+        if isinstance(value, int):
+            out += pack_int(value, view.size)
+            continue
+        raw = bytes(value)
+        if len(raw) != view.size:
+            raise MessageError(
+                f"field {view.name!r} needs {view.size} bytes, got {len(raw)}")
+        out += raw
+    return bytes(out)
+
+
+def decode(layout: MessageLayout, data: bytes) -> dict[str, bytes]:
+    """Split wire bytes into per-field byte strings."""
+    if len(data) != layout.total_size:
+        raise MessageError(
+            f"layout {layout.name!r} is {layout.total_size} bytes, "
+            f"got {len(data)}")
+    return {view.name: data[view.offset:view.end] for view in layout.views()}
+
+
+def decode_ints(layout: MessageLayout, data: bytes) -> dict[str, int]:
+    """Split wire bytes into per-field big-endian unsigned ints."""
+    return {name: unpack_int(raw) for name, raw in decode(layout, data).items()}

@@ -1,0 +1,161 @@
+"""Message layouts: named fields over a flat byte buffer.
+
+A layout is an ordered sequence of fixed-size fields, optionally followed by
+one variable-length tail field (FSP's ``buf``, PBFT's ``command``). For the
+analyses in this repo the tail is always *bounded*: callers instantiate the
+layout with a concrete tail size before building messages (the paper bounds
+message sizes the same way, §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MessageError
+
+#: Sentinel size for the single allowed variable-length tail field.
+VARIABLE = -1
+
+
+@dataclass(frozen=True)
+class Field:
+    """One named field of a wire message.
+
+    Attributes:
+        name: field identifier, unique within a layout.
+        size: width in bytes, or :data:`VARIABLE` for the tail field.
+    """
+
+    name: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size != VARIABLE and self.size <= 0:
+            raise MessageError(f"field {self.name!r} must have positive size")
+
+    @property
+    def is_variable(self) -> bool:
+        return self.size == VARIABLE
+
+
+@dataclass(frozen=True)
+class FieldView:
+    """Resolved location of a field inside a concrete-size message."""
+
+    name: str
+    offset: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+    @property
+    def byte_range(self) -> range:
+        return range(self.offset, self.end)
+
+    @property
+    def bit_width(self) -> int:
+        return 8 * self.size
+
+
+class MessageLayout:
+    """Ordered field layout of one message type.
+
+    Only the last field may be variable-length; :meth:`bind` produces a
+    fully-fixed layout once the tail size is chosen.
+
+    Args:
+        name: human-readable layout name (used in reports).
+        fields: ordered field declarations.
+    """
+
+    def __init__(self, name: str, fields: list[Field] | tuple[Field, ...]):
+        fields = tuple(fields)
+        if not fields:
+            raise MessageError("a layout needs at least one field")
+        seen: set[str] = set()
+        for index, field in enumerate(fields):
+            if field.name in seen:
+                raise MessageError(f"duplicate field name {field.name!r}")
+            seen.add(field.name)
+            if field.is_variable and index != len(fields) - 1:
+                raise MessageError(
+                    f"variable field {field.name!r} must be last in the layout")
+        self.name = name
+        self.fields = fields
+
+    # -- shape -----------------------------------------------------------------
+
+    @property
+    def has_variable_tail(self) -> bool:
+        return self.fields[-1].is_variable
+
+    @property
+    def fixed_size(self) -> int:
+        """Total size of the fixed-size prefix, in bytes."""
+        return sum(f.size for f in self.fields if not f.is_variable)
+
+    def bind(self, tail_size: int) -> "MessageLayout":
+        """Fix the variable tail to ``tail_size`` bytes.
+
+        Returns ``self`` unchanged when the layout is already fixed and
+        ``tail_size`` is not needed.
+        """
+        if not self.has_variable_tail:
+            raise MessageError(f"layout {self.name!r} has no variable tail")
+        if tail_size <= 0:
+            raise MessageError("tail_size must be positive")
+        tail = self.fields[-1]
+        return MessageLayout(
+            self.name, self.fields[:-1] + (Field(tail.name, tail_size),))
+
+    @property
+    def total_size(self) -> int:
+        """Total message size in bytes (requires a fixed layout)."""
+        if self.has_variable_tail:
+            raise MessageError(
+                f"layout {self.name!r} has an unbound variable tail; "
+                "call bind(tail_size) first")
+        return self.fixed_size
+
+    # -- lookup ----------------------------------------------------------------
+
+    def view(self, name: str) -> FieldView:
+        """Resolve a field's byte range. Raises on unknown names."""
+        offset = 0
+        for field in self.fields:
+            if field.name == name:
+                if field.is_variable:
+                    raise MessageError(
+                        f"field {name!r} is unbound; call bind() first")
+                return FieldView(name, offset, field.size)
+            if field.is_variable:
+                raise MessageError(
+                    f"layout {self.name!r} has an unbound variable tail")
+            offset += field.size
+        raise MessageError(f"layout {self.name!r} has no field {name!r}")
+
+    def views(self) -> list[FieldView]:
+        """All field views in wire order (requires a fixed layout)."""
+        return [self.view(f.name) for f in self.fields]
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    def field_of_byte(self, index: int) -> FieldView:
+        """The field that byte ``index`` belongs to."""
+        if index < 0 or index >= self.total_size:
+            raise MessageError(
+                f"byte {index} out of range for layout {self.name!r} "
+                f"({self.total_size} bytes)")
+        for view in self.views():
+            if index in view.byte_range:
+                return view
+        raise MessageError(f"byte {index} not covered by any field")
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{f.name}:{'*' if f.is_variable else f.size}" for f in self.fields)
+        return f"MessageLayout({self.name!r}, {parts})"

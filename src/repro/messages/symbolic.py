@@ -1,0 +1,173 @@
+"""Symbolic views over wire messages.
+
+The server side of Achilles feeds an *unconstrained symbolic message* to the
+node under test (§3.1): one fresh 8-bit variable per wire byte, produced by
+:func:`fresh_message`. The client side composes messages from expressions
+with :class:`MessageBuilder`. Both sides meet in
+:func:`wire_equalities`, which equates a server message variable vector
+with a client payload expression vector (the ``msgS = msgC = msg``
+combination of §3.2).
+
+Multi-byte fields use network byte order (big-endian) throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import MessageError
+from repro.messages.layout import FieldView, MessageLayout
+from repro.solver import ast
+from repro.solver.ast import Expr
+from repro.symex.context import ExecutionContext
+
+
+def fresh_message(ctx: ExecutionContext, layout: MessageLayout,
+                  name: str = "msg") -> tuple[Expr, ...]:
+    """One fresh symbolic byte per wire byte of ``layout``.
+
+    This is the paper's "unconstrained symbolic message" handed to the
+    server's receive call.
+    """
+    return tuple(ctx.fresh_bytes(name, layout.total_size))
+
+
+def message_vars(layout: MessageLayout, name: str = "msg") -> tuple[Expr, ...]:
+    """Engine-independent variant of :func:`fresh_message`.
+
+    Used by analyses that need the message variable vector without an
+    execution context (e.g. combining predicates after exploration).
+    """
+    return tuple(
+        ast.bv_var(f"{name}[{i}]", 8) for i in range(layout.total_size))
+
+
+def field_expr(wire: Sequence[Expr], view: FieldView) -> Expr:
+    """The field's value as a single big-endian bitvector expression."""
+    if view.end > len(wire):
+        raise MessageError(
+            f"field {view.name!r} ends at byte {view.end} but the wire "
+            f"message has only {len(wire)} bytes")
+    result = wire[view.offset]
+    for index in range(view.offset + 1, view.end):
+        result = ast.concat(result, wire[index])
+    return result
+
+
+def field_bytes(wire: Sequence[Expr], view: FieldView) -> tuple[Expr, ...]:
+    """The field's individual byte expressions, in wire order."""
+    return tuple(wire[i] for i in view.byte_range)
+
+
+def wire_equalities(server_msg: Sequence[Expr],
+                    client_payload: Sequence[Expr]) -> list[Expr]:
+    """Byte-wise equality constraints ``msgS = msgC`` (§3.2).
+
+    Messages of different lengths cannot be equal; this returns a single
+    unsatisfiable constraint in that case so callers can treat length
+    mismatch uniformly through the solver.
+    """
+    if len(server_msg) != len(client_payload):
+        return [ast.FALSE]
+    return [ast.eq(s, c) for s, c in zip(server_msg, client_payload)]
+
+
+class MessageBuilder:
+    """Compose a wire message field-by-field (the client's send path).
+
+    Values may be Python ints (encoded big-endian into the field's bytes)
+    or solver expressions whose width matches the field.
+
+    Example::
+
+        builder = MessageBuilder(layout)
+        builder.set("cmd", CC_GET_FILE)
+        builder.set("address", addr_expr)          # 32-bit expression
+        builder.set_bytes("buf", path_bytes)       # per-byte expressions
+        ctx.send("server", builder.wire())
+    """
+
+    def __init__(self, layout: MessageLayout):
+        self._layout = layout
+        self._bytes: list[Expr | None] = [None] * layout.total_size
+
+    @property
+    def layout(self) -> MessageLayout:
+        return self._layout
+
+    def set(self, field: str, value: Expr | int) -> "MessageBuilder":
+        """Assign a whole field from an int or a matching-width expression."""
+        view = self._layout.view(field)
+        if isinstance(value, int):
+            self._store_int(view, value)
+            return self
+        if not isinstance(value, Expr):
+            raise MessageError(
+                f"field {field!r} value must be an int or expression")
+        if value.width != view.bit_width:
+            raise MessageError(
+                f"field {field!r} is {view.bit_width} bits but the value "
+                f"expression is {value.width} bits")
+        for position, index in enumerate(view.byte_range):
+            hi = view.bit_width - 8 * position - 1
+            self._bytes[index] = ast.extract(value, hi, hi - 7)
+        return self
+
+    def set_bytes(self, field: str,
+                  values: Sequence[Expr | int]) -> "MessageBuilder":
+        """Assign a field from per-byte values (ints or 8-bit expressions)."""
+        view = self._layout.view(field)
+        if len(values) != view.size:
+            raise MessageError(
+                f"field {field!r} needs {view.size} bytes, got {len(values)}")
+        for index, value in zip(view.byte_range, values):
+            if isinstance(value, int):
+                value = ast.bv_const(value, 8)
+            elif value.width != 8:
+                raise MessageError(
+                    f"per-byte values for field {field!r} must be 8-bit")
+            self._bytes[index] = value
+        return self
+
+    def get(self, field: str) -> Expr:
+        """The field's current value as one big-endian expression."""
+        view = self._layout.view(field)
+        missing = [i for i in view.byte_range if self._bytes[i] is None]
+        if missing:
+            raise MessageError(f"field {field!r} is not fully assigned")
+        return field_expr(self._bytes, view)  # type: ignore[arg-type]
+
+    def prefix_bytes(self, before_field: str) -> tuple[Expr, ...]:
+        """All assigned bytes preceding ``before_field`` (checksum spans).
+
+        Raises when any byte in the prefix is still unassigned, so
+        checksums cannot silently cover holes.
+        """
+        view = self._layout.view(before_field)
+        prefix = self._bytes[:view.offset]
+        missing = [i for i, b in enumerate(prefix) if b is None]
+        if missing:
+            names = sorted({self._layout.field_of_byte(i).name for i in missing})
+            raise MessageError(
+                f"prefix of {before_field!r} has unassigned fields: "
+                f"{', '.join(names)}")
+        return tuple(prefix)  # type: ignore[arg-type]
+
+    def wire(self) -> tuple[Expr, ...]:
+        """The complete wire message; raises if any byte is unassigned."""
+        missing = [i for i, b in enumerate(self._bytes) if b is None]
+        if missing:
+            names = sorted({self._layout.field_of_byte(i).name for i in missing})
+            raise MessageError(
+                f"unassigned fields in {self._layout.name!r}: {', '.join(names)}")
+        return tuple(self._bytes)  # type: ignore[arg-type]
+
+    def _store_int(self, view: FieldView, value: int) -> None:
+        limit = 1 << view.bit_width
+        if value < 0 or value >= limit:
+            raise MessageError(
+                f"value {value} does not fit field {view.name!r} "
+                f"({view.size} bytes)")
+        for position, index in enumerate(view.byte_range):
+            shift = 8 * (view.size - position - 1)
+            self._bytes[index] = ast.bv_const((value >> shift) & 0xFF, 8)

@@ -1,0 +1,27 @@
+"""Simulated network and concrete node runtime.
+
+Achilles produces *concrete* Trojan examples precisely so testers can
+inject them into a live deployment and watch the effect (§4.1, "live fire
+drills"). This package is that deployment substrate:
+
+* :class:`Node` / :class:`Network` — named nodes exchanging byte-string
+  messages over in-order queues, driven to quiescence by
+  :meth:`Network.run`;
+* :class:`Trace` — every send/deliver event, queryable by the impact
+  experiments;
+* :class:`Injector` — spoof-capable message injection plus a campaign
+  helper that replays Achilles findings against a running system.
+"""
+
+from repro.net.network import Network, Node
+from repro.net.trace import Trace, TraceEvent
+from repro.net.inject import InjectionOutcome, Injector
+
+__all__ = [
+    "InjectionOutcome",
+    "Injector",
+    "Network",
+    "Node",
+    "Trace",
+    "TraceEvent",
+]

@@ -1,0 +1,77 @@
+"""Fault injection: replay Achilles findings against a live deployment.
+
+The paper's usage model (§4.1): Achilles emits a concrete example for every
+Trojan expression; testers inject those concrete messages into a real
+deployment and observe the effect, weeding out harmless ones. The
+:class:`Injector` does exactly that against the simulated network — it can
+spoof any sender name, so a Trojan "from" a correct client can be placed on
+the wire without that client's code being able to produce it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.net.network import Network
+
+
+@dataclass(frozen=True)
+class InjectionOutcome:
+    """Observed effect of injecting one message.
+
+    Attributes:
+        payload: the injected wire bytes.
+        note: label carried into the network trace.
+        delivered: number of deliveries the injection caused (including
+            cascades) before the network went quiet.
+        probe_before / probe_after: snapshots from the caller's probe
+            function around the injection.
+    """
+
+    payload: bytes
+    note: str
+    delivered: int
+    probe_before: object
+    probe_after: object
+
+    @property
+    def changed_state(self) -> bool:
+        return self.probe_before != self.probe_after
+
+
+class Injector:
+    """Inject crafted messages into a :class:`~repro.net.network.Network`.
+
+    Args:
+        network: the live deployment.
+        destination: node that receives the injected messages.
+        spoof_source: sender name to forge on the wire.
+        probe: zero-argument callable snapshotting whatever state the
+            experiment cares about (filesystem tree, replica counters, …).
+            Defaults to a constant, making ``changed_state`` always False.
+    """
+
+    def __init__(self, network: Network, destination: str, spoof_source: str,
+                 probe: Callable[[], object] | None = None):
+        self._network = network
+        self._destination = destination
+        self._spoof_source = spoof_source
+        self._probe = probe or (lambda: None)
+
+    def inject(self, payload: bytes, note: str = "injected") -> InjectionOutcome:
+        """Place one message on the wire and run the network to quiescence."""
+        before = self._probe()
+        deliveries_before = self._network.trace.count("deliver")
+        self._network.send(self._spoof_source, self._destination, payload,
+                           note=note)
+        self._network.run()
+        after = self._probe()
+        delivered = self._network.trace.count("deliver") - deliveries_before
+        return InjectionOutcome(bytes(payload), note, delivered, before, after)
+
+    def campaign(self, payloads: Sequence[bytes],
+                 note: str = "trojan") -> list[InjectionOutcome]:
+        """Inject each payload in turn (the paper's fire-drill loop)."""
+        return [self.inject(p, note=f"{note}#{i}")
+                for i, p in enumerate(payloads)]

@@ -1,0 +1,108 @@
+"""Named nodes exchanging byte messages over in-order queues.
+
+The scheduler is deterministic: messages are delivered strictly in global
+send order (a single FIFO), which keeps the impact experiments reproducible.
+Message *reordering* is out of scope, as in the paper ("we currently ignore
+the order in which messages are received", §7).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.errors import NetworkError
+from repro.net.trace import DELIVER, DROP, SEND, Trace
+
+
+class Node:
+    """Base class for concretely-running nodes.
+
+    Subclasses implement :meth:`handle`; they reply (or gossip) by calling
+    ``network.send(self.name, destination, payload)``.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def handle(self, source: str, payload: bytes, network: "Network") -> None:
+        """Process one delivered message."""
+        raise NotImplementedError
+
+    def on_attach(self, network: "Network") -> None:
+        """Hook invoked when the node joins a network."""
+
+
+class Network:
+    """A deterministic single-FIFO message network.
+
+    Args:
+        trace: optional shared :class:`Trace`; a fresh one is created by
+            default and exposed as :attr:`trace`.
+    """
+
+    def __init__(self, trace: Trace | None = None):
+        self._nodes: dict[str, Node] = {}
+        self._queue: deque[tuple[str, str, bytes]] = deque()
+        self.trace = trace or Trace()
+        self.drop_filter: Callable[[str, str, bytes], bool] | None = None
+
+    # -- topology -----------------------------------------------------------------
+
+    def attach(self, node: Node) -> Node:
+        if node.name in self._nodes:
+            raise NetworkError(f"node name {node.name!r} already attached")
+        self._nodes[node.name] = node
+        node.on_attach(self)
+        return node
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise NetworkError(f"no node named {name!r}") from None
+
+    @property
+    def node_names(self) -> list[str]:
+        return sorted(self._nodes)
+
+    # -- messaging ----------------------------------------------------------------
+
+    def send(self, source: str, destination: str, payload: bytes,
+             note: str = "") -> None:
+        """Enqueue a message; delivery happens during :meth:`run`."""
+        if destination not in self._nodes:
+            raise NetworkError(f"no node named {destination!r}")
+        self.trace.record(SEND, source, destination, payload, note)
+        if self.drop_filter is not None and self.drop_filter(
+                source, destination, payload):
+            self.trace.record(DROP, source, destination, payload, "drop_filter")
+            return
+        self._queue.append((source, destination, bytes(payload)))
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def step(self) -> bool:
+        """Deliver one message. Returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        source, destination, payload = self._queue.popleft()
+        self.trace.record(DELIVER, source, destination, payload)
+        self._nodes[destination].handle(source, payload, self)
+        return True
+
+    def run(self, max_steps: int = 100_000) -> int:
+        """Deliver messages until quiescence. Returns steps taken.
+
+        Raises:
+            NetworkError: when ``max_steps`` deliveries did not reach
+                quiescence (a livelock guard for the recovery protocols).
+        """
+        steps = 0
+        while self.step():
+            steps += 1
+            if steps >= max_steps:
+                raise NetworkError(f"network still busy after {max_steps} steps")
+        return steps

@@ -1,0 +1,81 @@
+"""Network event traces.
+
+Every message movement in the simulated network is recorded as a
+:class:`TraceEvent`; the impact experiments assert on these (e.g. "a bad-MAC
+request triggered a view change broadcast").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+#: Event kinds.
+SEND = "send"
+DELIVER = "deliver"
+DROP = "drop"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One network event.
+
+    Attributes:
+        step: global sequence number (monotone, shared by all kinds).
+        kind: ``send``, ``deliver`` or ``drop``.
+        source: sending node name (spoofed injections carry the spoofed name).
+        destination: receiving node name.
+        payload: raw wire bytes.
+        note: free-form annotation (injection ids, drop reasons).
+    """
+
+    step: int
+    kind: str
+    source: str
+    destination: str
+    payload: bytes
+    note: str = ""
+
+
+class Trace:
+    """Append-only list of :class:`TraceEvent` with query helpers."""
+
+    def __init__(self):
+        self._events: list[TraceEvent] = []
+        self._counter = 0
+
+    def record(self, kind: str, source: str, destination: str,
+               payload: bytes, note: str = "") -> TraceEvent:
+        event = TraceEvent(self._counter, kind, source, destination,
+                           bytes(payload), note)
+        self._counter += 1
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    def filter(self, predicate: Callable[[TraceEvent], bool]) -> list[TraceEvent]:
+        return [e for e in self._events if predicate(e)]
+
+    def sends(self, source: str | None = None) -> list[TraceEvent]:
+        return self.filter(
+            lambda e: e.kind == SEND and (source is None or e.source == source))
+
+    def deliveries(self, destination: str | None = None) -> list[TraceEvent]:
+        return self.filter(
+            lambda e: e.kind == DELIVER
+            and (destination is None or e.destination == destination))
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self._events if e.kind == kind)
+
+    def clear(self) -> None:
+        self._events.clear()

@@ -1,0 +1,63 @@
+"""Bitvector/boolean constraint solver — the repo's Z3/STP substitute.
+
+Public surface:
+
+* Expression construction: :func:`bv_const`, :func:`bv_var`,
+  :func:`bool_var`, the operator overloads on :class:`Expr`, and the
+  combinators in :mod:`repro.solver.ast` (``and_``, ``or_``, ``not_``,
+  ``ite``, ``zext``, ``concat``, …).
+* Satisfiability: :func:`check` / :class:`Solver` returning
+  :class:`SatResult` with a verified model.
+* Enumeration: :func:`count_models` / :func:`iter_models` for bounded
+  spaces (used by the evaluation benchmarks).
+"""
+
+from repro.solver.ast import (
+    Expr,
+    FALSE,
+    TRUE,
+    all_of,
+    and_,
+    any_of,
+    bool_const,
+    bool_var,
+    bv_const,
+    bv_var,
+    bytes_to_exprs,
+    concat,
+    eq,
+    extract,
+    iff,
+    implies,
+    ite,
+    ne,
+    not_,
+    or_,
+    sext,
+    sge,
+    sgt,
+    sle,
+    slt,
+    uge,
+    ugt,
+    ule,
+    ult,
+    zext,
+)
+from repro.solver.enumerate import count_models, iter_models
+from repro.solver.evalmodel import all_hold, evaluate, holds
+from repro.solver.solver import SAT, UNSAT, SatResult, Solver, SolverStats, check, is_satisfiable
+from repro.solver.sorts import BOOL, BV8, BV16, BV32, BV64, BitVecSort, bitvec_sort
+from repro.solver.walk import collect_vars, collect_vars_all, expr_size, simplify, substitute
+
+__all__ = [
+    "BOOL", "BV8", "BV16", "BV32", "BV64", "BitVecSort", "Expr", "FALSE",
+    "SAT", "SatResult", "Solver", "SolverStats", "TRUE", "UNSAT", "all_hold",
+    "all_of", "and_", "any_of", "bitvec_sort", "bool_const", "bool_var",
+    "bv_const", "bv_var", "bytes_to_exprs", "check", "collect_vars",
+    "collect_vars_all", "concat", "count_models", "eq", "evaluate",
+    "expr_size", "extract", "holds", "iff", "implies", "is_satisfiable",
+    "ite", "iter_models", "ne", "not_", "or_", "sext", "sge", "sgt",
+    "simplify", "sle", "slt", "substitute", "uge", "ugt", "ule", "ult",
+    "zext",
+]

@@ -1,0 +1,71 @@
+"""Human-readable rendering of solver expressions.
+
+The printer produces a compact SMT-flavoured prefix syntax used by
+``repr()``, reports, and test failure messages. It is intentionally
+lossless enough for debugging but is not a parser round-trip format.
+"""
+
+from __future__ import annotations
+
+from repro.solver.ast import Expr
+from repro.solver.sorts import BOOL
+
+_INFIX = {
+    "add": "+",
+    "sub": "-",
+    "mul": "*",
+    "udiv": "/u",
+    "urem": "%u",
+    "bvand": "&",
+    "bvor": "|",
+    "bvxor": "^",
+    "shl": "<<",
+    "lshr": ">>",
+    "ashr": ">>s",
+    "eq": "==",
+    "ult": "<u",
+    "ule": "<=u",
+    "slt": "<s",
+    "sle": "<=s",
+}
+
+
+def to_string(expr: Expr, max_depth: int = 12) -> str:
+    """Render ``expr`` as a readable string, eliding very deep subtrees."""
+    return _render(expr, max_depth)
+
+
+def _render(expr: Expr, depth: int) -> str:
+    if depth <= 0:
+        return "..."
+    if expr.op == "const":
+        if expr.sort == BOOL:
+            return "true" if expr.params[0] else "false"
+        return f"{expr.params[0]:#x}:{expr.width}"
+    if expr.op == "var":
+        suffix = "bool" if expr.sort == BOOL else str(expr.width)
+        return f"{expr.params[0]}:{suffix}"
+    if expr.op in _INFIX:
+        lhs = _render(expr.args[0], depth - 1)
+        rhs = _render(expr.args[1], depth - 1)
+        return f"({lhs} {_INFIX[expr.op]} {rhs})"
+    if expr.op == "not":
+        return f"!{_render(expr.args[0], depth - 1)}"
+    if expr.op in ("and", "or"):
+        joiner = " && " if expr.op == "and" else " || "
+        return "(" + joiner.join(_render(a, depth - 1) for a in expr.args) + ")"
+    if expr.op == "neg":
+        return f"-{_render(expr.args[0], depth - 1)}"
+    if expr.op == "bvnot":
+        return f"~{_render(expr.args[0], depth - 1)}"
+    if expr.op in ("zext", "sext"):
+        return f"{expr.op}({_render(expr.args[0], depth - 1)}, {expr.params[0]})"
+    if expr.op == "extract":
+        hi, lo = expr.params
+        return f"{_render(expr.args[0], depth - 1)}[{hi}:{lo}]"
+    if expr.op == "concat":
+        return f"({_render(expr.args[0], depth - 1)} . {_render(expr.args[1], depth - 1)})"
+    if expr.op == "ite":
+        cond, then, otherwise = (_render(a, depth - 1) for a in expr.args)
+        return f"ite({cond}, {then}, {otherwise})"
+    return f"{expr.op}({', '.join(_render(a, depth - 1) for a in expr.args)})"

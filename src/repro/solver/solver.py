@@ -1,0 +1,350 @@
+"""Satisfiability search over bounded bitvector/boolean constraints.
+
+This is the repo's substitute for the Z3/STP SMT solvers the Achilles paper
+calls into. The decision procedure is:
+
+1. **Definition elimination** — constraints of the form ``var == expr``
+   (``var`` not occurring in ``expr``) are treated as definitions and
+   substituted away. Message checksums and the Achilles "client message =
+   server message" glue constraints collapse here.
+2. **Interval propagation** (:mod:`repro.solver.propagate`).
+3. **Backtracking search** with fail-first variable selection, domain
+   enumeration for small domains and bisection for large ones.
+
+Every SAT answer is verified by concrete evaluation of all original
+constraints, so propagation bugs cannot produce wrong models. Domains are
+finite, so the search is complete: ``unsat`` answers are proofs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import SolverError, SolverTimeout
+from repro.solver import ast
+from repro.solver.ast import Expr
+from repro.solver.evalmodel import all_hold, evaluate
+from repro.solver.interval import Interval
+from repro.solver.propagate import Domains, forward, initial_domains, propagate
+from repro.solver.sorts import BOOL
+from repro.solver.walk import collect_vars, collect_vars_all, expr_size, substitute
+
+SAT = "sat"
+UNSAT = "unsat"
+
+_ENUMERATION_LIMIT = 512
+
+
+@dataclass
+class SatResult:
+    """Outcome of a satisfiability check.
+
+    Attributes:
+        status: ``"sat"`` or ``"unsat"``.
+        model: for SAT, a mapping from variable expressions to unsigned
+            ints covering every variable in the constraints (and any
+            requested extra variables); ``None`` for UNSAT.
+    """
+
+    status: str
+    model: dict[Expr, int] | None = None
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == SAT
+
+    def value(self, var: Expr, default: int = 0) -> int:
+        """Model value of ``var`` (unconstrained variables default to 0)."""
+        if self.model is None:
+            raise SolverError("no model available on an unsat result")
+        return self.model.get(var, default)
+
+
+@dataclass
+class SolverStats:
+    """Counters describing the work a solver instance has performed."""
+
+    queries: int = 0
+    sat_answers: int = 0
+    unsat_answers: int = 0
+    branch_steps: int = 0
+    propagation_calls: int = 0
+
+
+@dataclass
+class Solver:
+    """A reusable satisfiability checker with a step budget and counters.
+
+    The solver is stateless between queries (no incremental assertion
+    stack); Achilles re-poses queries with explicit constraint lists, which
+    keeps the engine simple and makes caching by the caller trivial.
+    """
+
+    max_branch_steps: int = 2_000_000
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    def check(self, constraints: Iterable[Expr],
+              extra_vars: Sequence[Expr] = ()) -> SatResult:
+        """Decide satisfiability of the conjunction of ``constraints``.
+
+        Args:
+            constraints: boolean expressions.
+            extra_vars: variables to include in the model even when they do
+                not occur in any constraint (they take value 0).
+        """
+        self.stats.queries += 1
+        flat = _flatten(constraints)
+        for c in flat:
+            if c.sort != BOOL:
+                raise SolverError("constraints must be boolean expressions")
+        if any(c.is_false for c in flat):
+            return self._answer(SatResult(UNSAT))
+        flat = [c for c in flat if not c.is_true]
+
+        split, split_defs = _byte_split(flat)
+        remaining, definitions = _eliminate_definitions(split)
+        model = self._search(remaining)
+        if model is None:
+            return self._answer(SatResult(UNSAT))
+
+        _extend_with_definitions(model, definitions)
+        _extend_with_definitions(model, split_defs)
+        for var in extra_vars:
+            model.setdefault(var, 0)
+        for var in collect_vars_all(flat):
+            model.setdefault(var, 0)
+        if not all_hold(flat, model):
+            raise SolverError("internal error: candidate model failed verification")
+        return self._answer(SatResult(SAT, model))
+
+    def is_satisfiable(self, constraints: Iterable[Expr]) -> bool:
+        return self.check(constraints).is_sat
+
+    # -- internals -----------------------------------------------------------
+
+    def _answer(self, result: SatResult) -> SatResult:
+        if result.is_sat:
+            self.stats.sat_answers += 1
+        else:
+            self.stats.unsat_answers += 1
+        return result
+
+    def _search(self, constraints: list[Expr]) -> dict[Expr, int] | None:
+        """Core backtracking search; returns a model or None (unsat).
+
+        Constraints are repaired in ascending variable-count order: small
+        range/membership constraints get fixed first, leaving wide
+        equalities (checksums) last, where interval propagation can invert
+        them once all but one variable is pinned.
+        """
+        ordered = sorted(constraints,
+                         key=lambda c: (len(collect_vars(c)), expr_size(c)))
+        domains = initial_domains(ordered)
+        return self._descend(ordered, domains)
+
+    def _descend(self, constraints: list[Expr],
+                 domains: Domains) -> dict[Expr, int] | None:
+        self.stats.propagation_calls += 1
+        narrowed = propagate(constraints, domains)
+        if narrowed is None:
+            return None
+
+        # Fast path: try the all-lower-bounds assignment.
+        candidate = {var: domain.lo for var, domain in narrowed.items()}
+        violated = _first_violated(constraints, candidate)
+        if violated is None:
+            return candidate
+
+        # Disjunctions are case-split DPLL-style: assert one arm at a time,
+        # *replacing* the disjunction so it cannot be re-split. Value
+        # enumeration cannot coordinate the multi-variable arms.
+        arms = _split_arms(violated)
+        if arms is not None:
+            rest = [c for c in constraints if c is not violated]
+            for arm in arms:
+                if self.stats.branch_steps >= self.max_branch_steps:
+                    raise SolverTimeout(
+                        f"solver exceeded {self.max_branch_steps} branch steps")
+                self.stats.branch_steps += 1
+                model = self._descend(rest + _flatten([arm]), narrowed)
+                if model is not None:
+                    return model
+            return None
+
+        branch_var = _pick_branch_var(violated, narrowed)
+        if branch_var is None:
+            # Every variable of the violated constraint is pinned; the
+            # constraint is definitely false on this branch.
+            return None
+
+        if self.stats.branch_steps >= self.max_branch_steps:
+            raise SolverTimeout(
+                f"solver exceeded {self.max_branch_steps} branch steps")
+
+        domain = narrowed[branch_var]
+        if domain.size <= _ENUMERATION_LIMIT:
+            for value in domain:
+                self.stats.branch_steps += 1
+                trial = dict(narrowed)
+                trial[branch_var] = Interval(value, value)
+                model = self._descend(constraints, trial)
+                if model is not None:
+                    return model
+            return None
+
+        mid = (domain.lo + domain.hi) // 2
+        for half in (Interval(domain.lo, mid), Interval(mid + 1, domain.hi)):
+            self.stats.branch_steps += 1
+            trial = dict(narrowed)
+            trial[branch_var] = half
+            model = self._descend(constraints, trial)
+            if model is not None:
+                return model
+        return None
+
+
+def _flatten(constraints: Iterable[Expr]) -> list[Expr]:
+    """Split top-level conjunctions into individual constraints."""
+    flat: list[Expr] = []
+    for constraint in constraints:
+        if constraint.op == "and":
+            flat.extend(constraint.args)
+        else:
+            flat.append(constraint)
+    return flat
+
+
+def _byte_split(constraints: list[Expr]) -> tuple[list[Expr],
+                                                  list[tuple[Expr, Expr]]]:
+    """Decompose wide variables into byte variables.
+
+    Every byte-aligned variable wider than 8 bits is replaced by a
+    big-endian concat of fresh 8-bit variables. Combined with the
+    extract-over-concat rewriting in :func:`repro.solver.ast.extract`,
+    message-style arithmetic (checksums over extracted bytes, field
+    comparisons) collapses to byte-level expressions, keeping search
+    domains small and interval propagation precise.
+
+    Returns:
+        The rewritten constraints and ``(original_var, concat_expr)``
+        definitions for rebuilding models.
+    """
+    wide = [var for var in collect_vars_all(constraints)
+            if var.sort != BOOL and var.width > 8 and var.width % 8 == 0]
+    if not wide:
+        return constraints, []
+    mapping: dict[Expr, Expr] = {}
+    split_defs: list[tuple[Expr, Expr]] = []
+    for var in sorted(wide, key=lambda v: v.name):
+        count = var.width // 8
+        parts = [ast.bv_var(f"{var.name}::b{i}", 8) for i in range(count)]
+        combined = parts[0]
+        for part in parts[1:]:
+            combined = ast.concat(combined, part)
+        mapping[var] = combined
+        split_defs.append((var, combined))
+    return [substitute(c, mapping) for c in constraints], split_defs
+
+
+def _first_violated(constraints: list[Expr], model: dict[Expr, int]) -> Expr | None:
+    cache: dict[Expr, int] = {}
+    for constraint in constraints:
+        if not evaluate(constraint, model, cache):
+            return constraint
+    return None
+
+
+def _split_arms(violated: Expr) -> tuple[Expr, ...] | None:
+    """Case-split alternatives of a violated constraint, if it has any.
+
+    ``or`` splits into its arms; ``not(and(...))`` into the negated arms;
+    ``ite(c, t, e)`` into the two guarded branches. Returns None for
+    constraints without disjunctive structure.
+    """
+    if violated.op == "or":
+        return violated.args
+    if violated.op == "not" and violated.args[0].op == "and":
+        return tuple(ast.not_(arg) for arg in violated.args[0].args)
+    if violated.op == "ite":
+        cond, then, alt = violated.args
+        return (ast.and_(cond, then), ast.and_(ast.not_(cond), alt))
+    return None
+
+
+def _pick_branch_var(violated: Expr, domains: Domains) -> Expr | None:
+    """Fail-first: the smallest non-singleton domain in the violated constraint.
+
+    Ties break on the variable name so the search order is independent of
+    hash randomization — reproducibility matters for the benchmarks, and
+    some orders are pathologically worse than others.
+    """
+    best: Expr | None = None
+    best_key: tuple[int, str] | None = None
+    for var in collect_vars(violated):
+        domain = domains.get(var)
+        if domain is None or domain.is_singleton:
+            continue
+        key = (domain.size, var.name)
+        if best_key is None or key < best_key:
+            best, best_key = var, key
+    return best
+
+
+def _eliminate_definitions(
+        constraints: list[Expr]) -> tuple[list[Expr], list[tuple[Expr, Expr]]]:
+    """Substitute away ``var == expr`` definitions.
+
+    Returns the remaining constraints and the eliminated ``(var, expr)``
+    pairs in elimination order. A definition's right-hand side may reference
+    variables eliminated *later*, so models are rebuilt in reverse order.
+    """
+    remaining = list(constraints)
+    definitions: list[tuple[Expr, Expr]] = []
+    progress = True
+    while progress:
+        progress = False
+        for index, constraint in enumerate(remaining):
+            definition = _as_definition(constraint)
+            if definition is None:
+                continue
+            var, rhs = definition
+            del remaining[index]
+            mapping = {var: rhs}
+            remaining = [substitute(c, mapping) for c in remaining]
+            definitions = [(v, substitute(e, mapping)) for v, e in definitions]
+            definitions.append((var, rhs))
+            progress = True
+            break
+    return remaining, definitions
+
+
+def _as_definition(constraint: Expr) -> tuple[Expr, Expr] | None:
+    if constraint.op != "eq":
+        return None
+    lhs, rhs = constraint.args
+    for var, expr in ((lhs, rhs), (rhs, lhs)):
+        if var.is_var and var not in collect_vars(expr):
+            return var, expr
+    return None
+
+
+def _extend_with_definitions(model: dict[Expr, int],
+                             definitions: list[tuple[Expr, Expr]]) -> None:
+    """Evaluate eliminated definitions (in reverse) to complete the model."""
+    for var, rhs in reversed(definitions):
+        for free in collect_vars(rhs):
+            model.setdefault(free, 0)
+        model[var] = evaluate(rhs, model)
+
+
+_DEFAULT_SOLVER = Solver()
+
+
+def check(constraints: Iterable[Expr], extra_vars: Sequence[Expr] = ()) -> SatResult:
+    """Module-level convenience wrapper around a shared :class:`Solver`."""
+    return _DEFAULT_SOLVER.check(constraints, extra_vars)
+
+
+def is_satisfiable(constraints: Iterable[Expr]) -> bool:
+    return _DEFAULT_SOLVER.check(constraints).is_sat

@@ -1,0 +1,104 @@
+"""Sorts (types) for solver expressions.
+
+The solver works over two families of sorts, mirroring the fragment of SMT
+that Achilles needs (the paper uses STP/Z3 over bitvectors and booleans):
+
+* :class:`BoolSort` — the boolean sort.
+* :class:`BitVecSort` — fixed-width bitvectors; message bytes are 8-bit
+  bitvectors and multi-byte fields are wider bitvectors.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SortError
+
+
+class Sort:
+    """Base class for expression sorts."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return self.__class__.__name__
+
+
+class BoolSort(Sort):
+    """The boolean sort. All instances are interchangeable."""
+
+    __slots__ = ()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BoolSort)
+
+    def __hash__(self) -> int:
+        return hash("BoolSort")
+
+
+class BitVecSort(Sort):
+    """Fixed-width bitvector sort.
+
+    Values of this sort are unsigned integers in ``[0, 2**width)``. Signed
+    interpretations are applied by individual operators (``slt`` etc.), not
+    by the sort.
+    """
+
+    __slots__ = ("width",)
+
+    def __init__(self, width: int):
+        if width <= 0:
+            raise SortError(f"bitvector width must be positive, got {width}")
+        self.width = width
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BitVecSort) and other.width == self.width
+
+    def __hash__(self) -> int:
+        return hash(("BitVecSort", self.width))
+
+    def __repr__(self) -> str:
+        return f"BitVec({self.width})"
+
+    @property
+    def mask(self) -> int:
+        """Bitmask covering the full width (``2**width - 1``)."""
+        return (1 << self.width) - 1
+
+    @property
+    def size(self) -> int:
+        """Number of distinct values of this sort (``2**width``)."""
+        return 1 << self.width
+
+    def wrap(self, value: int) -> int:
+        """Reduce ``value`` into the unsigned range of this sort."""
+        return value & self.mask
+
+    def to_signed(self, value: int) -> int:
+        """Interpret an unsigned ``value`` as two's-complement signed."""
+        value = self.wrap(value)
+        if value >= 1 << (self.width - 1):
+            return value - (1 << self.width)
+        return value
+
+    def from_signed(self, value: int) -> int:
+        """Encode a signed integer as its two's-complement unsigned value."""
+        return self.wrap(value)
+
+
+BOOL = BoolSort()
+
+_BV_CACHE: dict[int, BitVecSort] = {}
+
+
+def bitvec_sort(width: int) -> BitVecSort:
+    """Return the (cached) bitvector sort of the given width."""
+    sort = _BV_CACHE.get(width)
+    if sort is None:
+        sort = BitVecSort(width)
+        _BV_CACHE[width] = sort
+    return sort
+
+
+BV8 = bitvec_sort(8)
+BV16 = bitvec_sort(16)
+BV32 = bitvec_sort(32)
+BV64 = bitvec_sort(64)

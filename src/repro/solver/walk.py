@@ -1,0 +1,126 @@
+"""Traversal and rewriting utilities over expression trees.
+
+These helpers are used throughout the Achilles core: collecting the symbolic
+variables of a path predicate, substituting client message bytes for shared
+message variables, and measuring expression sizes for reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+from repro.solver import ast
+from repro.solver.ast import Expr
+
+
+def collect_vars(expr: Expr) -> set[Expr]:
+    """Return the set of variable nodes occurring in ``expr``."""
+    found: set[Expr] = set()
+    _walk_vars(expr, found, set())
+    return found
+
+
+def collect_vars_all(exprs: Iterable[Expr]) -> set[Expr]:
+    """Return the set of variable nodes occurring in any of ``exprs``."""
+    found: set[Expr] = set()
+    visited: set[Expr] = set()
+    for expr in exprs:
+        _walk_vars(expr, found, visited)
+    return found
+
+
+def _walk_vars(expr: Expr, found: set[Expr], visited: set[Expr]) -> None:
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if node in visited:
+            continue
+        visited.add(node)
+        if node.is_var:
+            found.add(node)
+        else:
+            stack.extend(node.args)
+
+
+def expr_size(expr: Expr) -> int:
+    """Number of distinct nodes in ``expr`` (shared subtrees counted once)."""
+    seen: set[Expr] = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(node.args)
+    return len(seen)
+
+
+def substitute(expr: Expr, mapping: Mapping[Expr, Expr]) -> Expr:
+    """Replace variable nodes per ``mapping``, rebuilding through constructors.
+
+    Rebuilding re-triggers the construction-time simplifications, so the
+    result is folded where the substitution made subtrees concrete.
+    """
+    cache: dict[Expr, Expr] = {}
+    return _substitute(expr, mapping, cache)
+
+
+def _substitute(expr: Expr, mapping: Mapping[Expr, Expr], cache: dict[Expr, Expr]) -> Expr:
+    hit = cache.get(expr)
+    if hit is not None:
+        return hit
+    if expr.is_var:
+        result = mapping.get(expr, expr)
+    elif not expr.args:
+        result = expr
+    else:
+        new_args = tuple(_substitute(a, mapping, cache) for a in expr.args)
+        if new_args == expr.args:
+            result = expr
+        else:
+            result = rebuild(expr.op, new_args, expr.params)
+    cache[expr] = result
+    return result
+
+
+def rebuild(op: str, args: tuple[Expr, ...], params: tuple) -> Expr:
+    """Reconstruct a node through the simplifying constructors in ``ast``."""
+    builders: dict[str, Callable[..., Expr]] = {
+        "add": ast.add,
+        "sub": ast.sub,
+        "mul": ast.mul,
+        "udiv": ast.udiv,
+        "urem": ast.urem,
+        "bvand": ast.bvand,
+        "bvor": ast.bvor,
+        "bvxor": ast.bvxor,
+        "shl": ast.shl,
+        "lshr": ast.lshr,
+        "ashr": ast.ashr,
+        "eq": ast.eq,
+        "ult": ast.ult,
+        "ule": ast.ule,
+        "slt": ast.slt,
+        "sle": ast.sle,
+        "not": ast.not_,
+        "and": ast.and_,
+        "or": ast.or_,
+        "neg": ast.neg,
+        "bvnot": ast.bvnot,
+        "ite": ast.ite,
+        "concat": ast.concat,
+    }
+    if op in builders:
+        return builders[op](*args)
+    if op == "zext":
+        return ast.zext(args[0], params[0])
+    if op == "sext":
+        return ast.sext(args[0], params[0])
+    if op == "extract":
+        return ast.extract(args[0], params[0], params[1])
+    raise ValueError(f"cannot rebuild unknown operator {op}")
+
+
+def simplify(expr: Expr) -> Expr:
+    """Bottom-up simplification pass (rebuild every node through constructors)."""
+    return substitute(expr, {})

@@ -1,0 +1,52 @@
+"""Symbolic execution engine — the repo's S2E substitute.
+
+Public surface:
+
+* :class:`Engine` / :class:`EngineConfig` — path exploration over
+  deterministic node programs.
+* :class:`ExecutionContext` — the API node programs are written against.
+* :class:`PathObserver` — extension hook used by the Achilles analysis.
+* :mod:`repro.symex.annotations` — the paper's §5.2 annotation vocabulary.
+* Path verdict constants and result records in :mod:`repro.symex.state`.
+"""
+
+from repro.symex.annotations import (
+    constant_stub,
+    constant_stub_bytes,
+    make_symbolic,
+    mark_accept,
+    mark_reject,
+    symbolic_return,
+)
+from repro.symex.context import ExecutionContext
+from repro.symex.engine import (
+    Engine,
+    EngineConfig,
+    ExplorationResult,
+    ExplorationStats,
+    NodeProgram,
+    client_verdict,
+    server_verdict,
+)
+from repro.symex.observers import PathObserver
+from repro.symex.state import (
+    ACCEPTED,
+    COMPLETED,
+    DROPPED,
+    INFEASIBLE,
+    LIMIT,
+    PRUNED,
+    REJECTED,
+    PathResult,
+    PathState,
+    SentMessage,
+)
+
+__all__ = [
+    "ACCEPTED", "COMPLETED", "DROPPED", "Engine", "EngineConfig",
+    "ExecutionContext", "ExplorationResult", "ExplorationStats", "INFEASIBLE",
+    "LIMIT", "NodeProgram", "PRUNED", "PathObserver", "PathResult",
+    "PathState", "REJECTED", "SentMessage", "client_verdict",
+    "constant_stub", "constant_stub_bytes", "make_symbolic", "mark_accept",
+    "mark_reject", "server_verdict", "symbolic_return",
+]

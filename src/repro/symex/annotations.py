@@ -1,0 +1,90 @@
+"""Achilles annotations (paper §5.2) expressed over the context API.
+
+The paper lets operators annotate the system under test, either in source
+or at runtime through S2E plugins. The table below maps the paper's
+annotation vocabulary to this module:
+
+=====================  ========================================================
+Paper annotation        Here
+=====================  ========================================================
+``mark_accept``         :func:`mark_accept` (or ``ctx.accept()``)
+``mark_reject``         :func:`mark_reject` (or ``ctx.reject()``)
+``make_symbolic``       :func:`make_symbolic` (or ``ctx.fresh_bitvec()``)
+``function_start`` /
+``function_end`` /
+``return_symbolic`` /
+``drop_path``           :func:`symbolic_return` — over-approximate a function
+                        by a fresh constrained symbolic return value
+(constant stubbing)     :func:`constant_stub` — the paper's trick of replacing
+                        checksum/digest/MAC computations with a predefined
+                        constant on both client and server (§6.1)
+=====================  ========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import AnnotationError
+from repro.solver import ast
+from repro.solver.ast import Expr
+from repro.symex.context import ExecutionContext
+
+
+def mark_accept(ctx: ExecutionContext, label: str | None = None) -> None:
+    """Terminate the current server path as accepting."""
+    ctx.accept(label)
+
+
+def mark_reject(ctx: ExecutionContext, label: str | None = None) -> None:
+    """Terminate the current server path as rejecting."""
+    ctx.reject(label)
+
+
+def make_symbolic(ctx: ExecutionContext, name: str, width: int = 8) -> Expr:
+    """Introduce a fresh unconstrained symbolic value."""
+    return ctx.fresh_bitvec(name, width)
+
+
+def symbolic_return(ctx: ExecutionContext, name: str, width: int,
+                    lo: int | None = None, hi: int | None = None,
+                    constrain: Callable[[Expr], Sequence[Expr]] | None = None) -> Expr:
+    """Over-approximate a function by a constrained symbolic return value.
+
+    This is the paper's ``function_start``/``return_symbolic``/``drop_path``
+    pattern (Figure 9): the function body is bypassed entirely and the
+    return value is a fresh symbolic constrained to the declared behaviour.
+
+    Args:
+        name: symbolic variable base name.
+        width: bit width of the return value.
+        lo/hi: optional inclusive unsigned bounds on the return value.
+        constrain: optional callback producing extra constraints on the
+            value (applied via ``ctx.assume``).
+    """
+    value = ctx.fresh_bitvec(name, width)
+    if lo is not None:
+        ctx.assume(value >= lo)
+    if hi is not None:
+        ctx.assume(value <= hi)
+    if constrain is not None:
+        for constraint in constrain(value):
+            ctx.assume(constraint)
+    return value
+
+
+def constant_stub(value: int, width: int = 8) -> Expr:
+    """A predefined constant standing in for checksum/digest/MAC output.
+
+    The paper's evaluation bypasses cryptographic fields by making the
+    client *write* this constant and the server *check* it (§6.1); use the
+    same stub expression on both sides.
+    """
+    if width <= 0:
+        raise AnnotationError("constant_stub width must be positive")
+    return ast.bv_const(value, width)
+
+
+def constant_stub_bytes(values: Sequence[int]) -> list[Expr]:
+    """A multi-byte predefined constant (e.g. a 16-byte digest stub)."""
+    return [ast.bv_const(v, 8) for v in values]

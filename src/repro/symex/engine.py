@@ -1,0 +1,207 @@
+"""The symbolic execution engine (re-execution forking).
+
+This is the repo's substitute for the S2E platform: it systematically
+enumerates the feasible paths of a deterministic node program. Forking works
+by *re-execution*: when a branch is feasible both ways, the engine records
+the unexplored direction as a decision-prefix and later re-runs the program
+from scratch, replaying the prefix. Re-execution keeps the engine tiny and
+correct at the cost of repeated work; solver queries are memoized so replays
+are cheap.
+
+The engine is deliberately policy-free. Accept/reject classification
+defaults follow the paper (§5.1): a server path that sent a reply is
+*accepting*, a path that fell back to waiting for input is *rejecting* —
+with explicit ``ctx.accept()`` / ``ctx.reject()`` markers taking priority.
+Achilles attaches a :class:`~repro.symex.observers.PathObserver` to inject
+its incremental Trojan search.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ExplorationLimit, PathDropped, PathInfeasible, SymexError
+from repro.solver.ast import Expr
+from repro.solver.solver import Solver
+from repro.symex import state as st
+from repro.symex.context import ExecutionContext, _PathTerminated
+from repro.symex.observers import PathObserver
+from repro.symex.state import PathResult, PathState, finalize
+
+NodeProgram = Callable[[ExecutionContext], None]
+VerdictPolicy = Callable[[PathState], str]
+
+
+def server_verdict(state: PathState) -> str:
+    """Paper default (§5.1): replying is accepting, returning is rejecting."""
+    return st.ACCEPTED if state.sends else st.REJECTED
+
+
+def client_verdict(state: PathState) -> str:
+    """Clients are not classified; finished paths are simply complete."""
+    return st.COMPLETED
+
+
+#: Search orders for the exploration worklist.
+DFS = "dfs"
+BFS = "bfs"
+
+
+@dataclass
+class EngineConfig:
+    """Exploration limits and policies.
+
+    Attributes:
+        max_paths: hard cap on completed paths (fork bookkeeping keeps
+            going until the worklist drains or this cap is hit).
+        max_branches_per_path: per-path symbolic branch budget; exceeding
+            it terminates the path with the ``limit`` verdict.
+        default_verdict: classification applied when a program returns
+            without an explicit accept/reject marker.
+        search_order: :data:`DFS` explores the most recent fork first
+            (deep paths complete early — the default, matching the
+            incremental-discovery behaviour of Figure 10); :data:`BFS`
+            drains forks in creation order (shallow coverage first).
+    """
+
+    max_paths: int = 20_000
+    max_branches_per_path: int = 400
+    default_verdict: VerdictPolicy = server_verdict
+    search_order: str = DFS
+
+
+@dataclass
+class ExplorationStats:
+    """Counters for one exploration run."""
+
+    paths_finished: int = 0
+    paths_infeasible: int = 0
+    paths_dropped: int = 0
+    paths_pruned: int = 0
+    paths_limited: int = 0
+    forks: int = 0
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class ExplorationResult:
+    """All finished paths of one exploration plus counters."""
+
+    paths: list[PathResult]
+    stats: ExplorationStats
+
+    @property
+    def accepting(self) -> list[PathResult]:
+        return [p for p in self.paths if p.verdict == st.ACCEPTED]
+
+    @property
+    def rejecting(self) -> list[PathResult]:
+        return [p for p in self.paths if p.verdict == st.REJECTED]
+
+    @property
+    def completed(self) -> list[PathResult]:
+        return [p for p in self.paths if p.verdict == st.COMPLETED]
+
+
+class Engine:
+    """Symbolic execution engine over deterministic node programs."""
+
+    def __init__(self, config: EngineConfig | None = None,
+                 solver: Solver | None = None):
+        self.config = config or EngineConfig()
+        self.solver = solver or Solver()
+        self._feasibility_cache: dict[tuple[Expr, ...], bool] = {}
+        self._model_cache: dict[tuple[Expr, ...], dict[Expr, int] | None] = {}
+        self._stats: ExplorationStats | None = None
+
+    # -- services used by ExecutionContext ------------------------------------
+
+    def is_feasible(self, constraints: tuple[Expr, ...]) -> bool:
+        """Memoized satisfiability of a path condition."""
+        cached = self._feasibility_cache.get(constraints)
+        if cached is None:
+            cached = self.solver.check(constraints).is_sat
+            self._feasibility_cache[constraints] = cached
+        return cached
+
+    def solve(self, constraints: tuple[Expr, ...]) -> dict[Expr, int] | None:
+        """Memoized model for a path condition (None when unsat)."""
+        if constraints in self._model_cache:
+            return self._model_cache[constraints]
+        result = self.solver.check(constraints)
+        model = dict(result.model) if result.is_sat else None
+        self._model_cache[constraints] = model
+        self._feasibility_cache[constraints] = result.is_sat
+        return model
+
+    def note_fork(self) -> None:
+        if self._stats is not None:
+            self._stats.forks += 1
+
+    # -- exploration ---------------------------------------------------------------
+
+    def explore(self, program: NodeProgram,
+                observer: PathObserver | None = None) -> ExplorationResult:
+        """Run ``program`` over every feasible path (depth-first).
+
+        Args:
+            program: deterministic node program (see
+                :mod:`repro.symex.context` for the determinism contract).
+            observer: optional hook object; defaults to a no-op observer.
+        """
+        if self.config.search_order not in (DFS, BFS):
+            raise SymexError(
+                f"unknown search order {self.config.search_order!r}")
+        observer = observer or PathObserver()
+        stats = ExplorationStats()
+        self._stats = stats
+        results: list[PathResult] = []
+        worklist: list[tuple[bool, ...]] = [()]
+        started = time.perf_counter()
+
+        while worklist and stats.paths_finished < self.config.max_paths:
+            if self.config.search_order == DFS:
+                schedule = worklist.pop()
+            else:
+                schedule = worklist.pop(0)
+            state = PathState(path_id=stats.paths_finished + stats.paths_infeasible
+                              + stats.paths_dropped + stats.paths_pruned
+                              + stats.paths_limited)
+            ctx = ExecutionContext(self, state, schedule, observer, worklist)
+            observer.on_path_start(ctx)
+            verdict = self._run_one(program, ctx, state)
+
+            if verdict == st.INFEASIBLE:
+                stats.paths_infeasible += 1
+            elif verdict == st.DROPPED:
+                stats.paths_dropped += 1
+            elif verdict == st.PRUNED:
+                stats.paths_pruned += 1
+            elif verdict == st.LIMIT:
+                stats.paths_limited += 1
+                results.append(finalize(state, verdict))
+                stats.paths_finished += 1
+            else:
+                results.append(finalize(state, verdict))
+                stats.paths_finished += 1
+            observer.on_path_end(ctx, finalize(state, verdict))
+
+        stats.elapsed_seconds = time.perf_counter() - started
+        self._stats = None
+        return ExplorationResult(paths=results, stats=stats)
+
+    def _run_one(self, program: NodeProgram, ctx: ExecutionContext,
+                 state: PathState) -> str:
+        try:
+            program(ctx)
+        except _PathTerminated as terminated:
+            return terminated.verdict
+        except PathInfeasible:
+            return st.INFEASIBLE
+        except PathDropped:
+            return st.DROPPED
+        except ExplorationLimit:
+            return st.LIMIT
+        return state.verdict or self.config.default_verdict(state)

@@ -1,0 +1,59 @@
+"""Observer hooks into the symbolic execution engine.
+
+The paper implements Achilles as S2E plugins that watch the server's
+exploration and prune states that can no longer accept a Trojan message
+(§3.2, Figure 7). :class:`PathObserver` is the equivalent extension point
+here: the engine consults it at every branch and constraint append, and the
+Achilles server analysis implements its incremental search on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.solver.ast import Expr
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.symex.context import ExecutionContext
+    from repro.symex.state import PathResult
+
+
+class PathObserver:
+    """Default no-op observer; subclass and override what you need.
+
+    All hooks run during *every* execution of a path, including scheduled
+    replays of a forked prefix — implementations must therefore be
+    deterministic functions of the constraint sequence (memoizing solver
+    queries is the intended way to keep replays cheap).
+    """
+
+    def on_path_start(self, ctx: "ExecutionContext") -> None:
+        """Called before the node program starts executing a path."""
+
+    def on_branch(self, ctx: "ExecutionContext", condition: Expr,
+                  feasible_true: bool, feasible_false: bool) -> tuple[bool, bool]:
+        """Called at a new symbolic branch point.
+
+        Args:
+            condition: the branch condition.
+            feasible_true/feasible_false: solver feasibility of each side
+                under the current path condition.
+
+        Returns:
+            The (possibly narrowed) pair of directions to explore. Returning
+            ``(False, False)`` abandons the path entirely — this is how
+            Achilles prunes server states that no Trojan message can reach.
+        """
+        return feasible_true, feasible_false
+
+    def on_constraint(self, ctx: "ExecutionContext", constraint: Expr) -> bool:
+        """Called after a constraint is appended (branch or assumption).
+
+        Returns:
+            False to abandon the path (treated like a prune), True to keep
+            exploring.
+        """
+        return True
+
+    def on_path_end(self, ctx: "ExecutionContext", result: "PathResult") -> None:
+        """Called once the path has terminated with a verdict."""

@@ -1,0 +1,113 @@
+"""Path state and result records for the symbolic execution engine.
+
+A *path* is one control-flow route through a node program. While the engine
+runs a program it maintains a :class:`PathState`; when the path terminates
+(normally, via a marker, or by infeasibility) the engine distills it into an
+immutable :class:`PathResult` that downstream analyses (Achilles, the
+classic-symex baseline) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.solver.ast import Expr
+
+# Path verdicts. ACCEPTED/REJECTED implement the paper's accepting/rejecting
+# execution path classification (§3.1); the others are engine-internal
+# terminations.
+ACCEPTED = "accepted"
+REJECTED = "rejected"
+COMPLETED = "completed"
+INFEASIBLE = "infeasible"
+DROPPED = "dropped"
+PRUNED = "pruned"
+LIMIT = "limit"
+
+
+@dataclass(frozen=True)
+class SentMessage:
+    """A message captured on a ``ctx.send`` call.
+
+    Attributes:
+        destination: opaque label of the receiving node.
+        payload: one 8-bit expression per byte of the wire message; concrete
+            bytes appear as constant expressions.
+    """
+
+    destination: str
+    payload: tuple[Expr, ...]
+
+    def __len__(self) -> int:
+        return len(self.payload)
+
+
+@dataclass
+class PathState:
+    """Mutable state of the path currently being executed."""
+
+    path_id: int
+    decisions: list[bool] = field(default_factory=list)
+    constraints: list[Expr] = field(default_factory=list)
+    sends: list[SentMessage] = field(default_factory=list)
+    labels: list[str] = field(default_factory=list)
+    branch_count: int = 0
+    fresh_names: dict[str, int] = field(default_factory=dict)
+    verdict: str | None = None
+    observer_slot: object | None = None
+
+    def fresh_name(self, base: str) -> str:
+        """Deterministic unique name for a symbolic input.
+
+        Replays of the same path produce the same name sequence, which is
+        what makes re-execution forking sound.
+        """
+        count = self.fresh_names.get(base, 0)
+        self.fresh_names[base] = count + 1
+        return base if count == 0 else f"{base}#{count}"
+
+
+@dataclass(frozen=True)
+class PathResult:
+    """Immutable summary of one fully-executed path.
+
+    Attributes:
+        path_id: engine-assigned identifier (exploration order).
+        verdict: one of the module-level verdict constants.
+        constraints: the path condition (conjunction of these must hold for
+            the path to be feasible).
+        sends: messages sent along the path, in order.
+        labels: free-form marks recorded via ``ctx.label``.
+        decisions: the branch decision vector identifying the path.
+        branch_count: number of symbolic branch points encountered.
+    """
+
+    path_id: int
+    verdict: str
+    constraints: tuple[Expr, ...]
+    sends: tuple[SentMessage, ...]
+    labels: tuple[str, ...]
+    decisions: tuple[bool, ...]
+    branch_count: int
+
+    @property
+    def is_accepting(self) -> bool:
+        return self.verdict == ACCEPTED
+
+    @property
+    def is_rejecting(self) -> bool:
+        return self.verdict == REJECTED
+
+
+def finalize(state: PathState, verdict: str) -> PathResult:
+    """Freeze a path state into a result record."""
+    return PathResult(
+        path_id=state.path_id,
+        verdict=verdict,
+        constraints=tuple(state.constraints),
+        sends=tuple(state.sends),
+        labels=tuple(state.labels),
+        decisions=tuple(state.decisions),
+        branch_count=state.branch_count,
+    )

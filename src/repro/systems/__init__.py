@@ -1,0 +1,18 @@
+"""Systems under test: the paper's working example and evaluation targets.
+
+Each subpackage models one distributed system at the protocol-grammar
+level the Achilles analysis operates on:
+
+* :mod:`~repro.systems.toy` — the §2.1 READ/WRITE working example with
+  the forgotten ``address < 0`` check;
+* :mod:`~repro.systems.fsp` — the FSP file transfer protocol (wildcard
+  and mismatched-length Trojans, §6.3);
+* :mod:`~repro.systems.pbft` — PBFT request ingress and a simulated
+  replica cluster (the MAC attack, §6.3);
+* :mod:`~repro.systems.paxos` — a single-decree Paxos acceptor used to
+  demonstrate the local-state modes (§3.4).
+
+Every system ships both *node programs* (symbolic, for Achilles) and
+*concrete nodes* (for the simulated network), built from the same
+protocol constants so findings transfer between the two.
+"""

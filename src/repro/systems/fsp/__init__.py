@@ -1,0 +1,68 @@
+"""FSP — the File Service Protocol under test (§6.1-§6.3).
+
+FSP is a UDP file-transfer protocol: client utilities emulate UNIX core
+utilities (``frm``, ``fls``, ``fmkdir``, …), parse a command-line path,
+expand wildcards client-side, and send a command message; the server
+performs the action on its filesystem.
+
+Two Trojan classes live here:
+
+* **Mismatched string lengths** — the server accepts commands whose file
+  path contains a NUL before the length reported in ``bb_len``; correct
+  clients always report the true length (the §6.2 accuracy workload:
+  ``(1+2+3+4) × 8 utilities = 80`` Trojan classes at path bound 5);
+* **The wildcard character** — clients always glob-expand ``*`` before
+  sending (no escape exists), the server treats ``*`` as a regular
+  character, so paths containing ``*`` are Trojans with messy deletion
+  semantics (§6.3).
+"""
+
+from repro.systems.fsp.protocol import (
+    COMMANDS,
+    COMMAND_NAMES,
+    FSP_LAYOUT,
+    PATH_SPACE,
+    PRINTABLE_MAX,
+    PRINTABLE_MIN,
+    STUBS,
+)
+from repro.systems.fsp.clients import fsp_client, literal_clients, globbing_clients
+from repro.systems.fsp.server import fsp_server
+from repro.systems.fsp.nodes import (
+    FspServerNode,
+    client_command,
+    expand_argument,
+    rename_command,
+)
+from repro.systems.fsp.ground_truth import (
+    GroundTruth,
+    TrojanClass,
+    all_trojan_classes,
+    classify_message,
+    is_client_generable,
+    is_server_accepted,
+)
+
+__all__ = [
+    "COMMANDS",
+    "COMMAND_NAMES",
+    "FSP_LAYOUT",
+    "FspServerNode",
+    "GroundTruth",
+    "PATH_SPACE",
+    "PRINTABLE_MAX",
+    "PRINTABLE_MIN",
+    "STUBS",
+    "TrojanClass",
+    "all_trojan_classes",
+    "classify_message",
+    "client_command",
+    "expand_argument",
+    "fsp_client",
+    "fsp_server",
+    "globbing_clients",
+    "is_client_generable",
+    "is_server_accepted",
+    "literal_clients",
+    "rename_command",
+]

@@ -1,0 +1,165 @@
+"""Symbolic FSP client utilities.
+
+Each utility reads one command-line path argument (symbolic bytes), parses
+and validates it, and sends the corresponding command. Two modes mirror
+the two evaluation scenarios:
+
+* **literal** (§6.2 accuracy workload): the argument is treated as an
+  already-expanded path — any printable character, including ``*``, can
+  reach the wire. Correct clients always report the true path length in
+  ``bb_len`` and terminate the path at exactly that position.
+* **globbing** (§6.3 wildcard workload): before sending, the client
+  expands ``*``/``?`` against a directory listing, exactly like the real
+  FSP utilities. Expanded paths are concrete and wildcard-free, so no
+  correct client can put a wildcard on the wire — which is what makes
+  wildcard paths Trojans.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.fsys.glob import expand, has_wildcard
+from repro.messages.symbolic import MessageBuilder
+from repro.solver import ast
+from repro.solver.ast import Expr
+from repro.symex.context import ExecutionContext
+from repro.symex.engine import NodeProgram
+from repro.systems.fsp.protocol import (
+    COMMANDS,
+    FSP_LAYOUT,
+    PATH_SPACE,
+    PRINTABLE_MAX,
+    PRINTABLE_MIN,
+    STUBS,
+    WILDCARD_QUERY,
+    WILDCARD_STAR,
+)
+
+
+def fsp_client(command: int, globbing: bool = False,
+               listing: Sequence[str] = (),
+               server: str = "server") -> NodeProgram:
+    """Build the node program of one FSP client utility.
+
+    Args:
+        command: FSP command code the utility issues.
+        globbing: expand wildcards before sending (§6.3 mode).
+        listing: directory entries the globbing mode expands against
+            (the real utilities fetch this from the server first).
+        server: destination node name.
+    """
+
+    def client(ctx: ExecutionContext) -> None:
+        argument = ctx.fresh_bytes("arg", PATH_SPACE)
+        path_chars = _parse_path(ctx, argument)
+        if path_chars is None:
+            return  # usage error: empty, unterminated, or unprintable
+        if globbing and _contains_wildcard(ctx, path_chars):
+            # Wildcards never reach the wire: only their expansions do.
+            for concrete_path in _expand_wildcards(ctx, path_chars, listing):
+                _send_command(ctx, server, command,
+                              _concrete_path_buffer(concrete_path),
+                              len(concrete_path))
+            return
+        # On this path the characters are wildcard-free (in globbing mode
+        # the branch above recorded that constraint): send the path as-is.
+        _send_command(ctx, server, command, argument, len(path_chars))
+
+    return client
+
+
+def literal_clients(commands: dict[str, int] | None = None,
+                    server: str = "server") -> dict[str, NodeProgram]:
+    """The eight utilities in literal mode (§6.2 accuracy workload)."""
+    commands = commands or COMMANDS
+    return {name: fsp_client(code, server=server)
+            for name, code in commands.items()}
+
+
+def globbing_clients(listing: Sequence[str],
+                     commands: dict[str, int] | None = None,
+                     server: str = "server") -> dict[str, NodeProgram]:
+    """The eight utilities in globbing mode (§6.3 wildcard workload)."""
+    commands = commands or COMMANDS
+    return {name: fsp_client(code, globbing=True, listing=listing,
+                             server=server)
+            for name, code in commands.items()}
+
+
+def _parse_path(ctx: ExecutionContext,
+                argument: Sequence[Expr]) -> list[Expr] | None:
+    """Scan the argument buffer for a valid NUL-terminated path.
+
+    Forks one path per true length t in 1..PATH_SPACE-1. Returns the path
+    characters (before the terminator), or None on the reject paths.
+    """
+    chars: list[Expr] = []
+    for position in range(PATH_SPACE):
+        byte = argument[position]
+        if ctx.branch(ast.eq(byte, ast.bv_const(0, 8))):
+            if position == 0:
+                return None  # empty path: usage error
+            return chars
+        in_printable = ast.and_(
+            ast.uge(byte, ast.bv_const(PRINTABLE_MIN, 8)),
+            ast.ule(byte, ast.bv_const(PRINTABLE_MAX, 8)))
+        if not ctx.branch(in_printable):
+            return None  # unprintable character: refuse to send
+        chars.append(byte)
+    return None  # no terminator within the buffer: path too long
+
+
+def _contains_wildcard(ctx: ExecutionContext,
+                       path_chars: list[Expr]) -> bool:
+    """Fork on wildcard presence.
+
+    The False side constrains every character away from ``*`` and ``?`` —
+    that constraint entering ``PC`` is precisely why wildcard paths end up
+    in ``PS \\ PC``.
+    """
+    has_meta = ast.any_of([
+        ast.or_(ast.eq(c, ast.bv_const(WILDCARD_STAR, 8)),
+                ast.eq(c, ast.bv_const(WILDCARD_QUERY, 8)))
+        for c in path_chars])
+    return ctx.branch(has_meta)
+
+
+def _expand_wildcards(ctx: ExecutionContext, path_chars: list[Expr],
+                      listing: Sequence[str]) -> list[str]:
+    """Client-side globbing: wildcard paths become concrete expansions.
+
+    The pattern must be concrete to run the matcher, so each character is
+    concretized (the engine pins one feasible assignment per path). There
+    is no way to escape a wildcard.
+    """
+    pattern = "".join(chr(ctx.concretize(c)) for c in path_chars)
+    expansions = [name for name in expand(pattern, listing)
+                  if not has_wildcard(name) and 0 < len(name) < PATH_SPACE]
+    return expansions
+
+
+def _concrete_path_buffer(path: str) -> list[Expr]:
+    """A concrete PATH_SPACE-byte buffer: path, NUL, zero padding."""
+    raw = path.encode("ascii")
+    padded = raw + b"\x00" * (PATH_SPACE - len(raw))
+    return [ast.bv_const(b, 8) for b in padded]
+
+
+def _send_command(ctx: ExecutionContext, server: str, command: int,
+                  buffer: Sequence[Expr], length: int) -> None:
+    """Assemble and send one FSP command message.
+
+    ``bb_len`` always carries the *true* path length — this is the
+    invariant whose absence on the server side is the mismatched-length
+    Trojan.
+    """
+    builder = MessageBuilder(FSP_LAYOUT)
+    builder.set("cmd", command)
+    builder.set("sum", STUBS["sum"])
+    builder.set("bb_key", STUBS["bb_key"])
+    builder.set("bb_seq", STUBS["bb_seq"])
+    builder.set("bb_len", length)
+    builder.set("bb_pos", STUBS["bb_pos"])
+    builder.set_bytes("buf", list(buffer))
+    ctx.send(server, builder.wire())

@@ -1,0 +1,167 @@
+"""Mathematical ground truth for the FSP accuracy experiment (§6.2).
+
+With path length bounded below :data:`~repro.systems.fsp.protocol.PATH_SPACE`
+there are exactly ``(1 + 2 + 3 + 4) × 8 = 80`` Trojan classes: one per
+``(utility command, reported length L, true length t)`` with ``t < L``.
+This module provides oracles that classify arbitrary concrete messages —
+used to score Achilles, the classic-symbolic-execution baseline, and the
+fuzzer against the same reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.messages.concrete import decode_ints
+from repro.systems.fsp.protocol import (
+    COMMANDS,
+    COMMAND_NAMES,
+    FSP_LAYOUT,
+    PATH_SPACE,
+    STUBS,
+    is_printable,
+)
+
+
+@dataclass(frozen=True, order=True)
+class TrojanClass:
+    """One of the 80 known Trojan classes.
+
+    Attributes:
+        command: FSP command code.
+        reported_length: the ``bb_len`` header value L.
+        true_length: position t of the first NUL in the path (t < L).
+    """
+
+    command: int
+    reported_length: int
+    true_length: int
+
+    @property
+    def utility(self) -> str:
+        return COMMAND_NAMES[self.command]
+
+    def __str__(self) -> str:
+        return (f"{self.utility}(L={self.reported_length}, "
+                f"t={self.true_length})")
+
+
+def all_trojan_classes() -> list[TrojanClass]:
+    """The complete ground-truth set — 80 classes at path bound 5."""
+    classes = []
+    for code, length in product(sorted(COMMANDS.values()),
+                                range(1, PATH_SPACE)):
+        for true_length in range(length):
+            classes.append(TrojanClass(code, length, true_length))
+    return classes
+
+
+def is_server_accepted(message: bytes) -> bool:
+    """Reference model of the server's accept predicate ``PS``."""
+    if len(message) != FSP_LAYOUT.total_size:
+        return False
+    fields = decode_ints(FSP_LAYOUT, message)
+    if fields["cmd"] not in COMMANDS.values():
+        return False
+    for name, stub in STUBS.items():
+        if fields[name] != stub:
+            return False
+    length = fields["bb_len"]
+    if not 1 <= length < PATH_SPACE:
+        return False
+    buf = _buf_bytes(message)
+    scanned = 0
+    while scanned < length and buf[scanned] != 0:
+        if not is_printable(buf[scanned]):
+            return False
+        scanned += 1
+    return buf[length] == 0
+
+
+def is_client_generable(message: bytes,
+                        allow_wildcards: bool = True) -> bool:
+    """Reference model of the client predicate ``PC``.
+
+    Correct clients emit: a known command, the stub constants, ``bb_len``
+    equal to the true path length, printable path characters, and the
+    terminator at exactly ``bb_len``. In globbing mode
+    (``allow_wildcards=False``) the path is additionally wildcard-free.
+    """
+    if len(message) != FSP_LAYOUT.total_size:
+        return False
+    fields = decode_ints(FSP_LAYOUT, message)
+    if fields["cmd"] not in COMMANDS.values():
+        return False
+    for name, stub in STUBS.items():
+        if fields[name] != stub:
+            return False
+    length = fields["bb_len"]
+    if not 1 <= length < PATH_SPACE:
+        return False
+    buf = _buf_bytes(message)
+    for position in range(length):
+        byte = buf[position]
+        if not is_printable(byte):
+            return False
+        if not allow_wildcards and byte in (ord("*"), ord("?")):
+            return False
+    return buf[length] == 0
+
+
+def classify_message(message: bytes) -> TrojanClass | None:
+    """Map an accepted-but-ungenerable message to its Trojan class.
+
+    Returns None for messages that are not (length-mismatch) Trojans.
+    """
+    if not is_server_accepted(message) or is_client_generable(message):
+        return None
+    fields = decode_ints(FSP_LAYOUT, message)
+    buf = _buf_bytes(message)
+    length = fields["bb_len"]
+    true_length = 0
+    while true_length < length and buf[true_length] != 0:
+        true_length += 1
+    return TrojanClass(fields["cmd"], length, true_length)
+
+
+def _buf_bytes(message: bytes) -> bytes:
+    view = FSP_LAYOUT.view("buf")
+    return message[view.offset:view.end]
+
+
+@dataclass
+class GroundTruth:
+    """Scoring of a set of concrete messages against the 80 classes.
+
+    Attributes:
+        classes_found: distinct Trojan classes covered.
+        true_positives: messages that are genuine Trojans.
+        false_positives: messages flagged as Trojan that are not.
+    """
+
+    classes_found: set[TrojanClass]
+    true_positives: int
+    false_positives: int
+
+    @classmethod
+    def score(cls, messages: list[bytes]) -> "GroundTruth":
+        """Score messages claimed to be Trojans."""
+        found: set[TrojanClass] = set()
+        tp = 0
+        fp = 0
+        for message in messages:
+            trojan_class = classify_message(message)
+            if trojan_class is None:
+                fp += 1
+            else:
+                tp += 1
+                found.add(trojan_class)
+        return cls(found, tp, fp)
+
+    @property
+    def coverage(self) -> float:
+        return len(self.classes_found) / len(all_trojan_classes())
+
+    def missing(self) -> list[TrojanClass]:
+        return sorted(set(all_trojan_classes()) - self.classes_found)

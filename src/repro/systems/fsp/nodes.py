@@ -1,0 +1,214 @@
+"""Concrete FSP nodes for the simulated deployment (impact experiments).
+
+:class:`FspServerNode` executes accepted commands against a
+:class:`~repro.fsys.memfs.MemFS`; :func:`client_command` reproduces the
+client utilities' message assembly — including client-side globbing with
+no escape character — so the §6.3 scenarios (``mv file file*``,
+``rm file*``) replay exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import FileSystemError
+from repro.fsys.glob import glob_match, has_wildcard
+from repro.fsys.memfs import MemFS
+from repro.messages.concrete import decode_ints, encode
+from repro.net.network import Network, Node
+from repro.systems.fsp.protocol import (
+    CC_RENAME,
+    COMMANDS,
+    FSP_LAYOUT,
+    PATH_SPACE,
+    STUBS,
+    is_printable,
+)
+
+#: Reply codes.
+REPLY_OK = 0x01
+REPLY_ERR = 0x02
+
+
+class FspServerNode(Node):
+    """Concrete FSP server over an in-memory filesystem.
+
+    The ingress validation matches the symbolic model byte for byte (same
+    two bugs); accepted commands act on :attr:`fs` under :attr:`root`.
+    """
+
+    def __init__(self, name: str = "server", fs: MemFS | None = None,
+                 root: str = "/srv"):
+        super().__init__(name)
+        self.fs = fs or _default_fs(root)
+        self.root = root
+        self.accepted = 0
+        self.rejected = 0
+
+    def handle(self, source: str, payload: bytes, network: Network) -> None:
+        fields = decode_ints(FSP_LAYOUT, payload) \
+            if len(payload) == FSP_LAYOUT.total_size else None
+        if fields is not None and fields["cmd"] == CC_RENAME:
+            parsed = self._validate_rename(payload)
+            if parsed is None:
+                self.rejected += 1
+                return
+            self.accepted += 1
+            ok = self._rename(*parsed)
+        else:
+            path = self._validate(payload)
+            if path is None:
+                self.rejected += 1
+                return
+            self.accepted += 1
+            ok = self._execute(fields["cmd"], path)
+        network.send(self.name, source,
+                     bytes([REPLY_OK if ok else REPLY_ERR]))
+
+    # -- ingress -----------------------------------------------------------------
+
+    def _validate(self, payload: bytes) -> str | None:
+        """The vulnerable ingress: returns the parsed path or None.
+
+        Mirrors :func:`repro.systems.fsp.server.fsp_server`: first-NUL
+        scan, printable characters, terminator at ``bb_len`` — never
+        cross-checked against the scan.
+        """
+        buf = self._common_checks(payload, COMMANDS.values())
+        if buf is None:
+            return None
+        length = decode_ints(FSP_LAYOUT, payload)["bb_len"]
+        scanned = 0
+        while scanned < length and buf[scanned] != 0:
+            if not is_printable(buf[scanned]):
+                return None
+            scanned += 1
+        if buf[length] != 0:
+            return None
+        return buf[:scanned].decode("latin-1")
+
+    def _validate_rename(self, payload: bytes) -> tuple[str, str] | None:
+        """RENAME ingress: ``buf`` packs ``src NUL dst`` with the
+        terminator of the *pair* at ``bb_len``."""
+        buf = self._common_checks(payload, (CC_RENAME,))
+        if buf is None:
+            return None
+        length = decode_ints(FSP_LAYOUT, payload)["bb_len"]
+        if buf[length] != 0:
+            return None
+        packed = buf[:length]
+        source, _, target = packed.partition(b"\x00")
+        if not source or not target:
+            return None
+        if not all(is_printable(b) for b in source + target):
+            return None
+        return source.decode("latin-1"), target.decode("latin-1")
+
+    def _common_checks(self, payload: bytes,
+                       commands) -> bytes | None:
+        """Size, command and stub validation shared by all ingress paths."""
+        if len(payload) != FSP_LAYOUT.total_size:
+            return None
+        fields = decode_ints(FSP_LAYOUT, payload)
+        if fields["cmd"] not in commands:
+            return None
+        for name, stub in STUBS.items():
+            if fields[name] != stub:
+                return None
+        if not 1 <= fields["bb_len"] < PATH_SPACE:
+            return None
+        view = FSP_LAYOUT.view("buf")
+        return payload[view.offset:view.end]
+
+    # -- actions ------------------------------------------------------------------
+
+    def _execute(self, command: int, path: str) -> bool:
+        """Perform the filesystem action; RENAME packs ``src\\0dst``."""
+        full = f"{self.root}/{path}"
+        try:
+            if command == COMMANDS["fls"]:
+                self.fs.listdir(full)
+            elif command in (COMMANDS["fcat"], COMMANDS["fstat"],
+                             COMMANDS["fgetpro"]):
+                if not self.fs.exists(full):
+                    return False
+            elif command == COMMANDS["frm"]:
+                self.fs.delete(full)
+            elif command == COMMANDS["frmdir"]:
+                self.fs.delete(full)
+            elif command == COMMANDS["fmkdir"]:
+                self.fs.mkdir(full)
+            elif command == COMMANDS["fgrab"]:
+                self.fs.read_file(full)
+                self.fs.delete(full)
+            else:
+                return False
+        except FileSystemError:
+            return False
+        return True
+
+    def _rename(self, source: str, target: str) -> bool:
+        try:
+            self.fs.rename(f"{self.root}/{source}", f"{self.root}/{target}")
+        except FileSystemError:
+            return False
+        return True
+
+
+def _default_fs(root: str) -> MemFS:
+    fs = MemFS()
+    fs.mkdir(root)
+    return fs
+
+
+def expand_argument(argument: str, listing: Sequence[str]) -> list[str]:
+    """Client-side wildcard expansion (no escape character, §6.3).
+
+    Matched directory entries pass through verbatim — including names
+    that themselves contain ``*`` (how ``rm file*`` reaches the literal
+    ``file*`` file *and* its innocent siblings). A pattern matching
+    nothing expands to nothing.
+    """
+    if has_wildcard(argument):
+        return [name for name in listing if glob_match(argument, name)]
+    return [argument]
+
+
+def client_command(utility: str, path: str) -> bytes:
+    """Assemble the wire message a correct utility sends for ``path``.
+
+    Raises ValueError for arguments a correct client refuses: empty or
+    over-long paths, unprintable characters. Globbing happens *before*
+    this step (see :func:`expand_argument`).
+    """
+    if utility not in COMMANDS:
+        raise ValueError(f"unknown utility {utility!r}")
+    raw = path.encode("ascii")
+    if not all(is_printable(b) for b in raw):
+        raise ValueError("correct clients refuse unprintable path characters")
+    return _assemble(COMMANDS[utility], raw)
+
+
+def rename_command(source: str, target: str) -> bytes:
+    """The ``fmv`` utility's RENAME message: ``src NUL dst``.
+
+    The source was globbed by the caller; the target is never globbed
+    (FSP behaviour, §6.3) — which is how ``file*`` gets created.
+    """
+    packed = source.encode("ascii") + b"\x00" + target.encode("ascii")
+    return _assemble(CC_RENAME, packed)
+
+
+def _assemble(command: int, raw_path: bytes) -> bytes:
+    if not 0 < len(raw_path) < PATH_SPACE:
+        raise ValueError(f"path must be 1..{PATH_SPACE - 1} bytes")
+    buf = raw_path + b"\x00" * (PATH_SPACE - len(raw_path))
+    return encode(FSP_LAYOUT, {
+        "cmd": command,
+        "sum": STUBS["sum"],
+        "bb_key": STUBS["bb_key"],
+        "bb_seq": STUBS["bb_seq"],
+        "bb_len": len(raw_path),
+        "bb_pos": STUBS["bb_pos"],
+        "buf": buf,
+    })

@@ -1,0 +1,113 @@
+"""Symbolic FSP server program — with the paper's two path-parsing bugs.
+
+One event-loop iteration: validate the session fields (annotation stubs,
+§6.1), dispatch on the command, parse the file path, perform the action.
+The parsing faithfully reproduces the vulnerable behaviour Achilles
+exposed in FSP 2.8.1b26:
+
+* the scan stops at the *first* NUL but the server never checks that it
+  sits exactly where ``bb_len`` says — a NUL earlier than ``bb_len`` is
+  accepted (**mismatched string lengths**, §6.3), leaving the bytes
+  between the NUL and ``bb_len`` as an unvalidated hidden payload;
+* every printable character is a legal path character, including ``*``
+  and ``?`` (**the wildcard character**, §6.3).
+
+Accept markers (``ctx.accept``) sit where the server invokes filesystem
+actions, mirroring where the paper placed them (§6.1).
+"""
+
+from __future__ import annotations
+
+from repro.messages.symbolic import field_bytes, field_expr
+from repro.solver import ast
+from repro.solver.ast import Expr
+from repro.symex.context import ExecutionContext
+from repro.systems.fsp.protocol import (
+    COMMANDS,
+    FSP_LAYOUT,
+    PATH_SPACE,
+    PRINTABLE_MAX,
+    PRINTABLE_MIN,
+    STUBS,
+)
+
+
+def fsp_server(ctx: ExecutionContext, msg: tuple[Expr, ...]) -> None:
+    """Handle one FSP command message (accept/reject classified)."""
+    if not _session_fields_valid(ctx, msg):
+        ctx.reject("bad-session-fields")
+        return
+
+    cmd = field_expr(msg, FSP_LAYOUT.view("cmd"))
+    command = _dispatch(ctx, cmd)
+    if command is None:
+        ctx.reject("unknown-command")
+        return
+
+    bb_len = field_expr(msg, FSP_LAYOUT.view("bb_len"))
+    length = _reported_length(ctx, bb_len)
+    if length is None:
+        ctx.reject("bad-length")
+        return
+
+    buf = field_bytes(msg, FSP_LAYOUT.view("buf"))
+    if not _path_parses(ctx, buf, length):
+        ctx.reject("bad-path")
+        return
+
+    # The command is valid: perform the filesystem action and reply.
+    ctx.accept(f"action:0x{command:02x}")
+
+
+def _session_fields_valid(ctx: ExecutionContext,
+                          msg: tuple[Expr, ...]) -> bool:
+    """Stubbed checksum/key/sequence/position checks (§6.1 annotations)."""
+    for field, stub in STUBS.items():
+        view = FSP_LAYOUT.view(field)
+        expected = ast.bv_const(stub, view.bit_width)
+        if not ctx.branch(ast.eq(field_expr(msg, view), expected)):
+            return False
+    return True
+
+
+def _dispatch(ctx: ExecutionContext, cmd: Expr) -> int | None:
+    """The command switch; returns the matched code or None."""
+    for code in sorted(COMMANDS.values()):
+        if ctx.branch(ast.eq(cmd, ast.bv_const(code, 8))):
+            return code
+    return None
+
+
+def _reported_length(ctx: ExecutionContext, bb_len: Expr) -> int | None:
+    """Branch over the valid reported lengths 1..PATH_SPACE-1.
+
+    The terminator must fit inside the buffer, so ``bb_len`` may be at
+    most PATH_SPACE-1; zero-length paths are rejected.
+    """
+    for length in range(1, PATH_SPACE):
+        if ctx.branch(ast.eq(bb_len, ast.bv_const(length, 16))):
+            return length
+    return None
+
+
+def _path_parses(ctx: ExecutionContext, buf: tuple[Expr, ...],
+                 length: int) -> bool:
+    """The vulnerable path scan.
+
+    Walks the buffer up to the reported length, stopping at the first
+    NUL. Characters before the NUL must be printable. The terminator is
+    required at ``buf[length]`` — but nothing verifies the first NUL *is*
+    that terminator, which admits the mismatched-length Trojans.
+    """
+    for position in range(length):
+        byte = buf[position]
+        if ctx.branch(ast.eq(byte, ast.bv_const(0, 8))):
+            break  # first NUL ends the path; bytes after it are never checked
+        printable = ast.and_(
+            ast.uge(byte, ast.bv_const(PRINTABLE_MIN, 8)),
+            ast.ule(byte, ast.bv_const(PRINTABLE_MAX, 8)))
+        if not ctx.branch(printable):
+            return False
+    # Consistency check against the header — at the reported position
+    # only; an earlier NUL sails through.
+    return ctx.branch(ast.eq(buf[length], ast.bv_const(0, 8)))

@@ -1,0 +1,44 @@
+"""Single-decree Paxos acceptor — the local-state modes demo (§3.4).
+
+The acceptor's accept predicate depends on its local state (the promised
+ballot): the same wire message is valid in one state and Trojan in
+another. The three Achilles local-state modes map onto this system:
+
+* **Concrete**: analyze an acceptor that has promised ballot 3 while the
+  proposer holding that promise proposes value 7 — any ACCEPT with
+  another value (or a higher ballot nobody holds) is a Trojan;
+* **Constructed symbolic**: run the proposer with a *symbolic* proposed
+  value first; value Trojans disappear (some correct proposer could send
+  any value) while ballot Trojans remain;
+* **Over-approximate symbolic**: replace the promised-ballot lookup with
+  a constrained symbolic value, covering all promise states in one run.
+"""
+
+from repro.systems.paxos.protocol import ACCEPT, PAXOS_LAYOUT, PREPARE
+from repro.systems.paxos.acceptor import (
+    AcceptorState,
+    acceptor_program,
+    overapprox_acceptor,
+)
+from repro.systems.paxos.nodes import (
+    PaxosAcceptorNode,
+    PaxosProposerNode,
+    accept_message,
+    prepare_message,
+)
+from repro.systems.paxos.proposer import phase2_proposer, symbolic_value_proposer
+
+__all__ = [
+    "ACCEPT",
+    "AcceptorState",
+    "PAXOS_LAYOUT",
+    "PREPARE",
+    "PaxosAcceptorNode",
+    "PaxosProposerNode",
+    "accept_message",
+    "acceptor_program",
+    "overapprox_acceptor",
+    "phase2_proposer",
+    "prepare_message",
+    "symbolic_value_proposer",
+]

@@ -1,0 +1,84 @@
+"""The Paxos acceptor node program, parameterized by local state (§3.4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.achilles.localstate import symbolic_return
+from repro.achilles.server_analysis import ServerProgram
+from repro.messages.symbolic import field_expr
+from repro.solver import ast
+from repro.solver.ast import Expr
+from repro.symex.context import ExecutionContext
+from repro.systems.paxos.protocol import ACCEPT, PAXOS_LAYOUT, PREPARE
+
+
+@dataclass
+class AcceptorState:
+    """Concrete acceptor state: the highest promised ballot."""
+
+    promised: int = 0
+
+
+def _handle(ctx: ExecutionContext, msg: tuple[Expr, ...],
+            promised: Expr | int) -> None:
+    """Shared acceptor logic over a concrete or symbolic promise."""
+    kind = field_expr(msg, PAXOS_LAYOUT.view("kind"))
+    ballot = field_expr(msg, PAXOS_LAYOUT.view("ballot"))
+    if isinstance(promised, int):
+        promised = ast.bv_const(promised, 16)
+
+    if ctx.branch(ast.eq(kind, ast.bv_const(PREPARE, 8))):
+        if ctx.branch(ast.ugt(ballot, promised)):
+            ctx.send("proposer", [0x50])  # PROMISE
+            ctx.accept("promise")
+            return
+        ctx.reject("stale-prepare")
+        return
+
+    if ctx.branch(ast.eq(kind, ast.bv_const(ACCEPT, 8))):
+        if ctx.branch(ast.uge(ballot, promised)):
+            # Single-decree Paxos: the acceptor takes any value at or
+            # above its promise — it has no way to validate the value
+            # itself, which is what makes foreign values Trojans.
+            ctx.send("proposer", [0x41])  # ACCEPTED
+            ctx.accept("accepted")
+            return
+        ctx.reject("stale-accept")
+        return
+
+    ctx.reject("unknown-kind")
+
+
+def acceptor_program(promised: int) -> ServerProgram:
+    """Concrete Local State mode: an acceptor that promised ``promised``.
+
+    The state object is rebuilt per path execution (the engine re-runs
+    programs when forking), mirroring the paper's "run the system
+    concretely up to some point" usage.
+    """
+
+    def factory() -> AcceptorState:
+        return AcceptorState(promised=promised)
+
+    def server(ctx: ExecutionContext, msg: tuple[Expr, ...]) -> None:
+        state = factory()
+        _handle(ctx, msg, state.promised)
+
+    return server
+
+
+def overapprox_acceptor(max_promise: int = 10) -> ServerProgram:
+    """Over-approximate Symbolic Local State mode (§3.4).
+
+    The promised-ballot lookup is bypassed by a fresh symbolic value
+    constrained to ``[0, max_promise]`` — one analysis covers every
+    promise the acceptor could hold.
+    """
+
+    def server(ctx: ExecutionContext, msg: tuple[Expr, ...]) -> None:
+        promised = symbolic_return(ctx, "state:promised", 16,
+                                   lo=0, hi=max_promise)
+        _handle(ctx, msg, promised)
+
+    return server

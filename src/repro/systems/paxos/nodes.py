@@ -1,0 +1,83 @@
+"""Concrete Paxos nodes: a minimal single-decree deployment.
+
+Used by the injection demos: after a legitimate consensus round, an
+injected ACCEPT Trojan (foreign value or outbid ballot) visibly corrupts
+the decision — the concrete counterpart of the §3.4 discussion that a
+message can be valid in one local state and Trojan in another.
+"""
+
+from __future__ import annotations
+
+from repro.messages.concrete import decode_ints, encode
+from repro.net.network import Network, Node
+from repro.systems.paxos.protocol import ACCEPT, PAXOS_LAYOUT, PREPARE
+
+#: Reply kinds (first byte of acceptor replies).
+PROMISE = 0x50
+ACCEPTED = 0x41
+NACK = 0x4E
+
+
+def prepare_message(ballot: int) -> bytes:
+    return encode(PAXOS_LAYOUT, {"kind": PREPARE, "ballot": ballot,
+                                 "value": 0})
+
+
+def accept_message(ballot: int, value: int) -> bytes:
+    return encode(PAXOS_LAYOUT, {"kind": ACCEPT, "ballot": ballot,
+                                 "value": value})
+
+
+class PaxosAcceptorNode(Node):
+    """Single-decree acceptor with the standard promise/accept rules."""
+
+    def __init__(self, name: str = "acceptor"):
+        super().__init__(name)
+        self.promised = 0
+        self.accepted_ballot: int | None = None
+        self.accepted_value: int | None = None
+
+    def handle(self, source: str, payload: bytes, network: Network) -> None:
+        if len(payload) != PAXOS_LAYOUT.total_size:
+            return
+        fields = decode_ints(PAXOS_LAYOUT, payload)
+        if fields["kind"] == PREPARE:
+            if fields["ballot"] > self.promised:
+                self.promised = fields["ballot"]
+                network.send(self.name, source, bytes([PROMISE]))
+            else:
+                network.send(self.name, source, bytes([NACK]))
+            return
+        if fields["kind"] == ACCEPT:
+            if fields["ballot"] >= self.promised:
+                self.accepted_ballot = fields["ballot"]
+                self.accepted_value = fields["value"]
+                network.send(self.name, source, bytes([ACCEPTED]))
+            else:
+                network.send(self.name, source, bytes([NACK]))
+
+
+class PaxosProposerNode(Node):
+    """A proposer running one prepare/accept round for a fixed value."""
+
+    def __init__(self, name: str, ballot: int, value: int,
+                 acceptor: str = "acceptor"):
+        super().__init__(name)
+        self.ballot = ballot
+        self.value = value
+        self.acceptor = acceptor
+        self.promised = False
+        self.chosen = False
+
+    def start(self, network: Network) -> None:
+        network.send(self.name, self.acceptor, prepare_message(self.ballot))
+
+    def handle(self, source: str, payload: bytes, network: Network) -> None:
+        if not payload:
+            return
+        if payload[0] == PROMISE and not self.promised:
+            self.promised = True
+            network.send(self.name, self.acceptor,
+                         accept_message(self.ballot, self.value))
+        elif payload[0] == ACCEPTED:
+            self.chosen = True

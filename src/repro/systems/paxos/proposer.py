@@ -1,0 +1,47 @@
+"""Paxos proposer clients for the local-state demos (§3.4)."""
+
+from __future__ import annotations
+
+from repro.messages.symbolic import MessageBuilder
+from repro.symex.context import ExecutionContext
+from repro.symex.engine import NodeProgram
+from repro.systems.paxos.protocol import ACCEPT, PAXOS_LAYOUT
+
+
+def phase2_proposer(ballot: int, value: int,
+                    acceptor: str = "acceptor") -> NodeProgram:
+    """Concrete scenario: the proposer holding ``ballot`` proposes ``value``.
+
+    This is the paper's example — "a Paxos Acceptor has just entered the
+    second phase, with proposed value 7": the only message a correct
+    proposer sends in that state is ``ACCEPT(ballot, 7)``.
+    """
+
+    def proposer(ctx: ExecutionContext) -> None:
+        builder = MessageBuilder(PAXOS_LAYOUT)
+        builder.set("kind", ACCEPT)
+        builder.set("ballot", ballot)
+        builder.set("value", value)
+        ctx.send(acceptor, builder.wire())
+
+    return proposer
+
+
+def symbolic_value_proposer(ballot: int,
+                            acceptor: str = "acceptor") -> NodeProgram:
+    """Constructed Symbolic Local State: the proposed value is symbolic.
+
+    Running Achilles once with this client covers every concrete value a
+    correct proposer could propose, eliminating the need to re-run the
+    concrete analysis per value (1, 2, …) — the §3.4 argument.
+    """
+
+    def proposer(ctx: ExecutionContext) -> None:
+        value = ctx.fresh_bitvec("proposed_value", 16)
+        builder = MessageBuilder(PAXOS_LAYOUT)
+        builder.set("kind", ACCEPT)
+        builder.set("ballot", ballot)
+        builder.set("value", value)
+        ctx.send(acceptor, builder.wire())
+
+    return proposer

@@ -1,0 +1,22 @@
+"""Paxos wire protocol: PREPARE and ACCEPT messages.
+
+One compact layout serves both phases::
+
+    kind(1) | ballot(2) | value(2)
+
+PREPARE carries a zero value field; ACCEPT carries the proposed value.
+"""
+
+from __future__ import annotations
+
+from repro.messages.layout import Field, MessageLayout
+
+#: Message kinds.
+PREPARE = 0x01
+ACCEPT = 0x02
+
+PAXOS_LAYOUT = MessageLayout("paxos", [
+    Field("kind", 1),
+    Field("ballot", 2),
+    Field("value", 2),
+])

@@ -1,0 +1,52 @@
+"""PBFT — Byzantine fault-tolerant replication under test (§6.1-§6.3).
+
+Clients send authenticated requests to a set of replicas; replicas agree
+on a total order (pre-prepare / prepare / commit) and execute. The known
+vulnerability Achilles rediscovers is the **MAC attack** [Clement et al.,
+NSDI'09]: the primary replica forwards client requests *without verifying
+their authenticators*, so a request with a corrupt MAC is accepted at
+ingress, fails verification at the backups, and forces an expensive
+recovery (view change) — a cheap way for a faulty client to hurt
+throughput for everyone.
+
+* :mod:`~repro.systems.pbft.client` / :mod:`~repro.systems.pbft.replica`
+  — symbolic node programs for Achilles (request ingress grammar);
+* :mod:`~repro.systems.pbft.cluster` — a concrete 4-replica deployment
+  measuring the attack's throughput impact.
+"""
+
+from repro.systems.pbft.protocol import (
+    COMMAND_SIZE,
+    KNOWN_CLIENTS,
+    MAC_STUB,
+    N_REPLICAS,
+    OD_STUB,
+    REQUEST_LAYOUT,
+    REQUEST_TAG,
+)
+from repro.systems.pbft.client import pbft_client
+from repro.systems.pbft.replica import pbft_replica
+from repro.systems.pbft.cluster import (
+    ClusterStats,
+    PbftClientNode,
+    PbftReplicaNode,
+    build_cluster,
+    run_workload,
+)
+
+__all__ = [
+    "COMMAND_SIZE",
+    "ClusterStats",
+    "KNOWN_CLIENTS",
+    "MAC_STUB",
+    "N_REPLICAS",
+    "OD_STUB",
+    "PbftClientNode",
+    "PbftReplicaNode",
+    "REQUEST_LAYOUT",
+    "REQUEST_TAG",
+    "build_cluster",
+    "pbft_client",
+    "pbft_replica",
+    "run_workload",
+]

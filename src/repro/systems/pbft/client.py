@@ -1,0 +1,39 @@
+"""Symbolic PBFT client: generates one authenticated request (§6.1).
+
+Mirrors the paper's setup: ``extra``, ``replier``, ``rid``, ``cid`` and
+``command`` are symbolic (any correct client, any request); ``tag``,
+``size`` and ``command_size`` follow the protocol; the digest and the
+authenticator list are the predefined constant stubs. The essential fact
+for the MAC attack: a correct client always writes *valid* authenticators
+(here: the stub), so a request whose MAC bytes differ cannot come from
+any correct client.
+"""
+
+from __future__ import annotations
+
+from repro.messages.symbolic import MessageBuilder
+from repro.symex.context import ExecutionContext
+from repro.systems.pbft.protocol import (
+    COMMAND_SIZE,
+    MAC_STUB,
+    OD_STUB,
+    REQUEST_LAYOUT,
+    REQUEST_SIZE,
+    REQUEST_TAG,
+)
+
+
+def pbft_client(ctx: ExecutionContext, primary: str = "replica0") -> None:
+    """Generate one request and send it to the primary."""
+    builder = MessageBuilder(REQUEST_LAYOUT)
+    builder.set("tag", REQUEST_TAG)
+    builder.set("extra", ctx.fresh_bitvec("extra", 16))
+    builder.set("size", REQUEST_SIZE)
+    builder.set_bytes("od", list(OD_STUB))
+    builder.set("replier", ctx.fresh_bitvec("replier", 16))
+    builder.set("command_size", COMMAND_SIZE)
+    builder.set("cid", ctx.fresh_bitvec("cid", 16))
+    builder.set("rid", ctx.fresh_bitvec("rid", 16))
+    builder.set_bytes("command", ctx.fresh_bytes("command", COMMAND_SIZE))
+    builder.set_bytes("mac", list(MAC_STUB))
+    ctx.send(primary, builder.wire())

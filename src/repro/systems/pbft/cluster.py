@@ -1,0 +1,286 @@
+"""Concrete 4-replica PBFT cluster — measuring the MAC attack (§6.3).
+
+A compact but genuine message-driven PBFT commit path:
+
+* clients send authenticated ``REQUEST``s to the primary;
+* the primary assigns a sequence number and multicasts ``PRE_PREPARE``
+  **without verifying the client's authenticator** (the vulnerability);
+* backups verify their authenticator tag. Valid → ``PREPARE``; invalid →
+  they cannot tell whether the client or the primary corrupted the
+  message, so they ``SUSPECT`` the view — and enough suspicions trigger
+  an expensive view change (the recovery protocol whose cost the attack
+  weaponizes);
+* ``2f`` matching prepares → ``COMMIT``; ``2f+1`` commits → execute and
+  ``REPLY``.
+
+Throughput is measured in committed requests per network delivery, which
+makes the attack's cost hardware-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.mac import Authenticator
+from repro.net.network import Network, Node
+from repro.systems.pbft.protocol import N_REPLICAS, SESSION_KEYS
+
+#: Wire message kinds (first byte).
+REQUEST = 0x01
+PRE_PREPARE = 0x02
+PREPARE = 0x03
+COMMIT = 0x04
+REPLY = 0x05
+SUSPECT = 0x06
+NEW_VIEW = 0x07
+
+#: Fault threshold for 4 replicas.
+F = (N_REPLICAS - 1) // 3
+
+#: Extra protocol rounds a view change costs every replica (models the
+#: "expensive recovery protocol" of §6.3).
+VIEW_CHANGE_ROUNDS = 3
+
+
+def _replica_name(index: int) -> str:
+    return f"replica{index}"
+
+
+@dataclass
+class ClusterStats:
+    """Aggregate outcome of one workload run."""
+
+    committed: int = 0
+    view_changes: int = 0
+    deliveries: int = 0
+    replies: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Committed requests per message delivery."""
+        return self.committed / self.deliveries if self.deliveries else 0.0
+
+
+class PbftClientNode(Node):
+    """A PBFT client; ``malicious=True`` corrupts its authenticators.
+
+    The corrupt-MAC request is exactly the Trojan Achilles finds: it
+    parses correctly everywhere, but no correct client produces it.
+    """
+
+    def __init__(self, name: str, cid: int, malicious: bool = False):
+        super().__init__(name)
+        self.cid = cid
+        self.malicious = malicious
+        self.rid = 0
+        self.replies = 0
+
+    def next_request(self) -> bytes:
+        self.rid += 1
+        core = [self.cid, self.rid, 0xAB, 0xCD]  # cid | rid | command
+        auth = Authenticator.sign(SESSION_KEYS, core)
+        if self.malicious:
+            auth = auth.corrupt(1).corrupt(2).corrupt(3)
+        return bytes([REQUEST, self.cid, self.rid & 0xFF]
+                     + core[2:] + auth.wire_bytes())
+
+    def handle(self, source: str, payload: bytes, network: Network) -> None:
+        if payload and payload[0] == REPLY:
+            self.replies += 1
+
+
+class PbftReplicaNode(Node):
+    """One PBFT replica; index 0 of the current view acts as primary."""
+
+    def __init__(self, index: int):
+        super().__init__(_replica_name(index))
+        self.index = index
+        self.view = 0
+        self.next_seq = 0
+        self.prepares: dict[tuple[int, int], set[str]] = {}
+        self.commits: dict[tuple[int, int], set[str]] = {}
+        self.executed: set[tuple[int, int]] = set()
+        self.suspects: dict[int, set[str]] = {}
+        self.committed = 0
+        self.view_changes = 0
+
+    # -- helpers -------------------------------------------------------------------
+
+    @property
+    def is_primary(self) -> bool:
+        return self.index == self.view % N_REPLICAS
+
+    def _multicast(self, payload: bytes, network: Network) -> None:
+        for peer in range(N_REPLICAS):
+            if peer != self.index:
+                network.send(self.name, _replica_name(peer), payload)
+
+    @staticmethod
+    def _verify_request(request: bytes, replica_index: int) -> bool:
+        """Check this replica's authenticator tag on a client request."""
+        core = [request[1], request[2], request[3], request[4]]
+        auth = Authenticator.from_wire(list(request[5:5 + 2 * N_REPLICAS]))
+        return auth.verify(replica_index, SESSION_KEYS[replica_index], core)
+
+    # -- protocol ------------------------------------------------------------------
+
+    #: Minimum payload length per message kind (garbage is dropped).
+    _MIN_SIZES = {REQUEST: 5 + 2 * N_REPLICAS, PRE_PREPARE: 7 + 2 * N_REPLICAS,
+                  PREPARE: 3, COMMIT: 3, SUSPECT: 2, NEW_VIEW: 2}
+
+    def handle(self, source: str, payload: bytes, network: Network) -> None:
+        if not payload:
+            return
+        kind = payload[0]
+        if len(payload) < self._MIN_SIZES.get(kind, 1 << 30):
+            return  # malformed or unknown: drop silently
+        if kind == REQUEST:
+            self._on_request(source, payload, network)
+        elif kind == PRE_PREPARE:
+            self._on_pre_prepare(source, payload, network)
+        elif kind == PREPARE:
+            self._on_vote(payload, self.prepares, COMMIT, network)
+        elif kind == COMMIT:
+            self._on_commit(payload, network)
+        elif kind == SUSPECT:
+            self._on_suspect(source, payload, network)
+        elif kind == NEW_VIEW:
+            self._on_new_view(payload)
+
+    def _on_request(self, source: str, payload: bytes,
+                    network: Network) -> None:
+        if not self.is_primary:
+            return
+        # THE VULNERABILITY: the primary does not verify the client's
+        # authenticator before ordering the request (§6.3).
+        seq = self.next_seq
+        self.next_seq += 1
+        pre_prepare = bytes([PRE_PREPARE, self.view, seq]) + payload[1:]
+        self._multicast(pre_prepare, network)
+        self._record_vote(self.prepares, (self.view, seq), self.name)
+
+    def _on_pre_prepare(self, source: str, payload: bytes,
+                        network: Network) -> None:
+        view, seq = payload[1], payload[2]
+        if view != self.view:
+            return
+        request = bytes([REQUEST]) + payload[3:]
+        if not self._verify_request(request, self.index):
+            # Bad authenticator: the client or the primary is lying and
+            # this replica cannot tell which — suspect the view (§6.3).
+            self._multicast(bytes([SUSPECT, self.view]), network)
+            self._on_suspect(self.name, bytes([SUSPECT, self.view]), network)
+            return
+        key = (view, seq)
+        self._record_vote(self.prepares, key, self.name)
+        self._multicast(bytes([PREPARE, view, seq]), network)
+        self._record_vote(self.prepares, key, _replica_name(view % N_REPLICAS))
+        self._maybe_commit(key, network)
+
+    def _on_vote(self, payload: bytes, table, next_kind: int,
+                 network: Network) -> None:
+        key = (payload[1], payload[2])
+        self._record_vote(table, key, f"peer{len(table.get(key, set()))}")
+        self._maybe_commit(key, network)
+
+    def _maybe_commit(self, key: tuple[int, int], network: Network) -> None:
+        if len(self.prepares.get(key, set())) >= 2 * F + 1:
+            if key not in self.commits or self.name not in self.commits[key]:
+                self._record_vote(self.commits, key, self.name)
+                self._multicast(bytes([COMMIT, key[0], key[1]]), network)
+                self._maybe_execute(key, network)
+
+    def _on_commit(self, payload: bytes, network: Network) -> None:
+        key = (payload[1], payload[2])
+        self._record_vote(self.commits, key,
+                          f"peer{len(self.commits.get(key, set()))}")
+        self._maybe_execute(key, network)
+
+    def _maybe_execute(self, key: tuple[int, int], network: Network) -> None:
+        if key in self.executed:
+            return
+        if len(self.commits.get(key, set())) >= 2 * F + 1:
+            self.executed.add(key)
+            self.committed += 1
+            network.send(self.name, "client-hub", bytes([REPLY, key[1]]))
+
+    def _on_suspect(self, source: str, payload: bytes,
+                    network: Network) -> None:
+        view = payload[1]
+        if view != self.view:
+            return
+        voters = self.suspects.setdefault(view, set())
+        voters.add(source)
+        if len(voters) >= F + 1:
+            self._start_view_change(network)
+
+    def _start_view_change(self, network: Network) -> None:
+        # The expensive recovery: every replica burns VIEW_CHANGE_ROUNDS
+        # of all-to-all traffic before the new view is installed.
+        old_view = self.view
+        self.view += 1
+        self.view_changes += 1
+        for _ in range(VIEW_CHANGE_ROUNDS):
+            self._multicast(bytes([NEW_VIEW, self.view]), network)
+
+    def _on_new_view(self, payload: bytes) -> None:
+        if payload[1] > self.view:
+            self.view = payload[1]
+            self.view_changes += 1
+
+    @staticmethod
+    def _record_vote(table: dict, key: tuple[int, int], voter: str) -> None:
+        table.setdefault(key, set()).add(voter)
+
+
+class _ClientHub(Node):
+    """Collects replica replies on behalf of all clients."""
+
+    def __init__(self):
+        super().__init__("client-hub")
+        self.replies = 0
+
+    def handle(self, source: str, payload: bytes, network: Network) -> None:
+        if payload and payload[0] == REPLY:
+            self.replies += 1
+
+
+def build_cluster() -> tuple[Network, list[PbftReplicaNode], _ClientHub]:
+    """A fresh 4-replica deployment plus a reply sink."""
+    network = Network()
+    replicas = [network.attach(PbftReplicaNode(i)) for i in range(N_REPLICAS)]
+    hub = network.attach(_ClientHub())
+    return network, replicas, hub
+
+
+def run_workload(total_requests: int,
+                 malicious_every: int = 0) -> ClusterStats:
+    """Drive a request workload through a fresh cluster.
+
+    Args:
+        total_requests: number of client requests to issue.
+        malicious_every: every Nth request carries corrupt authenticators
+            (0 = all correct). This is the paper's attack mix.
+    """
+    network, replicas, hub = build_cluster()
+    honest = PbftClientNode("client-honest", cid=1)
+    attacker = PbftClientNode("client-attacker", cid=2, malicious=True)
+    network.attach(honest)
+    network.attach(attacker)
+
+    for index in range(total_requests):
+        use_attacker = malicious_every and (index + 1) % malicious_every == 0
+        client = attacker if use_attacker else honest
+        primary = _replica_name(replicas[0].view % N_REPLICAS)
+        # Re-read the current primary from replica 0's view so requests
+        # follow view changes.
+        network.send(client.name, primary, client.next_request())
+        network.run()
+
+    stats = ClusterStats(
+        committed=max(r.committed for r in replicas),
+        view_changes=max(r.view_changes for r in replicas),
+        deliveries=network.trace.count("deliver"),
+        replies=hub.replies,
+    )
+    return stats

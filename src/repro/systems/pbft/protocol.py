@@ -1,0 +1,57 @@
+"""PBFT client-request wire format (§6.1).
+
+The request message carries exactly the fields the paper lists::
+
+    tag(2) | extra(2) | size(4) | od(16) | replier(2) | command_size(2) |
+    cid(2) | rid(2) | command(4) | mac(8)
+
+with a fixed command length of 4 bytes and one 2-byte authenticator per
+replica (4 replicas → 8 MAC bytes), as the evaluation fixes the lengths of
+the command, the authenticator list and the overall message (§6.1).
+
+Digest (``od``) and authenticators are approximated by constant stubs on
+the *client* side (§6.1); the replica checks the digest stub but — the
+vulnerability — never looks at the MAC bytes.
+"""
+
+from __future__ import annotations
+
+from repro.messages.layout import Field, MessageLayout
+
+#: Message tag of client requests.
+REQUEST_TAG = 0x0001
+
+#: Number of replicas (f = 1).
+N_REPLICAS = 4
+
+#: Fixed command payload length (§6.1 "fixed length for the command").
+COMMAND_SIZE = 4
+
+#: Client ids known to the replicas ("verify that the client id is in a
+#: set of known clients", §6.2).
+KNOWN_CLIENTS = (1, 2, 3, 4, 5)
+
+REQUEST_LAYOUT = MessageLayout("pbft_request", [
+    Field("tag", 2),
+    Field("extra", 2),
+    Field("size", 4),
+    Field("od", 16),
+    Field("replier", 2),
+    Field("command_size", 2),
+    Field("cid", 2),
+    Field("rid", 2),
+    Field("command", COMMAND_SIZE),
+    Field("mac", 2 * N_REPLICAS),
+])
+
+#: Total wire size; the ``size`` header must carry exactly this value.
+REQUEST_SIZE = REQUEST_LAYOUT.total_size
+
+#: Constant stub standing in for the 16-byte message digest (§6.1).
+OD_STUB = bytes(range(0xA0, 0xB0))
+
+#: Constant stub standing in for the authenticator list (§6.1).
+MAC_STUB = bytes([0xC1, 0xC2] * N_REPLICAS)
+
+#: Pairwise client-replica session keys for the concrete cluster.
+SESSION_KEYS = tuple(0x1000 + 0x111 * i for i in range(N_REPLICAS))

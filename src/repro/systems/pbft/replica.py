@@ -1,0 +1,83 @@
+"""Symbolic PBFT replica ingress — with the MAC-attack vulnerability.
+
+The paper's observation (§6.2): "Surprisingly, PBFT replicas make few
+checks on the data received from clients. They verify that request ids
+are recent and have not already been handled, verify that the client id
+is in a set of known clients and also check if the flags field marks the
+request as read-only." Crucially, the replica never verifies the
+authenticator before acting, which is the MAC attack (§6.3).
+
+Local state (the per-client last-request-id table) is handled in the
+*over-approximate symbolic* mode (§3.4): an unconstrained symbolic value
+stands in for whatever the table might contain.
+"""
+
+from __future__ import annotations
+
+from repro.messages.symbolic import field_expr
+from repro.solver import ast
+from repro.solver.ast import Expr
+from repro.symex.context import ExecutionContext
+from repro.systems.pbft.protocol import (
+    COMMAND_SIZE,
+    KNOWN_CLIENTS,
+    OD_STUB,
+    REQUEST_LAYOUT,
+    REQUEST_SIZE,
+    REQUEST_TAG,
+)
+
+
+def pbft_replica(ctx: ExecutionContext, msg: tuple[Expr, ...]) -> None:
+    """Handle one incoming client request at the primary."""
+    field = lambda name: field_expr(msg, REQUEST_LAYOUT.view(name))
+
+    # Parse-stage validation: tag, declared sizes, digest (stub, §6.1).
+    if not ctx.branch(ast.eq(field("tag"),
+                             ast.bv_const(REQUEST_TAG, 16))):
+        ctx.reject("bad-tag")
+        return
+    if not ctx.branch(ast.eq(field("size"),
+                             ast.bv_const(REQUEST_SIZE, 32))):
+        ctx.reject("bad-size")
+        return
+    if not ctx.branch(ast.eq(field("command_size"),
+                             ast.bv_const(COMMAND_SIZE, 16))):
+        ctx.reject("bad-command-size")
+        return
+    od_view = REQUEST_LAYOUT.view("od")
+    od_stub = ast.bv_const(int.from_bytes(OD_STUB, "big"), od_view.bit_width)
+    if not ctx.branch(ast.eq(field("od"), od_stub)):
+        ctx.reject("bad-digest")
+        return
+
+    # The client must be known.
+    cid = field("cid")
+    known = ast.any_of(
+        [ast.eq(cid, ast.bv_const(c, 16)) for c in KNOWN_CLIENTS])
+    if not ctx.branch(known):
+        ctx.reject("unknown-client")
+        return
+
+    # The request id must be fresh — compared against the per-client
+    # request log, over-approximated by unconstrained symbolic state.
+    last_rid = ctx.fresh_bitvec("state:last_rid", 16)
+    if not ctx.branch(ast.ugt(field("rid"), last_rid)):
+        ctx.reject("stale-rid")
+        return
+
+    # NOTE: the authenticator (mac field) is never verified here — the
+    # first replica to receive the request just forwards it (§6.3).
+
+    read_only = ast.eq(
+        ast.extract(field("extra"), 0, 0), ast.bv_const(1, 1))
+    if ctx.branch(read_only):
+        # Read-only requests are executed and answered directly.
+        ctx.send("client", [0x52])  # 'R'eply
+        ctx.accept("read-only-reply")
+        return
+
+    # Regular requests enter the agreement protocol: the replica builds a
+    # Pre_prepare and multicasts it — the paper's accept marker (§6.1).
+    ctx.send("replica1", [0x50])  # 'P're_prepare
+    ctx.accept("pre-prepare")

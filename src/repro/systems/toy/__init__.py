@@ -1,0 +1,33 @@
+"""The paper's §2.1 working example: a READ/WRITE request server.
+
+The server validates that READ addresses are below ``DATASIZE`` but
+forgets the ``address < 0`` check; correct clients validate both bounds.
+Any READ with a negative (signed) address is therefore a Trojan message —
+and exploiting it leaks memory adjacent to the data array (the concrete
+node emulates the C layout, so negative offsets read the peer list).
+"""
+
+from repro.systems.toy.protocol import (
+    DATASIZE,
+    PEERS,
+    READ,
+    TOY_LAYOUT,
+    WRITE,
+    toy_checksum,
+)
+from repro.systems.toy.client import toy_client, toy_read_client, toy_write_client
+from repro.systems.toy.server import ToyServerNode, toy_server
+
+__all__ = [
+    "DATASIZE",
+    "PEERS",
+    "READ",
+    "TOY_LAYOUT",
+    "ToyServerNode",
+    "WRITE",
+    "toy_checksum",
+    "toy_client",
+    "toy_read_client",
+    "toy_server",
+    "toy_write_client",
+]

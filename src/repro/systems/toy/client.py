@@ -1,0 +1,72 @@
+"""The §2.1 client: validates user input, then sends READ/WRITE requests.
+
+Mirrors Figure 3 of the paper: the operation type, address (and value for
+writes) come from the keyboard — i.e. they are symbolic inputs — and the
+client *exits* unless ``0 <= address < DATASIZE``. Correct clients can
+therefore never put a negative address on the wire.
+"""
+
+from __future__ import annotations
+
+from repro.messages.symbolic import MessageBuilder
+from repro.solver import ast
+from repro.symex.context import ExecutionContext
+from repro.systems.toy import protocol
+from repro.systems.toy.protocol import DATASIZE, READ, TOY_LAYOUT, WRITE
+
+
+def toy_client(ctx: ExecutionContext, server: str = "server") -> None:
+    """The full Figure 3 client: both request kinds on separate paths."""
+    sender = ctx.fresh_byte("peerID")
+    operation = ctx.fresh_byte("operationType")
+    address = ctx.fresh_bitvec("address", 32)
+
+    # if (address >= DATASIZE) exit(1);  if (address < 0) exit(1);
+    if ctx.branch(address.sge(DATASIZE)):
+        return
+    if ctx.branch(address.slt(0)):
+        return
+
+    # Client only sends addresses in [0, DATASIZE).
+    if ctx.branch(ast.eq(operation, ast.bv_const(READ, 8))):
+        _send_request(ctx, server, sender, READ, address,
+                      ast.bv_const(0, 32))
+        return
+    if ctx.branch(ast.eq(operation, ast.bv_const(WRITE, 8))):
+        value = ctx.fresh_bitvec("value", 32)
+        _send_request(ctx, server, sender, WRITE, address, value)
+
+
+def toy_read_client(ctx: ExecutionContext) -> None:
+    """A client that only issues READ requests (for focused tests)."""
+    sender = ctx.fresh_byte("peerID")
+    address = ctx.fresh_bitvec("address", 32)
+    if ctx.branch(address.sge(DATASIZE)):
+        return
+    if ctx.branch(address.slt(0)):
+        return
+    _send_request(ctx, "server", sender, READ, address, ast.bv_const(0, 32))
+
+
+def toy_write_client(ctx: ExecutionContext) -> None:
+    """A client that only issues WRITE requests (for focused tests)."""
+    sender = ctx.fresh_byte("peerID")
+    address = ctx.fresh_bitvec("address", 32)
+    value = ctx.fresh_bitvec("value", 32)
+    if ctx.branch(address.sge(DATASIZE)):
+        return
+    if ctx.branch(address.slt(0)):
+        return
+    _send_request(ctx, "server", sender, WRITE, address, value)
+
+
+def _send_request(ctx: ExecutionContext, server: str, sender, request: int,
+                  address, value) -> None:
+    builder = MessageBuilder(TOY_LAYOUT)
+    builder.set_bytes("sender", [sender])
+    builder.set("request", request)
+    builder.set("address", address)
+    builder.set("value", value)
+    body = builder.prefix_bytes("crc")
+    builder.set_bytes("crc", [protocol.toy_checksum(body)])
+    ctx.send(server, builder.wire())

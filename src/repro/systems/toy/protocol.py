@@ -1,0 +1,48 @@
+"""Wire protocol of the §2.1 working example.
+
+One message type carries both request kinds::
+
+    sender(1) | request(1) | address(4) | value(4) | crc(1)
+
+``address`` and ``value`` are 32-bit big-endian, interpreted *signed* by
+both sides (the bug is precisely a missing signed lower-bound check). The
+``crc`` is the additive checksum of all preceding bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.crypto.checksum import ByteLike, byte_sum_checksum
+from repro.messages.layout import Field, MessageLayout
+
+#: Request kinds (the ``request`` field).
+READ = 1
+WRITE = 2
+
+#: Size of the server's data array; addresses must stay below it.
+DATASIZE = 100
+
+#: Pre-configured group of known peers (the server's ``isInSet`` check).
+PEERS = (1, 2, 3)
+
+TOY_LAYOUT = MessageLayout("toy", [
+    Field("sender", 1),
+    Field("request", 1),
+    Field("address", 4),
+    Field("value", 4),
+    Field("crc", 1),
+])
+
+#: Byte count covered by the checksum (everything before the crc field).
+CHECKSUM_SPAN = TOY_LAYOUT.view("crc").offset
+
+
+def toy_checksum(wire: Sequence[ByteLike]) -> ByteLike:
+    """Checksum over the message bytes preceding the crc field.
+
+    Works for both concrete bytes (returns an int) and symbolic payloads
+    (returns an expression), so the same definition serves the concrete
+    nodes and the symbolic node programs.
+    """
+    return byte_sum_checksum(list(wire[:CHECKSUM_SPAN]))

@@ -1,0 +1,127 @@
+"""The §2.1 server: accepts READ/WRITE requests — with the paper's bug.
+
+The symbolic node program (:func:`toy_server`) mirrors Figure 2 line by
+line, *including* the missing ``address < 0`` check on the READ path. The
+concrete node (:class:`ToyServerNode`) implements the same checks over
+real bytes and emulates the C memory layout — the peer list sits directly
+below the data array — so injecting the Trojan demonstrates the privacy
+leak the paper describes.
+"""
+
+from __future__ import annotations
+
+from repro.messages.concrete import decode_ints
+from repro.messages.symbolic import field_expr
+from repro.net.network import Network, Node
+from repro.solver import ast
+from repro.solver.ast import Expr
+from repro.symex.context import ExecutionContext
+from repro.systems.toy import protocol
+from repro.systems.toy.protocol import (
+    CHECKSUM_SPAN,
+    DATASIZE,
+    PEERS,
+    READ,
+    TOY_LAYOUT,
+    WRITE,
+)
+
+
+def toy_server(ctx: ExecutionContext, msg: tuple[Expr, ...]) -> None:
+    """Symbolic server program for Achilles (one event-loop iteration).
+
+    Accepting paths send a reply (the engine's default classification);
+    rejecting paths simply return to the event loop.
+    """
+    sender = field_expr(msg, TOY_LAYOUT.view("sender"))
+    request = field_expr(msg, TOY_LAYOUT.view("request"))
+    address = field_expr(msg, TOY_LAYOUT.view("address"))
+    crc = field_expr(msg, TOY_LAYOUT.view("crc"))
+
+    # if (!isInSet(msg.sender, peers)) continue;
+    in_peers = ast.any_of(
+        [ast.eq(sender, ast.bv_const(p, 8)) for p in PEERS])
+    if not ctx.branch(in_peers):
+        return
+
+    # if (!isValidCRC(msg, msg.CRC)) continue;
+    expected = protocol.toy_checksum(msg[:CHECKSUM_SPAN])
+    if not ctx.branch(ast.eq(crc, expected)):
+        return
+
+    # switch (msg.request)
+    if ctx.branch(ast.eq(request, ast.bv_const(READ, 8))):
+        if ctx.branch(address.sge(DATASIZE)):
+            return
+        # Security vulnerability: forgot to check address < 0.
+        ctx.send("client", [0xAA])  # REPLY with data[msg.address]
+        return
+
+    if ctx.branch(ast.eq(request, ast.bv_const(WRITE, 8))):
+        if ctx.branch(address.sge(DATASIZE)):
+            return
+        if ctx.branch(address.slt(0)):
+            return
+        ctx.send("client", [0xCC])  # ACK after data[msg.address] = value
+        return
+
+    return  # default: discard
+
+
+class ToyServerNode(Node):
+    """Concrete toy server for the simulated network.
+
+    Emulates the C process layout of Figure 2: ``peers`` is allocated
+    immediately before ``data``, so a READ at a negative offset walks
+    backwards into the peer list — the paper's privacy leak.
+    """
+
+    REPLY = 0xAA
+    ACK = 0xCC
+
+    def __init__(self, name: str = "server"):
+        super().__init__(name)
+        # One flat "address space": peers first, then the data array.
+        self._memory = list(PEERS) + [0] * DATASIZE
+        self._data_base = len(PEERS)
+        self.replies_sent = 0
+        self.crashed = False
+
+    @property
+    def data(self) -> list[int]:
+        return self._memory[self._data_base:]
+
+    def handle(self, source: str, payload: bytes, network: Network) -> None:
+        if self.crashed or len(payload) != TOY_LAYOUT.total_size:
+            return
+        fields = decode_ints(TOY_LAYOUT, payload)
+        if fields["sender"] not in PEERS:
+            return
+        if fields["crc"] != protocol.toy_checksum(list(payload[:CHECKSUM_SPAN])):
+            return
+        address = _as_signed32(fields["address"])
+        if fields["request"] == READ:
+            if address >= DATASIZE:
+                return
+            # The missing address < 0 check. Small negative offsets walk
+            # backwards into the peer list (the paper's privacy leak);
+            # wildly out-of-range ones hit unmapped memory — the process
+            # dies, like the C original would.
+            index = self._data_base + address
+            if index < 0:
+                self.crashed = True
+                return
+            leaked = self._memory[index]
+            self.replies_sent += 1
+            network.send(self.name, source, bytes([self.REPLY, leaked & 0xFF]))
+            return
+        if fields["request"] == WRITE:
+            if address >= DATASIZE or address < 0:
+                return
+            self._memory[self._data_base + address] = fields["value"] & 0xFF
+            self.replies_sent += 1
+            network.send(self.name, source, bytes([self.ACK]))
+
+
+def _as_signed32(value: int) -> int:
+    return value - (1 << 32) if value >= (1 << 31) else value

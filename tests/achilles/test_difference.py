@@ -1,0 +1,89 @@
+"""Tests for the differentFrom matrix (§3.3)."""
+
+from repro.achilles.difference import DifferentFrom
+from repro.achilles.mask import FieldMask
+from repro.achilles.predicates import ClientPathPredicate
+from repro.messages.layout import Field, MessageLayout
+from repro.messages.symbolic import message_vars
+from repro.solver import ast
+
+LAYOUT = MessageLayout("t", [Field("x", 1), Field("y", 1)])
+MSG = message_vars(LAYOUT, "m")
+
+Y = ast.bv_var("y", 8)
+
+
+def _pred(index, x_value, y_payload, constraints=()):
+    payload = (ast.bv_const(x_value, 8), y_payload)
+    return ClientPathPredicate(
+        index=index, client="c", source_path_id=index, layout=LAYOUT,
+        payload=payload, constraints=tuple(constraints))
+
+
+class TestMatrixEntries:
+    def test_paper_example_shape(self):
+        """Figure 5 analogue: same x ranges, different concrete y values.
+
+        differentFrom[0][1][y] is True (pred0 has y=2 which pred1 lacks)
+        and symmetric; on x both predicates admit exactly the same values
+        so both directions are False.
+        """
+        pred0 = _pred(0, 1, ast.bv_const(2, 8))
+        pred1 = _pred(1, 1, ast.bv_const(7, 8))
+        diff = DifferentFrom([pred0, pred1], MSG)
+        assert diff.different(0, 1, "y")
+        assert diff.different(1, 0, "y")
+        assert not diff.different(0, 1, "x")
+        assert not diff.different(1, 0, "x")
+
+    def test_subset_ranges_are_asymmetric(self):
+        # pred0 admits y in [0,50), pred1 admits y in [0,100): pred1 has
+        # extra values, pred0 does not.
+        pred0 = _pred(0, 1, Y, [Y < 50])
+        pred1 = _pred(1, 1, Y, [Y < 100])
+        diff = DifferentFrom([pred0, pred1], MSG)
+        assert not diff.different(0, 1, "y")
+        assert diff.different(1, 0, "y")
+
+    def test_self_comparison_is_false(self):
+        pred0 = _pred(0, 1, ast.bv_const(2, 8))
+        diff = DifferentFrom([pred0], MSG)
+        assert not diff.different(0, 0, "y")
+
+    def test_missing_entries_default_true(self):
+        pred0 = _pred(0, 1, ast.bv_const(2, 8))
+        pred1 = _pred(1, 1, ast.bv_const(7, 8))
+        diff = DifferentFrom([pred0, pred1], MSG)
+        # Unknown field: conservative default disables the shortcut.
+        assert diff.different(0, 1, "nonexistent")
+
+
+class TestDroppable:
+    def test_droppable_lists_equal_valued_peers(self):
+        pred0 = _pred(0, 1, Y, [Y < 50])
+        pred1 = _pred(1, 1, Y, [Y < 100])
+        diff = DifferentFrom([pred0, pred1], MSG)
+        # If pred1 dies from a y-constraint, pred0 (subset on y) dies too.
+        assert diff.droppable_with(1, "y") == [0]
+        # The converse does not hold.
+        assert diff.droppable_with(0, "y") == []
+
+    def test_mask_skips_hidden_fields(self):
+        pred0 = _pred(0, 1, ast.bv_const(2, 8))
+        pred1 = _pred(1, 1, ast.bv_const(7, 8))
+        diff = DifferentFrom([pred0, pred1], MSG, mask=FieldMask.hide("y"))
+        # Hidden field entries were never computed: default True.
+        assert diff.stats.solver_queries > 0
+        assert diff.different(0, 1, "y")
+
+    def test_dependent_fields_skipped(self):
+        # y's variable also feeds x: not independent, no entry computed.
+        shared = Y
+        payload0 = (shared, shared)
+        pred0 = ClientPathPredicate(
+            index=0, client="c", source_path_id=0, layout=LAYOUT,
+            payload=payload0, constraints=(Y < 10,))
+        pred1 = _pred(1, 1, ast.bv_const(7, 8))
+        diff = DifferentFrom([pred0, pred1], MSG)
+        assert not diff.is_independent(0, "y")
+        assert diff.stats.fields_skipped_dependent > 0

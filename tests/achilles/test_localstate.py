@@ -1,0 +1,98 @@
+"""Unit tests for the local-state helpers (§3.4)."""
+
+import pytest
+
+from repro.achilles.localstate import (
+    capture_sent_message,
+    replay_into,
+    with_concrete_state,
+)
+from repro.errors import AchillesError
+from repro.solver import ast
+from repro.symex.engine import Engine, EngineConfig
+
+
+class TestConcreteState:
+    def test_factory_called_once_per_path_execution(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return {"counter": 0}
+
+        def program(ctx, state):
+            state["counter"] += 1
+            assert state["counter"] == 1  # never a reused object
+            ctx.branch(ctx.fresh_byte("x") < 10)
+
+        node = with_concrete_state(factory, program)
+        result = Engine(EngineConfig()).explore(node)
+        assert len(result.paths) == 2
+        # One factory call per execution (incl. the forked replay).
+        assert len(calls) >= 2
+
+    def test_state_drives_behaviour(self):
+        def program(ctx, state):
+            if state["armed"]:
+                ctx.send("peer", [1])
+
+        armed = with_concrete_state(lambda: {"armed": True}, program)
+        disarmed = with_concrete_state(lambda: {"armed": False}, program)
+        assert Engine(EngineConfig()).explore(armed).paths[0].sends
+        assert not Engine(EngineConfig()).explore(disarmed).paths[0].sends
+
+
+class TestCaptureSentMessage:
+    def _proposer(self, ctx):
+        value = ctx.fresh_byte("value")
+        ctx.assume(value < 10)
+        ctx.send("acceptor", [2, value])
+
+    def test_capture_returns_payload_and_constraints(self):
+        payload, constraints = capture_sent_message(self._proposer)
+        assert len(payload) == 2
+        assert payload[0].value == 2
+        assert len(constraints) == 1
+
+    def test_destination_filter(self):
+        def chatty(ctx):
+            ctx.send("other", [9])
+            ctx.send("acceptor", [1])
+
+        payload, _ = capture_sent_message(chatty, destination="acceptor")
+        assert payload[0].value == 1
+
+    def test_send_index_selects_later_send(self):
+        def double(ctx):
+            ctx.send("a", [1])
+            ctx.send("a", [2])
+
+        payload, _ = capture_sent_message(double, send_index=1)
+        assert payload[0].value == 2
+
+    def test_no_sending_path_raises(self):
+        with pytest.raises(AchillesError):
+            capture_sent_message(lambda ctx: None)
+
+
+class TestReplayInto:
+    def test_constraints_scope_the_replayed_message(self):
+        payload, constraints = capture_sent_message(
+            lambda ctx: self._send_bounded(ctx))
+        outcomes = []
+
+        def receiver(ctx):
+            replay_into(ctx, constraints)
+            # The payload byte is now constrained to < 10: branching on
+            # >= 10 must be infeasible on the true side.
+            outcomes.append(ctx.branch(ast.uge(payload[1],
+                                               ast.bv_const(10, 8))))
+
+        Engine(EngineConfig()).explore(receiver)
+        assert outcomes == [False]
+
+    @staticmethod
+    def _send_bounded(ctx):
+        value = ctx.fresh_byte("value")
+        ctx.assume(value < 10)
+        ctx.send("acceptor", [2, value])

@@ -1,0 +1,39 @@
+"""Unit tests for field masks."""
+
+import pytest
+
+from repro.achilles.mask import FieldMask
+from repro.errors import AchillesError
+from repro.messages.layout import Field, MessageLayout
+
+LAYOUT = MessageLayout("t", [Field("a", 1), Field("b", 2), Field("c", 1)])
+
+
+class TestMask:
+    def test_none_shows_everything(self):
+        assert FieldMask.none().visible_fields(LAYOUT) == ("a", "b", "c")
+
+    def test_hide_removes_named_fields(self):
+        mask = FieldMask.hide("b")
+        assert mask.visible_fields(LAYOUT) == ("a", "c")
+        assert not mask.is_visible("b")
+
+    def test_only_keeps_named_fields(self):
+        mask = FieldMask.only(LAYOUT, "b")
+        assert mask.visible_fields(LAYOUT) == ("b",)
+
+    def test_only_rejects_unknown_fields(self):
+        with pytest.raises(AchillesError):
+            FieldMask.only(LAYOUT, "zzz")
+
+    def test_validate_rejects_unknown_hidden_fields(self):
+        with pytest.raises(AchillesError):
+            FieldMask.hide("zzz").validate(LAYOUT)
+
+    def test_validate_rejects_fully_masked_layout(self):
+        with pytest.raises(AchillesError):
+            FieldMask.hide("a", "b", "c").validate(LAYOUT)
+
+    def test_visible_order_follows_wire_order(self):
+        mask = FieldMask.hide("a")
+        assert mask.visible_fields(LAYOUT) == ("b", "c")

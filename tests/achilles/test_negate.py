@@ -1,0 +1,167 @@
+"""Tests for the under-approximate negate operator (§3.2, §4)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.achilles.mask import FieldMask
+from repro.achilles.negate import (
+    CONCRETE,
+    SYMBOLIC,
+    negate_field,
+    negate_predicate,
+    single_field_of,
+)
+from repro.achilles.predicates import ClientPathPredicate
+from repro.messages.layout import Field, MessageLayout
+from repro.messages.symbolic import message_vars
+from repro.solver import ast, check
+from repro.solver.evalmodel import all_hold
+
+LAYOUT = MessageLayout("t", [Field("kind", 1), Field("addr", 2)])
+MSG = message_vars(LAYOUT, "m")
+
+ADDR = ast.bv_var("addr", 16)
+
+
+def _pred(payload, constraints=(), index=0):
+    return ClientPathPredicate(
+        index=index, client="c", source_path_id=0, layout=LAYOUT,
+        payload=tuple(payload), constraints=tuple(constraints))
+
+
+def _read_pred(index=0):
+    """kind = 5 (concrete), addr symbolic constrained to [0, 100)."""
+    payload = (ast.bv_const(5, 8), ast.extract(ADDR, 15, 8),
+               ast.extract(ADDR, 7, 0))
+    return _pred(payload, [ADDR < 100], index=index)
+
+
+class TestConcreteNegation:
+    def test_concrete_field_negates_to_disequality(self):
+        disjunct = negate_field(_read_pred(), "kind", MSG)
+        assert disjunct is not None
+        assert disjunct.kind == CONCRETE
+        # m[0] != 5 must hold in every model of the disjunct.
+        result = check([disjunct.expr])
+        assert result.is_sat
+        assert result.value(MSG[0]) != 5
+
+    def test_disjunct_never_overlaps_predicate(self):
+        pred = _read_pred()
+        disjunct = negate_field(pred, "kind", MSG)
+        query = pred.combined(MSG) + (disjunct.expr,)
+        assert not check(query).is_sat
+
+
+class TestSymbolicNegation:
+    def test_constrained_field_negates_range(self):
+        disjunct = negate_field(_read_pred(), "addr", MSG)
+        assert disjunct is not None
+        assert disjunct.kind == SYMBOLIC
+        # Any model must put the addr field outside [0, 100).
+        result = check([disjunct.expr])
+        assert result.is_sat
+        addr_value = (result.value(MSG[1]) << 8) | result.value(MSG[2])
+        assert addr_value >= 100
+
+    def test_unconstrained_field_abandoned(self):
+        payload = (ast.bv_const(5, 8), ast.extract(ADDR, 15, 8),
+                   ast.extract(ADDR, 7, 0))
+        pred = _pred(payload)  # no constraints on addr at all
+        assert negate_field(pred, "addr", MSG) is None
+
+    def test_colliding_checksum_style_field_discarded(self):
+        # c = a + b is not injective; its negation overlaps the original
+        # predicate (a collision exists), so §4.1 discards it.
+        a = ast.bv_var("a", 8)
+        b = ast.bv_var("b", 8)
+        layout = MessageLayout("s", [Field("a", 1), Field("c", 1)])
+        msg = message_vars(layout, "m")
+        payload = (a, ast.add(a, b))
+        pred = ClientPathPredicate(
+            index=0, client="c", source_path_id=0, layout=layout,
+            payload=payload, constraints=(a < 10,))
+        assert negate_field(pred, "c", msg) is None
+
+    def test_injective_transform_survives(self):
+        # c = a + 1 is a bijection on bytes: negating a's range through it
+        # is exact, so the disjunct survives the §4.1 check.
+        a = ast.bv_var("a", 8)
+        layout = MessageLayout("s", [Field("a", 1), Field("c", 1)])
+        msg = message_vars(layout, "m")
+        payload = (a, ast.add(a, ast.bv_const(1, 8)))
+        pred = ClientPathPredicate(
+            index=0, client="c", source_path_id=0, layout=layout,
+            payload=payload, constraints=(a < 10,))
+        disjunct = negate_field(pred, "c", msg)
+        assert disjunct is not None
+        assert disjunct.kind == SYMBOLIC
+
+    def test_injective_symbolic_field_survives(self):
+        disjunct = negate_field(_read_pred(), "addr", MSG)
+        assert disjunct is not None
+
+
+class TestPredicateNegation:
+    def test_collects_per_field_disjuncts(self):
+        negation = negate_predicate(_read_pred(), MSG)
+        fields = {d.field for d in negation.disjuncts}
+        assert fields == {"kind", "addr"}
+
+    def test_mask_skips_hidden_fields(self):
+        negation = negate_predicate(_read_pred(), MSG,
+                                    mask=FieldMask.hide("addr"))
+        assert {d.field for d in negation.disjuncts} == {"kind"}
+
+    def test_vacuous_negation_is_false(self):
+        payload = (ast.bv_var("k", 8), ast.bv_var("h", 8), ast.bv_var("l", 8))
+        pred = _pred(payload)  # everything unconstrained
+        negation = negate_predicate(pred, MSG)
+        assert negation.is_vacuous
+        assert negation.expr.is_false
+
+    @settings(max_examples=30, deadline=None)
+    @given(kind=st.integers(0, 255), hi=st.integers(0, 255),
+           lo=st.integers(0, 255))
+    def test_under_approximation_property(self, kind, hi, lo):
+        """No message satisfying the negation is client-generable.
+
+        For any concrete message m: if negate(pathC)(m) holds then there
+        is no assignment of client inputs putting m on the wire — here
+        checked via the combined query being unsat.
+        """
+        pred = _read_pred()
+        negation = negate_predicate(pred, MSG)
+        model = {MSG[0]: kind, MSG[1]: hi, MSG[2]: lo}
+        if not all_hold([negation.expr], _complete(model, negation.expr)):
+            return  # message not covered by the negation: nothing to check
+        pinned = [ast.eq(MSG[i], ast.bv_const(v, 8))
+                  for i, v in enumerate([kind, hi, lo])]
+        assert not check(list(pred.combined(MSG)) + pinned).is_sat
+
+
+def _complete(model, expr):
+    """Extend a partial model with zeros for the negation's fresh vars."""
+    from repro.solver.walk import collect_vars
+
+    full = dict(model)
+    for var in collect_vars(expr):
+        full.setdefault(var, 0)
+    return full
+
+
+class TestSingleFieldOf:
+    def test_one_field_constraint_attributed(self):
+        constraint = MSG[1] < 5
+        assert single_field_of(constraint, MSG, LAYOUT) == "addr"
+
+    def test_multibyte_same_field_attributed(self):
+        constraint = ast.eq(MSG[1], MSG[2])
+        assert single_field_of(constraint, MSG, LAYOUT) == "addr"
+
+    def test_cross_field_constraint_rejected(self):
+        constraint = ast.eq(MSG[0], MSG[1])
+        assert single_field_of(constraint, MSG, LAYOUT) is None
+
+    def test_foreign_variable_rejected(self):
+        constraint = ast.eq(MSG[0], ast.bv_var("state", 8))
+        assert single_field_of(constraint, MSG, LAYOUT) is None

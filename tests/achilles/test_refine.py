@@ -1,0 +1,91 @@
+"""Tests for witness refinement (§4.1 future-work extension)."""
+
+import pytest
+
+from repro.achilles.client_analysis import extract_client_predicates, preprocess
+from repro.achilles.refine import (
+    RefinementOutcome,
+    refine_findings,
+    witness_is_generable,
+)
+from repro.achilles.report import AchillesReport, TrojanFinding
+from repro.achilles.server_analysis import search_server
+from repro.messages.layout import Field, MessageLayout
+from repro.messages.symbolic import MessageBuilder, field_expr, message_vars
+from repro.solver import ast
+
+LAYOUT = MessageLayout("t", [Field("kind", 1), Field("v", 1)])
+MSG = message_vars(LAYOUT, "msg")
+
+
+def _client(ctx):
+    value = ctx.fresh_byte("value")
+    if not ctx.branch(value < 50):
+        return
+    builder = MessageBuilder(LAYOUT).set("kind", 1)
+    builder.set_bytes("v", [value])
+    ctx.send("server", builder.wire())
+
+
+CLIENTS = {"c": _client}
+
+
+def _finding(witness: bytes) -> TrojanFinding:
+    return TrojanFinding(server_path_id=0, decisions=(), path_condition=(),
+                         negation=(), witness=witness, live_predicates=(),
+                         elapsed_seconds=0.0)
+
+
+class TestWitnessGenerable:
+    def test_generable_witness_detected(self):
+        assert witness_is_generable(b"\x01\x10", CLIENTS, LAYOUT)
+
+    def test_out_of_range_value_not_generable(self):
+        assert not witness_is_generable(b"\x01\x60", CLIENTS, LAYOUT)
+
+    def test_wrong_kind_not_generable(self):
+        assert not witness_is_generable(b"\x02\x10", CLIENTS, LAYOUT)
+
+    def test_wrong_size_not_generable(self):
+        assert not witness_is_generable(b"\x01", CLIENTS, LAYOUT)
+
+    def test_destination_filter_respected(self):
+        assert not witness_is_generable(b"\x01\x10", CLIENTS, LAYOUT,
+                                        destination="other")
+
+
+class TestRefineFindings:
+    def test_true_trojans_confirmed(self):
+        predicates, stats = extract_client_predicates(CLIENTS, LAYOUT)
+        prepared = preprocess(predicates, LAYOUT, MSG, stats=stats)
+
+        def leaky_server(ctx, msg):
+            kind = field_expr(msg, LAYOUT.view("kind"))
+            value = field_expr(msg, LAYOUT.view("v"))
+            if not ctx.branch(ast.eq(kind, ast.bv_const(1, 8))):
+                ctx.reject()
+            if not ctx.branch(value < 100):
+                ctx.reject()
+            ctx.accept()
+
+        report, _ = search_server(leaky_server, prepared, MSG)
+        outcome = refine_findings(report, CLIENTS, LAYOUT)
+        assert outcome.witnesses_checked == report.trojan_count == 1
+        assert outcome.all_confirmed
+        assert len(outcome.confirmed) == 1
+
+    def test_planted_false_positive_disproved(self):
+        # Simulate an incomplete phase 1: a finding whose witness a
+        # client can actually produce.
+        report = AchillesReport(findings=[_finding(b"\x01\x05"),
+                                          _finding(b"\x01\x63")])
+        outcome = refine_findings(report, CLIENTS, LAYOUT)
+        assert len(outcome.disproved) == 1
+        assert outcome.disproved[0].witness == b"\x01\x05"
+        assert len(outcome.confirmed) == 1
+        assert not outcome.all_confirmed
+
+    def test_empty_report(self):
+        outcome = refine_findings(AchillesReport(), CLIENTS, LAYOUT)
+        assert outcome.witnesses_checked == 0
+        assert outcome.all_confirmed

@@ -1,0 +1,76 @@
+"""Tests for report rendering and JSON round-trips."""
+
+import json
+
+from repro.achilles.render import (
+    finding_to_dict,
+    findings_to_json,
+    render_finding,
+    render_report,
+    report_to_dict,
+    witnesses_from_json,
+)
+from repro.achilles.report import AchillesReport, PhaseTimings, TrojanFinding
+from repro.messages.layout import Field, MessageLayout
+from repro.solver import ast
+
+LAYOUT = MessageLayout("t", [Field("kind", 1), Field("v", 1)])
+
+
+def _finding(witness=b"\x01\x63", labels=("accept",)):
+    return TrojanFinding(
+        server_path_id=3, decisions=(True, False),
+        path_condition=(ast.bv_var("m", 8) < 5,), negation=(),
+        witness=witness, live_predicates=(0, 2), elapsed_seconds=1.5,
+        labels=labels)
+
+
+def _report():
+    report = AchillesReport(findings=[_finding()],
+                            client_predicate_count=4,
+                            server_paths_explored=10,
+                            server_paths_pruned=2, solver_queries=55)
+    report.timings = PhaseTimings(0.1, 0.5, 1.0)
+    return report
+
+
+class TestTextRendering:
+    def test_finding_block_contains_essentials(self):
+        text = render_finding(_finding(), LAYOUT, index=0)
+        assert "finding #0" in text
+        assert "0163" in text
+        assert "kind=1" in text
+        assert "accept" in text
+
+    def test_report_summary(self):
+        text = render_report(_report(), LAYOUT)
+        assert "1 Trojan finding(s)" in text
+        assert "client predicates: 4" in text
+        assert "pruned: 2" in text
+
+    def test_max_findings_truncates(self):
+        report = AchillesReport(findings=[_finding()] * 15)
+        text = render_report(report, LAYOUT, max_findings=3)
+        assert "and 12 more" in text
+
+
+class TestJson:
+    def test_dict_shape(self):
+        data = report_to_dict(_report(), LAYOUT)
+        assert data["trojan_count"] == 1
+        assert data["findings"][0]["witness_hex"] == "0163"
+        assert data["findings"][0]["witness_fields"] == {"kind": 1, "v": 0x63}
+
+    def test_json_parses(self):
+        document = findings_to_json(_report(), LAYOUT)
+        parsed = json.loads(document)
+        assert parsed["timings"]["server_analysis"] == 1.0
+
+    def test_witness_round_trip(self):
+        document = findings_to_json(_report(), LAYOUT)
+        assert witnesses_from_json(document) == [b"\x01\x63"]
+
+    def test_layout_optional(self):
+        data = finding_to_dict(_finding())
+        assert "witness_fields" not in data
+        assert data["path_condition"]

@@ -1,0 +1,66 @@
+"""Tests for report records: timeline, fractions, witness decoding."""
+
+from repro.achilles.report import AchillesReport, PhaseTimings, TrojanFinding
+from repro.messages.layout import Field, MessageLayout
+
+LAYOUT = MessageLayout("t", [Field("a", 1), Field("b", 2)])
+
+
+def _finding(elapsed, witness=b"\x01\x02\x03"):
+    return TrojanFinding(
+        server_path_id=0, decisions=(), path_condition=(), negation=(),
+        witness=witness, live_predicates=(), elapsed_seconds=elapsed)
+
+
+class TestTimings:
+    def test_total(self):
+        timings = PhaseTimings(1.0, 2.0, 5.0)
+        assert timings.total == 8.0
+
+    def test_fractions_sum_to_one(self):
+        timings = PhaseTimings(3.0, 15.0, 45.0)
+        fractions = timings.fractions()
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9
+        assert fractions["server_analysis"] > fractions["preprocessing"]
+
+    def test_zero_total_does_not_divide_by_zero(self):
+        assert PhaseTimings().fractions()["server_analysis"] == 0.0
+
+
+class TestReport:
+    def test_timeline_is_cumulative(self):
+        report = AchillesReport(findings=[_finding(1.0), _finding(2.0)])
+        assert report.timeline() == [(1.0, 1), (2.0, 2)]
+
+    def test_discovery_fractions_normalized(self):
+        report = AchillesReport(findings=[_finding(5.0), _finding(10.0)])
+        report.timings.server_analysis = 10.0
+        assert report.discovery_fractions() == [(0.5, 0.5), (1.0, 1.0)]
+
+    def test_empty_report(self):
+        report = AchillesReport()
+        assert report.trojan_count == 0
+        assert report.discovery_fractions() == []
+
+    def test_witnesses_in_discovery_order(self):
+        report = AchillesReport(
+            findings=[_finding(1.0, b"a"), _finding(2.0, b"b")])
+        assert report.witnesses() == [b"a", b"b"]
+
+
+class TestFinding:
+    def test_witness_fields_decodes_layout(self):
+        finding = _finding(0.0, witness=b"\x07\x01\x02")
+        assert finding.witness_fields(LAYOUT) == {"a": 7, "b": 0x0102}
+
+    def test_symbolic_expression_renders(self):
+        from repro.solver import ast
+
+        finding = TrojanFinding(
+            server_path_id=0, decisions=(), negation=(),
+            path_condition=(ast.bv_var("x", 8) < 5,),
+            witness=b"", live_predicates=(), elapsed_seconds=0.0)
+        assert "x" in finding.symbolic_expression()
+
+    def test_empty_condition_renders_true(self):
+        assert _finding(0.0).symbolic_expression() == "true"

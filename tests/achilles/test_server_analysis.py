@@ -1,0 +1,116 @@
+"""Unit tests for the incremental Trojan search on small synthetic servers."""
+
+import pytest
+
+from repro.achilles.client_analysis import extract_client_predicates, preprocess
+from repro.achilles.server_analysis import (
+    OptimizationFlags,
+    a_posteriori_search,
+    search_server,
+)
+from repro.messages.layout import Field, MessageLayout
+from repro.messages.symbolic import MessageBuilder, field_expr, message_vars
+from repro.solver import ast
+
+LAYOUT = MessageLayout("t", [Field("kind", 1), Field("v", 1)])
+MSG = message_vars(LAYOUT, "msg")
+
+
+def _client(ctx):
+    """Sends kind=1 with v in [0, 50)."""
+    value = ctx.fresh_byte("value")
+    if not ctx.branch(value < 50):
+        return
+    builder = MessageBuilder(LAYOUT).set("kind", 1)
+    builder.set_bytes("v", [value])
+    ctx.send("server", builder.wire())
+
+
+def _server_with_hole(ctx, msg):
+    """Accepts kind=1 with v < 100: values in [50, 100) are Trojan."""
+    kind = field_expr(msg, LAYOUT.view("kind"))
+    value = field_expr(msg, LAYOUT.view("v"))
+    if not ctx.branch(ast.eq(kind, ast.bv_const(1, 8))):
+        ctx.reject()
+    if not ctx.branch(value < 100):
+        ctx.reject()
+    ctx.accept()
+
+
+def _exact_server(ctx, msg):
+    """Accepts exactly what the client sends: no Trojans."""
+    kind = field_expr(msg, LAYOUT.view("kind"))
+    value = field_expr(msg, LAYOUT.view("v"))
+    if not ctx.branch(ast.eq(kind, ast.bv_const(1, 8))):
+        ctx.reject()
+    if not ctx.branch(value < 50):
+        ctx.reject()
+    ctx.accept()
+
+
+@pytest.fixture(scope="module")
+def clients():
+    predicates, stats = extract_client_predicates({"c": _client}, LAYOUT)
+    return preprocess(predicates, LAYOUT, MSG, stats=stats)
+
+
+class TestSearch:
+    def test_finds_the_hole(self, clients):
+        report, _ = search_server(_server_with_hole, clients, MSG)
+        assert report.trojan_count == 1
+        witness = report.findings[0].witness
+        assert witness[0] == 1
+        assert 50 <= witness[1] < 100
+
+    def test_tight_server_has_no_findings(self, clients):
+        report, _ = search_server(_exact_server, clients, MSG)
+        assert report.trojan_count == 0
+        # The accepting path was pruned before acceptance.
+        assert report.server_paths_pruned >= 1
+
+    def test_pruning_disabled_still_no_false_findings(self, clients):
+        report, _ = search_server(
+            _exact_server, clients, MSG,
+            flags=OptimizationFlags.all_off())
+        assert report.trojan_count == 0
+        assert report.server_paths_pruned == 0
+
+    def test_samples_recorded_per_constraint(self, clients):
+        report, _ = search_server(_server_with_hole, clients, MSG)
+        assert report.predicate_samples
+        lengths = [length for length, _ in report.predicate_samples]
+        assert min(lengths) >= 1
+
+    def test_live_predicates_in_findings(self, clients):
+        report, _ = search_server(_server_with_hole, clients, MSG)
+        assert report.findings[0].live_predicates == (0,)
+
+
+class TestAPosteriori:
+    def test_same_trojans_as_incremental(self, clients):
+        incremental, _ = search_server(_server_with_hole, clients, MSG)
+        posterior = a_posteriori_search(_server_with_hole, clients, MSG)
+        assert posterior.trojan_count == incremental.trojan_count == 1
+        assert posterior.findings[0].witness[0] == 1
+        assert 50 <= posterior.findings[0].witness[1] < 100
+
+    def test_no_pruning_in_a_posteriori(self, clients):
+        posterior = a_posteriori_search(_exact_server, clients, MSG)
+        assert posterior.trojan_count == 0
+        assert posterior.server_paths_pruned == 0
+
+
+class TestOptimizationFlagEquivalence:
+    @pytest.mark.parametrize("flags", [
+        OptimizationFlags(),
+        OptimizationFlags(incremental_drop=False, use_different_from=False),
+        OptimizationFlags(use_different_from=False),
+        OptimizationFlags(prune_unreachable=False),
+        OptimizationFlags.all_off(),
+    ], ids=["all-on", "no-drop", "no-diff", "no-prune", "all-off"])
+    def test_flags_do_not_change_findings(self, clients, flags):
+        report, _ = search_server(_server_with_hole, clients, MSG,
+                                  flags=flags)
+        assert report.trojan_count == 1
+        witness = report.findings[0].witness
+        assert witness[0] == 1 and 50 <= witness[1] < 100

@@ -1,0 +1,53 @@
+"""Tests for the classic symbolic execution baseline (on the toy system)."""
+
+import pytest
+
+from repro.baselines.classic import classic_symbolic_execution
+from repro.messages.concrete import decode_ints
+from repro.systems.toy import PEERS, READ, TOY_LAYOUT, WRITE, toy_server
+from repro.systems.toy.protocol import CHECKSUM_SPAN, toy_checksum
+
+
+@pytest.fixture(scope="module")
+def result():
+    # The probe alphabet must contain checksum-consistent combinations:
+    # 200 in a payload byte makes the crc byte 202 (the toy checksum is
+    # additive over a base of 2).
+    return classic_symbolic_execution(toy_server, TOY_LAYOUT,
+                                      alphabet=(0, 200, 202),
+                                      per_path_limit=64)
+
+
+class TestClassicBaseline:
+    def test_finds_both_accepting_paths(self, result):
+        assert result.accepting_paths == 2
+
+    def test_enumerates_messages_on_each_path(self, result):
+        kinds = {decode_ints(TOY_LAYOUT, m)["request"] for m in result.messages}
+        assert kinds == {READ, WRITE}
+
+    def test_every_message_passes_server_checks(self, result):
+        for message in result.messages:
+            fields = decode_ints(TOY_LAYOUT, message)
+            assert fields["sender"] in PEERS
+            assert fields["crc"] == toy_checksum(list(message[:CHECKSUM_SPAN]))
+
+    def test_cannot_distinguish_trojans(self, result):
+        """The baseline's defining weakness: valid and Trojan messages
+        come out of the same bag."""
+        def signed(v):
+            return v - (1 << 32) if v >= (1 << 31) else v
+
+        trojan = [m for m in result.messages
+                  if decode_ints(TOY_LAYOUT, m)["request"] == READ
+                  and (signed(decode_ints(TOY_LAYOUT, m)["address"]) < 0
+                       or decode_ints(TOY_LAYOUT, m)["value"] != 0)]
+        valid = [m for m in result.messages if m not in trojan]
+        assert trojan, "Trojan messages are in the output"
+        assert valid, "so are valid messages - with no label telling them apart"
+
+    def test_per_path_cap_respected(self):
+        capped = classic_symbolic_execution(toy_server, TOY_LAYOUT,
+                                            alphabet=(0, 1, 200),
+                                            per_path_limit=3)
+        assert len(capped.messages) <= 3 * capped.accepting_paths

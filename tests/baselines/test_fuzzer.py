@@ -1,0 +1,75 @@
+"""Tests for the black-box fuzzing baseline."""
+
+import pytest
+
+from repro.baselines.fuzzer import FuzzCampaign, expected_trojans_per_hour
+
+
+def _accepts(message: bytes) -> bool:
+    return message[0] == 0x41
+
+
+def _is_trojan(message: bytes) -> bool:
+    return message[0] == 0x41 and message[1] == 0x00
+
+
+class TestCampaign:
+    def test_reproducible_with_seed(self):
+        first = FuzzCampaign(b"\x00" * 4, _accepts, _is_trojan, seed=7)
+        second = FuzzCampaign(b"\x00" * 4, _accepts, _is_trojan, seed=7)
+        assert [first.generate() for _ in range(5)] == \
+            [second.generate() for _ in range(5)]
+
+    def test_template_bytes_preserved(self):
+        campaign = FuzzCampaign(b"\xAA\xBB\xCC", _accepts, _is_trojan,
+                                positions=[1])
+        for _ in range(10):
+            message = campaign.generate()
+            assert message[0] == 0xAA
+            assert message[2] == 0xCC
+
+    def test_out_of_range_position_rejected(self):
+        with pytest.raises(ValueError):
+            FuzzCampaign(b"\x00", _accepts, _is_trojan, positions=[5])
+
+    def test_randomized_bits(self):
+        campaign = FuzzCampaign(b"\x00" * 8, _accepts, _is_trojan,
+                                positions=[0, 1, 2])
+        assert campaign.randomized_bits == 24
+
+    def test_run_tests_counts_accepts_and_trojans(self):
+        campaign = FuzzCampaign(b"\x41\x00", _accepts, _is_trojan,
+                                positions=[1], seed=1)
+        result = campaign.run_tests(512)
+        assert result.tests == 512
+        assert result.accepted == 512          # byte 0 fixed at 0x41
+        assert 0 < result.trojans_found < 20   # byte 1 hits 0 rarely
+        assert result.false_positives == result.accepted - result.trojans_found
+
+    def test_run_for_respects_time_budget(self):
+        campaign = FuzzCampaign(b"\x00" * 4, _accepts, _is_trojan)
+        result = campaign.run_for(0.05)
+        assert result.tests > 0
+        assert result.elapsed_seconds >= 0.05
+
+    def test_throughput_computed(self):
+        campaign = FuzzCampaign(b"\x00" * 4, _accepts, _is_trojan)
+        result = campaign.run_tests(1000)
+        assert result.tests_per_minute > 0
+
+
+class TestExpectedYield:
+    def test_paper_arithmetic(self):
+        # §6.2: 75,000 tests/min, 66M Trojans in a 2^64 space -> ~1e-5/h.
+        expected = expected_trojans_per_hour(75_000, 66_000_000, 64)
+        assert expected == pytest.approx(1.6e-5, rel=0.15)
+
+    def test_scales_linearly_with_throughput(self):
+        slow = expected_trojans_per_hour(1_000, 66_000_000, 64)
+        fast = expected_trojans_per_hour(2_000, 66_000_000, 64)
+        assert fast == pytest.approx(2 * slow)
+
+    def test_dense_space_yields_everything(self):
+        # A space with 50% Trojans: each test has 0.5 expected yield.
+        expected = expected_trojans_per_hour(60, 1 << 7, 8)
+        assert expected == pytest.approx(60 * 60 * 0.5)

@@ -1,0 +1,59 @@
+"""Checksums must agree between concrete and symbolic evaluation."""
+
+from hypothesis import given, strategies as st
+
+from repro.crypto.checksum import byte_sum_checksum, xor_checksum
+from repro.solver import ast, check
+from repro.solver.evalmodel import evaluate
+
+BYTES = st.lists(st.integers(0, 255), min_size=0, max_size=8)
+
+
+class TestConcrete:
+    def test_sum_wraps_mod_256(self):
+        assert byte_sum_checksum([200, 100]) == 44
+
+    def test_sum_empty_is_initial(self):
+        assert byte_sum_checksum([], initial=9) == 9
+
+    def test_xor_self_inverse(self):
+        assert xor_checksum([0xAB, 0xAB]) == 0
+
+    @given(data=BYTES, initial=st.integers(0, 255))
+    def test_sum_matches_reference(self, data, initial):
+        assert byte_sum_checksum(data, initial) == (initial + sum(data)) & 0xFF
+
+    @given(data=BYTES)
+    def test_xor_matches_reference(self, data):
+        expected = 0
+        for b in data:
+            expected ^= b
+        assert xor_checksum(data) == expected
+
+
+class TestSymbolicAgreement:
+    @given(data=BYTES, symbolic_at=st.integers(0, 7))
+    def test_sum_symbolic_equals_concrete(self, data, symbolic_at):
+        if not data:
+            return
+        symbolic_at %= len(data)
+        mixed = list(data)
+        var = ast.bv_var("s", 8)
+        mixed[symbolic_at] = var
+        expr = byte_sum_checksum(mixed)
+        value = evaluate(expr, {var: data[symbolic_at]})
+        assert value == byte_sum_checksum(data)
+
+    def test_constant_exprs_fold_to_int(self):
+        # All-constant expressions count as concrete input.
+        exprs = [ast.bv_const(1, 8), ast.bv_const(2, 8)]
+        assert byte_sum_checksum(exprs) == 3
+
+    def test_checksum_constraint_is_solvable(self):
+        data = [ast.bv_var("a", 8), ast.bv_var("b", 8), 5]
+        expr = byte_sum_checksum(data)
+        result = check([ast.eq(expr, ast.bv_const(0, 8))])
+        assert result.is_sat
+        a = result.value(data[0])
+        b = result.value(data[1])
+        assert (a + b + 5) & 0xFF == 0

@@ -1,0 +1,64 @@
+"""Tests for the toy MAC and per-replica authenticators."""
+
+from hypothesis import given, strategies as st
+
+from repro.crypto.mac import Authenticator, mac_tag, verify_mac
+
+DATA = st.lists(st.integers(0, 255), min_size=1, max_size=8)
+
+
+class TestMacTag:
+    def test_deterministic(self):
+        assert mac_tag(0xBEEF, [1, 2, 3]) == mac_tag(0xBEEF, [1, 2, 3])
+
+    @given(data=DATA, key=st.integers(0, 0xFFFF))
+    def test_verify_accepts_own_tag(self, data, key):
+        assert verify_mac(key, data, mac_tag(key, data))
+
+    @given(data=DATA, key=st.integers(0, 0xFFFF))
+    def test_tamper_detected(self, data, key):
+        tag = mac_tag(key, data)
+        tampered = list(data)
+        tampered[0] ^= 0x01
+        assert not verify_mac(key, tampered, tag)
+
+    @given(data=DATA, key=st.integers(0, 0xFFFE))
+    def test_wrong_key_detected(self, data, key):
+        tag = mac_tag(key, data)
+        assert not verify_mac(key + 1, data, tag)
+
+    def test_byte_order_matters(self):
+        assert mac_tag(1, [1, 2]) != mac_tag(1, [2, 1])
+
+
+class TestAuthenticator:
+    KEYS = [0x1111, 0x2222, 0x3333, 0x4444]
+
+    def test_sign_produces_one_tag_per_key(self):
+        auth = Authenticator.sign(self.KEYS, [9, 9])
+        assert len(auth.tags) == 4
+
+    def test_each_replica_verifies_its_tag(self):
+        auth = Authenticator.sign(self.KEYS, [1, 2, 3])
+        for rid, key in enumerate(self.KEYS):
+            assert auth.verify(rid, key, [1, 2, 3])
+
+    def test_cross_replica_tag_rejected(self):
+        auth = Authenticator.sign(self.KEYS, [1, 2, 3])
+        assert not auth.verify(0, self.KEYS[1], [1, 2, 3])
+
+    def test_out_of_range_replica_rejected(self):
+        auth = Authenticator.sign(self.KEYS, [1])
+        assert not auth.verify(7, self.KEYS[0], [1])
+
+    def test_wire_round_trip(self):
+        auth = Authenticator.sign(self.KEYS, [5, 6, 7])
+        assert Authenticator.from_wire(auth.wire_bytes()) == auth
+
+    def test_corrupt_breaks_only_target_replica(self):
+        auth = Authenticator.sign(self.KEYS, [5])
+        bad = auth.corrupt(2)
+        assert not bad.verify(2, self.KEYS[2], [5])
+        assert bad.verify(0, self.KEYS[0], [5])
+        assert bad.verify(1, self.KEYS[1], [5])
+        assert bad.verify(3, self.KEYS[3], [5])

@@ -1,0 +1,75 @@
+"""Tests for the FSP globbing dialect: *, ?, and — crucially — no escaping."""
+
+from hypothesis import given, strategies as st
+
+from repro.fsys.glob import expand, glob_match, has_wildcard
+
+NAMES = st.text(st.characters(min_codepoint=33, max_codepoint=126), max_size=8)
+
+
+class TestMatch:
+    def test_literal(self):
+        assert glob_match("file", "file")
+        assert not glob_match("file", "files")
+
+    def test_star_matches_empty(self):
+        assert glob_match("file*", "file")
+
+    def test_star_matches_suffix(self):
+        assert glob_match("file*", "file123")
+
+    def test_star_in_middle(self):
+        assert glob_match("f*e", "fe")
+        assert glob_match("f*e", "fire")
+        assert not glob_match("f*e", "fir")
+
+    def test_multiple_stars(self):
+        assert glob_match("*a*b*", "xxaxybz")
+
+    def test_consecutive_stars_collapse(self):
+        assert glob_match("a**b", "ab")
+        assert glob_match("a***b", "aXYZb")
+
+    def test_question_matches_exactly_one(self):
+        assert glob_match("fil?", "file")
+        assert not glob_match("fil?", "fil")
+        assert not glob_match("fil?", "filee")
+
+    def test_no_escape_character(self):
+        # This is the FSP bug's root cause: backslash is a literal char,
+        # so 'file\*' matches 'file\' + anything, never literal 'file*'.
+        assert not glob_match(r"file\*", "file*")
+        assert glob_match(r"file\*", "file\\")
+        assert glob_match(r"file\*", "file\\123")
+
+    def test_star_pattern_matches_star_name(self):
+        assert glob_match("file*", "file*")
+
+    @given(name=NAMES)
+    def test_lone_star_matches_everything(self, name):
+        assert glob_match("*", name)
+
+    @given(name=NAMES)
+    def test_name_matches_itself_when_wildcard_free(self, name):
+        if not has_wildcard(name):
+            assert glob_match(name, name)
+
+
+class TestExpand:
+    FILES = ["file1", "file2", "file3", "other"]
+
+    def test_expands_matches_sorted(self):
+        assert expand("file*", self.FILES) == ["file1", "file2", "file3"]
+
+    def test_no_match_expands_to_pattern_itself(self):
+        # Shell convention; the client then sends the literal pattern.
+        assert expand("zzz*", self.FILES) == ["zzz*"]
+
+    def test_literal_name_expands_to_itself_when_present(self):
+        assert expand("other", self.FILES) == ["other"]
+
+    def test_star_name_in_directory_is_matched_by_star_patterns(self):
+        # Once 'file*' exists, 'rm file*' hits it AND its siblings: the
+        # impact scenario from §6.3.
+        files = ["file*", "file1", "fileWithAllMyBankAccounts"]
+        assert expand("file*", files) == files

@@ -1,0 +1,96 @@
+"""Tests for the in-memory filesystem."""
+
+import pytest
+
+from repro.errors import FileSystemError
+from repro.fsys.memfs import MemFS
+
+
+@pytest.fixture
+def fs() -> MemFS:
+    memfs = MemFS()
+    memfs.mkdir("/home")
+    memfs.write_file("/home/a.txt", b"alpha")
+    memfs.write_file("/home/b.txt", b"beta")
+    return memfs
+
+
+class TestFiles:
+    def test_write_and_read(self, fs):
+        assert fs.read_file("/home/a.txt") == b"alpha"
+
+    def test_overwrite(self, fs):
+        fs.write_file("/home/a.txt", b"new")
+        assert fs.read_file("/home/a.txt") == b"new"
+
+    def test_write_into_missing_dir_rejected(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.write_file("/nope/x", b"")
+
+    def test_read_missing_rejected(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.read_file("/home/zzz")
+
+    def test_read_directory_rejected(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.read_file("/home")
+
+    def test_star_is_a_legal_filename_character(self, fs):
+        fs.write_file("/home/file*", b"trojan")
+        assert fs.is_file("/home/file*")
+        assert fs.read_file("/home/file*") == b"trojan"
+
+
+class TestDeleteRename:
+    def test_delete_file(self, fs):
+        fs.delete("/home/a.txt")
+        assert not fs.exists("/home/a.txt")
+
+    def test_delete_missing_rejected(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.delete("/home/zzz")
+
+    def test_delete_nonempty_dir_rejected(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.delete("/home")
+
+    def test_rename_moves_content(self, fs):
+        fs.rename("/home/a.txt", "/home/c.txt")
+        assert not fs.exists("/home/a.txt")
+        assert fs.read_file("/home/c.txt") == b"alpha"
+
+    def test_rename_overwrites_target_file(self, fs):
+        fs.rename("/home/a.txt", "/home/b.txt")
+        assert fs.read_file("/home/b.txt") == b"alpha"
+
+    def test_rename_missing_rejected(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.rename("/home/zzz", "/home/x")
+
+
+class TestDirsAndGlob:
+    def test_listdir_sorted(self, fs):
+        assert fs.listdir("/home") == ["a.txt", "b.txt"]
+
+    def test_listdir_root(self, fs):
+        assert fs.listdir("/") == ["home"]
+
+    def test_mkdir_existing_rejected(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.mkdir("/home")
+
+    def test_glob_in_directory(self, fs):
+        fs.write_file("/home/a.log", b"")
+        assert fs.glob("/home", "a.*") == ["a.log", "a.txt"]
+
+    def test_tree_snapshot(self, fs):
+        assert fs.tree() == {
+            "/home": None,
+            "/home/a.txt": b"alpha",
+            "/home/b.txt": b"beta",
+        }
+
+    def test_populate_round_trip(self, fs):
+        clone = MemFS()
+        clone.populate(fs.tree())
+        assert clone.tree() == fs.tree()

@@ -1,0 +1,57 @@
+"""Stateful property test: MemFS against a flat dict model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FileSystemError
+from repro.fsys.memfs import MemFS
+
+NAMES = st.sampled_from(["a", "b", "c", "d"])
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), NAMES, st.binary(max_size=4)),
+        st.tuples(st.just("delete"), NAMES, st.none()),
+        st.tuples(st.just("rename"), NAMES, NAMES),
+    ),
+    max_size=30)
+
+
+@settings(max_examples=100, deadline=None)
+@given(operations=OPS)
+def test_memfs_matches_dict_model(operations):
+    """Apply the same operation stream to MemFS and a dict; both must
+    agree on contents and on which operations fail."""
+    fs = MemFS()
+    fs.mkdir("/d")
+    model: dict[str, bytes] = {}
+
+    for op, name, extra in operations:
+        if op == "write":
+            fs.write_file(f"/d/{name}", extra)
+            model[name] = extra
+        elif op == "delete":
+            fs_failed = model_failed = False
+            try:
+                fs.delete(f"/d/{name}")
+            except FileSystemError:
+                fs_failed = True
+            if name in model:
+                del model[name]
+            else:
+                model_failed = True
+            assert fs_failed == model_failed
+        elif op == "rename":
+            fs_failed = model_failed = False
+            try:
+                fs.rename(f"/d/{name}", f"/d/{extra}")
+            except FileSystemError:
+                fs_failed = True
+            if name in model:
+                content = model.pop(name)
+                model[extra] = content
+            else:
+                model_failed = True
+            assert fs_failed == model_failed
+
+        assert fs.listdir("/d") == sorted(model)
+        for entry, content in model.items():
+            assert fs.read_file(f"/d/{entry}") == content

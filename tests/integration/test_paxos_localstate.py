@@ -1,0 +1,94 @@
+"""The three local-state modes on the Paxos acceptor (§3.4)."""
+
+import pytest
+
+from repro.achilles import Achilles, AchillesConfig
+from repro.achilles.localstate import capture_sent_message
+from repro.errors import AchillesError
+from repro.systems.paxos import (
+    ACCEPT,
+    PAXOS_LAYOUT,
+    PREPARE,
+    acceptor_program,
+    overapprox_acceptor,
+    phase2_proposer,
+    symbolic_value_proposer,
+)
+
+
+def _achilles() -> Achilles:
+    return Achilles(AchillesConfig(layout=PAXOS_LAYOUT,
+                                   destination="acceptor"))
+
+
+class TestConcreteLocalState:
+    """The paper's scenario: acceptor promised ballot 3, proposer holds
+    the promise and proposes value 7 — any other message is Trojan."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        achilles = _achilles()
+        predicates = achilles.extract_clients(
+            {"proposer": phase2_proposer(ballot=3, value=7)})
+        report = achilles.search(acceptor_program(promised=3), predicates)
+        return report
+
+    def test_both_accepting_paths_have_trojans(self, run):
+        labels = {label for f in run.findings for label in f.labels}
+        assert labels == {"promise", "accepted"}
+
+    def test_accept_trojan_deviates_from_the_proposal(self, run):
+        accepted = next(f for f in run.findings if "accepted" in f.labels)
+        fields = accepted.witness_fields(PAXOS_LAYOUT)
+        assert fields["kind"] == ACCEPT
+        assert fields["ballot"] >= 3
+        # The witness must differ from the one correct message
+        # ACCEPT(3, 7) in ballot or value.
+        assert (fields["ballot"], fields["value"]) != (3, 7)
+
+    def test_prepare_trojan_outbids_the_promise(self, run):
+        promise = next(f for f in run.findings if "promise" in f.labels)
+        fields = promise.witness_fields(PAXOS_LAYOUT)
+        assert fields["kind"] == PREPARE
+        assert fields["ballot"] > 3
+
+
+class TestConstructedSymbolicLocalState:
+    """With a symbolic proposed value, value-based 'Trojans' vanish:
+    some correct proposer could send any value (§3.4)."""
+
+    def test_value_trojans_eliminated(self):
+        achilles = _achilles()
+        predicates = achilles.extract_clients(
+            {"proposer": symbolic_value_proposer(ballot=3)})
+        report = achilles.search(acceptor_program(promised=3), predicates)
+        accepted = [f for f in report.findings if "accepted" in f.labels]
+        for finding in accepted:
+            fields = finding.witness_fields(PAXOS_LAYOUT)
+            # The only remaining ACCEPT Trojan dimension is the ballot.
+            assert fields["ballot"] != 3
+
+    def test_capture_sent_message_returns_payload_and_constraints(self):
+        payload, constraints = capture_sent_message(
+            symbolic_value_proposer(ballot=3), destination="acceptor")
+        assert len(payload) == PAXOS_LAYOUT.total_size
+        assert isinstance(constraints, tuple)
+
+    def test_capture_rejects_out_of_range_path(self):
+        with pytest.raises(AchillesError):
+            capture_sent_message(symbolic_value_proposer(3),
+                                 destination="acceptor", path_index=99)
+
+
+class TestOverApproximateLocalState:
+    """One run with symbolic promised ballot covers all promise states."""
+
+    def test_finds_trojans_across_all_states(self):
+        achilles = _achilles()
+        predicates = achilles.extract_clients(
+            {"proposer": phase2_proposer(ballot=3, value=7)})
+        report = achilles.search(overapprox_acceptor(max_promise=10),
+                                 predicates)
+        assert report.trojan_count >= 2
+        labels = {label for f in report.findings for label in f.labels}
+        assert "accepted" in labels

@@ -1,0 +1,67 @@
+"""End-to-end Achilles on PBFT — rediscovering the MAC attack (§6.2-§6.3)."""
+
+import pytest
+
+from repro.achilles import Achilles, AchillesConfig
+from repro.messages.concrete import decode
+from repro.systems.pbft import (
+    KNOWN_CLIENTS,
+    MAC_STUB,
+    OD_STUB,
+    REQUEST_LAYOUT,
+    REQUEST_TAG,
+    pbft_client,
+    pbft_replica,
+)
+
+
+@pytest.fixture(scope="module")
+def run():
+    achilles = Achilles(AchillesConfig(layout=REQUEST_LAYOUT,
+                                       destination="replica0"))
+    predicates = achilles.extract_clients({"pbft-client": pbft_client})
+    report = achilles.search(pbft_replica, predicates)
+    return predicates, report
+
+
+class TestClientPredicate:
+    def test_single_client_path(self, run):
+        predicates, _ = run
+        assert len(predicates) == 1
+
+    def test_symbolic_fields_abandoned_in_negation(self, run):
+        # extra/replier/cid/rid/command are unconstrained symbolic: the
+        # negate operator cannot complement them (§3.2).
+        predicates, _ = run
+        fields = {d.field for d in predicates.negations[0].disjuncts}
+        assert fields == {"tag", "size", "od", "command_size", "mac"}
+
+
+class TestMacAttackRediscovery:
+    def test_trojan_on_every_accepting_path(self, run):
+        """§6.2: 'The Trojan message discovered by Achilles appears on
+        all execution paths in the server.'"""
+        _, report = run
+        assert report.trojan_count == 2  # read-only and pre-prepare paths
+        labels = {label for f in report.findings for label in f.labels}
+        assert labels == {"read-only-reply", "pre-prepare"}
+
+    def test_witness_has_corrupt_mac(self, run):
+        _, report = run
+        for finding in report.findings:
+            mac = decode(REQUEST_LAYOUT, finding.witness)["mac"]
+            assert mac != MAC_STUB
+
+    def test_witness_passes_every_other_check(self, run):
+        _, report = run
+        for finding in report.findings:
+            fields = decode(REQUEST_LAYOUT, finding.witness)
+            assert int.from_bytes(fields["tag"], "big") == REQUEST_TAG
+            assert fields["od"] == OD_STUB
+            assert int.from_bytes(fields["cid"], "big") in KNOWN_CLIENTS
+
+    def test_analysis_is_fast(self, run):
+        """The paper: 'Achilles completed the PBFT analysis in just a
+        few seconds' — few checks on client requests."""
+        _, report = run
+        assert report.timings.server_analysis < 30.0

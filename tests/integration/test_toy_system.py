@@ -1,0 +1,193 @@
+"""End-to-end Achilles on the §2.1 working example.
+
+This is the paper's running example: the READ path misses the
+``address < 0`` check, so READ messages with negative addresses (or junk
+in the unused value field) are Trojans; the WRITE path validates both
+bounds and must be pruned without a finding.
+"""
+
+import pytest
+
+from repro.achilles import Achilles, AchillesConfig, FieldMask, OptimizationFlags
+from repro.net.inject import Injector
+from repro.net.network import Network
+from repro.solver import check
+from repro.solver import ast
+from repro.systems.toy import (
+    DATASIZE,
+    PEERS,
+    READ,
+    TOY_LAYOUT,
+    ToyServerNode,
+    WRITE,
+    toy_checksum,
+    toy_client,
+)
+from repro.systems.toy.protocol import CHECKSUM_SPAN
+from repro.systems.toy.server import toy_server
+
+
+@pytest.fixture(scope="module")
+def run():
+    achilles = Achilles(AchillesConfig(layout=TOY_LAYOUT))
+    predicates = achilles.extract_clients({"toy": toy_client})
+    report = achilles.search(toy_server, predicates)
+    return predicates, report
+
+
+def _signed32(value: int) -> int:
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+class TestClientPredicate:
+    def test_two_client_paths(self, run):
+        predicates, _ = run
+        # Figure 5: one READ path, one WRITE path.
+        assert len(predicates) == 2
+
+    def test_request_fields_are_concrete(self, run):
+        predicates, _ = run
+        kinds = sorted(p.field_value("request").value
+                       for p in predicates.predicates)
+        assert kinds == [READ, WRITE]
+
+    def test_crc_negation_discarded_as_non_injective(self, run):
+        # The additive checksum collides, so its negation overlaps the
+        # original predicate and must be discarded (§4.1).
+        predicates, _ = run
+        for negation in predicates.negations:
+            assert "crc" not in {d.field for d in negation.disjuncts}
+
+    def test_sender_negation_abandoned_as_unconstrained(self, run):
+        predicates, _ = run
+        for negation in predicates.negations:
+            assert "sender" not in {d.field for d in negation.disjuncts}
+
+
+class TestTrojanDiscovery:
+    def test_exactly_one_trojan_path(self, run):
+        _, report = run
+        assert report.trojan_count == 1
+
+    def test_finding_is_on_the_read_path(self, run):
+        _, report = run
+        fields = report.findings[0].witness_fields(TOY_LAYOUT)
+        assert fields["request"] == READ
+
+    def test_write_path_produced_no_finding_and_was_pruned(self, run):
+        _, report = run
+        assert report.server_paths_pruned >= 1
+
+    def test_witness_passes_all_server_checks(self, run):
+        _, report = run
+        witness = report.findings[0].witness
+        fields = report.findings[0].witness_fields(TOY_LAYOUT)
+        assert fields["sender"] in PEERS
+        assert fields["crc"] == toy_checksum(list(witness[:CHECKSUM_SPAN]))
+        assert _signed32(fields["address"]) < DATASIZE
+
+    def test_witness_is_not_client_generable(self, run):
+        # The Trojan witness must violate what correct clients guarantee:
+        # either a negative address or junk in the READ value field.
+        _, report = run
+        fields = report.findings[0].witness_fields(TOY_LAYOUT)
+        address = _signed32(fields["address"])
+        assert address < 0 or address >= DATASIZE or fields["value"] != 0
+
+    def test_witness_unsat_against_every_client_path(self, run):
+        predicates, report = run
+        witness = report.findings[0].witness
+        achilles_msg = [ast.bv_var(f"msg[{i}]", 8) for i in range(len(witness))]
+        pinned = [ast.eq(var, ast.bv_const(b, 8))
+                  for var, b in zip(achilles_msg, witness)]
+        for pred in predicates.predicates:
+            query = list(pred.combined(tuple(achilles_msg))) + pinned
+            assert not check(query).is_sat
+
+
+class TestOptimizationEquivalence:
+    def test_all_optimizations_off_finds_the_same_trojans(self):
+        config = AchillesConfig(layout=TOY_LAYOUT,
+                                optimizations=OptimizationFlags.all_off())
+        achilles = Achilles(config)
+        predicates = achilles.extract_clients({"toy": toy_client})
+        report = achilles.search(toy_server, predicates)
+        assert report.trojan_count == 1
+        fields = report.findings[0].witness_fields(TOY_LAYOUT)
+        assert fields["request"] == READ
+        # Without pruning the WRITE path runs to acceptance but yields no
+        # finding (its Trojan query is unsat).
+        assert report.server_paths_pruned == 0
+
+    def test_mask_restricts_findings_to_visible_fields(self):
+        config = AchillesConfig(layout=TOY_LAYOUT,
+                                mask=FieldMask.only(TOY_LAYOUT, "address"))
+        achilles = Achilles(config)
+        predicates = achilles.extract_clients({"toy": toy_client})
+        report = achilles.search(toy_server, predicates)
+        assert report.trojan_count == 1
+        fields = report.findings[0].witness_fields(TOY_LAYOUT)
+        # With only the address visible, the witness must be an
+        # out-of-range address (value-field Trojans are hidden).
+        assert _signed32(fields["address"]) < 0
+
+
+class TestImpact:
+    """Inject the discovered Trojan into a concrete deployment (§4.1)."""
+
+    def test_trojan_leaks_peer_list(self, run):
+        _, report = run
+        network = Network()
+        server = network.attach(ToyServerNode("server"))
+        sink = _Sink("client")
+        network.attach(sink)
+
+        # Craft the specific leak: READ at address -1 reads the byte just
+        # below the data array, i.e. the last configured peer.
+        from repro.messages.concrete import encode
+        body = {"sender": PEERS[0], "request": READ,
+                "address": (1 << 32) - 1, "value": 0}
+        partial = encode(TOY_LAYOUT, {**body, "crc": 0})
+        message = encode(TOY_LAYOUT, {
+            **body, "crc": toy_checksum(list(partial[:CHECKSUM_SPAN]))})
+
+        injector = Injector(network, "server", spoof_source="client")
+        outcome = injector.inject(message)
+        assert outcome.delivered >= 1
+        assert sink.received, "server accepted the Trojan and replied"
+        leaked = sink.received[0][1][1]
+        assert leaked == PEERS[-1]
+
+    def test_correct_write_then_read_round_trip(self):
+        # Sanity: the concrete server behaves for valid traffic.
+        from repro.messages.concrete import encode
+        network = Network()
+        server = network.attach(ToyServerNode("server"))
+        sink = _Sink("client")
+        network.attach(sink)
+
+        def send(request, address, value=0):
+            body = {"sender": 1, "request": request, "address": address,
+                    "value": value}
+            partial = encode(TOY_LAYOUT, {**body, "crc": 0})
+            crc = toy_checksum(list(partial[:CHECKSUM_SPAN]))
+            network.send("client", "server", encode(TOY_LAYOUT,
+                                                    {**body, "crc": crc}))
+            network.run()
+
+        send(WRITE, 5, value=42)
+        send(READ, 5)
+        assert sink.received[-1][1][1] == 42
+        assert server.data[5] == 42
+
+
+class _Sink:
+    def __init__(self, name):
+        self.name = name
+        self.received = []
+
+    def handle(self, source, payload, network):
+        self.received.append((source, payload))
+
+    def on_attach(self, network):
+        pass

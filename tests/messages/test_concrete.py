@@ -1,0 +1,62 @@
+"""Tests for concrete encode/decode, including a hypothesis round-trip."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MessageError
+from repro.messages.concrete import decode, decode_ints, encode, pack_int, unpack_int
+from repro.messages.layout import Field, MessageLayout
+
+LAYOUT = MessageLayout("t", [Field("a", 1), Field("b", 2), Field("c", 3)])
+
+
+class TestPackInt:
+    def test_big_endian(self):
+        assert pack_int(0x0102, 2) == b"\x01\x02"
+
+    def test_round_trip(self):
+        assert unpack_int(pack_int(123456, 4)) == 123456
+
+    def test_overflow_rejected(self):
+        with pytest.raises(MessageError):
+            pack_int(256, 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(MessageError):
+            pack_int(-1, 2)
+
+
+class TestEncodeDecode:
+    def test_int_fields(self):
+        wire = encode(LAYOUT, {"a": 1, "b": 0x0203, "c": 0x040506})
+        assert wire == b"\x01\x02\x03\x04\x05\x06"
+
+    def test_bytes_fields(self):
+        wire = encode(LAYOUT, {"a": 1, "b": b"xy", "c": [7, 8, 9]})
+        assert wire == b"\x01xy\x07\x08\x09"
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(MessageError, match="missing"):
+            encode(LAYOUT, {"a": 1})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(MessageError, match="unknown"):
+            encode(LAYOUT, {"a": 1, "b": 2, "c": 3, "d": 4})
+
+    def test_wrong_size_bytes_rejected(self):
+        with pytest.raises(MessageError):
+            encode(LAYOUT, {"a": 1, "b": b"toolong", "c": 0})
+
+    def test_decode_splits_fields(self):
+        parts = decode(LAYOUT, b"\x01\x02\x03\x04\x05\x06")
+        assert parts == {"a": b"\x01", "b": b"\x02\x03", "c": b"\x04\x05\x06"}
+
+    def test_decode_wrong_length_rejected(self):
+        with pytest.raises(MessageError):
+            decode(LAYOUT, b"\x01")
+
+    @given(a=st.integers(0, 255), b=st.integers(0, 65535),
+           c=st.integers(0, 2**24 - 1))
+    def test_round_trip_property(self, a, b, c):
+        fields = {"a": a, "b": b, "c": c}
+        assert decode_ints(LAYOUT, encode(LAYOUT, fields)) == fields

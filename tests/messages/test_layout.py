@@ -1,0 +1,85 @@
+"""Unit tests for message layouts and field views."""
+
+import pytest
+
+from repro.errors import MessageError
+from repro.messages.layout import VARIABLE, Field, FieldView, MessageLayout
+
+
+def _layout() -> MessageLayout:
+    return MessageLayout("cmd", [
+        Field("cmd", 1), Field("sum", 1), Field("bb_len", 2), Field("buf", 4),
+    ])
+
+
+class TestLayoutShape:
+    def test_total_size(self):
+        assert _layout().total_size == 8
+
+    def test_field_names_in_order(self):
+        assert _layout().field_names == ("cmd", "sum", "bb_len", "buf")
+
+    def test_view_offsets(self):
+        layout = _layout()
+        assert layout.view("cmd") == FieldView("cmd", 0, 1)
+        assert layout.view("bb_len") == FieldView("bb_len", 2, 2)
+        assert layout.view("buf") == FieldView("buf", 4, 4)
+
+    def test_view_bit_width(self):
+        assert _layout().view("bb_len").bit_width == 16
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(MessageError):
+            _layout().view("nope")
+
+    def test_empty_layout_rejected(self):
+        with pytest.raises(MessageError):
+            MessageLayout("empty", [])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(MessageError):
+            MessageLayout("dup", [Field("a", 1), Field("a", 2)])
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(MessageError):
+            Field("bad", 0)
+
+
+class TestVariableTail:
+    def test_tail_must_be_last(self):
+        with pytest.raises(MessageError):
+            MessageLayout("bad", [Field("buf", VARIABLE), Field("cmd", 1)])
+
+    def test_total_size_requires_bind(self):
+        layout = MessageLayout("var", [Field("cmd", 1), Field("buf", VARIABLE)])
+        with pytest.raises(MessageError):
+            _ = layout.total_size
+
+    def test_bind_fixes_tail(self):
+        layout = MessageLayout("var", [Field("cmd", 1), Field("buf", VARIABLE)])
+        fixed = layout.bind(5)
+        assert fixed.total_size == 6
+        assert fixed.view("buf") == FieldView("buf", 1, 5)
+
+    def test_bind_without_tail_rejected(self):
+        with pytest.raises(MessageError):
+            _layout().bind(3)
+
+    def test_bind_nonpositive_rejected(self):
+        layout = MessageLayout("var", [Field("buf", VARIABLE)])
+        with pytest.raises(MessageError):
+            layout.bind(0)
+
+
+class TestByteToField:
+    def test_every_byte_maps_to_its_field(self):
+        layout = _layout()
+        owners = [layout.field_of_byte(i).name for i in range(8)]
+        assert owners == ["cmd", "sum", "bb_len", "bb_len",
+                          "buf", "buf", "buf", "buf"]
+
+    def test_out_of_range_byte_rejected(self):
+        with pytest.raises(MessageError):
+            _layout().field_of_byte(8)
+        with pytest.raises(MessageError):
+            _layout().field_of_byte(-1)

@@ -1,0 +1,103 @@
+"""Tests for symbolic message views: field_expr, MessageBuilder, equalities."""
+
+import pytest
+
+from repro.errors import MessageError
+from repro.messages.concrete import encode
+from repro.messages.layout import Field, MessageLayout
+from repro.messages.symbolic import (
+    MessageBuilder,
+    field_bytes,
+    field_expr,
+    message_vars,
+    wire_equalities,
+)
+from repro.solver import ast, check
+from repro.solver.evalmodel import evaluate
+
+LAYOUT = MessageLayout("t", [Field("a", 1), Field("b", 2), Field("c", 1)])
+
+
+class TestFieldExpr:
+    def test_single_byte_field_is_the_byte(self):
+        wire = message_vars(LAYOUT)
+        assert field_expr(wire, LAYOUT.view("a")) is wire[0]
+
+    def test_multibyte_field_is_big_endian(self):
+        wire = tuple(ast.bv_const(v, 8) for v in (1, 0x12, 0x34, 9))
+        value = field_expr(wire, LAYOUT.view("b"))
+        assert value.is_const
+        assert value.value == 0x1234
+
+    def test_field_bytes_slices_wire(self):
+        wire = message_vars(LAYOUT)
+        assert field_bytes(wire, LAYOUT.view("b")) == (wire[1], wire[2])
+
+    def test_short_wire_rejected(self):
+        wire = message_vars(LAYOUT)[:2]
+        with pytest.raises(MessageError):
+            field_expr(wire, LAYOUT.view("c"))
+
+
+class TestMessageBuilder:
+    def test_int_fields_round_trip_through_encode(self):
+        builder = MessageBuilder(LAYOUT)
+        builder.set("a", 7).set("b", 0xBEEF).set("c", 3)
+        wire = builder.wire()
+        concrete = bytes(b.value for b in wire)
+        assert concrete == encode(LAYOUT, {"a": 7, "b": 0xBEEF, "c": 3})
+
+    def test_expression_field_split_into_bytes(self):
+        builder = MessageBuilder(LAYOUT)
+        word = ast.bv_var("w", 16)
+        builder.set("a", 0).set("b", word).set("c", 0)
+        wire = builder.wire()
+        # Solving b == 0x0102 must force the two wire bytes to 1 and 2.
+        result = check([ast.eq(field_expr(wire, LAYOUT.view("b")),
+                               ast.bv_const(0x0102, 16))])
+        assert result.is_sat
+        model = dict(result.model)
+        assert evaluate(wire[1], model) == 1
+        assert evaluate(wire[2], model) == 2
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(MessageError):
+            MessageBuilder(LAYOUT).set("b", ast.bv_var("narrow", 8))
+
+    def test_int_too_large_rejected(self):
+        with pytest.raises(MessageError):
+            MessageBuilder(LAYOUT).set("a", 256)
+
+    def test_set_bytes_checks_length(self):
+        with pytest.raises(MessageError):
+            MessageBuilder(LAYOUT).set_bytes("b", [1])
+
+    def test_unassigned_fields_reported_by_name(self):
+        builder = MessageBuilder(LAYOUT).set("a", 1)
+        with pytest.raises(MessageError, match="b"):
+            builder.wire()
+
+    def test_get_returns_assembled_field(self):
+        builder = MessageBuilder(LAYOUT).set("b", 0x0A0B)
+        assert builder.get("b").value == 0x0A0B
+
+
+class TestWireEqualities:
+    def test_equal_length_gives_bytewise_equalities(self):
+        server = message_vars(LAYOUT, "s")
+        client = message_vars(LAYOUT, "c")
+        eqs = wire_equalities(server, client)
+        assert len(eqs) == LAYOUT.total_size
+        assert check(eqs).is_sat
+
+    def test_length_mismatch_is_unsat(self):
+        server = message_vars(LAYOUT, "s")
+        eqs = wire_equalities(server, server[:-1])
+        assert not check(eqs).is_sat
+
+    def test_equalities_pin_client_constants(self):
+        server = message_vars(LAYOUT, "s")
+        client = tuple(ast.bv_const(v, 8) for v in (9, 8, 7, 6))
+        result = check(wire_equalities(server, client))
+        assert result.is_sat
+        assert [result.value(v) for v in server] == [9, 8, 7, 6]

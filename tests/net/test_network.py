@@ -1,0 +1,148 @@
+"""Tests for the simulated network, trace and injector."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.inject import Injector
+from repro.net.network import Network, Node
+from repro.net.trace import Trace
+
+
+class EchoNode(Node):
+    """Replies to every message with the same payload."""
+
+    def handle(self, source, payload, network):
+        network.send(self.name, source, payload)
+
+
+class SinkNode(Node):
+    """Stores everything it receives."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.received: list[tuple[str, bytes]] = []
+
+    def handle(self, source, payload, network):
+        self.received.append((source, payload))
+
+
+class CounterNode(Node):
+    """Accepts payloads starting with 0x01, counts them."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.accepted = 0
+
+    def handle(self, source, payload, network):
+        if payload and payload[0] == 1:
+            self.accepted += 1
+            network.send(self.name, source, b"ok")
+
+
+class TestNetwork:
+    def test_round_trip(self):
+        net = Network()
+        net.attach(EchoNode("server"))
+        sink = net.attach(SinkNode("client"))
+        net.send("client", "server", b"ping")
+        net.run()
+        assert sink.received == [("server", b"ping")]
+
+    def test_duplicate_name_rejected(self):
+        net = Network()
+        net.attach(SinkNode("a"))
+        with pytest.raises(NetworkError):
+            net.attach(SinkNode("a"))
+
+    def test_send_to_unknown_rejected(self):
+        with pytest.raises(NetworkError):
+            Network().send("x", "ghost", b"")
+
+    def test_in_order_delivery(self):
+        net = Network()
+        sink = net.attach(SinkNode("s"))
+        for i in range(5):
+            net.send("c", "s", bytes([i]))
+        net.run()
+        assert [p[0] for _, p in sink.received] == [0, 1, 2, 3, 4]
+
+    def test_livelock_guard(self):
+        net = Network()
+        net.attach(EchoNode("a"))
+        net.attach(EchoNode("b"))
+        net.send("a", "b", b"x")
+        with pytest.raises(NetworkError):
+            net.run(max_steps=10)
+
+    def test_drop_filter(self):
+        net = Network()
+        sink = net.attach(SinkNode("s"))
+        net.drop_filter = lambda src, dst, payload: payload == b"bad"
+        net.send("c", "s", b"bad")
+        net.send("c", "s", b"good")
+        net.run()
+        assert sink.received == [("c", b"good")]
+        assert net.trace.count("drop") == 1
+
+
+class TestTrace:
+    def test_records_send_and_deliver(self):
+        net = Network()
+        net.attach(SinkNode("s"))
+        net.send("c", "s", b"m")
+        net.run()
+        kinds = [e.kind for e in net.trace]
+        assert kinds == ["send", "deliver"]
+
+    def test_query_helpers(self):
+        trace = Trace()
+        trace.record("send", "a", "b", b"1")
+        trace.record("deliver", "a", "b", b"1")
+        trace.record("send", "c", "b", b"2")
+        assert len(trace.sends()) == 2
+        assert len(trace.sends("a")) == 1
+        assert len(trace.deliveries("b")) == 1
+        assert trace.count("send") == 2
+
+    def test_steps_are_monotone(self):
+        trace = Trace()
+        first = trace.record("send", "a", "b", b"")
+        second = trace.record("send", "a", "b", b"")
+        assert second.step == first.step + 1
+
+
+class TestInjector:
+    def test_injection_is_spoofed(self):
+        net = Network()
+        sink = net.attach(SinkNode("server"))
+        injector = Injector(net, "server", spoof_source="trusted-client")
+        injector.inject(b"evil")
+        assert sink.received == [("trusted-client", b"evil")]
+
+    def test_probe_snapshots_surround_injection(self):
+        net = Network()
+        node = net.attach(CounterNode("server"))
+        net.attach(SinkNode("trusted"))
+        injector = Injector(net, "server", "trusted",
+                            probe=lambda: node.accepted)
+        outcome = injector.inject(b"\x01payload")
+        assert outcome.probe_before == 0
+        assert outcome.probe_after == 1
+        assert outcome.changed_state
+
+    def test_rejected_message_changes_nothing(self):
+        net = Network()
+        node = net.attach(CounterNode("server"))
+        net.attach(SinkNode("trusted"))
+        injector = Injector(net, "server", "trusted",
+                            probe=lambda: node.accepted)
+        outcome = injector.inject(b"\x00nope")
+        assert not outcome.changed_state
+        assert outcome.delivered == 1  # delivered but not accepted
+
+    def test_campaign_labels_each_injection(self):
+        net = Network()
+        net.attach(SinkNode("server"))
+        injector = Injector(net, "server", "c")
+        outcomes = injector.campaign([b"a", b"b"], note="trojan")
+        assert [o.note for o in outcomes] == ["trojan#0", "trojan#1"]

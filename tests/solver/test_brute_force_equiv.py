@@ -1,0 +1,87 @@
+"""Solver answers must agree with brute force on small domains.
+
+These properties pin the solver's soundness *and* completeness: for
+random constraint sets over a couple of byte variables, `check` says SAT
+exactly when exhaustive enumeration finds a model, and any model it
+returns satisfies everything.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.solver import ast, check
+from repro.solver.ast import bv_const, bv_var
+from repro.solver.evalmodel import all_hold
+
+A = bv_var("a", 8)
+B = bv_var("b", 8)
+
+_COMPARISONS = ["eq", "ne", "ult", "ule", "slt", "sle"]
+_ARITH = ["add", "sub", "bvand", "bvor", "bvxor"]
+
+
+def _term(which: int, constant: int):
+    """A small arithmetic term over A and B."""
+    op = _ARITH[which % len(_ARITH)]
+    return getattr(ast, op)(A if which % 2 else B, bv_const(constant, 8))
+
+
+def _constraint(comparison: int, which: int, constant: int, negate: bool):
+    pred = getattr(ast, _COMPARISONS[comparison % len(_COMPARISONS)])(
+        _term(which, constant), B if which % 3 else bv_const(constant, 8))
+    return ast.not_(pred) if negate else pred
+
+
+CONSTRAINT = st.tuples(st.integers(0, 5), st.integers(0, 4),
+                       st.integers(0, 255), st.booleans())
+
+
+@settings(max_examples=120, deadline=None)
+@given(specs=st.lists(CONSTRAINT, min_size=1, max_size=3))
+def test_check_agrees_with_brute_force(specs):
+    constraints = [_constraint(*spec) for spec in specs]
+    result = check(constraints)
+    brute_sat = any(
+        all_hold(constraints, {A: a, B: b})
+        for a in range(256) for b in range(256))
+    assert result.is_sat == brute_sat
+    if result.is_sat:
+        assert all_hold(constraints, dict(result.model))
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs=st.lists(CONSTRAINT, min_size=1, max_size=3),
+       extra=st.integers(0, 255))
+def test_disjunction_of_constraints(specs, extra):
+    arms = [_constraint(*spec) for spec in specs]
+    disjunction = ast.any_of(arms)
+    pin = ast.eq(A, bv_const(extra, 8))
+    result = check([disjunction, pin])
+    brute_sat = any(
+        all_hold([disjunction, pin], {A: a, B: b})
+        for a in range(256) for b in range(256))
+    assert result.is_sat == brute_sat
+
+
+@settings(max_examples=60, deadline=None)
+@given(value=st.integers(0, 0xFFFF), shift=st.integers(0, 15))
+def test_shift_and_extract_agree(value, shift):
+    w = bv_var("w", 16)
+    shifted = ast.lshr(w, bv_const(shift, 16))
+    low_byte = ast.extract(shifted, 7, 0)
+    result = check([ast.eq(w, bv_const(value, 16)),
+                    ast.eq(low_byte, bv_const((value >> shift) & 0xFF, 8))])
+    assert result.is_sat
+
+
+@settings(max_examples=40, deadline=None)
+@given(value=st.integers(0, 255), width=st.sampled_from([16, 24, 32]))
+def test_sext_zext_consistency(value, width):
+    z = ast.zext(A, width)
+    s = ast.sext(A, width)
+    result = check([ast.eq(A, bv_const(value, 8))], extra_vars=[A])
+    model = dict(result.model)
+    from repro.solver.evalmodel import evaluate
+
+    assert evaluate(z, model) == value
+    expected = value if value < 128 else value | (((1 << (width - 8)) - 1) << 8)
+    assert evaluate(s, model) == expected

@@ -1,0 +1,182 @@
+"""Tests for wide-variable byte splitting and the search upgrades.
+
+These target the solver features the Achilles workloads lean on hardest:
+byte decomposition of wide variables, structural equality decomposition,
+DPLL-style disjunction splitting, and add-chain inversion.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.solver import ast, check
+from repro.solver.ast import bv_const, bv_var
+from repro.solver.evalmodel import all_hold, evaluate
+from repro.solver.solver import Solver, _byte_split, _flatten
+
+X32 = bv_var("x", 32)
+Y16 = bv_var("y", 16)
+B = bv_var("b", 8)
+
+
+class TestByteSplit:
+    def test_wide_vars_replaced(self):
+        constraints = [X32 < 100]
+        split, defs = _byte_split(constraints)
+        assert len(defs) == 1
+        original, combined = defs[0]
+        assert original is X32
+        assert combined.width == 32
+
+    def test_narrow_vars_untouched(self):
+        constraints = [B < 5]
+        split, defs = _byte_split(constraints)
+        assert split == constraints
+        assert defs == []
+
+    def test_model_rebuilt_for_original_vars(self):
+        result = check([ast.eq(X32, bv_const(0xDEADBEEF, 32))])
+        assert result.is_sat
+        assert result.value(X32) == 0xDEADBEEF
+
+    @settings(max_examples=50, deadline=None)
+    @given(value=st.integers(0, 0xFFFF))
+    def test_sixteen_bit_equality_roundtrip(self, value):
+        result = check([ast.eq(Y16, bv_const(value, 16))])
+        assert result.is_sat
+        assert result.value(Y16) == value
+
+    @settings(max_examples=40, deadline=None)
+    @given(lo=st.integers(0, 0xFFFE))
+    def test_range_constraints_solved(self, lo):
+        result = check([Y16 > lo])
+        assert result.is_sat
+        assert result.value(Y16) > lo
+
+    def test_signed_constraint_on_wide_var(self):
+        result = check([X32.slt(0)])
+        assert result.is_sat
+        assert result.value(X32) >= 1 << 31
+
+    def test_unsat_preserved(self):
+        assert not check([X32 < 10, X32 > 20]).is_sat
+
+
+class TestExtractRewrites:
+    def test_extract_of_concat_selects_part(self):
+        combined = ast.concat(bv_var("hi", 8), bv_var("lo", 8))
+        assert ast.extract(combined, 7, 0) is combined.args[1]
+        assert ast.extract(combined, 15, 8) is combined.args[0]
+
+    def test_extract_straddling_concat(self):
+        hi, lo = bv_var("hi", 8), bv_var("lo", 8)
+        middle = ast.extract(ast.concat(hi, lo), 11, 4)
+        # Equivalent to (hi[3:0] . lo[7:4]).
+        assert middle.op == "concat"
+        model = {hi: 0xAB, lo: 0xCD}
+        assert evaluate(middle, model) == ((0xABCD >> 4) & 0xFF)
+
+    def test_extract_of_extract_composes(self):
+        inner = ast.extract(bv_var("w", 32), 23, 8)
+        outer = ast.extract(inner, 11, 4)
+        assert outer.op == "extract"
+        assert outer.params == (19, 12)
+
+    def test_extract_of_zext_inside(self):
+        assert ast.extract(ast.zext(B, 32), 7, 0) is B
+
+    def test_extract_of_zext_extension_zone_is_zero(self):
+        top = ast.extract(ast.zext(B, 32), 31, 16)
+        assert top.is_const and top.value == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(value=st.integers(0, 0xFFFFFFFF), hi=st.integers(0, 31),
+           lo=st.integers(0, 31))
+    def test_rewrites_preserve_semantics(self, value, hi, lo):
+        if lo > hi:
+            hi, lo = lo, hi
+        w = bv_var("w", 32)
+        parts = ast.concat(ast.extract(w, 31, 16), ast.extract(w, 15, 0))
+        rewritten = ast.extract(parts, hi, lo)
+        assert evaluate(rewritten, {w: value}) == \
+            (value >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+class TestEqDecomposition:
+    def test_concat_vs_concat_splits(self):
+        a = ast.concat(bv_var("a1", 8), bv_var("a0", 8))
+        b = ast.concat(bv_var("b1", 8), bv_var("b0", 8))
+        decomposed = ast.eq(a, b)
+        assert decomposed.op == "and"
+
+    def test_concat_vs_const_splits(self):
+        a = ast.concat(bv_var("a1", 8), bv_var("a0", 8))
+        decomposed = ast.eq(a, bv_const(0x1234, 16))
+        assert decomposed.op == "and"
+        result = check(_flatten([decomposed]))
+        assert result.value(a.args[0]) == 0x12
+        assert result.value(a.args[1]) == 0x34
+
+    def test_misaligned_concats_not_split(self):
+        a = ast.concat(bv_var("a", 4), bv_var("b", 12))
+        b = ast.concat(bv_var("c", 8), bv_var("d", 8))
+        assert ast.eq(a, b).op == "eq"
+
+
+class TestDisjunctionSplitting:
+    def test_or_of_equalities(self):
+        constraint = ast.or_(ast.eq(B, bv_const(7, 8)),
+                             ast.eq(B, bv_const(200, 8)))
+        result = check([constraint])
+        assert result.value(B) in (7, 200)
+
+    def test_or_with_unsat_arm(self):
+        constraint = ast.or_(ast.and_(B < 5, B > 10),
+                             ast.eq(B, bv_const(42, 8)))
+        result = check([constraint])
+        assert result.value(B) == 42
+
+    def test_nested_disjunctions(self):
+        c = bv_var("c", 8)
+        constraint = ast.or_(
+            ast.and_(ast.eq(B, bv_const(1, 8)),
+                     ast.or_(ast.eq(c, bv_const(2, 8)),
+                             ast.eq(c, bv_const(3, 8)))),
+            ast.and_(ast.eq(B, bv_const(9, 8)), ast.eq(c, bv_const(9, 8))))
+        result = check([constraint])
+        model = dict(result.model)
+        assert all_hold([constraint], model)
+
+    def test_not_of_and_splits(self):
+        constraint = ast.not_(ast.and_(ast.eq(B, bv_const(5, 8)),
+                                       ast.eq(bv_var("c", 8),
+                                              bv_const(6, 8))))
+        result = check([constraint, ast.eq(B, bv_const(5, 8))])
+        assert result.is_sat
+        assert result.value(bv_var("c", 8)) != 6
+
+
+class TestAddChainInversion:
+    def test_checksum_style_equation_solves_fast(self):
+        # sum of 8 bytes pinned to a constant: the last byte must invert.
+        terms = [bv_var(f"t{i}", 8) for i in range(8)]
+        total = terms[0]
+        for term in terms[1:]:
+            total = ast.add(total, term)
+        solver = Solver(max_branch_steps=50_000)
+        result = solver.check(
+            [ast.eq(total, bv_const(0x42, 8))]
+            + [ast.eq(t, bv_const(7, 8)) for t in terms[:-1]])
+        assert result.is_sat
+        assert (7 * 7 + result.value(terms[-1])) & 0xFF == 0x42
+        # Inversion, not enumeration: barely any search steps.
+        assert solver.stats.branch_steps < 300
+
+    def test_colliding_sums_found(self):
+        a, b = bv_var("a", 8), bv_var("b", 8)
+        c, d = bv_var("c", 8), bv_var("d", 8)
+        result = check([
+            ast.eq(ast.add(a, b), ast.add(c, d)),
+            a < 10, c > 200,
+        ])
+        assert result.is_sat
+        model = dict(result.model)
+        assert (model[a] + model[b]) & 0xFF == (model[c] + model[d]) & 0xFF

@@ -1,0 +1,55 @@
+"""Tests for exact model enumeration/counting."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.solver.ast import and_, bv_const, bv_var, eq, ne, or_, ult
+from repro.solver.enumerate import count_models, iter_models
+
+X = bv_var("x", 8)
+Y = bv_var("y", 8)
+
+
+class TestCounting:
+    def test_unconstrained_byte(self):
+        assert count_models([], [X]) == 256
+
+    def test_interval(self):
+        assert count_models([X > 250], [X]) == 5
+
+    def test_conjunction(self):
+        assert count_models([X > 10, X < 14], [X]) == 3
+
+    def test_disequality(self):
+        assert count_models([ne(X, bv_const(0, 8))], [X]) == 255
+
+    def test_two_variables(self):
+        assert count_models([X < 2, Y < 3], [X, Y]) == 6
+
+    def test_dependent_variables(self):
+        assert count_models([eq(X, Y + 1), Y < 10], [X, Y]) == 10
+
+    def test_disjunction(self):
+        pred = or_(eq(X, bv_const(1, 8)), eq(X, bv_const(200, 8)))
+        assert count_models([pred], [X]) == 2
+
+    def test_unsat_counts_zero(self):
+        assert count_models([X < 5, X > 9], [X]) == 0
+
+
+class TestIterModels:
+    def test_yields_exact_assignments(self):
+        models = list(iter_models([X > 253], [X]))
+        assert sorted(m[X] for m in models) == [254, 255]
+
+    def test_missing_variables_rejected(self):
+        with pytest.raises(SolverError):
+            list(iter_models([ult(X, Y)], [X]))
+
+    def test_limit_enforced(self):
+        with pytest.raises(SolverError):
+            list(iter_models([], [X], limit=10))
+
+    def test_signed_range(self):
+        models = list(iter_models([X.slt(0), X > 253], [X]))
+        assert sorted(m[X] for m in models) == [254, 255]

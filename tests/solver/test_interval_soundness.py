@@ -1,0 +1,96 @@
+"""Interval arithmetic soundness: forward images must cover reality.
+
+For every binary/unary operator, the interval of the result must contain
+the concrete result for any operands drawn from the input intervals.
+Unsound intervals would silently prune satisfiable branches in the
+engine, so this family of properties guards the whole stack.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.solver import interval as iv
+from repro.solver.ast import fold_binary
+from repro.solver.interval import Interval
+from repro.solver.sorts import bitvec_sort
+
+WIDTH = 8
+SORT = bitvec_sort(WIDTH)
+
+BOUND = st.integers(0, 255)
+
+
+def _interval(lo: int, hi: int) -> Interval:
+    return Interval(min(lo, hi), max(lo, hi))
+
+
+BINARY_OPS = ["add", "sub", "mul", "udiv", "urem", "bvand", "bvor",
+              "bvxor", "shl", "lshr", "ashr"]
+
+
+@settings(max_examples=200, deadline=None)
+@given(op=st.sampled_from(BINARY_OPS), a_lo=BOUND, a_hi=BOUND,
+       b_lo=BOUND, b_hi=BOUND, a_pick=st.floats(0, 1), b_pick=st.floats(0, 1))
+def test_binary_forward_images_sound(op, a_lo, a_hi, b_lo, b_hi,
+                                     a_pick, b_pick):
+    a_iv = _interval(a_lo, a_hi)
+    b_iv = _interval(b_lo, b_hi)
+    a = a_iv.lo + int(a_pick * (a_iv.hi - a_iv.lo))
+    b = b_iv.lo + int(b_pick * (b_iv.hi - b_iv.lo))
+    result_iv = getattr(iv, op)(a_iv, b_iv, WIDTH)
+    concrete = fold_binary(op, a, b, SORT)
+    assert result_iv.contains(concrete), (op, a, b, result_iv)
+
+
+@settings(max_examples=100, deadline=None)
+@given(lo=BOUND, hi=BOUND, pick=st.floats(0, 1))
+def test_neg_and_bvnot_sound(lo, hi, pick):
+    domain = _interval(lo, hi)
+    value = domain.lo + int(pick * (domain.hi - domain.lo))
+    assert iv.neg(domain, WIDTH).contains((-value) & 0xFF)
+    assert iv.bvnot(domain, WIDTH).contains((~value) & 0xFF)
+
+
+@settings(max_examples=100, deadline=None)
+@given(lo=BOUND, hi=BOUND, pick=st.floats(0, 1),
+       hi_bit=st.integers(0, 7), lo_bit=st.integers(0, 7))
+def test_extract_sound(lo, hi, pick, hi_bit, lo_bit):
+    if lo_bit > hi_bit:
+        hi_bit, lo_bit = lo_bit, hi_bit
+    domain = _interval(lo, hi)
+    value = domain.lo + int(pick * (domain.hi - domain.lo))
+    result = iv.extract(domain, hi_bit, lo_bit, WIDTH)
+    mask = (1 << (hi_bit - lo_bit + 1)) - 1
+    assert result.contains((value >> lo_bit) & mask)
+
+
+@settings(max_examples=100, deadline=None)
+@given(hi_lo=BOUND, hi_hi=BOUND, lo_lo=BOUND, lo_hi=BOUND,
+       p1=st.floats(0, 1), p2=st.floats(0, 1))
+def test_concat_sound(hi_lo, hi_hi, lo_lo, lo_hi, p1, p2):
+    hi_iv = _interval(hi_lo, hi_hi)
+    lo_iv = _interval(lo_lo, lo_hi)
+    hi_val = hi_iv.lo + int(p1 * (hi_iv.hi - hi_iv.lo))
+    lo_val = lo_iv.lo + int(p2 * (lo_iv.hi - lo_iv.lo))
+    result = iv.concat(hi_iv, lo_iv, WIDTH)
+    assert result.contains((hi_val << WIDTH) | lo_val)
+
+
+@settings(max_examples=120, deadline=None)
+@given(op=st.sampled_from(["eq", "ult", "ule", "slt", "sle"]),
+       a_lo=BOUND, a_hi=BOUND, b_lo=BOUND, b_hi=BOUND,
+       p1=st.floats(0, 1), p2=st.floats(0, 1))
+def test_compare_tri_values_sound(op, a_lo, a_hi, b_lo, b_hi, p1, p2):
+    from repro.solver.ast import fold_comparison
+    from repro.solver.interval import TRI_FALSE, TRI_TRUE
+
+    a_iv = _interval(a_lo, a_hi)
+    b_iv = _interval(b_lo, b_hi)
+    a = a_iv.lo + int(p1 * (a_iv.hi - a_iv.lo))
+    b = b_iv.lo + int(p2 * (b_iv.hi - b_iv.lo))
+    outcome = iv.compare(op, a_iv, b_iv, WIDTH)
+    concrete = fold_comparison(op, a, b, SORT)
+    if outcome == TRI_TRUE:
+        assert concrete
+    elif outcome == TRI_FALSE:
+        assert not concrete
+    # TRI_UNKNOWN: nothing to check — always sound.

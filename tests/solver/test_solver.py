@@ -1,0 +1,202 @@
+"""Unit and property tests for the satisfiability search.
+
+The property tests are the solver's primary correctness argument: random
+constraint sets over small widths are decided both by the solver and by
+brute-force enumeration, and the answers must agree exactly.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SolverError
+from repro.solver import ast
+from repro.solver.ast import (
+    and_,
+    bool_var,
+    bv_const,
+    bv_var,
+    eq,
+    ite,
+    ne,
+    not_,
+    or_,
+    ult,
+    zext,
+)
+from repro.solver.evalmodel import all_hold
+from repro.solver.solver import SAT, Solver, UNSAT, check, is_satisfiable
+
+X = bv_var("x", 8)
+Y = bv_var("y", 8)
+Z = bv_var("z", 8)
+
+
+class TestBasicQueries:
+    def test_trivial_sat(self):
+        assert check([]).is_sat
+
+    def test_trivial_unsat(self):
+        assert check([ast.FALSE]).status == UNSAT
+
+    def test_simple_interval_conflict(self):
+        assert check([X < 10, X > 20]).status == UNSAT
+
+    def test_simple_interval_sat(self):
+        result = check([X > 10, X < 13])
+        assert result.is_sat
+        assert result.model[X] in (11, 12)
+
+    def test_equality_chain(self):
+        result = check([eq(X, Y), eq(Y, Z), eq(Z, bv_const(42, 8))])
+        assert result.is_sat
+        assert result.model[X] == 42
+
+    def test_disequality_needs_search(self):
+        constraints = [ne(X, bv_const(i, 8)) for i in range(255)]
+        result = check(constraints)
+        assert result.is_sat
+        assert result.model[X] == 255
+
+    def test_all_values_excluded_is_unsat(self):
+        constraints = [ne(X, bv_const(i, 8)) for i in range(256)]
+        assert check(constraints).status == UNSAT
+
+    def test_signed_constraint(self):
+        result = check([X.slt(0)])
+        assert result.is_sat
+        assert result.model[X] >= 128
+
+    def test_wraparound_addition(self):
+        # x + 1 == 0 forces x == 255.
+        result = check([eq(X + 1, bv_const(0, 8))])
+        assert result.is_sat
+        assert result.model[X] == 255
+
+    def test_checksum_style_definition(self):
+        total = bv_var("sum", 8)
+        result = check([eq(total, X + Y), X > 100, Y > 100, total < 5])
+        assert result.is_sat
+        model = result.model
+        assert (model[X] + model[Y]) % 256 == model[total] < 5
+
+    def test_bool_vars(self):
+        p, q = bool_var("p"), bool_var("q")
+        result = check([or_(p, q), not_(p)])
+        assert result.is_sat
+        assert result.model[q] == 1
+        assert result.model[p] == 0
+
+    def test_ite_constraint(self):
+        picked = ite(ult(X, bv_const(10, 8)), bv_const(1, 8), bv_const(2, 8))
+        result = check([eq(picked, bv_const(1, 8)), X > 5])
+        assert result.is_sat
+        assert 5 < result.model[X] < 10
+
+    def test_non_bool_constraint_rejected(self):
+        with pytest.raises(SolverError):
+            check([X])
+
+    def test_extra_vars_appear_in_model(self):
+        free = bv_var("free", 8)
+        result = check([X > 3], extra_vars=[free])
+        assert free in result.model
+
+    def test_unsat_result_has_no_model(self):
+        result = check([ast.FALSE])
+        with pytest.raises(SolverError):
+            result.value(X)
+
+
+class TestDefinitionElimination:
+    def test_nested_definitions(self):
+        a = bv_var("a", 8)
+        b = bv_var("b", 8)
+        # a := b + 1, b := 7 — a must become 8.
+        result = check([eq(a, b + 1), eq(b, bv_const(7, 8))])
+        assert result.is_sat
+        assert result.model[a] == 8
+
+    def test_contradictory_definitions(self):
+        assert check([eq(X, bv_const(1, 8)), eq(X, bv_const(2, 8))]).status == UNSAT
+
+    def test_definition_with_free_rhs_vars(self):
+        wide = bv_var("wide", 16)
+        result = check([eq(wide, zext(X, 16) + 300), wide > 400])
+        assert result.is_sat
+        assert (result.model[X] + 300) == result.model[wide] > 400
+
+
+class TestStats:
+    def test_counters_move(self):
+        solver = Solver()
+        solver.check([X > 10])
+        solver.check([X > 10, X < 5])
+        assert solver.stats.queries == 2
+        assert solver.stats.sat_answers == 1
+        assert solver.stats.unsat_answers == 1
+
+
+# -- property tests against brute force --------------------------------------
+
+_W = 4  # tiny width so brute force stays cheap
+_VARS = [bv_var("a", _W), bv_var("b", _W)]
+
+
+def _leaf(draw):
+    choice = draw(st.integers(0, 2))
+    if choice == 0:
+        return _VARS[0]
+    if choice == 1:
+        return _VARS[1]
+    return bv_const(draw(st.integers(0, 15)), _W)
+
+
+@st.composite
+def bv_terms(draw, depth=2):
+    if depth == 0:
+        return _leaf(draw)
+    op = draw(st.sampled_from(
+        ["leaf", "add", "sub", "mul", "bvand", "bvor", "bvxor", "ite"]))
+    if op == "leaf":
+        return _leaf(draw)
+    if op == "ite":
+        cond = draw(bool_terms(depth - 1))
+        return ite(cond, draw(bv_terms(depth - 1)), draw(bv_terms(depth - 1)))
+    a = draw(bv_terms(depth - 1))
+    b = draw(bv_terms(depth - 1))
+    return getattr(ast, op)(a, b)
+
+
+@st.composite
+def bool_terms(draw, depth=2):
+    op = draw(st.sampled_from(["eq", "ult", "ule", "slt", "sle"]))
+    a = draw(bv_terms(depth))
+    b = draw(bv_terms(depth))
+    pred = getattr(ast, op)(a, b)
+    if draw(st.booleans()):
+        pred = not_(pred)
+    return pred
+
+
+def _brute_force_sat(constraints):
+    for va, vb in itertools.product(range(16), repeat=2):
+        model = {_VARS[0]: va, _VARS[1]: vb}
+        if all_hold(constraints, model):
+            return True
+    return False
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=300, deadline=None)
+    @given(st.lists(bool_terms(), min_size=1, max_size=4))
+    def test_solver_agrees_with_brute_force(self, constraints):
+        expected = _brute_force_sat(constraints)
+        result = check(constraints)
+        assert result.is_sat == expected
+        if result.is_sat:
+            model = dict(result.model)
+            for var in _VARS:
+                model.setdefault(var, 0)
+            assert all_hold(constraints, model)

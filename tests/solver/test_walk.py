@@ -1,0 +1,74 @@
+"""Tests for traversal, substitution, and rewriting utilities."""
+
+from repro.solver.ast import and_, bool_var, bv_const, bv_var, eq, ult, zext
+from repro.solver.walk import collect_vars, collect_vars_all, expr_size, simplify, substitute
+
+X = bv_var("x", 8)
+Y = bv_var("y", 8)
+
+
+class TestCollectVars:
+    def test_collects_all_vars(self):
+        expr = (X + Y) * X
+        assert collect_vars(expr) == {X, Y}
+
+    def test_constants_have_no_vars(self):
+        assert collect_vars(bv_const(5, 8)) == set()
+
+    def test_collect_across_many(self):
+        p = bool_var("p")
+        found = collect_vars_all([ult(X, Y), p])
+        assert found == {X, Y, p}
+
+    def test_bool_and_bv_vars_distinct(self):
+        # Same name, different sorts: must be treated as different variables.
+        a_bv = bv_var("a", 8)
+        a_bool = bool_var("a")
+        assert len(collect_vars_all([ult(a_bv, X), a_bool])) == 3
+
+
+class TestSubstitute:
+    def test_substitution_folds(self):
+        expr = X + Y
+        result = substitute(expr, {X: bv_const(1, 8), Y: bv_const(2, 8)})
+        assert result.value == 3
+
+    def test_partial_substitution(self):
+        expr = ult(X + 1, Y)
+        result = substitute(expr, {Y: bv_const(0, 8)})
+        # anything < 0 is unsatisfiable, folded to false at construction
+        assert result.is_false
+
+    def test_identity_preserved_without_hits(self):
+        expr = ult(X, Y)
+        assert substitute(expr, {bv_var("other", 8): bv_const(1, 8)}) == expr
+
+    def test_substitute_through_zext(self):
+        expr = zext(X, 16) + 5
+        result = substitute(expr, {X: bv_const(250, 8)})
+        assert result.value == 255
+
+    def test_shared_subtrees_use_cache(self):
+        shared = X + Y
+        expr = and_(ult(shared, bv_const(9, 8)), eq(shared, bv_const(3, 8)))
+        result = substitute(expr, {X: bv_const(1, 8)})
+        assert collect_vars(result) == {Y}
+
+
+class TestExprSize:
+    def test_leaf_size(self):
+        assert expr_size(X) == 1
+
+    def test_shared_subtrees_counted_once(self):
+        shared = X + Y
+        expr = eq(shared, shared)  # folds to true at construction
+        assert expr_size(expr) == 1
+
+    def test_distinct_nodes_counted(self):
+        assert expr_size(X + Y) == 3
+
+
+class TestSimplify:
+    def test_simplify_is_stable(self):
+        expr = ult(X + 0, Y * 1)
+        assert simplify(expr) == ult(X, Y)

@@ -1,0 +1,76 @@
+"""Tests for the paper's annotation vocabulary (§5.2)."""
+
+import pytest
+
+from repro.errors import AnnotationError
+from repro.solver import ast
+from repro.symex.annotations import (
+    constant_stub,
+    constant_stub_bytes,
+    make_symbolic,
+    mark_accept,
+    mark_reject,
+    symbolic_return,
+)
+from repro.symex.engine import Engine, EngineConfig
+from repro.symex.state import ACCEPTED, REJECTED
+
+
+def _explore(program):
+    return Engine(EngineConfig()).explore(program)
+
+
+class TestMarkers:
+    def test_mark_accept(self):
+        result = _explore(lambda ctx: mark_accept(ctx, "ok"))
+        assert result.paths[0].verdict == ACCEPTED
+        assert result.paths[0].labels == ("ok",)
+
+    def test_mark_reject(self):
+        result = _explore(lambda ctx: mark_reject(ctx))
+        assert result.paths[0].verdict == REJECTED
+
+
+class TestSymbolicReturn:
+    def test_figure9_range_constraint(self):
+        """The paper's getPeerID over-approximation: return [0, 10]."""
+        values = []
+
+        def program(ctx):
+            peer = symbolic_return(ctx, "peerID", 8, lo=0, hi=10)
+            values.append(ctx.concretize(peer))
+
+        _explore(program)
+        assert values and 0 <= values[0] <= 10
+
+    def test_custom_constraint_callback(self):
+        def program(ctx):
+            value = symbolic_return(
+                ctx, "v", 8, constrain=lambda v: [v.eq(42)])
+            assert ctx.concretize(value) == 42
+
+        _explore(program)
+
+    def test_make_symbolic_is_unconstrained(self):
+        def program(ctx):
+            value = make_symbolic(ctx, "state", width=16)
+            assert value.width == 16
+            taken_low = ctx.branch(value < 10)
+
+        result = _explore(program)
+        assert len(result.paths) == 2  # both directions feasible
+
+
+class TestConstantStub:
+    def test_stub_is_a_constant_expression(self):
+        stub = constant_stub(0x5A)
+        assert stub.is_const
+        assert stub.value == 0x5A
+
+    def test_multibyte_stub(self):
+        stub = constant_stub_bytes([1, 2, 3])
+        assert [b.value for b in stub] == [1, 2, 3]
+
+    def test_nonpositive_width_rejected(self):
+        with pytest.raises(AnnotationError):
+            constant_stub(1, width=0)

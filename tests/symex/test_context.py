@@ -1,0 +1,99 @@
+"""Tests for the execution context API: sends, assume, concretize."""
+
+import pytest
+
+from repro.errors import SymexError
+from repro.solver import ast
+from repro.symex.engine import Engine, EngineConfig
+from repro.symex.state import DROPPED
+
+
+def _explore(program, **config):
+    return Engine(EngineConfig(**config)).explore(program)
+
+
+class TestSend:
+    def test_payload_accepts_ints_and_bytes(self):
+        def program(ctx):
+            ctx.send("peer", [1, ctx.fresh_byte("b"), 255])
+
+        result = _explore(program)
+        sent = result.paths[0].sends[0]
+        assert sent.destination == "peer"
+        assert len(sent.payload) == 3
+        assert sent.payload[0].value == 1
+
+    def test_wide_expression_payload_rejected(self):
+        def program(ctx):
+            ctx.send("peer", [ctx.fresh_bitvec("wide", 16)])
+
+        with pytest.raises(SymexError):
+            _explore(program)
+
+    def test_multiple_sends_kept_in_order(self):
+        def program(ctx):
+            ctx.send("a", [1])
+            ctx.send("b", [2])
+
+        result = _explore(program)
+        assert [s.destination for s in result.paths[0].sends] == ["a", "b"]
+
+
+class TestAssume:
+    def test_assume_narrows_later_branches(self):
+        def program(ctx):
+            x = ctx.fresh_byte("x")
+            ctx.assume(x < 10)
+            taken = ctx.branch(x < 20)  # implied: no fork
+            assert taken
+
+        result = _explore(program)
+        assert len(result.paths) == 1
+
+    def test_unsatisfiable_assumption_kills_path(self):
+        def program(ctx):
+            x = ctx.fresh_byte("x")
+            ctx.assume(x < 10)
+            ctx.assume(x > 20)
+
+        result = _explore(program)
+        assert result.paths == []
+        assert result.stats.paths_infeasible == 1
+
+    def test_concrete_false_assumption_kills_path(self):
+        result = _explore(lambda ctx: ctx.assume(False))
+        assert result.stats.paths_infeasible == 1
+
+
+class TestDropPath:
+    def test_drop_path_records_dropped(self):
+        def program(ctx):
+            if ctx.branch(ctx.fresh_byte("x") < 10):
+                ctx.drop_path()
+
+        result = _explore(program)
+        assert result.stats.paths_dropped == 1
+        assert len(result.paths) == 1
+
+
+class TestConcretize:
+    def test_concretize_returns_feasible_value(self):
+        seen = []
+
+        def program(ctx):
+            x = ctx.fresh_byte("x")
+            ctx.assume(x > 200)
+            seen.append(ctx.concretize(x))
+
+        _explore(program)
+        assert seen and seen[0] > 200
+
+    def test_concretize_pins_the_value(self):
+        def program(ctx):
+            x = ctx.fresh_byte("x")
+            value = ctx.concretize(x)
+            taken = ctx.branch(x.eq(value))  # now concrete: no fork
+            assert taken
+
+        result = _explore(program)
+        assert len(result.paths) == 1

@@ -1,0 +1,154 @@
+"""Tests for the symbolic execution engine: forking, verdicts, limits."""
+
+import pytest
+
+from repro.solver import ast
+from repro.symex.engine import Engine, EngineConfig, client_verdict, server_verdict
+from repro.symex.state import ACCEPTED, COMPLETED, LIMIT, REJECTED
+
+
+def _engine(**overrides) -> Engine:
+    return Engine(EngineConfig(**overrides))
+
+
+class TestExploration:
+    def test_straight_line_program_is_one_path(self):
+        result = _engine().explore(lambda ctx: None)
+        assert len(result.paths) == 1
+        assert result.stats.forks == 0
+
+    def test_symbolic_branch_forks_two_paths(self):
+        def program(ctx):
+            ctx.branch(ctx.fresh_byte("x") < 10)
+
+        result = _engine().explore(program)
+        assert len(result.paths) == 2
+        assert result.stats.forks == 1
+
+    def test_nested_branches_enumerate_all_paths(self):
+        def program(ctx):
+            x = ctx.fresh_byte("x")
+            ctx.branch(x < 100)
+            ctx.branch(x.eq(5))
+
+        result = _engine().explore(program)
+        # x<100/x==5 has three feasible combinations (x==5 implies x<100).
+        assert len(result.paths) == 3
+
+    def test_infeasible_direction_not_explored(self):
+        def program(ctx):
+            x = ctx.fresh_byte("x")
+            if ctx.branch(x < 10):
+                taken = ctx.branch(x > 20)  # infeasible under x < 10
+                assert not taken
+
+        result = _engine().explore(program)
+        assert len(result.paths) == 2  # x<10 (with x>20 false) and x>=10
+
+    def test_path_constraints_recorded_in_order(self):
+        def program(ctx):
+            x = ctx.fresh_byte("x")
+            ctx.branch(x < 10)
+            ctx.branch(x.eq(3))
+
+        result = _engine().explore(program)
+        deepest = max(result.paths, key=lambda p: p.branch_count)
+        assert deepest.branch_count == 2
+        assert len(deepest.constraints) == 2
+
+    def test_concrete_branch_does_not_fork(self):
+        def program(ctx):
+            ctx.branch(True)
+            ctx.branch(False)
+
+        result = _engine().explore(program)
+        assert len(result.paths) == 1
+        assert result.paths[0].branch_count == 0
+
+
+class TestVerdicts:
+    def test_server_default_classifies_by_reply(self):
+        def program(ctx):
+            if ctx.branch(ctx.fresh_byte("x") < 10):
+                ctx.send("client", [1])
+
+        result = _engine().explore(program)
+        assert {p.verdict for p in result.paths} == {ACCEPTED, REJECTED}
+
+    def test_explicit_markers_override_default(self):
+        def program(ctx):
+            if ctx.branch(ctx.fresh_byte("x") < 10):
+                ctx.send("client", [1])
+                ctx.reject("reply-then-reject")
+            else:
+                ctx.accept("silent-accept")
+
+        result = _engine().explore(program)
+        verdicts = sorted(p.verdict for p in result.paths)
+        assert verdicts == [ACCEPTED, REJECTED]
+        rejected = next(p for p in result.paths if p.verdict == REJECTED)
+        assert rejected.sends  # sent a reply yet explicitly rejected
+
+    def test_client_verdict_marks_completed(self):
+        result = _engine(default_verdict=client_verdict).explore(
+            lambda ctx: ctx.send("server", [1, 2]))
+        assert result.paths[0].verdict == COMPLETED
+
+    def test_accept_labels_recorded(self):
+        def program(ctx):
+            ctx.accept("the-label")
+
+        result = _engine().explore(program)
+        assert result.paths[0].labels == ("the-label",)
+
+
+class TestLimits:
+    def test_branch_budget_limits_path(self):
+        def program(ctx):
+            while True:
+                ctx.branch(ctx.fresh_byte("x") < 10)
+
+        result = _engine(max_branches_per_path=5, max_paths=3).explore(program)
+        assert all(p.verdict == LIMIT for p in result.paths)
+        assert all(p.branch_count <= 5 for p in result.paths)
+
+    def test_max_paths_caps_exploration(self):
+        def program(ctx):
+            for i in range(10):
+                ctx.branch(ctx.fresh_byte(f"x{i}") < 10)
+
+        result = _engine(max_paths=4).explore(program)
+        assert len(result.paths) == 4
+
+
+class TestDeterminism:
+    def test_same_program_same_paths(self):
+        def program(ctx):
+            x = ctx.fresh_byte("x")
+            if ctx.branch(x < 50):
+                ctx.send("s", [x])
+
+        first = _engine().explore(program)
+        second = _engine().explore(program)
+        assert [p.decisions for p in first.paths] == \
+            [p.decisions for p in second.paths]
+        assert [p.constraints for p in first.paths] == \
+            [p.constraints for p in second.paths]
+
+    def test_fresh_names_stable_across_replays(self):
+        def program(ctx):
+            x = ctx.fresh_byte("x")
+            y = ctx.fresh_byte("x")  # same base name: gets a suffix
+            ctx.branch(x < 10)
+            ctx.branch(y < 10)
+
+        result = _engine().explore(program)
+        names = {v.name for p in result.paths for c in p.constraints
+                 for v in _vars(c)}
+        assert names == {"x", "x#1"}
+
+
+def _vars(expr):
+    from repro.solver.walk import collect_vars
+
+    return collect_vars(expr)

@@ -1,0 +1,71 @@
+"""Property: the engine's paths partition the input space.
+
+For a deterministic program branching on one symbolic byte, the path
+conditions of all finished paths must cover every input value exactly
+once — no value lost (soundness of forking) and no value on two paths
+(paths are disjoint by construction of branch constraints).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.solver import ast
+from repro.solver.enumerate import count_models
+from repro.symex.engine import Engine, EngineConfig
+
+
+@settings(max_examples=25, deadline=None)
+@given(thresholds=st.lists(st.integers(0, 255), min_size=1, max_size=4),
+       pivot=st.integers(0, 255))
+def test_paths_partition_the_byte(thresholds, pivot):
+    def program(ctx):
+        x = ctx.fresh_byte("x")
+        for threshold in thresholds:
+            ctx.branch(x < threshold)
+        ctx.branch(x.eq(pivot))
+
+    result = Engine(EngineConfig()).explore(program)
+    x = ast.bv_var("x", 8)
+    total = 0
+    for path in result.paths:
+        total += count_models(list(path.constraints), [x])
+    assert total == 256
+
+
+@settings(max_examples=15, deadline=None)
+@given(thresholds=st.lists(st.integers(0, 255), min_size=2, max_size=3))
+def test_paths_are_pairwise_disjoint(thresholds):
+    def program(ctx):
+        x = ctx.fresh_byte("x")
+        for threshold in thresholds:
+            ctx.branch(x < threshold)
+
+    result = Engine(EngineConfig()).explore(program)
+    from repro.solver import check
+
+    for i, first in enumerate(result.paths):
+        for second in result.paths[i + 1:]:
+            joint = list(first.constraints) + list(second.constraints)
+            assert not check(joint).is_sat
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_two_byte_partition(seed):
+    import random
+
+    rng = random.Random(seed)
+    t1, t2 = rng.randrange(256), rng.randrange(256)
+
+    def program(ctx):
+        x = ctx.fresh_byte("x")
+        y = ctx.fresh_byte("y")
+        if ctx.branch(x < t1):
+            ctx.branch(y < t2)
+        else:
+            ctx.branch(ast.eq(y, x))
+
+    result = Engine(EngineConfig()).explore(program)
+    x, y = ast.bv_var("x", 8), ast.bv_var("y", 8)
+    total = sum(count_models(list(p.constraints), [x, y])
+                for p in result.paths)
+    assert total == 256 * 256

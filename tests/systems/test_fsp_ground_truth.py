@@ -1,0 +1,134 @@
+"""Tests for the FSP ground-truth oracles and Trojan class math (§6.2)."""
+
+from hypothesis import given, strategies as st
+
+from repro.messages.concrete import encode
+from repro.systems.fsp import (
+    COMMANDS,
+    FSP_LAYOUT,
+    GroundTruth,
+    all_trojan_classes,
+    classify_message,
+    is_client_generable,
+    is_server_accepted,
+)
+from repro.systems.fsp.protocol import STUBS
+
+
+def _message(cmd=None, bb_len=1, buf=b"a\x00\x00\x00\x00", **overrides):
+    fields = {
+        "cmd": cmd if cmd is not None else COMMANDS["frm"],
+        "sum": STUBS["sum"],
+        "bb_key": STUBS["bb_key"],
+        "bb_seq": STUBS["bb_seq"],
+        "bb_len": bb_len,
+        "bb_pos": STUBS["bb_pos"],
+        "buf": buf,
+    }
+    fields.update(overrides)
+    return encode(FSP_LAYOUT, fields)
+
+
+class TestClassCount:
+    def test_exactly_eighty_classes(self):
+        # (1 + 2 + 3 + 4) * 8 = 80 (§6.2).
+        assert len(all_trojan_classes()) == 80
+
+    def test_classes_are_distinct(self):
+        classes = all_trojan_classes()
+        assert len(set(classes)) == len(classes)
+
+    def test_true_length_always_below_reported(self):
+        for cls in all_trojan_classes():
+            assert cls.true_length < cls.reported_length
+
+
+class TestServerOracle:
+    def test_valid_message_accepted(self):
+        assert is_server_accepted(_message(bb_len=1, buf=b"a\x00xyz"))
+
+    def test_wrong_stub_rejected(self):
+        assert not is_server_accepted(_message(sum=0))
+
+    def test_unknown_command_rejected(self):
+        assert not is_server_accepted(_message(cmd=0xFF))
+
+    def test_zero_length_rejected(self):
+        assert not is_server_accepted(_message(bb_len=0, buf=b"\x00" * 5))
+
+    def test_missing_terminator_rejected(self):
+        assert not is_server_accepted(_message(bb_len=2, buf=b"abcde"))
+
+    def test_unprintable_path_rejected(self):
+        assert not is_server_accepted(_message(bb_len=1, buf=b"\x07\x00abc"))
+
+    def test_early_nul_accepted_the_bug(self):
+        # bb_len=3 but the path ends at 1: the mismatched-length Trojan.
+        assert is_server_accepted(_message(bb_len=3, buf=b"a\x00X\x00z"))
+
+    def test_wildcard_accepted_the_bug(self):
+        assert is_server_accepted(_message(bb_len=2, buf=b"f*\x00zz"))
+
+
+class TestClientOracle:
+    def test_valid_message_generable(self):
+        assert is_client_generable(_message(bb_len=2, buf=b"ab\x00zz"))
+
+    def test_early_nul_not_generable(self):
+        assert not is_client_generable(_message(bb_len=3, buf=b"a\x00X\x00z"))
+
+    def test_wildcard_generable_only_in_literal_mode(self):
+        message = _message(bb_len=2, buf=b"f*\x00zz")
+        assert is_client_generable(message, allow_wildcards=True)
+        assert not is_client_generable(message, allow_wildcards=False)
+
+
+class TestClassify:
+    def test_valid_message_is_not_trojan(self):
+        assert classify_message(_message(bb_len=1, buf=b"a\x00xyz")) is None
+
+    def test_trojan_maps_to_its_class(self):
+        trojan = classify_message(_message(cmd=COMMANDS["fcat"], bb_len=3,
+                                           buf=b"ab\x00\x00z"))
+        assert trojan is not None
+        assert trojan.command == COMMANDS["fcat"]
+        assert trojan.reported_length == 3
+        assert trojan.true_length == 2
+
+    def test_every_class_has_a_witness(self):
+        # Construct the canonical witness of each class and classify it
+        # back: the mapping is exact and onto.
+        for cls in all_trojan_classes():
+            path = b"x" * cls.true_length
+            buf = bytearray(5)
+            buf[:len(path)] = path
+            # NUL at true_length (already zero), terminator at reported
+            # length (already zero), printable filler elsewhere.
+            for position in range(cls.true_length + 1, 5):
+                if position != cls.reported_length:
+                    buf[position] = ord("y")
+            message = _message(cmd=cls.command, bb_len=cls.reported_length,
+                               buf=bytes(buf))
+            assert classify_message(message) == cls
+
+
+class TestScoring:
+    def test_score_separates_tp_and_fp(self):
+        trojan = _message(bb_len=2, buf=b"a\x00\x00zz")
+        valid = _message(bb_len=1, buf=b"a\x00xyz")
+        score = GroundTruth.score([trojan, valid, trojan])
+        assert score.true_positives == 2
+        assert score.false_positives == 1
+        assert len(score.classes_found) == 1
+
+    def test_coverage_and_missing(self):
+        score = GroundTruth.score([])
+        assert score.coverage == 0.0
+        assert len(score.missing()) == 80
+
+    @given(payload=st.binary(min_size=17, max_size=17))
+    def test_oracles_consistent_on_random_messages(self, payload):
+        """classify() is exactly 'accepted and not generable'."""
+        is_trojan = classify_message(payload) is not None
+        assert is_trojan == (is_server_accepted(payload)
+                             and not is_client_generable(payload))

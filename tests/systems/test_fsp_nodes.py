@@ -1,0 +1,151 @@
+"""Tests for the concrete FSP deployment, including the §6.3 scenarios."""
+
+import pytest
+
+from repro.fsys.memfs import MemFS
+from repro.net.inject import Injector
+from repro.net.network import Network, Node
+from repro.systems.fsp import (
+    FspServerNode,
+    client_command,
+    expand_argument,
+    rename_command,
+)
+from repro.messages.concrete import encode
+from repro.systems.fsp.protocol import COMMANDS, FSP_LAYOUT, STUBS
+
+
+class _Sink(Node):
+    def __init__(self, name="user"):
+        super().__init__(name)
+        self.replies = []
+
+    def handle(self, source, payload, network):
+        self.replies.append(payload)
+
+
+@pytest.fixture
+def deployment():
+    network = Network()
+    server = network.attach(FspServerNode("server"))
+    user = network.attach(_Sink("user"))
+    return network, server, user
+
+
+def _run(network, message):
+    network.send("user", "server", message)
+    network.run()
+
+
+class TestConcreteServer:
+    def test_mkdir_and_ls(self, deployment):
+        network, server, user = deployment
+        _run(network, client_command("fmkdir", "docs"))
+        assert server.fs.is_dir("/srv/docs")
+        _run(network, client_command("fls", "docs"))
+        assert user.replies[-1] == b"\x01"
+
+    def test_rm_deletes_file(self, deployment):
+        network, server, user = deployment
+        server.fs.write_file("/srv/f1", b"data")
+        _run(network, client_command("frm", "f1"))
+        assert not server.fs.exists("/srv/f1")
+
+    def test_grab_reads_and_deletes(self, deployment):
+        network, server, user = deployment
+        server.fs.write_file("/srv/g", b"data")
+        _run(network, client_command("fgrab", "g"))
+        assert not server.fs.exists("/srv/g")
+
+    def test_bad_stub_rejected(self, deployment):
+        network, server, user = deployment
+        message = bytearray(client_command("fstat", "x"))
+        message[1] ^= 0xFF  # corrupt the sum stub
+        _run(network, bytes(message))
+        assert server.rejected == 1
+        assert not user.replies
+
+    def test_client_refuses_unprintable_path(self):
+        with pytest.raises(ValueError):
+            client_command("frm", "a\x07")
+
+    def test_client_refuses_overlong_path(self):
+        with pytest.raises(ValueError):
+            client_command("frm", "abcde")
+
+
+class TestMismatchedLengthImpact:
+    """§6.3: a NUL before bb_len smuggles an unvalidated payload."""
+
+    def test_hidden_payload_accepted(self, deployment):
+        network, server, user = deployment
+        server.fs.write_file("/srv/a", b"data")
+        trojan = encode(FSP_LAYOUT, {
+            "cmd": COMMANDS["frm"], "sum": STUBS["sum"],
+            "bb_key": STUBS["bb_key"], "bb_seq": STUBS["bb_seq"],
+            "bb_len": 4, "bb_pos": STUBS["bb_pos"],
+            "buf": b"a\x00\xde\xad\x00",  # path 'a', hidden payload DE AD
+        })
+        injector = Injector(network, "server", "user")
+        injector.inject(trojan)
+        assert server.accepted == 1
+        assert not server.fs.exists("/srv/a")  # the action still ran
+
+
+class TestWildcardImpact:
+    """§6.3: create 'f*' via fmv, then fail to delete it safely.
+
+    Path bound 5 keeps names short; the shape is the paper's
+    ``mv file file*`` / ``rm file*`` scenario verbatim.
+    """
+
+    def _populate(self, server):
+        for name in ("f", "f1", "f2", "bank"):
+            server.fs.write_file(f"/srv/{name}", name.encode())
+
+    def test_mv_creates_literal_star_file(self, deployment):
+        network, server, user = deployment
+        self._populate(server)
+        # 'fmv f f*': the source is globbed (a literal match suffices),
+        # the target is NEVER globbed -> a literal 'f*' file appears.
+        _run(network, rename_command("f", "f*"))
+        assert server.fs.exists("/srv/f*")
+        assert not server.fs.exists("/srv/f")
+
+    def test_rm_star_collateral_damage(self, deployment):
+        network, server, user = deployment
+        self._populate(server)
+        _run(network, rename_command("f", "f*"))
+
+        # The user now wants to delete 'f*'. The client globs the
+        # argument with no escape: it matches f* AND f1, f2...
+        listing = server.fs.listdir("/srv")
+        targets = expand_argument("f*", listing)
+        assert set(targets) == {"f*", "f1", "f2"}
+        for target in targets:
+            _run(network, client_command("frm", target))
+        # The star file is gone - but so is every innocent 'f' file.
+        assert not server.fs.exists("/srv/f*")
+        assert not server.fs.exists("/srv/f1")
+        assert not server.fs.exists("/srv/f2")
+        assert server.fs.exists("/srv/bank")
+
+    def test_escaping_does_not_work(self, deployment):
+        network, server, user = deployment
+        self._populate(server)
+        _run(network, rename_command("f", "f*"))
+        # 'rm f\*' does not mean literal 'f*' in FSP globbing: the
+        # backslash is a regular character and matches nothing.
+        listing = server.fs.listdir("/srv")
+        targets = expand_argument(r"f\*", listing)
+        assert targets == []  # no expansion and no literal match
+        assert server.fs.exists("/srv/f*")  # the file survives
+
+    def test_rename_with_unprintable_destination_rejected(self, deployment):
+        network, server, user = deployment
+        self._populate(server)
+        bad = bytearray(rename_command("a", "b"))
+        view = FSP_LAYOUT.view("buf")
+        bad[view.offset + 2] = 0x07  # unprintable destination byte
+        _run(network, bytes(bad))
+        assert server.rejected == 1

@@ -1,0 +1,81 @@
+"""Tests for the concrete Paxos deployment and Trojan injection."""
+
+import pytest
+
+from repro.net.inject import Injector
+from repro.net.network import Network
+from repro.systems.paxos.nodes import (
+    PaxosAcceptorNode,
+    PaxosProposerNode,
+    accept_message,
+    prepare_message,
+)
+
+
+@pytest.fixture
+def deployment():
+    network = Network()
+    acceptor = network.attach(PaxosAcceptorNode())
+    proposer = network.attach(PaxosProposerNode("proposer", ballot=3,
+                                                value=7))
+    return network, acceptor, proposer
+
+
+class TestConsensusRound:
+    def test_round_chooses_the_proposed_value(self, deployment):
+        network, acceptor, proposer = deployment
+        proposer.start(network)
+        network.run()
+        assert proposer.chosen
+        assert acceptor.accepted_value == 7
+        assert acceptor.promised == 3
+
+    def test_stale_prepare_nacked(self, deployment):
+        network, acceptor, proposer = deployment
+        proposer.start(network)
+        network.run()
+        network.send("proposer", "acceptor", prepare_message(2))
+        network.run()
+        assert acceptor.promised == 3  # unchanged
+
+    def test_stale_accept_rejected(self, deployment):
+        network, acceptor, proposer = deployment
+        proposer.start(network)
+        network.run()
+        network.send("proposer", "acceptor", accept_message(1, 99))
+        network.run()
+        assert acceptor.accepted_value == 7
+
+    def test_garbage_ignored(self, deployment):
+        network, acceptor, _ = deployment
+        network.send("proposer", "acceptor", b"\x01\x02")
+        network.run()
+        assert acceptor.promised == 0
+
+
+class TestTrojanInjection:
+    """The §3.4 scenario concretely: the acceptor is in phase 2 with
+    value 7 promised to ballot 3 — an ACCEPT(3, v != 7) is Trojan and
+    silently corrupts the decision."""
+
+    def test_foreign_value_overwrites_decision(self, deployment):
+        network, acceptor, proposer = deployment
+        proposer.start(network)
+        network.run()
+        assert acceptor.accepted_value == 7
+
+        injector = Injector(network, "acceptor", spoof_source="proposer",
+                            probe=lambda: acceptor.accepted_value)
+        outcome = injector.inject(accept_message(3, 42))
+        assert outcome.changed_state
+        assert acceptor.accepted_value == 42  # consensus corrupted
+
+    def test_outbid_ballot_trojan(self, deployment):
+        network, acceptor, proposer = deployment
+        proposer.start(network)
+        network.run()
+        # Nobody holds a promise for ballot 4, yet the acceptor takes it.
+        injector = Injector(network, "acceptor", spoof_source="proposer")
+        injector.inject(accept_message(4, 13))
+        assert acceptor.accepted_ballot == 4
+        assert acceptor.accepted_value == 13

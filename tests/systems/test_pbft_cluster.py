@@ -1,0 +1,77 @@
+"""Tests for the concrete PBFT cluster and the MAC attack impact (§6.3)."""
+
+import pytest
+
+from repro.systems.pbft import run_workload
+from repro.systems.pbft.cluster import (
+    PbftClientNode,
+    PbftReplicaNode,
+    build_cluster,
+)
+
+
+class TestNormalOperation:
+    def test_correct_request_commits(self):
+        stats = run_workload(1)
+        assert stats.committed == 1
+        assert stats.view_changes == 0
+
+    def test_sustained_correct_workload(self):
+        stats = run_workload(20)
+        assert stats.committed == 20
+        assert stats.view_changes == 0
+        assert stats.replies >= 20  # at least one REPLY per commit
+
+    def test_request_ids_increase(self):
+        client = PbftClientNode("c", cid=1)
+        first = client.next_request()
+        second = client.next_request()
+        assert first != second
+
+
+class TestMacAttack:
+    def test_bad_mac_triggers_view_change(self):
+        stats = run_workload(4, malicious_every=4)
+        assert stats.view_changes >= 1
+
+    def test_bad_mac_request_does_not_commit(self):
+        stats = run_workload(1, malicious_every=1)
+        assert stats.committed == 0
+        assert stats.view_changes >= 1
+
+    def test_attack_degrades_throughput(self):
+        clean = run_workload(30)
+        attacked = run_workload(30, malicious_every=2)
+        assert attacked.committed < clean.committed
+        assert attacked.throughput < clean.throughput
+        assert attacked.view_changes > 0
+
+    def test_degradation_scales_with_attack_rate(self):
+        light = run_workload(30, malicious_every=10)
+        heavy = run_workload(30, malicious_every=2)
+        assert heavy.throughput < light.throughput
+        assert heavy.view_changes > light.view_changes
+
+    def test_recovery_costs_extra_messages(self):
+        clean = run_workload(10)
+        attacked = run_workload(10, malicious_every=10)
+        # Same request count, strictly more network traffic.
+        assert attacked.deliveries > clean.deliveries
+
+
+class TestClusterMechanics:
+    def test_build_cluster_attaches_four_replicas(self):
+        network, replicas, hub = build_cluster()
+        assert len(replicas) == 4
+        assert replicas[0].is_primary
+        assert not replicas[1].is_primary
+
+    def test_view_change_rotates_primary(self):
+        network, replicas, hub = build_cluster()
+        attacker = network.attach(PbftClientNode("evil", cid=2,
+                                                 malicious=True))
+        network.send("evil", "replica0", attacker.next_request())
+        network.run()
+        assert all(r.view >= 1 for r in replicas)
+        new_primary = next(r for r in replicas if r.is_primary)
+        assert new_primary.index == replicas[0].view % 4

@@ -1,0 +1,28 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list_shows_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("toy", "fsp", "fsp-wildcard", "pbft"):
+            assert name in out
+
+    def test_toy_experiment(self, capsys):
+        assert main(["toy"]) == 0
+        out = capsys.readouterr().out
+        assert "Trojan finding" in out
+
+    def test_pbft_experiment(self, capsys):
+        assert main(["pbft"]) == 0
+        out = capsys.readouterr().out
+        assert "MAC attack impact" in out
+        assert "attack-50%" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
