@@ -36,10 +36,11 @@ def test_all_variants_find_the_same_trojans(benchmark, outcomes, artifact):
         rows.append([label, len(score.classes_found),
                      report.server_paths_pruned,
                      report.solver_queries,
+                     f"{report.cache_hit_rate:.1%}",
                      f"{report.timings.server_analysis:.2f}s"])
     artifact("ablation_optimizations", format_table(
         ["Variant", "Classes", "Paths pruned", "Solver queries",
-         "Server analysis"],
+         "Cache hits", "Server analysis"],
         rows, title="Optimization ablation (paper: optimized 1h03 vs "
                     "a-posteriori 2h15, ~2.1x)"))
 
@@ -94,3 +95,21 @@ def test_pruning_reduces_explored_paths(benchmark, outcomes):
     # Without pruning, valid accepting paths run to completion.
     assert (without_pruning.server_paths_explored
             > with_pruning.server_paths_explored)
+
+
+def test_query_cache_absorbs_repeated_queries(benchmark, outcomes):
+    """The canonical query cache must answer a meaningful share of the
+    incremental search's repeated queries (pred re-checks, replays,
+    cross-phase reuse) without reaching the solver."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for label, report in outcomes.items():
+        if label == "a-posteriori":
+            # Vanilla exploration poses each branch query exactly once and
+            # differences every accepting path once: nothing repeats.
+            continue
+        assert report.cache_hits > 0, label
+        assert report.cache_hit_rate > 0.0, label
+    optimized = outcomes["achilles-optimized"]
+    # The incremental search re-poses pathS ∧ pathC_i at every appended
+    # constraint; most of those are repeats of earlier prefixes.
+    assert optimized.cache_hit_rate > 0.3

@@ -42,11 +42,17 @@ def main() -> None:
               f"{pred.field_value('request').value}, negatable fields: "
               f"{', '.join(fields)}")
 
-    # 3. Phase two: explore the server, searching for PS ∧ ¬PC.
+    # 3. Phase two: explore the server, searching for PS ∧ ¬PC. Both
+    # phases share one canonical query cache (achilles.query_cache), so
+    # repeated and syntactically-variant satisfiability queries are
+    # answered without re-running the solver.
     report = achilles.search(toy_server, predicates)
     print(f"\nTrojan findings: {report.trojan_count} "
           f"(server paths explored: {report.server_paths_explored}, "
           f"pruned: {report.server_paths_pruned})")
+    print(f"Solver queries: {report.solver_queries}, query cache: "
+          f"{report.cache_hits} hits / {report.cache_misses} misses "
+          f"({report.cache_hit_rate:.0%} hit rate)")
     for finding in report.findings:
         fields = finding.witness_fields(TOY_LAYOUT)
         print(f"  witness: request={fields['request']} "

@@ -23,6 +23,7 @@ from repro.achilles.predicates import ClientPathPredicate
 from repro.errors import AchillesError
 from repro.messages.layout import MessageLayout
 from repro.solver.ast import Expr
+from repro.solver.cache import QueryCache
 from repro.solver.solver import Solver
 from repro.symex.engine import Engine, EngineConfig, NodeProgram, client_verdict
 
@@ -66,8 +67,9 @@ def extract_client_predicates(
         clients: dict[str, NodeProgram] | list[NodeProgram],
         layout: MessageLayout,
         engine_config: EngineConfig | None = None,
-        destination: str | None = None) -> tuple[list[ClientPathPredicate],
-                                                 ClientAnalysisStats]:
+        destination: str | None = None,
+        query_cache: QueryCache | None = None,
+        ) -> tuple[list[ClientPathPredicate], ClientAnalysisStats]:
     """Symbolically execute every client and capture its sent messages.
 
     Args:
@@ -77,6 +79,9 @@ def extract_client_predicates(
             bounded evaluation workloads).
         destination: when given, only messages sent to this node name are
             captured (clients may also talk to other peers).
+        query_cache: shared canonical query cache; every per-client engine
+            uses it, and the orchestrator passes the same instance to the
+            phase-2 server search so answers carry across phases.
 
     Returns:
         De-duplicated predicates with contiguous indices, plus stats.
@@ -85,12 +90,13 @@ def extract_client_predicates(
         clients = {f"client{i}": p for i, p in enumerate(clients)}
     config = replace(engine_config or EngineConfig(),
                      default_verdict=client_verdict)
+    query_cache = QueryCache() if query_cache is None else query_cache
     stats = ClientAnalysisStats()
     started = time.perf_counter()
 
     raw: list[ClientPathPredicate] = []
     for name, program in clients.items():
-        engine = Engine(config)
+        engine = Engine(config, query_cache=query_cache)
         result = engine.explore(program)
         stats.clients_analyzed += 1
         stats.paths_explored += len(result.paths)

@@ -14,6 +14,14 @@ Usage::
 step (de-duplication, negations, ``differentFrom``), and phase 2 (server
 exploration with incremental Trojan search), reporting the wall-clock
 split the paper quotes in §6.2.
+
+Both phases share one canonical :class:`~repro.solver.cache.QueryCache`
+(held on the :class:`Achilles` instance as ``query_cache``): feasibility
+answers computed while exploring the clients are reused verbatim during
+the server search whenever the canonicalized constraint sets coincide.
+The cache's hit/miss counters are surfaced on the resulting
+:class:`~repro.achilles.report.AchillesReport` (``cache_hits``,
+``cache_misses``, ``cache_hit_rate``).
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ from repro.achilles.server_analysis import (
 from repro.errors import AchillesError
 from repro.messages.layout import MessageLayout
 from repro.messages.symbolic import message_vars
+from repro.solver.cache import QueryCache
 from repro.solver.solver import Solver
 from repro.symex.engine import EngineConfig, NodeProgram
 
@@ -69,6 +78,9 @@ class Achilles:
         config.mask.validate(config.layout)
         self.config = config
         self.server_msg = message_vars(config.layout, config.msg_name)
+        # One canonical query cache for the whole run: phase 1 engines and
+        # the phase 2 search all consult (and fill) the same instance.
+        self.query_cache = QueryCache()
 
     # -- individual phases --------------------------------------------------------
 
@@ -78,7 +90,7 @@ class Achilles:
         """Phase 1 + pre-processing: build ``PC`` ready for the search."""
         predicates, stats = extract_client_predicates(
             clients, self.config.layout, self.config.client_engine,
-            self.config.destination)
+            self.config.destination, query_cache=self.query_cache)
         if not predicates:
             raise AchillesError(
                 "no client messages captured; check the destination filter "
@@ -93,7 +105,8 @@ class Achilles:
         """Phase 2: incremental Trojan search over the server."""
         report, _ = search_server(
             server, clients, self.server_msg, self.config.server_engine,
-            self.config.optimizations, self.config.msg_name)
+            self.config.optimizations, self.config.msg_name,
+            query_cache=self.query_cache)
         report.timings.client_extraction = clients.stats.extraction_seconds
         report.timings.preprocessing = clients.stats.preprocess_seconds
         return report

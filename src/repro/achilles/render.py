@@ -49,7 +49,9 @@ def render_report(report: AchillesReport, layout: MessageLayout,
         f"  client predicates: {report.client_predicate_count}",
         f"  server paths explored: {report.server_paths_explored} "
         f"(pruned: {report.server_paths_pruned})",
-        f"  solver queries: {report.solver_queries}",
+        f"  solver queries: {report.solver_queries} "
+        f"(query cache: {report.cache_hits} hits / "
+        f"{report.cache_misses} misses, {report.cache_hit_rate:.0%})",
         f"  timings: client {timings.client_extraction:.2f}s | "
         f"preprocess {timings.preprocessing:.2f}s | "
         f"server {timings.server_analysis:.2f}s",
@@ -90,6 +92,8 @@ def report_to_dict(report: AchillesReport,
         "server_paths_explored": report.server_paths_explored,
         "server_paths_pruned": report.server_paths_pruned,
         "solver_queries": report.solver_queries,
+        "cache_hits": report.cache_hits,
+        "cache_misses": report.cache_misses,
         "timings": {
             "client_extraction": report.timings.client_extraction,
             "preprocessing": report.timings.preprocessing,

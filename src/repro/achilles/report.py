@@ -96,7 +96,15 @@ class AchillesReport:
             Figure 11.
         server_paths_explored / server_paths_pruned: exploration counters
             (pruning is the §3.2 "dropped from the exploration" rule).
-        solver_queries: total satisfiability checks issued by the search.
+        solver_queries: total satisfiability checks issued by the search
+            (cache hits never reach the solver, so this only counts misses).
+        cache_hits / cache_misses: canonical query-cache counters.
+            Achilles shares one :class:`~repro.solver.cache.QueryCache`
+            across phase 1 (client extraction) and phase 2 (server
+            search), so these are cumulative over the whole
+            :class:`~repro.achilles.core.Achilles` instance — they include
+            cross-phase reuse and therefore count more lookups than the
+            phase-2-only ``solver_queries``.
     """
 
     findings: list[TrojanFinding] = field(default_factory=list)
@@ -106,10 +114,18 @@ class AchillesReport:
     server_paths_explored: int = 0
     server_paths_pruned: int = 0
     solver_queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def trojan_count(self) -> int:
         return len(self.findings)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of solver queries answered by the canonical cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     def witnesses(self) -> list[bytes]:
         """Concrete Trojan examples, ready for fault injection."""

@@ -33,6 +33,7 @@ from repro.achilles.client_analysis import ClientPredicateSet
 from repro.achilles.negate import single_field_of
 from repro.achilles.report import AchillesReport, TrojanFinding
 from repro.solver.ast import Expr
+from repro.solver.cache import QueryCache
 from repro.symex.context import ExecutionContext
 from repro.symex.engine import Engine, EngineConfig, ExplorationResult
 from repro.symex.observers import PathObserver
@@ -186,7 +187,9 @@ def search_server(server, clients: ClientPredicateSet,
                   server_msg: tuple[Expr, ...],
                   engine_config: EngineConfig | None = None,
                   flags: OptimizationFlags | None = None,
-                  msg_name: str = "msg") -> tuple[AchillesReport, ExplorationResult]:
+                  msg_name: str = "msg",
+                  query_cache: QueryCache | None = None,
+                  ) -> tuple[AchillesReport, ExplorationResult]:
     """Explore a server program under the incremental Trojan search.
 
     Args:
@@ -198,12 +201,14 @@ def search_server(server, clients: ClientPredicateSet,
         engine_config: exploration limits.
         flags: optimization switches.
         msg_name: base name used when materializing the message vars.
+        query_cache: shared canonical query cache (the orchestrator passes
+            the phase-1 cache here so cross-phase queries hit).
 
     Returns:
         The (partially filled) report and the raw exploration result; the
         orchestrator merges in client stats and timings.
     """
-    engine = Engine(engine_config or EngineConfig())
+    engine = Engine(engine_config or EngineConfig(), query_cache=query_cache)
     observer = TrojanSearchObserver(engine, clients, server_msg, flags)
 
     def program(ctx: ExecutionContext) -> None:
@@ -221,6 +226,8 @@ def search_server(server, clients: ClientPredicateSet,
         server_paths_explored=len(exploration.paths),
         server_paths_pruned=observer.paths_pruned,
         solver_queries=engine.solver.stats.queries,
+        cache_hits=engine.query_cache.stats.hits,
+        cache_misses=engine.query_cache.stats.misses,
     )
     report.timings.server_analysis = elapsed
     return report, exploration
@@ -229,14 +236,15 @@ def search_server(server, clients: ClientPredicateSet,
 def a_posteriori_search(server, clients: ClientPredicateSet,
                         server_msg: tuple[Expr, ...],
                         engine_config: EngineConfig | None = None,
-                        msg_name: str = "msg") -> AchillesReport:
+                        msg_name: str = "msg",
+                        query_cache: QueryCache | None = None) -> AchillesReport:
     """The §6.4 non-optimized baseline: explore first, difference after.
 
     Runs vanilla symbolic execution of the server (no per-path predicate
     tracking, no pruning), then checks every accepting path against the
     full conjunction of all client negations.
     """
-    engine = Engine(engine_config or EngineConfig())
+    engine = Engine(engine_config or EngineConfig(), query_cache=query_cache)
 
     def program(ctx: ExecutionContext) -> None:
         wire = tuple(ctx.fresh_bytes(msg_name, len(server_msg)))
@@ -268,4 +276,6 @@ def a_posteriori_search(server, clients: ClientPredicateSet,
         ))
     report.timings.server_analysis = time.perf_counter() - started
     report.solver_queries = engine.solver.stats.queries
+    report.cache_hits = engine.query_cache.stats.hits
+    report.cache_misses = engine.query_cache.stats.misses
     return report

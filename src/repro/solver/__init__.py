@@ -8,6 +8,11 @@ Public surface:
   ``ite``, ``zext``, ``concat``, …).
 * Satisfiability: :func:`check` / :class:`Solver` returning
   :class:`SatResult` with a verified model.
+* Canonicalization: :func:`canonicalize` /
+  :func:`canonical_constraint_set` (:mod:`repro.solver.simplify`) collapse
+  syntactic variants of a query onto one shape; :class:`QueryCache`
+  (:mod:`repro.solver.cache`) memoizes satisfiability answers keyed on the
+  canonical frozen constraint set.
 * Enumeration: :func:`count_models` / :func:`iter_models` for bounded
   spaces (used by the evaluation benchmarks).
 """
@@ -44,17 +49,21 @@ from repro.solver.ast import (
     ult,
     zext,
 )
+from repro.solver.cache import CacheStats, QueryCache
 from repro.solver.enumerate import count_models, iter_models
 from repro.solver.evalmodel import all_hold, evaluate, holds
+from repro.solver.simplify import canonical_constraint_set, canonicalize
 from repro.solver.solver import SAT, UNSAT, SatResult, Solver, SolverStats, check, is_satisfiable
 from repro.solver.sorts import BOOL, BV8, BV16, BV32, BV64, BitVecSort, bitvec_sort
 from repro.solver.walk import collect_vars, collect_vars_all, expr_size, simplify, substitute
 
 __all__ = [
-    "BOOL", "BV8", "BV16", "BV32", "BV64", "BitVecSort", "Expr", "FALSE",
-    "SAT", "SatResult", "Solver", "SolverStats", "TRUE", "UNSAT", "all_hold",
+    "BOOL", "BV8", "BV16", "BV32", "BV64", "BitVecSort", "CacheStats",
+    "Expr", "FALSE", "QueryCache", "SAT", "SatResult", "Solver",
+    "SolverStats", "TRUE", "UNSAT", "all_hold",
     "all_of", "and_", "any_of", "bitvec_sort", "bool_const", "bool_var",
-    "bv_const", "bv_var", "bytes_to_exprs", "check", "collect_vars",
+    "bv_const", "bv_var", "bytes_to_exprs", "canonical_constraint_set",
+    "canonicalize", "check", "collect_vars",
     "collect_vars_all", "concat", "count_models", "eq", "evaluate",
     "expr_size", "extract", "holds", "iff", "implies", "is_satisfiable",
     "ite", "iter_models", "ne", "not_", "or_", "sext", "sge", "sgt",

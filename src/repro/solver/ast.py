@@ -6,6 +6,12 @@ structurally hashable trees. Light simplification (constant folding and
 algebraic identities) happens at construction time so that the rest of the
 system can build expressions freely without ballooning formulas.
 
+Expressions are **hash-consed**: constructing a node that is structurally
+identical to a live one returns the existing instance, so structural
+equality coincides with ``is`` identity and dict/set/cache lookups on
+expressions run at pointer speed. The intern table holds weak references
+only — nodes are reclaimed as soon as no formula references them.
+
 Conventions
 -----------
 * Bitvector values are stored unsigned, in ``[0, 2**width)``.
@@ -14,11 +20,14 @@ Conventions
   friends for signed comparisons.
 * ``==`` on :class:`Expr` is *structural* equality (needed for hashing and
   caching); use :meth:`Expr.eq` / :meth:`Expr.ne` to build symbolic equality
-  predicates.
+  predicates. Because of interning, structural equality is decided by a
+  single identity comparison.
 """
 
 from __future__ import annotations
 
+import itertools
+import weakref
 from typing import Iterable, Sequence
 
 from repro.errors import SortError
@@ -40,8 +49,15 @@ WIDTH_OPS = frozenset({"zext", "sext", "extract", "concat"})
 _COMMUTATIVE_OPS = frozenset({"add", "mul", "bvand", "bvor", "bvxor", "eq"})
 
 
+#: Global intern table: (op, sort, args, params) -> live Expr instance.
+_INTERN_TABLE: "weakref.WeakValueDictionary[tuple, Expr]" = weakref.WeakValueDictionary()
+
+#: Monotone creation serial; canonical orderings sort interned nodes by it.
+_NEXT_SERIAL = itertools.count()
+
+
 class Expr:
-    """An immutable expression node.
+    """An immutable, interned expression node.
 
     Attributes:
         op: operator name (one of the ``OP_*`` / op-set constants above).
@@ -51,16 +67,28 @@ class Expr:
             extract bounds, extension width).
     """
 
-    __slots__ = ("op", "sort", "args", "params", "_hash")
+    __slots__ = ("op", "sort", "args", "params", "_hash", "_serial", "__weakref__")
 
-    def __init__(self, op: str, sort: Sort, args: tuple["Expr", ...] = (), params: tuple = ()):
+    def __new__(cls, op: str, sort: Sort, args: tuple["Expr", ...] = (), params: tuple = ()):
+        key = (op, sort, args, params)
+        cached = _INTERN_TABLE.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
         self.op = op
         self.sort = sort
         self.args = args
         self.params = params
-        self._hash = hash((op, sort, args, params))
+        self._hash = hash(key)
+        self._serial = next(_NEXT_SERIAL)
+        _INTERN_TABLE[key] = self
+        return self
 
     # -- structural identity ------------------------------------------------
+    #
+    # Interning makes structural equality an identity check: every
+    # construction of the same (op, sort, args, params) returns the same
+    # instance, and copy/pickle round-trips re-enter __new__.
 
     def __hash__(self) -> int:
         return self._hash
@@ -76,19 +104,22 @@ class Expr:
                     "`==` on expressions is structural; use .eq()/.ne() to "
                     "build symbolic (in)equality predicates")
             return NotImplemented
-        return (
-            self._hash == other._hash
-            and self.op == other.op
-            and self.sort == other.sort
-            and self.params == other.params
-            and self.args == other.args
-        )
+        return False
 
     def __ne__(self, other: object) -> bool:
         result = self.__eq__(other)
         if result is NotImplemented:
             return result
         return not result
+
+    def __copy__(self) -> "Expr":
+        return self
+
+    def __deepcopy__(self, memo) -> "Expr":
+        return self
+
+    def __reduce__(self):
+        return (Expr, (self.op, self.sort, self.args, self.params))
 
     # -- inspection helpers --------------------------------------------------
 

@@ -104,7 +104,10 @@ def udiv(a: Interval, b: Interval, width: int) -> Interval:
 
 
 def urem(a: Interval, b: Interval, width: int) -> Interval:
-    # urem(a, b) <= a always (and urem(a, 0) == a).
+    # urem(a, b) <= a always (and urem(a, 0) == a). When the divisor is
+    # provably nonzero the remainder is also strictly below b.
+    if b.lo > 0:
+        return Interval(0, min(a.hi, b.hi - 1))
     return Interval(0, a.hi)
 
 

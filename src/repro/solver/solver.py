@@ -11,6 +11,13 @@ calls into. The decision procedure is:
 3. **Backtracking search** with fail-first variable selection, domain
    enumeration for small domains and bisection for large ones.
 
+Before any of that, :meth:`Solver.check` canonicalizes every constraint
+(:mod:`repro.solver.simplify`): commuted/reordered/negated variants of the
+same query collapse onto one shape, which both trims trivially-true
+conjuncts ahead of the search and makes the canonical query cache
+(:mod:`repro.solver.cache`) used by the symbolic-execution engine land on
+the same key for all of them.
+
 Every SAT answer is verified by concrete evaluation of all original
 constraints, so propagation bugs cannot produce wrong models. Domains are
 finite, so the search is complete: ``unsat`` answers are proofs.
@@ -27,6 +34,7 @@ from repro.solver.ast import Expr
 from repro.solver.evalmodel import all_hold, evaluate
 from repro.solver.interval import Interval
 from repro.solver.propagate import Domains, forward, initial_domains, propagate
+from repro.solver.simplify import canonicalize
 from repro.solver.sorts import BOOL
 from repro.solver.walk import collect_vars, collect_vars_all, expr_size, substitute
 
@@ -63,13 +71,22 @@ class SatResult:
 
 @dataclass
 class SolverStats:
-    """Counters describing the work a solver instance has performed."""
+    """Counters describing the work a solver instance has performed.
+
+    ``cache_hits`` / ``cache_misses`` count canonical-query-cache lookups
+    made *on this solver's behalf* — the :class:`~repro.symex.engine.Engine`
+    consults its :class:`~repro.solver.cache.QueryCache` before calling
+    :meth:`Solver.check` and mirrors the outcome here, so ``queries`` only
+    grows on misses.
+    """
 
     queries: int = 0
     sat_answers: int = 0
     unsat_answers: int = 0
     branch_steps: int = 0
     propagation_calls: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 @dataclass
@@ -98,12 +115,24 @@ class Solver:
         for c in flat:
             if c.sort != BOOL:
                 raise SolverError("constraints must be boolean expressions")
-        if any(c.is_false for c in flat):
+        # Canonicalize before searching: syntactic variants collapse, and
+        # rewrites may fold conjuncts to constants outright. The *original*
+        # constraints are kept for model completion and final verification.
+        canon = _flatten([canonicalize(c) for c in flat])
+        if any(c.is_false for c in canon):
             return self._answer(SatResult(UNSAT))
-        flat = [c for c in flat if not c.is_true]
+        canon = [c for c in canon if not c.is_true]
 
-        split, split_defs = _byte_split(flat)
+        split, split_defs = _byte_split(canon)
         remaining, definitions = _eliminate_definitions(split)
+        # Substitution rebuilds constraints in whatever shape the templates
+        # had; canonicalizing again lets structurally-cancelling forms
+        # (e.g. a checksum equated with its own definition) collapse before
+        # the search sees them.
+        remaining = _flatten([canonicalize(c) for c in remaining])
+        if any(c.is_false for c in remaining):
+            return self._answer(SatResult(UNSAT))
+        remaining = [c for c in remaining if not c.is_true]
         model = self._search(remaining)
         if model is None:
             return self._answer(SatResult(UNSAT))
@@ -338,13 +367,15 @@ def _extend_with_definitions(model: dict[Expr, int],
         model[var] = evaluate(rhs, model)
 
 
-_DEFAULT_SOLVER = Solver()
-
-
 def check(constraints: Iterable[Expr], extra_vars: Sequence[Expr] = ()) -> SatResult:
-    """Module-level convenience wrapper around a shared :class:`Solver`."""
-    return _DEFAULT_SOLVER.check(constraints, extra_vars)
+    """Module-level convenience wrapper using a fresh :class:`Solver`.
+
+    A fresh instance per call keeps the convenience API stateless: a shared
+    module-level solver would accumulate :class:`SolverStats` across
+    unrelated runs and poison benchmark counters.
+    """
+    return Solver().check(constraints, extra_vars)
 
 
 def is_satisfiable(constraints: Iterable[Expr]) -> bool:
-    return _DEFAULT_SOLVER.check(constraints).is_sat
+    return Solver().check(constraints).is_sat

@@ -3,29 +3,49 @@
 These helpers are used throughout the Achilles core: collecting the symbolic
 variables of a path predicate, substituting client message bytes for shared
 message variables, and measuring expression sizes for reporting.
+
+Because expression nodes are interned (see :mod:`repro.solver.ast`), the
+traversals here memoize per-node: ``collect_vars`` and ``expr_size`` cache
+their result against the node itself in weak-keyed tables, so the repeated
+queries the solver hot path issues (variable counts for constraint ordering,
+definition detection) cost one dict lookup after the first visit.
 """
 
 from __future__ import annotations
 
+import weakref
 from typing import Callable, Iterable, Mapping
 
 from repro.solver import ast
 from repro.solver.ast import Expr
 
+#: Per-node memo tables. Weak keys: entries die with their expression.
+_VARS_CACHE: "weakref.WeakKeyDictionary[Expr, frozenset[Expr]]" = (
+    weakref.WeakKeyDictionary())
+_SIZE_CACHE: "weakref.WeakKeyDictionary[Expr, int]" = weakref.WeakKeyDictionary()
 
-def collect_vars(expr: Expr) -> set[Expr]:
-    """Return the set of variable nodes occurring in ``expr``."""
+
+def collect_vars(expr: Expr) -> frozenset[Expr]:
+    """Return the set of variable nodes occurring in ``expr`` (memoized)."""
+    if expr.is_var:
+        # Not cached: the entry's value would strongly reference its own
+        # key and pin the variable in the weak table forever.
+        return frozenset((expr,))
+    cached = _VARS_CACHE.get(expr)
+    if cached is not None:
+        return cached
     found: set[Expr] = set()
     _walk_vars(expr, found, set())
-    return found
+    result = frozenset(found)
+    _VARS_CACHE[expr] = result
+    return result
 
 
 def collect_vars_all(exprs: Iterable[Expr]) -> set[Expr]:
     """Return the set of variable nodes occurring in any of ``exprs``."""
     found: set[Expr] = set()
-    visited: set[Expr] = set()
     for expr in exprs:
-        _walk_vars(expr, found, visited)
+        found |= collect_vars(expr)
     return found
 
 
@@ -36,7 +56,10 @@ def _walk_vars(expr: Expr, found: set[Expr], visited: set[Expr]) -> None:
         if node in visited:
             continue
         visited.add(node)
-        if node.is_var:
+        cached = _VARS_CACHE.get(node)
+        if cached is not None:
+            found |= cached
+        elif node.is_var:
             found.add(node)
         else:
             stack.extend(node.args)
@@ -44,6 +67,9 @@ def _walk_vars(expr: Expr, found: set[Expr], visited: set[Expr]) -> None:
 
 def expr_size(expr: Expr) -> int:
     """Number of distinct nodes in ``expr`` (shared subtrees counted once)."""
+    cached = _SIZE_CACHE.get(expr)
+    if cached is not None:
+        return cached
     seen: set[Expr] = set()
     stack = [expr]
     while stack:
@@ -52,15 +78,21 @@ def expr_size(expr: Expr) -> int:
             continue
         seen.add(node)
         stack.extend(node.args)
-    return len(seen)
+    result = len(seen)
+    _SIZE_CACHE[expr] = result
+    return result
 
 
 def substitute(expr: Expr, mapping: Mapping[Expr, Expr]) -> Expr:
     """Replace variable nodes per ``mapping``, rebuilding through constructors.
 
     Rebuilding re-triggers the construction-time simplifications, so the
-    result is folded where the substitution made subtrees concrete.
+    result is folded where the substitution made subtrees concrete. When no
+    variable of ``expr`` is mapped the expression is returned unchanged
+    without any rebuilding (cheap thanks to the memoized ``collect_vars``).
     """
+    if not mapping or collect_vars(expr).isdisjoint(mapping):
+        return expr
     cache: dict[Expr, Expr] = {}
     return _substitute(expr, mapping, cache)
 
@@ -73,6 +105,8 @@ def _substitute(expr: Expr, mapping: Mapping[Expr, Expr], cache: dict[Expr, Expr
         result = mapping.get(expr, expr)
     elif not expr.args:
         result = expr
+    elif collect_vars(expr).isdisjoint(mapping):
+        result = expr
     else:
         new_args = tuple(_substitute(a, mapping, cache) for a in expr.args)
         if new_args == expr.args:
@@ -83,35 +117,38 @@ def _substitute(expr: Expr, mapping: Mapping[Expr, Expr], cache: dict[Expr, Expr
     return result
 
 
+_BUILDERS: dict[str, Callable[..., Expr]] = {
+    "add": ast.add,
+    "sub": ast.sub,
+    "mul": ast.mul,
+    "udiv": ast.udiv,
+    "urem": ast.urem,
+    "bvand": ast.bvand,
+    "bvor": ast.bvor,
+    "bvxor": ast.bvxor,
+    "shl": ast.shl,
+    "lshr": ast.lshr,
+    "ashr": ast.ashr,
+    "eq": ast.eq,
+    "ult": ast.ult,
+    "ule": ast.ule,
+    "slt": ast.slt,
+    "sle": ast.sle,
+    "not": ast.not_,
+    "and": ast.and_,
+    "or": ast.or_,
+    "neg": ast.neg,
+    "bvnot": ast.bvnot,
+    "ite": ast.ite,
+    "concat": ast.concat,
+}
+
+
 def rebuild(op: str, args: tuple[Expr, ...], params: tuple) -> Expr:
     """Reconstruct a node through the simplifying constructors in ``ast``."""
-    builders: dict[str, Callable[..., Expr]] = {
-        "add": ast.add,
-        "sub": ast.sub,
-        "mul": ast.mul,
-        "udiv": ast.udiv,
-        "urem": ast.urem,
-        "bvand": ast.bvand,
-        "bvor": ast.bvor,
-        "bvxor": ast.bvxor,
-        "shl": ast.shl,
-        "lshr": ast.lshr,
-        "ashr": ast.ashr,
-        "eq": ast.eq,
-        "ult": ast.ult,
-        "ule": ast.ule,
-        "slt": ast.slt,
-        "sle": ast.sle,
-        "not": ast.not_,
-        "and": ast.and_,
-        "or": ast.or_,
-        "neg": ast.neg,
-        "bvnot": ast.bvnot,
-        "ite": ast.ite,
-        "concat": ast.concat,
-    }
-    if op in builders:
-        return builders[op](*args)
+    builder = _BUILDERS.get(op)
+    if builder is not None:
+        return builder(*args)
     if op == "zext":
         return ast.zext(args[0], params[0])
     if op == "sext":
@@ -122,5 +159,7 @@ def rebuild(op: str, args: tuple[Expr, ...], params: tuple) -> Expr:
 
 
 def simplify(expr: Expr) -> Expr:
-    """Bottom-up simplification pass (rebuild every node through constructors)."""
-    return substitute(expr, {})
+    """Canonical simplification pass (see :mod:`repro.solver.simplify`)."""
+    from repro.solver.simplify import canonicalize
+
+    return canonicalize(expr)

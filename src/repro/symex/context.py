@@ -18,6 +18,7 @@ decisions must perform identical sequences of context calls.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Sequence, TYPE_CHECKING
 
 from repro.errors import ExplorationLimit, PathDropped, PathInfeasible, SymexError
@@ -46,7 +47,7 @@ class ExecutionContext:
 
     def __init__(self, engine: "Engine", state: PathState,
                  schedule: tuple[bool, ...], observer: "PathObserver",
-                 pending: list[tuple[bool, ...]]):
+                 pending: "deque[tuple[bool, ...]]"):
         self._engine = engine
         self._state = state
         self._schedule = schedule

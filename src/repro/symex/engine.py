@@ -8,6 +8,13 @@ from scratch, replaying the prefix. Re-execution keeps the engine tiny and
 correct at the cost of repeated work; solver queries are memoized so replays
 are cheap.
 
+Solver queries are memoized through a canonical
+:class:`~repro.solver.cache.QueryCache`: the path condition is
+canonicalized and frozen, so replays, reordered conjuncts and commuted
+operands all land on the same cache entry. Passing one shared cache to
+several engines (as the Achilles orchestrator does across its two phases)
+lets them reuse each other's answers.
+
 The engine is deliberately policy-free. Accept/reject classification
 defaults follow the paper (§5.1): a server path that sent a reply is
 *accepting*, a path that fell back to waiting for input is *rejecting* —
@@ -19,12 +26,15 @@ its incremental Trojan search.
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import ExplorationLimit, PathDropped, PathInfeasible, SymexError
 from repro.solver.ast import Expr
+from repro.solver.cache import QueryCache
 from repro.solver.solver import Solver
+from repro.solver.walk import collect_vars_all
 from repro.symex import state as st
 from repro.symex.context import ExecutionContext, _PathTerminated
 from repro.symex.observers import PathObserver
@@ -106,35 +116,73 @@ class ExplorationResult:
 
 
 class Engine:
-    """Symbolic execution engine over deterministic node programs."""
+    """Symbolic execution engine over deterministic node programs.
+
+    Args:
+        config: exploration limits and policies.
+        solver: satisfiability backend (a fresh one per engine by default).
+        query_cache: canonical query cache consulted before every solver
+            call. Pass a shared instance to let several engines (e.g. the
+            two Achilles phases) reuse each other's answers; by default
+            each engine gets a private cache.
+    """
 
     def __init__(self, config: EngineConfig | None = None,
-                 solver: Solver | None = None):
+                 solver: Solver | None = None,
+                 query_cache: QueryCache | None = None):
         self.config = config or EngineConfig()
         self.solver = solver or Solver()
-        self._feasibility_cache: dict[tuple[Expr, ...], bool] = {}
-        self._model_cache: dict[tuple[Expr, ...], dict[Expr, int] | None] = {}
+        # Explicit None check: an empty QueryCache is falsy (len() == 0),
+        # and a shared-but-still-empty cache must not be replaced.
+        self.query_cache = QueryCache() if query_cache is None else query_cache
         self._stats: ExplorationStats | None = None
 
     # -- services used by ExecutionContext ------------------------------------
 
     def is_feasible(self, constraints: tuple[Expr, ...]) -> bool:
-        """Memoized satisfiability of a path condition."""
-        cached = self._feasibility_cache.get(constraints)
-        if cached is None:
-            cached = self.solver.check(constraints).is_sat
-            self._feasibility_cache[constraints] = cached
-        return cached
+        """Satisfiability of a path condition, memoized canonically."""
+        cache = self.query_cache
+        key = cache.key(constraints)
+        cached = cache.get_feasible(key)
+        if cached is not None:
+            self.solver.stats.cache_hits += 1
+            return cached
+        self.solver.stats.cache_misses += 1
+        if cache.is_trivially_unsat(key):
+            feasible = False
+        else:
+            feasible = self.solver.check(constraints).is_sat
+        cache.put_feasible(key, feasible)
+        return feasible
 
     def solve(self, constraints: tuple[Expr, ...]) -> dict[Expr, int] | None:
-        """Memoized model for a path condition (None when unsat)."""
-        if constraints in self._model_cache:
-            return self._model_cache[constraints]
-        result = self.solver.check(constraints)
-        model = dict(result.model) if result.is_sat else None
-        self._model_cache[constraints] = model
-        self._feasibility_cache[constraints] = result.is_sat
-        return model
+        """Model for a path condition (None when unsat), memoized canonically.
+
+        Always returns a fresh dict — the cached entry stays immutable so
+        callers (and other engines sharing the cache) cannot corrupt it.
+        """
+        cache = self.query_cache
+        key = cache.key(constraints)
+        hit, model = cache.get_model(key)
+        if hit:
+            self.solver.stats.cache_hits += 1
+            if model is None:
+                return None
+            # The entry may come from a canonically-equal variant whose
+            # simplification dropped some of this query's variables; they
+            # are unconstrained, so 0 completes the (copied) model.
+            completed = dict(model)
+            for var in collect_vars_all(constraints):
+                completed.setdefault(var, 0)
+            return completed
+        self.solver.stats.cache_misses += 1
+        if cache.is_trivially_unsat(key):
+            model = None
+        else:
+            result = self.solver.check(constraints)
+            model = dict(result.model) if result.is_sat else None
+        cache.put_model(key, model)
+        return dict(model) if model is not None else None
 
     def note_fork(self) -> None:
         if self._stats is not None:
@@ -158,20 +206,23 @@ class Engine:
         stats = ExplorationStats()
         self._stats = stats
         results: list[PathResult] = []
-        worklist: list[tuple[bool, ...]] = [()]
+        # deque: BFS pops from the left in O(1) where list.pop(0) is O(n).
+        worklist: deque[tuple[bool, ...]] = deque([()])
+        next_path_id = 0
         started = time.perf_counter()
 
-        while worklist and stats.paths_finished < self.config.max_paths:
+        while worklist and (stats.paths_finished + stats.paths_limited
+                            < self.config.max_paths):
             if self.config.search_order == DFS:
                 schedule = worklist.pop()
             else:
-                schedule = worklist.pop(0)
-            state = PathState(path_id=stats.paths_finished + stats.paths_infeasible
-                              + stats.paths_dropped + stats.paths_pruned
-                              + stats.paths_limited)
+                schedule = worklist.popleft()
+            state = PathState(path_id=next_path_id)
+            next_path_id += 1
             ctx = ExecutionContext(self, state, schedule, observer, worklist)
             observer.on_path_start(ctx)
             verdict = self._run_one(program, ctx, state)
+            result = finalize(state, verdict)
 
             if verdict == st.INFEASIBLE:
                 stats.paths_infeasible += 1
@@ -181,12 +232,11 @@ class Engine:
                 stats.paths_pruned += 1
             elif verdict == st.LIMIT:
                 stats.paths_limited += 1
-                results.append(finalize(state, verdict))
-                stats.paths_finished += 1
+                results.append(result)
             else:
-                results.append(finalize(state, verdict))
                 stats.paths_finished += 1
-            observer.on_path_end(ctx, finalize(state, verdict))
+                results.append(result)
+            observer.on_path_end(ctx, result)
 
         stats.elapsed_seconds = time.perf_counter() - started
         self._stats = None

@@ -41,6 +41,59 @@ def test_binary_forward_images_sound(op, a_lo, a_hi, b_lo, b_hi,
     assert result_iv.contains(concrete), (op, a, b, result_iv)
 
 
+class TestBitwiseRegressions:
+    """Deterministic edge cases for the transfer functions that carry
+    nontrivial bounds reasoning (``urem`` strictness, ``bvor``/``bvand``
+    envelope bounds). Hypothesis covers the space above; these pin the
+    exact corners a future "tightening" could silently break."""
+
+    def test_urem_nonzero_divisor_is_strictly_below_divisor(self):
+        # x % [3, 8] < 8 regardless of x.
+        result = iv.urem(Interval(0, 255), Interval(3, 8), WIDTH)
+        assert result.hi == 7
+        for a in (0, 7, 8, 100, 255):
+            for b in (3, 5, 8):
+                assert result.contains(fold_binary("urem", a, b, SORT))
+
+    def test_urem_small_dividend_keeps_dividend_bound(self):
+        # x in [0, 4] % anything stays <= 4.
+        result = iv.urem(Interval(0, 4), Interval(10, 200), WIDTH)
+        assert result.hi == 4
+
+    def test_urem_possible_zero_divisor_keeps_identity(self):
+        # urem(a, 0) == a in SMT-LIB semantics, so the dividend bound
+        # must survive when 0 is in the divisor domain.
+        result = iv.urem(Interval(200, 250), Interval(0, 8), WIDTH)
+        assert result.contains(fold_binary("urem", 250, 0, SORT))  # == 250
+
+    def test_urem_singleton_divisor_one(self):
+        result = iv.urem(Interval(0, 255), Interval(1, 1), WIDTH)
+        assert result == Interval(0, 0)
+
+    def test_bvand_bounded_by_smaller_operand(self):
+        result = iv.bvand(Interval(0, 12), Interval(0, 255), WIDTH)
+        assert result.hi == 12
+        assert result.contains(fold_binary("bvand", 12, 255, SORT))
+
+    def test_bvand_can_reach_zero_even_with_nonzero_inputs(self):
+        # lo must stay 0: 0b01 & 0b10 == 0.
+        result = iv.bvand(Interval(1, 2), Interval(1, 2), WIDTH)
+        assert result.lo == 0
+        assert result.contains(fold_binary("bvand", 1, 2, SORT))
+
+    def test_bvor_lower_bound_is_operand_max(self):
+        # a | b >= max(a, b), so lo == max of the operand los.
+        result = iv.bvor(Interval(4, 6), Interval(1, 2), WIDTH)
+        assert result.lo == 4
+        assert result.contains(fold_binary("bvor", 4, 1, SORT))
+
+    def test_bvor_upper_bound_covers_bit_mixing(self):
+        # 5 | 2 == 7 exceeds max(a.hi, b.hi); the all-ones cap must cover it.
+        result = iv.bvor(Interval(5, 5), Interval(2, 2), WIDTH)
+        assert result.contains(fold_binary("bvor", 5, 2, SORT))
+        assert result.hi >= 7
+
+
 @settings(max_examples=100, deadline=None)
 @given(lo=BOUND, hi=BOUND, pick=st.floats(0, 1))
 def test_neg_and_bvnot_sound(lo, hi, pick):

@@ -120,6 +120,41 @@ class TestLimits:
         result = _engine(max_paths=4).explore(program)
         assert len(result.paths) == 4
 
+    def test_limited_paths_not_double_counted(self):
+        def program(ctx):
+            while True:
+                ctx.branch(ctx.fresh_byte("x") < 10)
+
+        result = _engine(max_branches_per_path=4, max_paths=5).explore(program)
+        stats = result.stats
+        assert stats.paths_limited == len(result.paths) == 5
+        assert stats.paths_finished == 0
+
+    def test_path_ids_dense_when_budget_hit(self):
+        """Engine path ids must not skip values (each pop gets the next id)."""
+
+        def program(ctx):
+            while True:
+                ctx.branch(ctx.fresh_byte("x") < 10)
+
+        result = _engine(max_branches_per_path=3, max_paths=6).explore(program)
+        ids = sorted(p.path_id for p in result.paths)
+        assert ids == list(range(len(ids)))
+
+    def test_path_ids_dense_with_mixed_verdicts(self):
+        def program(ctx):
+            x = ctx.fresh_byte("x")
+            if ctx.branch(x < 10):
+                ctx.branch(x > 20)  # one direction infeasible
+            ctx.branch(x.eq(3))
+
+        result = _engine().explore(program)
+        ids = sorted(p.path_id for p in result.paths)
+        # Finished-path ids are unique and drawn from one dense counter
+        # shared with infeasible/pruned pops, so no id repeats.
+        assert len(set(ids)) == len(ids)
+        assert ids[0] == 0
+
 
 class TestDeterminism:
     def test_same_program_same_paths(self):
