@@ -22,7 +22,8 @@ def outcomes():
     return run_ablation()
 
 
-def test_all_variants_find_the_same_trojans(benchmark, outcomes, artifact):
+def test_all_variants_find_the_same_trojans(benchmark, outcomes, artifact,
+                                            json_artifact):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     scores = {label: GroundTruth.score(report.witnesses())
               for label, report in outcomes.items()}
@@ -37,12 +38,26 @@ def test_all_variants_find_the_same_trojans(benchmark, outcomes, artifact):
                      report.server_paths_pruned,
                      report.solver_queries,
                      f"{report.cache_hit_rate:.1%}",
+                     report.frames_reused,
                      f"{report.timings.server_analysis:.2f}s"])
     artifact("ablation_optimizations", format_table(
         ["Variant", "Classes", "Paths pruned", "Solver queries",
-         "Cache hits", "Server analysis"],
+         "Cache hits", "Frames reused", "Server analysis"],
         rows, title="Optimization ablation (paper: optimized 1h03 vs "
                     "a-posteriori 2h15, ~2.1x)"))
+    json_artifact("fsp_ablation", {
+        label: {
+            "classes_found": len(scores[label].classes_found),
+            "server_paths_pruned": report.server_paths_pruned,
+            "solver_queries": report.solver_queries,
+            "cache_hit_rate": round(report.cache_hit_rate, 4),
+            "frames_reused": report.frames_reused,
+            "propagation_seconds": round(report.propagation_seconds, 6),
+            "server_analysis_seconds": round(
+                report.timings.server_analysis, 6),
+        }
+        for label, report in outcomes.items()
+    })
 
 
 def test_incremental_drop_shrinks_final_queries(benchmark, outcomes,

@@ -5,10 +5,14 @@ regressions in the solver (the repo's hot path) show up in benchmark
 history. Rounds > 1 give pytest-benchmark real statistics, unlike the
 experiment benches which run once.
 
-The repeated-query benchmarks at the bottom exercise the canonical query
-cache (:mod:`repro.solver.cache`): they re-pose incremental constraint
-prefixes the way the Trojan search does and report the measured hit rate
-and the cached-vs-uncached speedup.
+The repeated-query benchmarks at the bottom exercise the two reuse
+layers below canonicalization: the canonical query cache
+(:mod:`repro.solver.cache`) on literally-repeated queries, and the
+incremental assertion stack (:mod:`repro.solver.incremental`) on
+extend-by-one / push-pop sequences that share prefixes without repeating.
+Both report measured speedups against a from-scratch ``Solver.check`` and
+persist machine-readable ``BENCH_*.json`` artifacts; the incremental
+speedup assertion is the CI perf smoke gate.
 """
 
 import time
@@ -19,6 +23,7 @@ from repro.messages.symbolic import message_vars, wire_equalities
 from repro.solver import ast
 from repro.solver.ast import bv_const, bv_var
 from repro.solver.cache import QueryCache
+from repro.solver.incremental import IncrementalSolver
 from repro.solver.solver import Solver
 from repro.symex.engine import Engine, EngineConfig
 from repro.systems.fsp import FSP_LAYOUT
@@ -149,7 +154,7 @@ def test_repeated_queries_with_cache(benchmark):
     assert stats.hit_rate > 0.5
 
 
-def test_cache_speedup_on_repeated_queries():
+def test_cache_speedup_on_repeated_queries(json_artifact):
     """Acceptance gate: ≥1.5× on repeated-query workloads, nonzero hit rate.
 
     Compares one engine answering the workload ``rounds`` times against a
@@ -177,8 +182,135 @@ def test_cache_speedup_on_repeated_queries():
     print(f"\nrepeated-query workload: uncached {uncached:.3f}s, "
           f"cached {cached:.3f}s, speedup {speedup:.1f}x, "
           f"hit rate {stats.hit_rate:.1%}")
+    json_artifact("solver_cache", {
+        "workload": "repeated canonical queries",
+        "queries_per_round": len(queries),
+        "rounds": rounds,
+        "uncached_seconds": round(uncached, 6),
+        "cached_seconds": round(cached, 6),
+        "speedup": round(speedup, 2),
+        "cache_hits": stats.hits,
+        "cache_misses": stats.misses,
+        "hit_rate": round(stats.hit_rate, 4),
+    })
     assert stats.hit_rate > 0.5
     assert speedup >= 1.5
+
+
+# -- incremental push/pop workloads (prefix-sharing, not repeating) ------------
+
+
+def _extend_by_one_workload():
+    """Extend-by-one PC growth with per-prefix probes — the exploration
+    hot path: every branch appends one conjunct, and the Trojan search
+    poses ``pc + probe`` push/pop patterns against each prefix. No query
+    repeats exactly (the canonical cache cannot help); consecutive
+    queries share long prefixes (the frame stack can)."""
+    msg = message_vars(TOY_LAYOUT)
+    crc = toy_checksum(list(msg[:10]))
+    path = [
+        ast.or_(ast.eq(msg[0], bv_const(1, 8)), ast.eq(msg[0], bv_const(2, 8))),
+        ast.eq(msg[10], crc),
+        ast.eq(msg[1], bv_const(1, 8)),
+        msg[2] < 100,
+        msg[3] >= 7,
+        ast.ne(msg[4], bv_const(0, 8)),
+        msg[5] <= 9,
+        msg[6] > 1,
+        ast.eq(msg[7], msg[8]),
+        msg[9] < 200,
+    ]
+    probes = [
+        (ast.eq(msg[2], bv_const(5, 8)),),
+        (msg[3] < 50, ast.ne(msg[1], bv_const(0, 8))),
+        (msg[2] > 150,),  # conflicts with the prefix: an unsat probe
+    ]
+    queries = []
+    for hi in range(1, len(path) + 1):
+        prefix = tuple(path[:hi])
+        queries.append(prefix)
+        for probe in probes:
+            queries.append(prefix + probe)
+    return queries
+
+
+def test_incremental_answers_match_scratch():
+    """Every extend-by-one query: frame-stack answer == from-scratch answer."""
+    queries = _extend_by_one_workload()
+    incremental = IncrementalSolver()
+    for query in queries:
+        assert (incremental.check(query).status
+                == Solver().check(query).status)
+
+
+def test_incremental_speedup_on_extend_by_one(json_artifact):
+    """Acceptance gate (CI perf smoke): the push/pop assertion stack must
+    beat from-scratch ``Solver.check`` by ≥2× on extend-by-one sequences.
+
+    Measures the same query list both ways; the incremental side aligns
+    its frame stack per query (pop the dead suffix, push the new
+    conjuncts), so prefix propagation is paid once per prefix instead of
+    once per query.
+    """
+    queries = _extend_by_one_workload()
+    rounds = 5
+    # Warm the global canonicalization/interning memos so neither side
+    # pays first-touch rewriting inside the measured region.
+    Solver().check(queries[-1])
+
+    started = time.perf_counter()
+    for _ in range(rounds):
+        for query in queries:
+            Solver().check(query)
+    scratch = time.perf_counter() - started
+
+    incremental = IncrementalSolver()
+    started = time.perf_counter()
+    for _ in range(rounds):
+        for query in queries:
+            incremental.check(query)
+    stacked = time.perf_counter() - started
+
+    stats = incremental.solver.stats
+    speedup = scratch / stacked if stacked else float("inf")
+    quick_rate = (stats.quick_sats + stats.quick_unsats) / stats.queries
+    print(f"\nextend-by-one workload: from-scratch {scratch:.3f}s, "
+          f"incremental {stacked:.3f}s, speedup {speedup:.1f}x, "
+          f"frames reused {stats.frames_reused}, "
+          f"quick-answer rate {quick_rate:.1%}")
+    json_artifact("solver_incremental", {
+        "workload": "extend-by-one push/pop sequence",
+        "queries_per_round": len(queries),
+        "rounds": rounds,
+        "scratch_seconds": round(scratch, 6),
+        "incremental_seconds": round(stacked, 6),
+        "speedup": round(speedup, 2),
+        "frames_pushed": stats.frames_pushed,
+        "frames_reused": stats.frames_reused,
+        "quick_sats": stats.quick_sats,
+        "quick_unsats": stats.quick_unsats,
+        "incremental_fallbacks": stats.incremental_fallbacks,
+        "propagation_seconds": round(stats.propagation_seconds, 6),
+    })
+    assert speedup >= 2.0
+    assert stats.frames_reused > stats.frames_pushed
+
+
+def test_trail_pop_is_cheaper_than_repropagation(benchmark):
+    """pop() must be O(changes): popping and re-pushing one probe conjunct
+    at the end of a deep stack, timed."""
+    queries = _extend_by_one_workload()
+    deep = queries[-2]  # longest prefix plus a probe
+    incremental = IncrementalSolver()
+    incremental.check(deep)
+    probe = deep[-1]
+
+    def pop_push():
+        incremental.pop()
+        incremental.push(probe)
+        return incremental.check_current().status
+
+    assert benchmark(pop_push) == "sat"
 
 
 def test_cross_engine_cache_reuse(benchmark):

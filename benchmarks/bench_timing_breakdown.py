@@ -22,9 +22,10 @@ def outcome():
     return run_fsp_accuracy()
 
 
-def test_timing_breakdown(benchmark, outcome, artifact):
+def test_timing_breakdown(benchmark, outcome, artifact, json_artifact):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    timings = outcome.report.timings
+    report = outcome.report
+    timings = report.timings
     fractions = timings.fractions()
 
     rows = []
@@ -35,6 +36,20 @@ def test_timing_breakdown(benchmark, outcome, artifact):
     artifact("timing_breakdown", format_table(
         ["Phase", "Paper share", "Here share", "Here seconds"], rows,
         title="Analysis wall-clock split (paper: 3min/15min/45min)"))
+    json_artifact("fsp_timing_breakdown", {
+        "workload": "FSP end-to-end (Table 1 accuracy run)",
+        "client_extraction_seconds": round(timings.client_extraction, 6),
+        "preprocessing_seconds": round(timings.preprocessing, 6),
+        "server_analysis_seconds": round(timings.server_analysis, 6),
+        "total_seconds": round(timings.total, 6),
+        "findings": report.trojan_count,
+        "solver_queries": report.solver_queries,
+        "cache_hits": report.cache_hits,
+        "cache_misses": report.cache_misses,
+        "cache_hit_rate": round(report.cache_hit_rate, 4),
+        "frames_reused": report.frames_reused,
+        "propagation_seconds": round(report.propagation_seconds, 6),
+    })
 
     # The orderings the paper's split implies.
     assert timings.client_extraction < timings.preprocessing

@@ -4,10 +4,16 @@ Every benchmark renders its paper-shaped table/series through the
 ``artifact`` fixture, which both prints it (visible with ``pytest -s``)
 and writes it under ``benchmarks/results/`` so the regenerated rows can
 be diffed against EXPERIMENTS.md.
+
+``json_artifact`` is the machine-readable sibling: benchmarks dump their
+wall clocks and counters (query/cache/frame-reuse) as
+``benchmarks/results/BENCH_<name>.json``, so the perf trajectory can be
+tracked across PRs and uploaded as a CI artifact.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -24,6 +30,25 @@ def artifact():
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
         print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return save
+
+
+@pytest.fixture
+def json_artifact():
+    """Persist machine-readable results: ``json_artifact(name, payload)``.
+
+    ``payload`` must be JSON-serializable (wall clocks, counters, ratios).
+    Written as ``BENCH_<name>.json`` with sorted keys so diffs across PRs
+    stay stable.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def save(name: str, payload: dict) -> pathlib.Path:
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\n[bench json saved to {path}]")
         return path
 
     return save

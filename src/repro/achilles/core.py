@@ -22,6 +22,14 @@ the server search whenever the canonicalized constraint sets coincide.
 The cache's hit/miss counters are surfaced on the resulting
 :class:`~repro.achilles.report.AchillesReport` (``cache_hits``,
 ``cache_misses``, ``cache_hit_rate``).
+
+Under the cache, each phase's engine answers misses through an
+incremental assertion stack
+(:class:`~repro.solver.incremental.IncrementalSolver`): the full solver
+pipeline is canonicalize → shared query cache (identical queries) →
+per-engine frame stack (prefix-sharing queries reuse interval-propagation
+fixpoints; ``frames_reused`` / ``propagation_seconds`` on the report) →
+from-scratch search for whatever remains.
 """
 
 from __future__ import annotations

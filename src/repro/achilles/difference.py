@@ -23,6 +23,7 @@ from repro.achilles.mask import FieldMask
 from repro.achilles.negate import negate_field
 from repro.achilles.predicates import ClientPathPredicate
 from repro.solver.ast import Expr
+from repro.solver.incremental import IncrementalSolver
 from repro.solver.solver import Solver
 
 
@@ -58,6 +59,11 @@ class DifferentFrom:
         self._server_msg = server_msg
         self._mask = mask or FieldMask.none()
         self._solver = solver or Solver()
+        # Every matrix entry poses ``i_pred.combined(...) + (negation,)``:
+        # a fixed prefix probed with one conjunct across the whole inner
+        # pair/field loop — exactly the push/pop shape the incremental
+        # assertion stack amortizes (the prefix propagates once per i).
+        self._incremental = IncrementalSolver(solver=self._solver)
         self._table: dict[tuple[int, int, str], bool] = {}
         self._independent: dict[tuple[int, str], bool] = {}
         self.stats = DifferenceStats()
@@ -134,7 +140,7 @@ class DifferentFrom:
             return  # negate abandoned: stay conservative (defaults True)
         query = i_pred.combined(self._server_msg) + (negation_j,)
         self.stats.solver_queries += 1
-        entry = self._solver.check(query).is_sat
+        entry = self._incremental.check(query).is_sat
         self._table[(i_pred.index, j_pred.index, field)] = entry
         if entry:
             self.stats.entries_true += 1

@@ -105,6 +105,12 @@ class AchillesReport:
             :class:`~repro.achilles.core.Achilles` instance — they include
             cross-phase reuse and therefore count more lookups than the
             phase-2-only ``solver_queries``.
+        frames_reused: assertion-stack frames whose propagation fixpoint
+            the incremental layer reused across prefix-sharing queries
+            (:class:`~repro.solver.incremental.IncrementalSolver`) during
+            the server search.
+        propagation_seconds: wall clock the server search spent in
+            incremental interval propagation.
     """
 
     findings: list[TrojanFinding] = field(default_factory=list)
@@ -116,6 +122,8 @@ class AchillesReport:
     solver_queries: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    frames_reused: int = 0
+    propagation_seconds: float = 0.0
 
     @property
     def trojan_count(self) -> int:

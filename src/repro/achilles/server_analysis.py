@@ -79,7 +79,12 @@ class TrojanSearchObserver(PathObserver):
 
     All solver work goes through the engine's memoized queries, so replays
     of forked prefixes (the engine re-executes paths) cost dictionary
-    lookups, not solver calls.
+    lookups, not solver calls. Below the cache, every per-path probe —
+    ``pathS ∧ pathC_i`` predicate re-checks and ``pathS ∧ ⋀ negations``
+    Trojan queries alike — is a ``pc + probe`` shape, which the engine's
+    incremental assertion stack answers as push/pop against the path's
+    frame: the ``pc`` prefix keeps its propagation fixpoint and only the
+    probe conjuncts are propagated per query.
     """
 
     def __init__(self, engine: Engine, clients: ClientPredicateSet,
@@ -228,6 +233,8 @@ def search_server(server, clients: ClientPredicateSet,
         solver_queries=engine.solver.stats.queries,
         cache_hits=engine.query_cache.stats.hits,
         cache_misses=engine.query_cache.stats.misses,
+        frames_reused=engine.solver.stats.frames_reused,
+        propagation_seconds=engine.solver.stats.propagation_seconds,
     )
     report.timings.server_analysis = elapsed
     return report, exploration
@@ -278,4 +285,6 @@ def a_posteriori_search(server, clients: ClientPredicateSet,
     report.solver_queries = engine.solver.stats.queries
     report.cache_hits = engine.query_cache.stats.hits
     report.cache_misses = engine.query_cache.stats.misses
+    report.frames_reused = engine.solver.stats.frames_reused
+    report.propagation_seconds = engine.solver.stats.propagation_seconds
     return report

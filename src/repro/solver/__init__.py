@@ -13,8 +13,20 @@ Public surface:
   syntactic variants of a query onto one shape; :class:`QueryCache`
   (:mod:`repro.solver.cache`) memoizes satisfiability answers keyed on the
   canonical frozen constraint set.
+* Incremental solving: :class:`IncrementalSolver`
+  (:mod:`repro.solver.incremental`) — a push/pop assertion stack where
+  each frame extends the interval-propagation fixpoint and popping undoes
+  it in O(changes) via the domain write trail
+  (:class:`~repro.solver.propagate.TrailDomains`).
 * Enumeration: :func:`count_models` / :func:`iter_models` for bounded
   spaces (used by the evaluation benchmarks).
+
+Query pipeline, outermost layer first — each layer only sees what the
+previous one could not answer: **canonicalize** (syntactic variants
+collapse) → **query cache** (identical queries) → **incremental frame
+stack** (prefix-sharing queries: reused propagation + verified-candidate /
+contradiction fast paths) → **propagation + backtracking search**
+(everything else, from scratch).
 """
 
 from repro.solver.ast import (
@@ -52,6 +64,8 @@ from repro.solver.ast import (
 from repro.solver.cache import CacheStats, QueryCache
 from repro.solver.enumerate import count_models, iter_models
 from repro.solver.evalmodel import all_hold, evaluate, holds
+from repro.solver.incremental import IncrementalSolver
+from repro.solver.propagate import TrailDomains, build_var_index, propagate_delta
 from repro.solver.simplify import canonical_constraint_set, canonicalize
 from repro.solver.solver import SAT, UNSAT, SatResult, Solver, SolverStats, check, is_satisfiable
 from repro.solver.sorts import BOOL, BV8, BV16, BV32, BV64, BitVecSort, bitvec_sort
@@ -59,14 +73,16 @@ from repro.solver.walk import collect_vars, collect_vars_all, expr_size, simplif
 
 __all__ = [
     "BOOL", "BV8", "BV16", "BV32", "BV64", "BitVecSort", "CacheStats",
-    "Expr", "FALSE", "QueryCache", "SAT", "SatResult", "Solver",
-    "SolverStats", "TRUE", "UNSAT", "all_hold",
+    "Expr", "FALSE", "IncrementalSolver", "QueryCache", "SAT", "SatResult",
+    "Solver", "SolverStats", "TRUE", "TrailDomains", "UNSAT", "all_hold",
     "all_of", "and_", "any_of", "bitvec_sort", "bool_const", "bool_var",
-    "bv_const", "bv_var", "bytes_to_exprs", "canonical_constraint_set",
+    "build_var_index", "bv_const", "bv_var", "bytes_to_exprs",
+    "canonical_constraint_set",
     "canonicalize", "check", "collect_vars",
     "collect_vars_all", "concat", "count_models", "eq", "evaluate",
     "expr_size", "extract", "holds", "iff", "implies", "is_satisfiable",
-    "ite", "iter_models", "ne", "not_", "or_", "sext", "sge", "sgt",
+    "ite", "iter_models", "ne", "not_", "or_", "propagate_delta", "sext",
+    "sge", "sgt",
     "simplify", "sle", "slt", "substitute", "uge", "ugt", "ule", "ult",
     "zext",
 ]

@@ -5,6 +5,13 @@ makes this point in §6.2 when discussing why classic symbolic execution
 cannot cheaply list Trojan messages). The evaluation benchmarks nevertheless
 need exact counts over *bounded* message spaces, so this module provides a
 propagation-pruned exhaustive enumerator for that purpose.
+
+The enumerator shares the incremental machinery of
+:mod:`repro.solver.propagate`: one :class:`TrailDomains` carries the
+domains down the enumeration tree, each trial value re-propagates only the
+constraints watching the pinned variable (:func:`propagate_delta`), and
+backtracking undoes the trial's domain writes in O(changes) — the previous
+implementation cloned the full domain dict at every node.
 """
 
 from __future__ import annotations
@@ -15,7 +22,14 @@ from repro.errors import SolverError
 from repro.solver.ast import Expr
 from repro.solver.evalmodel import all_hold
 from repro.solver.interval import Interval
-from repro.solver.propagate import initial_domains, propagate
+from repro.solver.propagate import (
+    TrailDomains,
+    VarIndex,
+    build_var_index,
+    default_pop_budget,
+    initial_domains,
+    propagate_delta,
+)
 from repro.solver.walk import collect_vars_all
 
 _DEFAULT_LIMIT = 1_000_000
@@ -32,7 +46,9 @@ def iter_models(constraints: Iterable[Expr], variables: Sequence[Expr],
     Args:
         constraints: boolean expressions.
         variables: the enumeration space; order fixes the search order.
-        limit: safety valve on the number of *yielded* models.
+        limit: safety valve on the number of *yielded* models. The error
+            is raised only when a model beyond the limit actually exists;
+            a space holding exactly ``limit`` models enumerates cleanly.
     """
     constraint_list = list(constraints)
     var_list = list(variables)
@@ -42,16 +58,25 @@ def iter_models(constraints: Iterable[Expr], variables: Sequence[Expr],
         raise SolverError(f"iter_models requires all constraint variables "
                           f"to be enumerated; missing: {names}")
 
-    domains = initial_domains(constraint_list)
+    domains = TrailDomains(initial_domains(constraint_list))
     for var in var_list:
-        domains.setdefault(var, _full_domain(var))
+        if var not in domains:
+            domains[var] = _full_domain(var)
+    var_index = build_var_index(constraint_list)
+    budget = default_pop_budget(len(constraint_list))
+
+    if not propagate_delta(domains, var_index, constraint_list, budget):
+        return
 
     yielded = 0
-    for model in _enumerate(constraint_list, domains, var_list, 0):
-        yield model
-        yielded += 1
+    for model in _enumerate(constraint_list, domains, var_index, var_list,
+                            0, budget):
+        # Probe-before-raise: the limit trips only when a (limit+1)-th
+        # model is actually produced, not merely when the limit-th one was.
         if yielded >= limit:
             raise SolverError(f"model enumeration exceeded limit of {limit}")
+        yield model
+        yielded += 1
 
 
 def count_models(constraints: Iterable[Expr], variables: Sequence[Expr],
@@ -68,19 +93,27 @@ def _full_domain(var: Expr) -> Interval:
     return Interval(0, var.sort.mask)
 
 
-def _enumerate(constraints: list[Expr], domains: dict[Expr, Interval],
-               variables: list[Expr], index: int) -> Iterator[dict[Expr, int]]:
-    narrowed = propagate(constraints, domains)
-    if narrowed is None:
-        return
+def _enumerate(constraints: list[Expr], domains: TrailDomains,
+               var_index: VarIndex, variables: list[Expr], index: int,
+               budget: int) -> Iterator[dict[Expr, int]]:
+    """Depth-first enumeration; ``domains`` is already at a fixpoint.
+
+    Pinning a trial value re-propagates only the constraints watching the
+    pinned variable; the trial's writes are undone through the trail when
+    the subtree is exhausted, restoring the parent fixpoint exactly.
+    """
     if index == len(variables):
-        model = {var: narrowed.get(var, Interval(0, 0)).lo for var in variables}
+        model = {var: domains.get(var, Interval(0, 0)).lo for var in variables}
         if all_hold(constraints, model):
             yield model
         return
     var = variables[index]
-    domain = narrowed.get(var, _full_domain(var))
+    domain = domains.get(var, _full_domain(var))
+    watchers = var_index.get(var, ())
     for value in domain:
-        trial = dict(narrowed)
-        trial[var] = Interval(value, value)
-        yield from _enumerate(constraints, trial, variables, index + 1)
+        mark = domains.mark()
+        domains[var] = Interval(value, value)
+        if propagate_delta(domains, var_index, watchers, budget):
+            yield from _enumerate(constraints, domains, var_index, variables,
+                                  index + 1, budget)
+        domains.undo_to(mark)

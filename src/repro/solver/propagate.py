@@ -4,10 +4,25 @@ Propagation narrows per-variable unsigned intervals until a fixpoint. It is
 sound but deliberately incomplete: anything it cannot narrow it leaves at the
 full range, and the backtracking search in :mod:`repro.solver.solver` picks
 up from there. A ``None`` result proves unsatisfiability.
+
+Two entry points share the narrowing rules:
+
+* :func:`propagate` — the from-scratch fixpoint over a whole constraint
+  list, used by the backtracking search.
+* :func:`propagate_delta` — incremental re-propagation driven by a
+  dirty-variable worklist: seeded with just the constraints that changed
+  (e.g. the one conjunct pushed onto an assertion stack), it re-visits only
+  constraints touching variables whose domains actually narrowed, reusing
+  the parent fixpoint for everything else. Combined with
+  :class:`TrailDomains` — a domains dict journaling every write so a later
+  ``undo_to`` restores the exact prior state in O(changes) — this is what
+  lets :class:`~repro.solver.incremental.IncrementalSolver` pop a frame
+  without recomputing or copying anything.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Iterable
 
 from repro.errors import SolverError
@@ -15,11 +30,118 @@ from repro.solver import interval as iv
 from repro.solver.ast import Expr
 from repro.solver.interval import Interval, TRI_FALSE, TRI_TRUE, TRI_UNKNOWN
 from repro.solver.sorts import BOOL, BitVecSort
-from repro.solver.walk import collect_vars_all
+from repro.solver.walk import collect_vars, collect_vars_all
 
 Domains = dict[Expr, Interval]
 
+#: Constraints watching each variable; drives the propagation worklist.
+VarIndex = dict[Expr, list[Expr]]
+
 _MAX_ROUNDS = 40
+
+#: Trail sentinel: the key was absent before the write.
+_ABSENT = object()
+
+
+class TrailDomains(dict):
+    """A :data:`Domains` dict journaling every write for O(changes) undo.
+
+    All narrowing in this module funnels through plain item assignment
+    (``domains[var] = interval``), so overriding ``__setitem__`` to record
+    the previous binding is enough: :meth:`mark` snapshots a position in
+    the write trail and :meth:`undo_to` replays the trail backwards to
+    restore the exact dict state at that mark. Undo cost is proportional
+    to the number of writes since the mark, never to the number of
+    variables — the property the assertion-stack ``pop()`` and the model
+    enumerator's backtracking rely on.
+
+    Construction-time entries (``TrailDomains(initial)``) are not
+    journaled; the trail starts empty.
+    """
+
+    __slots__ = ("_trail",)
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._trail: list[tuple[Expr, object]] = []
+
+    def __setitem__(self, key: Expr, value: Interval) -> None:
+        self._trail.append((key, dict.get(self, key, _ABSENT)))
+        dict.__setitem__(self, key, value)
+
+    def mark(self) -> int:
+        """Current trail position, for a later :meth:`undo_to`."""
+        return len(self._trail)
+
+    def written_since(self, mark: int) -> list[Expr]:
+        """Keys written since ``mark``, in write order (may repeat)."""
+        return [key for key, _ in self._trail[mark:]]
+
+    def undo_to(self, mark: int) -> None:
+        """Restore the exact state the dict had when ``mark`` was taken."""
+        trail = self._trail
+        while len(trail) > mark:
+            key, old = trail.pop()
+            if old is _ABSENT:
+                dict.pop(self, key, None)
+            else:
+                dict.__setitem__(self, key, old)
+
+
+def build_var_index(constraints: Iterable[Expr]) -> VarIndex:
+    """Map every variable to the constraints mentioning it."""
+    index: VarIndex = {}
+    for constraint in constraints:
+        for var in collect_vars(constraint):
+            index.setdefault(var, []).append(constraint)
+    return index
+
+
+def default_pop_budget(constraint_count: int) -> int:
+    """Worklist visit budget matching the from-scratch round cap."""
+    return _MAX_ROUNDS * max(8, constraint_count)
+
+
+def propagate_delta(domains: TrailDomains, var_index: VarIndex,
+                    seeds: Iterable[Expr],
+                    max_pops: int | None = None) -> bool:
+    """Re-propagate incrementally from a parent fixpoint.
+
+    Seeds the worklist with ``seeds`` (typically the constraints just
+    added, or those watching a variable just pinned); whenever a domain
+    narrows, every constraint in ``var_index`` watching that variable is
+    re-queued. Constraints untouched by any narrowed variable stay at the
+    parent fixpoint and are never revisited.
+
+    All writes go through ``domains``'s trail, so on a contradiction the
+    caller recovers the pre-call state with ``undo_to``. Returns False
+    when a contradiction proves the constraint set unsatisfiable, True
+    otherwise. Visits beyond ``max_pops`` are abandoned (sound: domains
+    merely stay wider), mirroring :data:`_MAX_ROUNDS` in the from-scratch
+    pass.
+    """
+    worklist: deque[Expr] = deque(seeds)
+    queued = set(worklist)
+    if max_pops is None:
+        max_pops = default_pop_budget(len(queued) + len(var_index))
+    pops = 0
+    try:
+        while worklist:
+            constraint = worklist.popleft()
+            queued.discard(constraint)
+            pops += 1
+            if pops > max_pops:
+                break
+            mark = domains.mark()
+            _assert_true(constraint, domains, {})
+            for var in domains.written_since(mark):
+                for watcher in var_index.get(var, ()):
+                    if watcher not in queued:
+                        queued.add(watcher)
+                        worklist.append(watcher)
+    except _Contradiction:
+        return False
+    return True
 
 
 class _Contradiction(Exception):
@@ -158,6 +280,13 @@ def _assert_true(expr: Expr, domains: Domains, cache: dict[Expr, Interval]) -> b
             raise _Contradiction()
         if len(open_args) == 1:
             return _assert_true(open_args[0], domains, cache)
+        # All open arms bound the *same* variable: it must lie in the hull
+        # of the per-arm intervals (one arm holds, each arm implies its
+        # interval). Membership disjunctions (msg[0] == A ∨ msg[0] == B)
+        # narrow here instead of leaving the full range to the search.
+        hull = _common_var_hull(open_args)
+        if hull is not None:
+            return _narrow(hull[0], hull[1], domains, cache)
         return False
     if op in ("eq", "ult", "ule", "slt", "sle"):
         return _assert_comparison(op, expr.args[0], expr.args[1], domains, cache)
@@ -269,6 +398,52 @@ def _assert_comparison(op: str, a: Expr, b: Expr, domains: Domains,
             changed |= _narrow_signed(b, narrowed, domains, cache)
         return changed
     raise SolverError(f"unknown comparison operator {op}")
+
+
+def _common_var_hull(arms: list[Expr]) -> tuple[Expr, Interval] | None:
+    """Interval implied by a disjunction whose arms all bound one variable.
+
+    Returns ``(var, hull)`` when every arm is a recognized var-vs-constant
+    comparison over the same bitvector variable, None otherwise.
+    """
+    var: Expr | None = None
+    hull: Interval | None = None
+    for arm in arms:
+        bounds = _arm_bounds(arm)
+        if bounds is None:
+            return None
+        if var is None:
+            var, hull = bounds
+        elif bounds[0] is var:
+            hull = hull.hull(bounds[1])
+        else:
+            return None
+    if var is None:
+        return None
+    return var, hull
+
+
+def _arm_bounds(arm: Expr) -> tuple[Expr, Interval] | None:
+    """``(var, interval)`` implied by a var-vs-constant comparison arm."""
+    if arm.op not in ("eq", "ult", "ule"):
+        return None
+    lhs, rhs = arm.args
+    if lhs.is_var and lhs.sort != BOOL and rhs.is_const:
+        var, value, var_left = lhs, rhs.params[0], True
+    elif rhs.is_var and rhs.sort != BOOL and lhs.is_const:
+        var, value, var_left = rhs, lhs.params[0], False
+    else:
+        return None
+    mask = (1 << var.width) - 1
+    if arm.op == "eq":
+        return var, Interval(value, value)
+    if arm.op == "ult":
+        if var_left:
+            return (var, Interval(0, value - 1)) if value > 0 else None
+        return (var, Interval(value + 1, mask)) if value < mask else None
+    if var_left:
+        return var, Interval(0, value)
+    return var, Interval(value, mask)
 
 
 def _signed_upper_bound(hi_signed: int, width: int) -> tuple[int, int] | None:

@@ -18,6 +18,12 @@ conjuncts ahead of the search and makes the canonical query cache
 (:mod:`repro.solver.cache`) used by the symbolic-execution engine land on
 the same key for all of them.
 
+In the full exploration pipeline this module is the *last* layer: queries
+flow canonicalize → query cache (identical queries) → incremental frame
+stack (:mod:`repro.solver.incremental`, prefix-sharing queries resolved by
+reused propagation fixpoints) → and only on those fast paths missing does
+a from-scratch :meth:`Solver.check` run.
+
 Every SAT answer is verified by concrete evaluation of all original
 constraints, so propagation bugs cannot produce wrong models. Domains are
 finite, so the search is complete: ``unsat`` answers are proofs.
@@ -78,6 +84,14 @@ class SolverStats:
     consults its :class:`~repro.solver.cache.QueryCache` before calling
     :meth:`Solver.check` and mirrors the outcome here, so ``queries`` only
     grows on misses.
+
+    The ``frames_*`` / ``quick_*`` / ``propagation_seconds`` /
+    ``incremental_fallbacks`` counters describe the incremental layer
+    (:class:`~repro.solver.incremental.IncrementalSolver`) when one wraps
+    this solver: frames pushed onto / reused from the assertion stack,
+    queries answered by the propagation-contradiction and verified-candidate
+    fast paths, wall clock spent in incremental propagation, and queries
+    that fell back to a from-scratch :meth:`Solver.check`.
     """
 
     queries: int = 0
@@ -87,6 +101,12 @@ class SolverStats:
     propagation_calls: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    frames_pushed: int = 0
+    frames_reused: int = 0
+    propagation_seconds: float = 0.0
+    quick_sats: int = 0
+    quick_unsats: int = 0
+    incremental_fallbacks: int = 0
 
 
 @dataclass

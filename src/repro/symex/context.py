@@ -113,9 +113,12 @@ class ExecutionContext:
             self._take(condition, direction)
             return direction
 
+        # Both directions probe as push/pop against the shared pc prefix:
+        # the engine's incremental frame stack keeps the prefix propagation
+        # and swaps only the final conjunct between the two queries.
         pc = tuple(state.constraints)
-        feasible_true = self._engine.is_feasible(pc + (condition,))
-        feasible_false = self._engine.is_feasible(pc + (ast.not_(condition),))
+        feasible_true, feasible_false = self._engine.branch_feasibility(
+            pc, condition)
         explore_true, explore_false = self._observer.on_branch(
             self, condition, feasible_true, feasible_false)
         explore_true = explore_true and feasible_true

@@ -8,12 +8,19 @@ from scratch, replaying the prefix. Re-execution keeps the engine tiny and
 correct at the cost of repeated work; solver queries are memoized so replays
 are cheap.
 
-Solver queries are memoized through a canonical
-:class:`~repro.solver.cache.QueryCache`: the path condition is
-canonicalized and frozen, so replays, reordered conjuncts and commuted
-operands all land on the same cache entry. Passing one shared cache to
-several engines (as the Achilles orchestrator does across its two phases)
-lets them reuse each other's answers.
+Solver queries flow through a layered pipeline — canonicalize → query
+cache → incremental frame stack → propagation → full search:
+
+* the canonical :class:`~repro.solver.cache.QueryCache` answers *identical*
+  queries (replays, reordered conjuncts, commuted operands all land on the
+  same entry; one shared cache lets several engines — e.g. the two
+  Achilles phases — reuse each other's answers);
+* cache misses go to an :class:`~repro.solver.incremental.IncrementalSolver`
+  whose push/pop assertion stack is kept aligned with the decision prefix
+  being explored: the common prefix of consecutive queries keeps its
+  propagation fixpoint (``frames_reused`` in ``SolverStats``), only the
+  differing suffix is re-propagated, and most answers resolve from the
+  propagated domains without the from-scratch search.
 
 The engine is deliberately policy-free. Accept/reject classification
 defaults follow the paper (§5.1): a server path that sent a reply is
@@ -31,9 +38,11 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import ExplorationLimit, PathDropped, PathInfeasible, SymexError
+from repro.solver import ast
 from repro.solver.ast import Expr
 from repro.solver.cache import QueryCache
-from repro.solver.solver import Solver
+from repro.solver.incremental import IncrementalSolver
+from repro.solver.solver import SatResult, Solver
 from repro.solver.walk import collect_vars_all
 from repro.symex import state as st
 from repro.symex.context import ExecutionContext, _PathTerminated
@@ -74,12 +83,17 @@ class EngineConfig:
             (deep paths complete early — the default, matching the
             incremental-discovery behaviour of Figure 10); :data:`BFS`
             drains forks in creation order (shallow coverage first).
+        incremental: route cache misses through the push/pop assertion
+            stack (:class:`~repro.solver.incremental.IncrementalSolver`)
+            so prefix-sharing queries reuse propagation; disable for the
+            from-scratch baseline (answers are identical either way).
     """
 
     max_paths: int = 20_000
     max_branches_per_path: int = 400
     default_verdict: VerdictPolicy = server_verdict
     search_order: str = DFS
+    incremental: bool = True
 
 
 @dataclass
@@ -135,9 +149,25 @@ class Engine:
         # Explicit None check: an empty QueryCache is falsy (len() == 0),
         # and a shared-but-still-empty cache must not be replaced.
         self.query_cache = QueryCache() if query_cache is None else query_cache
+        # The incremental layer shares the engine's solver so fallback
+        # checks and frame/fast-path counters land on one SolverStats.
+        self.incremental = (IncrementalSolver(solver=self.solver)
+                            if self.config.incremental else None)
         self._stats: ExplorationStats | None = None
 
     # -- services used by ExecutionContext ------------------------------------
+
+    def _check(self, constraints: tuple[Expr, ...]) -> SatResult:
+        """Decide a cache-missed query via the incremental frame stack.
+
+        The stack is aligned with ``constraints``: frames matching the
+        common prefix of the previous query keep their propagation
+        fixpoint, only the differing suffix is pushed. With the layer
+        disabled this is a plain from-scratch check.
+        """
+        if self.incremental is None:
+            return self.solver.check(constraints)
+        return self.incremental.check(constraints)
 
     def is_feasible(self, constraints: tuple[Expr, ...]) -> bool:
         """Satisfiability of a path condition, memoized canonically."""
@@ -151,9 +181,20 @@ class Engine:
         if cache.is_trivially_unsat(key):
             feasible = False
         else:
-            feasible = self.solver.check(constraints).is_sat
+            feasible = self._check(constraints).is_sat
         cache.put_feasible(key, feasible)
         return feasible
+
+    def branch_feasibility(self, pc: tuple[Expr, ...],
+                           condition: Expr) -> tuple[bool, bool]:
+        """Feasibility of both directions of a branch on ``condition``.
+
+        Posed as two push/pop probes against the shared ``pc`` prefix:
+        the incremental layer keeps the prefix frames' propagation and
+        only the final conjunct differs between the two probes.
+        """
+        return (self.is_feasible(pc + (condition,)),
+                self.is_feasible(pc + (ast.not_(condition),)))
 
     def solve(self, constraints: tuple[Expr, ...]) -> dict[Expr, int] | None:
         """Model for a path condition (None when unsat), memoized canonically.
@@ -179,7 +220,7 @@ class Engine:
         if cache.is_trivially_unsat(key):
             model = None
         else:
-            result = self.solver.check(constraints)
+            result = self._check(constraints)
             model = dict(result.model) if result.is_sat else None
         cache.put_model(key, model)
         return dict(model) if model is not None else None

@@ -50,6 +50,26 @@ class TestIterModels:
         with pytest.raises(SolverError):
             list(iter_models([], [X], limit=10))
 
+    def test_exactly_limit_models_enumerate_cleanly(self):
+        """The limit trips only when a model *beyond* it exists: a space
+        holding exactly ``limit`` models must enumerate without error."""
+        models = list(iter_models([X > 253], [X], limit=2))
+        assert sorted(m[X] for m in models) == [254, 255]
+
+    def test_limit_one_with_single_model_ok(self):
+        models = list(iter_models([eq(X, bv_const(9, 8))], [X], limit=1))
+        assert [m[X] for m in models] == [9]
+
+    def test_limit_raises_before_yielding_the_excess_model(self):
+        seen = []
+        with pytest.raises(SolverError):
+            for model in iter_models([X > 250], [X], limit=3):
+                seen.append(model[X])
+        assert len(seen) == 3  # the 4th model triggered the error, unseen
+
+    def test_count_models_at_exact_limit(self):
+        assert count_models([X < 4], [X], limit=4) == 4
+
     def test_signed_range(self):
         models = list(iter_models([X.slt(0), X > 253], [X]))
         assert sorted(m[X] for m in models) == [254, 255]

@@ -66,6 +66,28 @@ class TestNarrowing:
         domains = _run([pred])
         assert domains[X] == Interval(9, 9)
 
+    def test_or_membership_narrows_to_hull(self):
+        """All arms bound the same variable: it must lie in their hull."""
+        pred = or_(eq(X, bv_const(3, 8)), eq(X, bv_const(17, 8)))
+        domains = _run([pred])
+        assert domains[X] == Interval(3, 17)
+
+    def test_or_mixed_comparisons_same_variable(self):
+        pred = or_(ult(X, bv_const(4, 8)), eq(X, bv_const(200, 8)))
+        domains = _run([pred])
+        assert domains[X] == Interval(0, 200)
+
+    def test_or_hull_intersects_existing_domain(self):
+        pred = or_(eq(X, bv_const(3, 8)), eq(X, bv_const(17, 8)))
+        domains = _run([pred, X > 10])
+        assert domains[X] == Interval(17, 17)
+
+    def test_or_over_distinct_variables_stays_wide(self):
+        pred = or_(eq(X, bv_const(3, 8)), eq(Y, bv_const(4, 8)))
+        domains = _run([pred])
+        assert domains[X] == Interval(0, 255)
+        assert domains[Y] == Interval(0, 255)
+
 
 class TestSoundness:
     @settings(max_examples=200, deadline=None)

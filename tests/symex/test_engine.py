@@ -183,6 +183,44 @@ class TestDeterminism:
         assert names == {"x", "x#1"}
 
 
+class TestIncrementalParity:
+    """The incremental frame stack is a pure optimization: exploration
+    must produce identical paths with it on or off."""
+
+    @staticmethod
+    def _program(ctx):
+        x = ctx.fresh_byte("x")
+        y = ctx.fresh_byte("y")
+        if ctx.branch(x < 100):
+            ctx.branch(x.eq(5))
+            if ctx.branch(y > 200):
+                ctx.send("s", [x, y])
+        else:
+            ctx.branch(ast.or_(y.eq(1), y.eq(2)))
+
+    def test_same_paths_with_and_without_frame_stack(self):
+        with_frames = _engine(incremental=True).explore(self._program)
+        without = _engine(incremental=False).explore(self._program)
+        assert [(p.decisions, p.verdict, p.constraints)
+                for p in with_frames.paths] == \
+            [(p.decisions, p.verdict, p.constraints) for p in without.paths]
+
+    def test_exploration_reuses_prefix_frames(self):
+        engine = _engine(incremental=True)
+        engine.explore(self._program)
+        stats = engine.solver.stats
+        assert stats.frames_pushed > 0
+        # Branch probes pose pc+(cond,) then pc+(¬cond,): the pc prefix
+        # frames must be reused between the two, not re-pushed.
+        assert stats.frames_reused > 0
+
+    def test_incremental_off_uses_plain_solver(self):
+        engine = _engine(incremental=False)
+        assert engine.incremental is None
+        engine.explore(self._program)
+        assert engine.solver.stats.frames_pushed == 0
+
+
 def _vars(expr):
     from repro.solver.walk import collect_vars
 
