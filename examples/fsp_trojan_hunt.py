@@ -9,8 +9,15 @@ column (80 true positives, 0 false positives) and the Figure 10 curve.
 Run::
 
     python examples/fsp_trojan_hunt.py
+    python examples/fsp_trojan_hunt.py --workers 4   # parallel solver service
+
+``--workers N`` shards the embarrassingly parallel solver batches (the
+``differentFrom`` matrix, negation probes, per-path predicate re-checks)
+across N worker processes; the findings are byte-identical to the serial
+run.
 """
 
+import argparse
 from collections import Counter
 
 from repro.bench.experiments import run_fsp_accuracy
@@ -19,8 +26,14 @@ from repro.systems.fsp import FSP_LAYOUT, classify_message
 
 
 def main() -> None:
-    print("Running Achilles on FSP (8 utilities, path bound 5)...")
-    outcome = run_fsp_accuracy()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=1,
+                        help="solver-service worker processes (default: 1, "
+                             "fully serial)")
+    args = parser.parse_args()
+    print(f"Running Achilles on FSP (8 utilities, path bound 5, "
+          f"workers={args.workers})...")
+    outcome = run_fsp_accuracy(workers=args.workers)
     report = outcome.report
 
     print(format_table(

@@ -17,13 +17,14 @@ import sys
 from repro.bench.tables import format_table
 
 
-def _run_toy() -> int:
+def _run_toy(workers: int = 1) -> int:
     from repro.achilles import Achilles, AchillesConfig
     from repro.systems.toy import TOY_LAYOUT, toy_client, toy_server
 
-    achilles = Achilles(AchillesConfig(layout=TOY_LAYOUT))
-    predicates = achilles.extract_clients({"toy": toy_client})
-    report = achilles.search(toy_server, predicates)
+    with Achilles(AchillesConfig(layout=TOY_LAYOUT,
+                                 workers=workers)) as achilles:
+        predicates = achilles.extract_clients({"toy": toy_client})
+        report = achilles.search(toy_server, predicates)
     rows = [[f.server_path_id, f.witness.hex(),
              str(f.witness_fields(TOY_LAYOUT))] for f in report.findings]
     print(format_table(["path", "witness", "fields"], rows,
@@ -32,10 +33,10 @@ def _run_toy() -> int:
     return 0
 
 
-def _run_fsp() -> int:
+def _run_fsp(workers: int = 1) -> int:
     from repro.bench.experiments import run_fsp_accuracy
 
-    outcome = run_fsp_accuracy()
+    outcome = run_fsp_accuracy(workers=workers)
     print(format_table(
         ["metric", "paper", "here"],
         [["true positives", 80, outcome.true_positives],
@@ -47,11 +48,11 @@ def _run_fsp() -> int:
     return 0 if outcome.false_positives == 0 else 1
 
 
-def _run_fsp_wildcard() -> int:
+def _run_fsp_wildcard(workers: int = 1) -> int:
     from repro.bench.experiments import run_fsp_wildcard
     from repro.systems.fsp import FSP_LAYOUT
 
-    report = run_fsp_wildcard()
+    report = run_fsp_wildcard(workers=workers)
     buf = FSP_LAYOUT.view("buf")
     wildcard = [w for w in report.witnesses()
                 if any(b in (42, 63) for b in w[buf.offset:buf.end])]
@@ -63,10 +64,10 @@ def _run_fsp_wildcard() -> int:
     return 0 if wildcard else 1
 
 
-def _run_pbft() -> int:
+def _run_pbft(workers: int = 1) -> int:
     from repro.bench.experiments import run_pbft_impact
 
-    outcome = run_pbft_impact()
+    outcome = run_pbft_impact(workers=workers)
     print(f"findings: {outcome.report.trojan_count} "
           f"(MAC != {outcome.mac_stub.hex()}) in "
           f"{outcome.report.timings.total:.2f}s")
@@ -93,13 +94,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("experiment",
                         choices=sorted(_EXPERIMENTS) + ["list"],
                         help="experiment to run, or 'list'")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="solver-service worker processes (default: 1, "
+                             "fully serial; findings are identical at any "
+                             "worker count)")
     args = parser.parse_args(argv)
     if args.experiment == "list":
         for name, (_, description) in sorted(_EXPERIMENTS.items()):
             print(f"{name:14} {description}")
         return 0
     runner, _ = _EXPERIMENTS[args.experiment]
-    return runner()
+    return runner(workers=args.workers)
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ from repro.errors import AchillesError
 from repro.messages.layout import MessageLayout
 from repro.solver.ast import Expr
 from repro.solver.cache import QueryCache
+from repro.solver.service import SolverService
 from repro.solver.solver import Solver
 from repro.symex.engine import Engine, EngineConfig, NodeProgram, client_verdict
 
@@ -128,20 +129,47 @@ def preprocess(predicates: list[ClientPathPredicate],
                mask: FieldMask | None = None,
                solver: Solver | None = None,
                stats: ClientAnalysisStats | None = None,
-               build_difference: bool = True) -> ClientPredicateSet:
-    """Pre-compute negations and the ``differentFrom`` matrix (§3, §3.3)."""
+               build_difference: bool = True,
+               service: SolverService | None = None) -> ClientPredicateSet:
+    """Pre-compute negations and the ``differentFrom`` matrix (§3, §3.3).
+
+    All pre-processing probes flow through one
+    :class:`~repro.solver.service.SolverService`: the per-field negation
+    overlap checks and the pairwise matrix entries are independent
+    queries, batched per predicate. On the default serial backend both
+    families share the service's single incremental frame stack (the
+    ``pred.combined(server_msg)`` prefix propagates once per predicate,
+    whichever family probes it first); with ``workers > 1`` the batches
+    shard across the pool.
+
+    The surviving per-field negation expressions computed for
+    ``negations`` are handed to :class:`DifferentFrom` directly, so the
+    matrix no longer re-runs (and re-verifies) the negate operator.
+    """
     mask = mask or FieldMask.none()
     mask.validate(layout)
     solver = solver or Solver()
+    service = service or SolverService(solver=solver)
     stats = stats or ClientAnalysisStats()
     started = time.perf_counter()
 
-    negations = [negate_predicate(p, server_msg, mask, solver)
+    negations = [negate_predicate(p, server_msg, mask, solver,
+                                  service=service)
                  for p in predicates]
     if build_difference:
-        different = DifferentFrom(predicates, server_msg, mask, solver)
+        field_negations: dict[tuple[int, str], Expr | None] = {
+            (pred.index, field): None
+            for pred in predicates for field in mask.visible_fields(layout)}
+        for negation in negations:
+            for disjunct in negation.disjuncts:
+                field_negations[(negation.pred_index, disjunct.field)] = (
+                    disjunct.expr)
+        different = DifferentFrom(predicates, server_msg, mask, solver,
+                                  service=service,
+                                  field_negations=field_negations)
     else:
-        different = DifferentFrom([], server_msg, mask, solver)
+        different = DifferentFrom([], server_msg, mask, solver,
+                                  service=service)
     stats.preprocess_seconds = time.perf_counter() - started
     return ClientPredicateSet(layout, predicates, negations, different, stats)
 

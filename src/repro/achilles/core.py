@@ -30,6 +30,14 @@ pipeline is canonicalize → shared query cache (identical queries) →
 per-engine frame stack (prefix-sharing queries reuse interval-propagation
 fixpoints; ``frames_reused`` / ``propagation_seconds`` on the report) →
 from-scratch search for whatever remains.
+
+With ``AchillesConfig.workers > 1`` the run also holds one
+:class:`~repro.solver.service.SolverService` worker pool (shared across
+pre-processing and the server search), and the embarrassingly parallel
+query batches — the ``differentFrom`` matrix, the negation overlap
+probes and the per-path predicate re-checks — shard across it. Findings
+are byte-identical at any worker count; use the instance as a context
+manager (or call :meth:`Achilles.close`) to shut the pool down.
 """
 
 from __future__ import annotations
@@ -52,6 +60,7 @@ from repro.errors import AchillesError
 from repro.messages.layout import MessageLayout
 from repro.messages.symbolic import message_vars
 from repro.solver.cache import QueryCache
+from repro.solver.service import SolverService
 from repro.solver.solver import Solver
 from repro.symex.engine import EngineConfig, NodeProgram
 
@@ -68,6 +77,12 @@ class AchillesConfig:
         destination: when set, only client messages sent to this node
             name enter ``PC``.
         msg_name: base name of the server's symbolic message variables.
+        workers: solver-service worker count. 1 (the default) keeps every
+            query in-process — exactly the classic serial pipeline; >1
+            dispatches the embarrassingly parallel batches (the
+            ``differentFrom`` matrix, the negation overlap probes and the
+            per-path predicate re-checks) across a ``multiprocessing``
+            pool. Findings are byte-identical at any worker count.
     """
 
     layout: MessageLayout
@@ -77,6 +92,7 @@ class AchillesConfig:
     optimizations: OptimizationFlags = field(default_factory=OptimizationFlags)
     destination: str | None = None
     msg_name: str = "msg"
+    workers: int = 1
 
 
 class Achilles:
@@ -89,6 +105,33 @@ class Achilles:
         # One canonical query cache for the whole run: phase 1 engines and
         # the phase 2 search all consult (and fill) the same instance.
         self.query_cache = QueryCache()
+        self._service: SolverService | None = None
+
+    # -- solver service -----------------------------------------------------------
+
+    @property
+    def service(self) -> SolverService:
+        """The run's shared solver service (lazily started).
+
+        One instance spans pre-processing and the server search, so with
+        ``workers > 1`` the pool is started once and its per-worker caches
+        and frame stacks stay warm across phases.
+        """
+        if self._service is None:
+            self._service = SolverService(workers=self.config.workers)
+        return self._service
+
+    def close(self) -> None:
+        """Shut the worker pool down (no-op for serial runs)."""
+        if self._service is not None:
+            self._service.close()
+            self._service = None
+
+    def __enter__(self) -> "Achilles":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- individual phases --------------------------------------------------------
 
@@ -106,7 +149,8 @@ class Achilles:
         return preprocess(
             predicates, self.config.layout, self.server_msg,
             self.config.mask, Solver(), stats,
-            build_difference=self.config.optimizations.use_different_from)
+            build_difference=self.config.optimizations.use_different_from,
+            service=self.service)
 
     def search(self, server: ServerProgram,
                clients: ClientPredicateSet) -> AchillesReport:
@@ -114,7 +158,8 @@ class Achilles:
         report, _ = search_server(
             server, clients, self.server_msg, self.config.server_engine,
             self.config.optimizations, self.config.msg_name,
-            query_cache=self.query_cache)
+            query_cache=self.query_cache, service=self.service)
+        report.workers = self.config.workers
         report.timings.client_extraction = clients.stats.extraction_seconds
         report.timings.preprocessing = clients.stats.preprocess_seconds
         return report

@@ -13,18 +13,32 @@ The matrix is only defined for fields that are *independent* in both
 predicates (no shared constraints or data flow with other fields) —
 dependent fields could smuggle cross-field information past the argument
 above.
+
+Every entry is an independent query (the paper notes the precompute is
+trivially parallelizable), so the matrix is built through the batched
+:class:`~repro.solver.service.SolverService` as a single probe batch in
+row-major order: each row poses the fixed ``i_pred.combined(server_msg)``
+prefix plus one negation per (j, field) pair. On the serial backend the
+probes ride the service's shared incremental frame stack (a row's prefix
+propagates once, shared with the negate operator's overlap probes); on
+the pool backend the rows shard across workers with one join for the
+whole precompute.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dataclass_field
+from dataclasses import dataclass
 
 from repro.achilles.mask import FieldMask
-from repro.achilles.negate import negate_field
+from repro.achilles.negate import negate_predicate
 from repro.achilles.predicates import ClientPathPredicate
 from repro.solver.ast import Expr
-from repro.solver.incremental import IncrementalSolver
+from repro.solver.service import SolverService
 from repro.solver.solver import Solver
+
+#: Per-(predicate index, field) surviving negation expression (None when
+#: the negation was abandoned or discarded by the §4.1 overlap check).
+FieldNegations = dict[tuple[int, str], Expr | None]
 
 
 @dataclass
@@ -47,27 +61,30 @@ class DifferentFrom:
         server_msg: the server message byte variables (shared frame for
             all combination queries).
         mask: fields hidden from analysis are skipped here too.
-        solver: shared solver (queries are independent; the paper notes
-            this step is trivially parallelizable).
+        solver: fallback solver when no service is given (a serial
+            service is built around it).
+        service: batched solver dispatch; pass the run's shared instance
+            so matrix probes reuse its frame stack (serial) or worker
+            pool (parallel).
+        field_negations: per-(predicate, field) negation expressions
+            already computed by the pre-processing step; when omitted the
+            matrix recomputes them via the negate operator.
     """
 
     def __init__(self, predicates: list[ClientPathPredicate],
                  server_msg: tuple[Expr, ...],
                  mask: FieldMask | None = None,
-                 solver: Solver | None = None):
+                 solver: Solver | None = None,
+                 service: SolverService | None = None,
+                 field_negations: FieldNegations | None = None):
         self._predicates = predicates
         self._server_msg = server_msg
         self._mask = mask or FieldMask.none()
-        self._solver = solver or Solver()
-        # Every matrix entry poses ``i_pred.combined(...) + (negation,)``:
-        # a fixed prefix probed with one conjunct across the whole inner
-        # pair/field loop — exactly the push/pop shape the incremental
-        # assertion stack amortizes (the prefix propagates once per i).
-        self._incremental = IncrementalSolver(solver=self._solver)
+        self._service = service or SolverService(solver=solver)
         self._table: dict[tuple[int, int, str], bool] = {}
         self._independent: dict[tuple[int, str], bool] = {}
         self.stats = DifferenceStats()
-        self._build()
+        self._build(field_negations)
 
     # -- queries -------------------------------------------------------------------
 
@@ -98,7 +115,7 @@ class DifferentFrom:
 
     # -- construction ----------------------------------------------------------------
 
-    def _build(self) -> None:
+    def _build(self, field_negations: FieldNegations | None) -> None:
         layout = self._predicates[0].layout if self._predicates else None
         if layout is None:
             return
@@ -108,41 +125,53 @@ class DifferentFrom:
                 self._independent[(pred.index, field)] = (
                     pred.field_is_independent(field))
 
-        negations = self._field_negations(fields)
+        negations = (field_negations if field_negations is not None
+                     else self._field_negations(fields))
+        # The whole matrix goes out as one probe batch: every (i, j,
+        # field) entry poses ``i_pred.combined(...) + (negation,)``.
+        # Row-major order keeps each i's prefix consecutive, so the
+        # serial backend (and each worker's contiguous chunk) propagates
+        # a row prefix once and push/pops the negations against it; one
+        # batch means one pool join for the entire precompute. The shared
+        # prefix expressions are pickled once per chunk (pickle memoizes
+        # shared objects within a payload).
+        probes: list[tuple[Expr, ...]] = []
+        entries: list[tuple[int, int, str]] = []
         for i_pred in self._predicates:
+            prefix = i_pred.combined(self._server_msg)
             for j_pred in self._predicates:
                 if i_pred.index == j_pred.index:
                     continue
                 self.stats.pairs_checked += 1
                 for field in fields:
-                    self._fill_entry(i_pred, j_pred, field, negations)
+                    if not (self._independent[(i_pred.index, field)]
+                            and self._independent[(j_pred.index, field)]):
+                        self.stats.fields_skipped_dependent += 1
+                        continue
+                    negation_j = negations.get((j_pred.index, field))
+                    if negation_j is None:
+                        continue  # negate abandoned: stay conservative
+                    probes.append(prefix + (negation_j,))
+                    entries.append((i_pred.index, j_pred.index, field))
+        if not probes:
+            return
+        self.stats.solver_queries += len(probes)
+        answers = self._service.probe_batch((), probes)
+        for key, entry in zip(entries, answers):
+            self._table[key] = entry
+            if entry:
+                self.stats.entries_true += 1
+            else:
+                self.stats.entries_false += 1
 
-    def _field_negations(self, fields: tuple[str, ...]):
-        """negate_field(pred, field) for every pair, computed once."""
-        table: dict[tuple[int, str], Expr | None] = {}
+    def _field_negations(self, fields: tuple[str, ...]) -> FieldNegations:
+        """Surviving per-field negation exprs, via the negate operator."""
+        table: FieldNegations = {}
         for pred in self._predicates:
             for field in fields:
-                disjunct = negate_field(pred, field, self._server_msg,
-                                        self._solver)
-                table[(pred.index, field)] = (
-                    None if disjunct is None else disjunct.expr)
+                table[(pred.index, field)] = None
+            negation = negate_predicate(pred, self._server_msg, self._mask,
+                                        service=self._service)
+            for disjunct in negation.disjuncts:
+                table[(pred.index, disjunct.field)] = disjunct.expr
         return table
-
-    def _fill_entry(self, i_pred: ClientPathPredicate,
-                    j_pred: ClientPathPredicate, field: str,
-                    negations: dict[tuple[int, str], Expr | None]) -> None:
-        if not (self._independent[(i_pred.index, field)]
-                and self._independent[(j_pred.index, field)]):
-            self.stats.fields_skipped_dependent += 1
-            return
-        negation_j = negations[(j_pred.index, field)]
-        if negation_j is None:
-            return  # negate abandoned: stay conservative (defaults True)
-        query = i_pred.combined(self._server_msg) + (negation_j,)
-        self.stats.solver_queries += 1
-        entry = self._incremental.check(query).is_sat
-        self._table[(i_pred.index, j_pred.index, field)] = entry
-        if entry:
-            self.stats.entries_true += 1
-        else:
-            self.stats.entries_false += 1

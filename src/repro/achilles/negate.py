@@ -79,6 +79,33 @@ class PredicateNegation:
         return not self.disjuncts
 
 
+def build_disjunct(pred: ClientPathPredicate, field: str,
+                   server_msg: tuple[Expr, ...]) -> NegationDisjunct | None:
+    """The raw (unverified) per-field negation disjunct, or None if abandoned.
+
+    This is the pure construction half of the negate operator; the §4.1
+    overlap check that keeps it a strict under-approximation is applied by
+    the callers (:func:`negate_field` one query at a time,
+    :func:`negate_predicate` as one probe batch).
+    """
+    view = pred.layout.view(field)
+    server_field = field_expr(server_msg, view)
+    client_field = pred.field_value(field)
+
+    if client_field.is_const:
+        return NegationDisjunct(
+            pred.index, field, CONCRETE, ast.ne(server_field, client_field))
+    closure_vars, influencing = pred.field_closure(field)
+    if not influencing:
+        return None  # paper: "abandon the negation of the current value"
+    renaming = _fresh_renaming(pred.index, field, closure_vars)
+    pinned = ast.eq(server_field, substitute(client_field, renaming))
+    negated = ast.any_of(
+        [ast.not_(substitute(c, renaming)) for c in influencing])
+    return NegationDisjunct(
+        pred.index, field, SYMBOLIC, ast.and_(pinned, negated))
+
+
 def negate_field(pred: ClientPathPredicate, field: str,
                  server_msg: tuple[Expr, ...],
                  solver: Solver | None = None,
@@ -98,24 +125,9 @@ def negate_field(pred: ClientPathPredicate, field: str,
         (unconstrained symbolic payload) or discarded by the overlap
         check.
     """
-    view = pred.layout.view(field)
-    server_field = field_expr(server_msg, view)
-    client_field = pred.field_value(field)
-
-    if client_field.is_const:
-        disjunct = NegationDisjunct(
-            pred.index, field, CONCRETE, ast.ne(server_field, client_field))
-    else:
-        closure_vars, influencing = pred.field_closure(field)
-        if not influencing:
-            return None  # paper: "abandon the negation of the current value"
-        renaming = _fresh_renaming(pred.index, field, closure_vars)
-        pinned = ast.eq(server_field, substitute(client_field, renaming))
-        negated = ast.any_of(
-            [ast.not_(substitute(c, renaming)) for c in influencing])
-        disjunct = NegationDisjunct(
-            pred.index, field, SYMBOLIC, ast.and_(pinned, negated))
-
+    disjunct = build_disjunct(pred, field, server_msg)
+    if disjunct is None:
+        return None
     if verify and _overlaps_original(disjunct, pred, server_msg,
                                      solver or Solver()):
         return None
@@ -125,20 +137,38 @@ def negate_field(pred: ClientPathPredicate, field: str,
 def negate_predicate(pred: ClientPathPredicate,
                      server_msg: tuple[Expr, ...],
                      mask: FieldMask | None = None,
-                     solver: Solver | None = None) -> PredicateNegation:
+                     solver: Solver | None = None,
+                     service=None) -> PredicateNegation:
     """``negate(pathC)``: disjunction of per-field negations (§3.2).
 
     Masked fields are skipped entirely — the mask is applied before any
     solver work (§5.2).
+
+    When a :class:`~repro.solver.service.SolverService` is given, the §4.1
+    overlap checks for all fields go out as one probe batch against the
+    shared ``pred.combined(server_msg)`` prefix: serially they ride the
+    service's shared incremental frame stack (the same one the
+    ``differentFrom`` matrix probes), in parallel they shard across the
+    worker pool. Answers are identical either way.
     """
     mask = mask or FieldMask.none()
-    solver = solver or Solver()
-    disjuncts = []
+    candidates = []
     for field in mask.visible_fields(pred.layout):
-        disjunct = negate_field(pred, field, server_msg, solver)
+        disjunct = build_disjunct(pred, field, server_msg)
         if disjunct is not None:
-            disjuncts.append(disjunct)
-    return PredicateNegation(pred.index, tuple(disjuncts))
+            candidates.append(disjunct)
+    if service is None:
+        solver = solver or Solver()
+        survivors = tuple(
+            d for d in candidates
+            if not _overlaps_original(d, pred, server_msg, solver))
+    else:
+        prefix = pred.combined(server_msg)
+        overlaps = service.probe_batch(
+            prefix, [(d.expr,) for d in candidates])
+        survivors = tuple(d for d, overlap in zip(candidates, overlaps)
+                          if not overlap)
+    return PredicateNegation(pred.index, survivors)
 
 
 def _fresh_renaming(pred_index: int, field: str,

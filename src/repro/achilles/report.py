@@ -111,6 +111,15 @@ class AchillesReport:
             the server search.
         propagation_seconds: wall clock the server search spent in
             incremental interval propagation.
+        workers: solver-service worker count the search ran with (1 =
+            fully in-process). When workers > 1, the query/frame/
+            propagation counters above include the per-worker
+            ``SolverStats`` folded in fixed chunk order, so they describe
+            the whole run (their exact values can vary with chunk→worker
+            placement — findings never do); the cache counters describe
+            the run's *shared* canonical cache only (its lookup traffic
+            is the same at any worker count), keeping ``cache_hit_rate``
+            comparable between serial and parallel runs.
     """
 
     findings: list[TrojanFinding] = field(default_factory=list)
@@ -124,6 +133,7 @@ class AchillesReport:
     cache_misses: int = 0
     frames_reused: int = 0
     propagation_seconds: float = 0.0
+    workers: int = 1
 
     @property
     def trojan_count(self) -> int:

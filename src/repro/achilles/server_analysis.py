@@ -150,11 +150,17 @@ class TrojanSearchObserver(PathObserver):
 
     def _drop_dead_predicates(self, pc: tuple[Expr, ...], constraint: Expr,
                               slot: _PathSlot) -> None:
-        dropped_now: list[int] = []
-        for index in sorted(slot.live):
-            if not self._pred_feasible(pc, index):
-                slot.live.discard(index)
-                dropped_now.append(index)
+        # One probe batch per appended constraint: the ``pathS ∧ pathC_i``
+        # re-checks for all live predicates are independent, so a parallel
+        # service answers the cache misses concurrently; serially this is
+        # the same per-predicate loop as always.
+        indices = sorted(slot.live)
+        answers = self._engine.probe_feasible_batch(
+            pc, [self._combined[index] for index in indices])
+        dropped_now = [index for index, feasible in zip(indices, answers)
+                       if not feasible]
+        for index in dropped_now:
+            slot.live.discard(index)
         if not (self._flags.use_different_from and dropped_now):
             return
         constraint_field = single_field_of(
@@ -165,10 +171,6 @@ class TrojanSearchObserver(PathObserver):
             for other in self._clients.different_from.droppable_with(
                     index, constraint_field):
                 slot.live.discard(other)
-
-    def _pred_feasible(self, pc: tuple[Expr, ...], index: int) -> bool:
-        """Can predicate ``index`` still trigger this path? (memoized)"""
-        return self._engine.is_feasible(pc + self._combined[index])
 
     def _negation_query(self, live: frozenset[int]) -> tuple[Expr, ...]:
         """Negations of the live predicates; dropped ones are implicit."""
@@ -194,6 +196,7 @@ def search_server(server, clients: ClientPredicateSet,
                   flags: OptimizationFlags | None = None,
                   msg_name: str = "msg",
                   query_cache: QueryCache | None = None,
+                  service=None,
                   ) -> tuple[AchillesReport, ExplorationResult]:
     """Explore a server program under the incremental Trojan search.
 
@@ -208,18 +211,25 @@ def search_server(server, clients: ClientPredicateSet,
         msg_name: base name used when materializing the message vars.
         query_cache: shared canonical query cache (the orchestrator passes
             the phase-1 cache here so cross-phase queries hit).
+        service: optional :class:`~repro.solver.service.SolverService`;
+            when parallel, the observer's per-constraint predicate
+            re-checks dispatch their cache misses across its worker pool.
+            Worker-side counters accumulated during this search are merged
+            into the report.
 
     Returns:
         The (partially filled) report and the raw exploration result; the
         orchestrator merges in client stats and timings.
     """
-    engine = Engine(engine_config or EngineConfig(), query_cache=query_cache)
+    engine = Engine(engine_config or EngineConfig(), query_cache=query_cache,
+                    service=service)
     observer = TrojanSearchObserver(engine, clients, server_msg, flags)
 
     def program(ctx: ExecutionContext) -> None:
         wire = tuple(ctx.fresh_bytes(msg_name, len(server_msg)))
         server(ctx, wire)
 
+    service_mark = service.stats.copy() if service is not None else None
     started = time.perf_counter()
     exploration = engine.explore(program, observer)
     elapsed = time.perf_counter() - started
@@ -236,27 +246,61 @@ def search_server(server, clients: ClientPredicateSet,
         frames_reused=engine.solver.stats.frames_reused,
         propagation_seconds=engine.solver.stats.propagation_seconds,
     )
+    if service_mark is not None:
+        _merge_service_stats(report, service, service_mark)
     report.timings.server_analysis = elapsed
     return report, exploration
+
+
+def _merge_service_stats(report: AchillesReport, service,
+                         mark) -> None:
+    """Fold worker-side counters (since ``mark``) into the report.
+
+    Queries dispatched to the pool run against per-worker solvers, so
+    their solve-side counters (queries, frames, propagation seconds)
+    never touch the phase-2 engine's ``SolverStats``; merging the
+    deterministic worker aggregate keeps ``solver_queries`` and
+    ``propagation_seconds`` meaning the same thing at any worker count.
+
+    The worker-side *cache* counters are deliberately not folded in:
+    ``report.cache_hits/misses`` describe the run's shared canonical
+    cache, which sees the exact same lookup traffic at any worker count —
+    adding the workers' private warm-up caches on top would make
+    ``cache_hit_rate`` an artifact of chunk placement instead of a
+    property of the workload.
+    """
+    worker = service.stats.delta_since(mark)
+    report.solver_queries += worker.queries
+    report.frames_reused += worker.frames_reused
+    report.propagation_seconds += worker.propagation_seconds
+    report.workers = service.workers
 
 
 def a_posteriori_search(server, clients: ClientPredicateSet,
                         server_msg: tuple[Expr, ...],
                         engine_config: EngineConfig | None = None,
                         msg_name: str = "msg",
-                        query_cache: QueryCache | None = None) -> AchillesReport:
+                        query_cache: QueryCache | None = None,
+                        service=None) -> AchillesReport:
     """The §6.4 non-optimized baseline: explore first, difference after.
 
     Runs vanilla symbolic execution of the server (no per-path predicate
     tracking, no pruning), then checks every accepting path against the
-    full conjunction of all client negations.
+    full conjunction of all client negations. The per-path Trojan probes
+    are mutually independent, so with a parallel service they dispatch
+    through :meth:`~repro.symex.engine.Engine.solve_batch` across the
+    worker pool — which mirrors the serial ``engine.solve`` cache
+    semantics query by query, so findings stay in path order with
+    witnesses byte-identical at any worker count.
     """
-    engine = Engine(engine_config or EngineConfig(), query_cache=query_cache)
+    engine = Engine(engine_config or EngineConfig(), query_cache=query_cache,
+                    service=service)
 
     def program(ctx: ExecutionContext) -> None:
         wire = tuple(ctx.fresh_bytes(msg_name, len(server_msg)))
         server(ctx, wire)
 
+    service_mark = service.stats.copy() if service is not None else None
     started = time.perf_counter()
     exploration = engine.explore(program)
     negations = tuple(n.expr for n in clients.negations)
@@ -264,10 +308,10 @@ def a_posteriori_search(server, clients: ClientPredicateSet,
         client_predicate_count=len(clients),
         server_paths_explored=len(exploration.paths),
     )
-    for path in exploration.paths:
-        if path.verdict != ACCEPTED:
-            continue
-        model = engine.solve(path.constraints + negations)
+    accepting = [p for p in exploration.paths if p.verdict == ACCEPTED]
+    models = engine.solve_batch(
+        [path.constraints + negations for path in accepting])
+    for path, model in zip(accepting, models):
         if model is None:
             continue
         witness = bytes(model.get(var, 0) for var in server_msg)
@@ -287,4 +331,6 @@ def a_posteriori_search(server, clients: ClientPredicateSet,
     report.cache_misses = engine.query_cache.stats.misses
     report.frames_reused = engine.solver.stats.frames_reused
     report.propagation_seconds = engine.solver.stats.propagation_seconds
+    if service_mark is not None:
+        _merge_service_stats(report, service, service_mark)
     return report

@@ -47,18 +47,25 @@ class AccuracyOutcome:
         return self.classes_found / self.classes_total
 
 
-def _fsp_achilles(optimizations: OptimizationFlags | None = None) -> Achilles:
+def _fsp_achilles(optimizations: OptimizationFlags | None = None,
+                  workers: int = 1) -> Achilles:
     config = AchillesConfig(layout=fsp.FSP_LAYOUT, mask=FSP_SESSION_MASK,
-                            optimizations=optimizations or OptimizationFlags())
+                            optimizations=optimizations or OptimizationFlags(),
+                            workers=workers)
     return Achilles(config)
 
 
 def run_fsp_accuracy(optimizations: OptimizationFlags | None = None,
-                     ) -> AccuracyOutcome:
-    """Table 1 (Achilles column) + Figures 10/11 raw data."""
-    achilles = _fsp_achilles(optimizations)
-    predicates = achilles.extract_clients(fsp.literal_clients())
-    report = achilles.search(fsp.fsp_server, predicates)
+                     workers: int = 1) -> AccuracyOutcome:
+    """Table 1 (Achilles column) + Figures 10/11 raw data.
+
+    ``workers`` > 1 dispatches the parallel batches (pre-processing and
+    the per-path predicate re-checks) across a solver-service pool;
+    findings are byte-identical at any worker count.
+    """
+    with _fsp_achilles(optimizations, workers) as achilles:
+        predicates = achilles.extract_clients(fsp.literal_clients())
+        report = achilles.search(fsp.fsp_server, predicates)
     score = fsp.GroundTruth.score(report.witnesses())
     return AccuracyOutcome(
         report=report,
@@ -70,11 +77,11 @@ def run_fsp_accuracy(optimizations: OptimizationFlags | None = None,
 
 
 def run_fsp_wildcard(listing: tuple[str, ...] = ("f1", "f2", "doc"),
-                     ) -> AchillesReport:
+                     workers: int = 1) -> AchillesReport:
     """§6.3 wildcard experiment: globbing clients, same server."""
-    achilles = _fsp_achilles()
-    predicates = achilles.extract_clients(fsp.globbing_clients(listing))
-    return achilles.search(fsp.fsp_server, predicates)
+    with _fsp_achilles(workers=workers) as achilles:
+        predicates = achilles.extract_clients(fsp.globbing_clients(listing))
+        return achilles.search(fsp.fsp_server, predicates)
 
 
 def run_classic_baseline(per_path_limit: int = 512) -> tuple[ClassicResult,
@@ -195,17 +202,18 @@ class PbftOutcome:
     impact: dict[str, ClusterStats] = field(default_factory=dict)
 
 
-def run_pbft_analysis() -> AchillesReport:
+def run_pbft_analysis(workers: int = 1) -> AchillesReport:
     """§6.2 PBFT run: the MAC Trojan on every accepting path."""
-    achilles = Achilles(AchillesConfig(layout=REQUEST_LAYOUT,
-                                       destination="replica0"))
-    predicates = achilles.extract_clients({"pbft-client": pbft_client})
-    return achilles.search(pbft_replica, predicates)
+    with Achilles(AchillesConfig(layout=REQUEST_LAYOUT,
+                                 destination="replica0",
+                                 workers=workers)) as achilles:
+        predicates = achilles.extract_clients({"pbft-client": pbft_client})
+        return achilles.search(pbft_replica, predicates)
 
 
-def run_pbft_impact(requests: int = 40) -> PbftOutcome:
+def run_pbft_impact(requests: int = 40, workers: int = 1) -> PbftOutcome:
     """§6.3 MAC attack impact: throughput under increasing attack rates."""
-    report = run_pbft_analysis()
+    report = run_pbft_analysis(workers=workers)
     outcome = PbftOutcome(report=report, mac_stub=MAC_STUB)
     for label, every in {"clean": 0, "attack-10%": 10, "attack-50%": 2}.items():
         outcome.impact[label] = run_workload(requests, malicious_every=every)

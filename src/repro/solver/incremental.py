@@ -226,7 +226,13 @@ class IncrementalSolver:
             stats.quick_sats += 1
             return SatResult(SAT, candidate)
         stats.incremental_fallbacks += 1
-        return self.solver.check([frame.raw for frame in self._frames])
+        # The fallback search starts from the frame stack's propagation
+        # fixpoint rather than ⊤: every interval in `_domains` is implied
+        # by the pushed conjuncts, so handing them over as seeds is sound
+        # and saves the from-scratch pass re-deriving the narrowing the
+        # stack already paid for. (Solver.check only reads the mapping.)
+        return self.solver.check([frame.raw for frame in self._frames],
+                                 seed_domains=self._domains)
 
     def check(self, constraints: Iterable[Expr]) -> SatResult:
         """Align the stack with ``constraints`` and decide satisfiability."""

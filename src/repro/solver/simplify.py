@@ -36,6 +36,7 @@ constraint conjunctions and is the keying function of the query cache.
 
 from __future__ import annotations
 
+import hashlib
 import weakref
 from typing import Iterable
 
@@ -61,24 +62,49 @@ _CANON_CACHE: "weakref.WeakKeyDictionary[Expr, Expr | None]" = (
 _MISS = object()
 
 
+#: Memoized structural fingerprints (weak-keyed like the canon cache).
+_FINGERPRINTS: "weakref.WeakKeyDictionary[Expr, bytes]" = (
+    weakref.WeakKeyDictionary())
+
+
+def _fingerprint(expr: Expr) -> bytes:
+    """Structural digest of ``expr``, memoized per node.
+
+    A sha256 over (op, sort, params) and the child digests: fixed-size
+    per node (DAG-shared subtrees cannot blow it up the way a
+    materialized rendering would), computed once per interned node, and
+    a pure function of the structure — so it is identical in every
+    process. Collisions are cryptographically negligible.
+    """
+    cached = _FINGERPRINTS.get(expr)
+    if cached is None:
+        digest = hashlib.sha256(
+            repr((expr.op, str(expr.sort), expr.params)).encode())
+        for arg in expr.args:
+            digest.update(_fingerprint(arg))
+        cached = digest.digest()
+        _FINGERPRINTS[expr] = cached
+    return cached
+
+
 def _arg_key(expr: Expr) -> tuple:
     """Stable total ordering key for commutative arguments.
 
     Variables sort first by name, compound terms next by operator and
     size, constants last so the const-on-the-right convention the
-    propagation rules match against is preserved. The interning serial
-    breaks the remaining ties, making the order total; it is stable for
-    any node that stays referenced (interning returns the same instance),
-    so two live structurally-equal operands always compare equal-by-key.
-    A node reclaimed by the GC and later rebuilt gets a fresh serial —
-    the canonical form chosen after that point may order true ties
-    differently, which costs at worst a cache miss, never an answer.
+    propagation rules match against is preserved. Remaining ties are
+    broken by a *structural* fingerprint — never by interning order or
+    memory address — so the canonical form of a formula is identical in
+    every process. The parallel solver service relies on this: a worker
+    that re-interns a shipped query must canonicalize (and therefore
+    search) it exactly like the coordinating process, or model-producing
+    answers would depend on which worker ran them.
     """
     if expr.is_const:
-        return (2, "", expr.params[0], expr._serial)
+        return (2, "", expr.params[0], str(expr.sort))
     if expr.is_var:
-        return (0, expr.params[0], 0, expr._serial)
-    return (1, expr.op, expr_size(expr), expr._serial)
+        return (0, expr.params[0], 0, str(expr.sort))
+    return (1, expr.op, expr_size(expr), _fingerprint(expr))
 
 
 def canonicalize(expr: Expr) -> Expr:

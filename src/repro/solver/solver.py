@@ -108,6 +108,49 @@ class SolverStats:
     quick_unsats: int = 0
     incremental_fallbacks: int = 0
 
+    # -- aggregation ---------------------------------------------------------
+    #
+    # The parallel solver service runs one SolverStats per worker chunk and
+    # folds them into a single aggregate on join; every counter is a plain
+    # sum, so merging is associative and (for the integer fields) order-
+    # independent. ``propagation_seconds`` is a float accumulator — callers
+    # that need bit-identical aggregates must merge in a fixed order, which
+    # is what the service's chunk-index-ordered join does.
+
+    def merge(self, other: "SolverStats") -> "SolverStats":
+        """Fold ``other``'s counters into this instance (returns self)."""
+        for field_name in _STATS_FIELDS:
+            setattr(self, field_name,
+                    getattr(self, field_name) + getattr(other, field_name))
+        return self
+
+    def __iadd__(self, other: "SolverStats") -> "SolverStats":
+        return self.merge(other)
+
+    def copy(self) -> "SolverStats":
+        """Independent snapshot (for before/after deltas)."""
+        clone = SolverStats()
+        for field_name in _STATS_FIELDS:
+            setattr(clone, field_name, getattr(self, field_name))
+        return clone
+
+    def delta_since(self, snapshot: "SolverStats") -> "SolverStats":
+        """Counters accumulated since ``snapshot`` (taken via :meth:`copy`)."""
+        diff = SolverStats()
+        for field_name in _STATS_FIELDS:
+            setattr(diff, field_name,
+                    getattr(self, field_name) - getattr(snapshot, field_name))
+        return diff
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cache lookups that hit (0.0 when none were made)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+_STATS_FIELDS = tuple(SolverStats.__dataclass_fields__)
+
 
 @dataclass
 class Solver:
@@ -122,13 +165,21 @@ class Solver:
     stats: SolverStats = field(default_factory=SolverStats)
 
     def check(self, constraints: Iterable[Expr],
-              extra_vars: Sequence[Expr] = ()) -> SatResult:
+              extra_vars: Sequence[Expr] = (),
+              seed_domains: dict[Expr, Interval] | None = None) -> SatResult:
         """Decide satisfiability of the conjunction of ``constraints``.
 
         Args:
             constraints: boolean expressions.
             extra_vars: variables to include in the model even when they do
                 not occur in any constraint (they take value 0).
+            seed_domains: optional per-variable intervals already *implied
+                by the constraints* (e.g. an incremental frame stack's
+                propagation fixpoint). The search starts from these instead
+                of ⊤, so propagation re-derives less; soundness requires
+                that every seed really is implied — a caller-side bug here
+                is caught by the final model verification for SAT answers,
+                but an unjustified seed could turn SAT into UNSAT.
         """
         self.stats.queries += 1
         flat = _flatten(constraints)
@@ -153,7 +204,7 @@ class Solver:
         if any(c.is_false for c in remaining):
             return self._answer(SatResult(UNSAT))
         remaining = [c for c in remaining if not c.is_true]
-        model = self._search(remaining)
+        model = self._search(remaining, seed_domains)
         if model is None:
             return self._answer(SatResult(UNSAT))
 
@@ -179,7 +230,9 @@ class Solver:
             self.stats.unsat_answers += 1
         return result
 
-    def _search(self, constraints: list[Expr]) -> dict[Expr, int] | None:
+    def _search(self, constraints: list[Expr],
+                seed_domains: dict[Expr, Interval] | None = None,
+                ) -> dict[Expr, int] | None:
         """Core backtracking search; returns a model or None (unsat).
 
         Constraints are repaired in ascending variable-count order: small
@@ -190,6 +243,21 @@ class Solver:
         ordered = sorted(constraints,
                          key=lambda c: (len(collect_vars(c)), expr_size(c)))
         domains = initial_domains(ordered)
+        if seed_domains:
+            # Start from the caller's already-narrowed fixpoint instead of
+            # ⊤. Only variables that survived definition elimination /
+            # byte splitting appear in `domains`; seeds for eliminated or
+            # split-away variables simply do not apply.
+            for var, current in domains.items():
+                seed = seed_domains.get(var)
+                if seed is None:
+                    continue
+                narrowed = current.intersect(seed)
+                if narrowed is None:
+                    # Seeds are implied by the constraints, so an empty
+                    # intersection is a (caller-provided) UNSAT proof.
+                    return None
+                domains[var] = narrowed
         return self._descend(ordered, domains)
 
     def _descend(self, constraints: list[Expr],

@@ -143,7 +143,8 @@ class Engine:
 
     def __init__(self, config: EngineConfig | None = None,
                  solver: Solver | None = None,
-                 query_cache: QueryCache | None = None):
+                 query_cache: QueryCache | None = None,
+                 service=None):
         self.config = config or EngineConfig()
         self.solver = solver or Solver()
         # Explicit None check: an empty QueryCache is falsy (len() == 0),
@@ -153,6 +154,11 @@ class Engine:
         # checks and frame/fast-path counters land on one SolverStats.
         self.incremental = (IncrementalSolver(solver=self.solver)
                             if self.config.incremental else None)
+        # Optional batched dispatch (repro.solver.service.SolverService):
+        # probe_feasible_batch ships cache-missed probe bundles to its
+        # worker pool. Only consulted when the service is parallel — the
+        # serial path stays on this engine's own incremental stack.
+        self.service = service
         self._stats: ExplorationStats | None = None
 
     # -- services used by ExecutionContext ------------------------------------
@@ -185,6 +191,55 @@ class Engine:
         cache.put_feasible(key, feasible)
         return feasible
 
+    def probe_feasible_batch(self, prefix: tuple[Expr, ...],
+                             probes: list[tuple[Expr, ...]]) -> list[bool]:
+        """Feasibility of ``prefix + probe`` for every probe, in order.
+
+        Each probe is memoized canonically exactly like
+        :meth:`is_feasible`; with a parallel service attached, the cache
+        misses of one call are dispatched as a single probe batch across
+        the worker pool instead of being solved one at a time. Answers
+        (and the cache entries they leave behind) are identical either
+        way — only the wall clock changes.
+        """
+        if (self.service is None or not self.service.parallel
+                or len(probes) < 2):
+            return [self.is_feasible(prefix + probe) for probe in probes]
+        cache = self.query_cache
+        results: list[bool | None] = [None] * len(probes)
+        miss_indices: list[int] = []
+        miss_keys = []
+        for idx, probe in enumerate(probes):
+            key = cache.key(prefix + probe)
+            cached = cache.get_feasible(key)
+            if cached is not None:
+                self.solver.stats.cache_hits += 1
+                results[idx] = cached
+                continue
+            self.solver.stats.cache_misses += 1
+            if cache.is_trivially_unsat(key):
+                cache.put_feasible(key, False)
+                results[idx] = False
+            else:
+                miss_indices.append(idx)
+                miss_keys.append(key)
+        if len(miss_indices) == 1:
+            # A lone miss gains nothing from the pool; answer it on this
+            # engine's own stack so its counters stay on the SolverStats
+            # the reports read (the service's serial fallback would book
+            # it on a solver nobody aggregates).
+            idx, key = miss_indices[0], miss_keys[0]
+            feasible = self._check(prefix + probes[idx]).is_sat
+            cache.put_feasible(key, feasible)
+            results[idx] = feasible
+        elif miss_indices:
+            answers = self.service.probe_batch(
+                prefix, [probes[i] for i in miss_indices])
+            for idx, key, feasible in zip(miss_indices, miss_keys, answers):
+                cache.put_feasible(key, feasible)
+                results[idx] = feasible
+        return results
+
     def branch_feasibility(self, pc: tuple[Expr, ...],
                            condition: Expr) -> tuple[bool, bool]:
         """Feasibility of both directions of a branch on ``condition``.
@@ -207,15 +262,10 @@ class Engine:
         hit, model = cache.get_model(key)
         if hit:
             self.solver.stats.cache_hits += 1
-            if model is None:
-                return None
             # The entry may come from a canonically-equal variant whose
             # simplification dropped some of this query's variables; they
             # are unconstrained, so 0 completes the (copied) model.
-            completed = dict(model)
-            for var in collect_vars_all(constraints):
-                completed.setdefault(var, 0)
-            return completed
+            return self._complete_model(model, constraints)
         self.solver.stats.cache_misses += 1
         if cache.is_trivially_unsat(key):
             model = None
@@ -224,6 +274,70 @@ class Engine:
             model = dict(result.model) if result.is_sat else None
         cache.put_model(key, model)
         return dict(model) if model is not None else None
+
+    def solve_batch(self, queries: list[tuple[Expr, ...]],
+                    ) -> list[dict[Expr, int] | None]:
+        """Models for many independent queries, in order.
+
+        Mirrors :meth:`solve` query by query — including the canonical
+        model cache, so two canonically-equal queries in one batch share
+        one model exactly as they would when posed serially (the first
+        becomes the *leader*, later ones complete its model with default
+        zeros). With a parallel service only the leaders are dispatched;
+        the answers (and witnesses built from them) are therefore
+        identical at any worker count.
+
+        Dispatch additionally requires this engine's incremental layer to
+        be enabled: pool workers answer through their own
+        ``IncrementalSolver``, and a model computed there is only
+        guaranteed to match the serial answer when the serial path solves
+        the same way (the ``incremental=False`` ablation uses the plain
+        backtracking search, whose models can legitimately differ).
+        """
+        if (self.service is None or not self.service.parallel
+                or self.incremental is None or len(queries) < 2):
+            return [self.solve(query) for query in queries]
+        cache = self.query_cache
+        results: list[dict[Expr, int] | None] = [None] * len(queries)
+        leader_for_key: dict = {}
+        followers: list[tuple[int, object]] = []
+        misses: list[tuple[int, object, tuple[Expr, ...]]] = []
+        for idx, query in enumerate(queries):
+            key = cache.key(query)
+            hit, model = cache.get_model(key)
+            if hit:
+                self.solver.stats.cache_hits += 1
+                results[idx] = self._complete_model(model, query)
+                continue
+            self.solver.stats.cache_misses += 1
+            if cache.is_trivially_unsat(key):
+                cache.put_model(key, None)
+            elif key in leader_for_key:
+                followers.append((idx, key))
+            else:
+                leader_for_key[key] = idx
+                misses.append((idx, key, query))
+        if misses:
+            answers = self.service.check_batch([q for _, _, q in misses])
+            for (idx, key, _query), answer in zip(misses, answers):
+                model = dict(answer.model) if answer.is_sat else None
+                cache.put_model(key, model)
+                results[idx] = dict(model) if model is not None else None
+        for idx, key in followers:
+            results[idx] = self._complete_model(cache.peek_model(key),
+                                                queries[idx])
+        return results
+
+    @staticmethod
+    def _complete_model(model: dict[Expr, int] | None,
+                        query: tuple[Expr, ...]) -> dict[Expr, int] | None:
+        """Copy a cached model, defaulting this query's missing variables."""
+        if model is None:
+            return None
+        completed = dict(model)
+        for var in collect_vars_all(query):
+            completed.setdefault(var, 0)
+        return completed
 
     def note_fork(self) -> None:
         if self._stats is not None:

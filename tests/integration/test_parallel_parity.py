@@ -1,0 +1,125 @@
+"""Parallel-parity: worker count must never change what Achilles finds.
+
+The solver service's contract is that ``workers`` is a pure throughput
+knob — the FSP and PBFT end-to-end analyses must produce *identical*
+findings (same order, same witnesses, same live-predicate sets) at any
+worker count. These tests pin that for workers = 1, 2 and 4 on both
+evaluation systems.
+"""
+
+import pytest
+
+from repro.achilles import Achilles, AchillesConfig
+from repro.achilles.server_analysis import a_posteriori_search
+from repro.bench.experiments import FSP_SESSION_MASK
+from repro.messages.symbolic import message_vars
+from repro.solver.service import SolverService
+from repro.systems import fsp
+from repro.systems.pbft import REQUEST_LAYOUT, pbft_client, pbft_replica
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _finding_signature(report):
+    """Everything observable about the findings, in discovery order."""
+    return [
+        (f.server_path_id, f.decisions, f.path_condition, f.negation,
+         f.witness, f.live_predicates, f.labels)
+        for f in report.findings
+    ]
+
+
+def _run_fsp(workers: int):
+    import itertools
+
+    commands = dict(itertools.islice(fsp.COMMANDS.items(), 4))
+    config = AchillesConfig(layout=fsp.FSP_LAYOUT, mask=FSP_SESSION_MASK,
+                            workers=workers)
+    with Achilles(config) as achilles:
+        predicates = achilles.extract_clients(fsp.literal_clients(commands))
+        report = achilles.search(fsp.fsp_server, predicates)
+    return predicates, report
+
+
+def _run_pbft(workers: int):
+    config = AchillesConfig(layout=REQUEST_LAYOUT, destination="replica0",
+                            workers=workers)
+    with Achilles(config) as achilles:
+        predicates = achilles.extract_clients({"pbft-client": pbft_client})
+        report = achilles.search(pbft_replica, predicates)
+    return predicates, report
+
+
+@pytest.fixture(scope="module")
+def fsp_runs():
+    return {workers: _run_fsp(workers) for workers in WORKER_COUNTS}
+
+
+@pytest.fixture(scope="module")
+def pbft_runs():
+    return {workers: _run_pbft(workers) for workers in WORKER_COUNTS}
+
+
+class TestFspParity:
+    def test_findings_identical_at_every_worker_count(self, fsp_runs):
+        baseline = _finding_signature(fsp_runs[1][1])
+        assert baseline  # the serial run must actually find Trojans
+        for workers in WORKER_COUNTS[1:]:
+            assert _finding_signature(fsp_runs[workers][1]) == baseline, (
+                f"workers={workers} diverged from serial")
+
+    def test_different_from_matrix_identical(self, fsp_runs):
+        baseline = fsp_runs[1][0].different_from._table
+        for workers in WORKER_COUNTS[1:]:
+            assert fsp_runs[workers][0].different_from._table == baseline
+
+    def test_negations_identical(self, fsp_runs):
+        baseline = [n.disjuncts for n in fsp_runs[1][0].negations]
+        for workers in WORKER_COUNTS[1:]:
+            assert [n.disjuncts
+                    for n in fsp_runs[workers][0].negations] == baseline
+
+    def test_report_records_worker_count(self, fsp_runs):
+        for workers in WORKER_COUNTS:
+            assert fsp_runs[workers][1].workers == workers
+
+
+class TestAPosterioriParity:
+    """The explore-first baseline batches its per-path Trojan probes;
+    its witnesses must also be chunking- and worker-count-invariant."""
+
+    @pytest.fixture(scope="class")
+    def runs(self, fsp_runs):
+        predicates = fsp_runs[1][0]
+        server_msg = message_vars(fsp.FSP_LAYOUT)
+        reports = {}
+        for workers in WORKER_COUNTS:
+            with SolverService(workers=workers) as service:
+                reports[workers] = a_posteriori_search(
+                    fsp.fsp_server, predicates, server_msg, service=service)
+        return reports
+
+    def test_findings_identical_at_every_worker_count(self, runs):
+        baseline = _finding_signature(runs[1])
+        assert baseline
+        for workers in WORKER_COUNTS[1:]:
+            assert _finding_signature(runs[workers]) == baseline, (
+                f"workers={workers} diverged from serial")
+
+
+class TestPbftParity:
+    def test_findings_identical_at_every_worker_count(self, pbft_runs):
+        baseline = _finding_signature(pbft_runs[1][1])
+        assert len(baseline) == 2  # read-only reply + pre-prepare paths
+        for workers in WORKER_COUNTS[1:]:
+            assert _finding_signature(pbft_runs[workers][1]) == baseline, (
+                f"workers={workers} diverged from serial")
+
+    def test_witnesses_stay_trojan(self, pbft_runs):
+        from repro.messages.concrete import decode
+        from repro.systems.pbft import MAC_STUB
+
+        for workers in WORKER_COUNTS:
+            for finding in pbft_runs[workers][1].findings:
+                mac = decode(REQUEST_LAYOUT, finding.witness)["mac"]
+                assert mac != MAC_STUB

@@ -1,0 +1,240 @@
+"""Tests for the batched solver service (serial + worker-pool backends).
+
+The load-bearing properties:
+
+* **agreement** — every batched answer equals what a from-scratch
+  ``Solver().check`` returns for the same query, at any worker count;
+* **order** — results come back in input order regardless of chunking;
+* **stats** — per-worker counters merge deterministically, and
+  :class:`SolverStats` aggregation is a plain field-wise sum.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import SolverError
+from repro.solver import ast
+from repro.solver.ast import bv_const, bv_var, eq, ne
+from repro.solver.enumerate import iter_models
+from repro.solver.incremental import IncrementalSolver
+from repro.solver.interval import Interval
+from repro.solver.service import SolverService, _chunk
+from repro.solver.solver import Solver, SolverStats
+
+X = bv_var("x", 8)
+Y = bv_var("y", 8)
+Z = bv_var("z", 8)
+
+
+def _random_query(rng: random.Random) -> tuple:
+    """A small random conjunction spanning sat, unsat and fallback shapes."""
+    variables = [X, Y, Z]
+    conjuncts = []
+    for _ in range(rng.randint(1, 4)):
+        var = rng.choice(variables)
+        value = bv_const(rng.randint(0, 255), 8)
+        kind = rng.randrange(5)
+        if kind == 0:
+            conjuncts.append(eq(var, value))
+        elif kind == 1:
+            conjuncts.append(ne(var, value))
+        elif kind == 2:
+            conjuncts.append(ast.ult(var, value))
+        elif kind == 3:
+            conjuncts.append(ast.ugt(var, value))
+        else:
+            other = rng.choice([v for v in variables if v is not var])
+            conjuncts.append(eq(var, other + rng.randint(0, 255)))
+    return tuple(conjuncts)
+
+
+class TestSerialBackend:
+    def test_check_batch_matches_scratch(self):
+        service = SolverService()
+        queries = [(ast.ult(X, bv_const(4, 8)),),
+                   (ast.ult(X, bv_const(4, 8)), ast.ugt(X, bv_const(9, 8))),
+                   (eq(Y, X + 1), ast.ugt(X, bv_const(250, 8)))]
+        results = service.check_batch(queries)
+        assert [r.status for r in results] == [
+            Solver().check(list(q)).status for q in queries]
+
+    def test_probe_batch_feasibility(self):
+        service = SolverService()
+        prefix = (ast.ult(X, bv_const(10, 8)),)
+        probes = [(eq(X, bv_const(3, 8)),),
+                  (eq(X, bv_const(30, 8)),),
+                  (ne(X, bv_const(200, 8)),)]
+        assert service.probe_batch(prefix, probes) == [True, False, True]
+
+    def test_serial_probes_share_one_frame_stack(self):
+        """Satellite property: all serial callers ride one IncrementalSolver."""
+        service = SolverService()
+        prefix = (ast.ult(X, bv_const(10, 8)),)
+        service.probe_batch(prefix, [(eq(X, bv_const(1, 8)),)])
+        before = service.solver.stats.frames_reused
+        service.probe_batch(prefix, [(eq(X, bv_const(2, 8)),)])
+        # The second batch re-poses the same prefix: its frame is reused,
+        # not re-propagated.
+        assert service.solver.stats.frames_reused > before
+
+    def test_iter_models_batch(self):
+        service = SolverService()
+        specs = [((ast.ult(X, bv_const(3, 8)),), (X,)),
+                 ((eq(Y, bv_const(7, 8)),), (Y,))]
+        models = service.iter_models_batch(specs)
+        assert [m[X] for m in models[0]] == [0, 1, 2]
+        assert [m[Y] for m in models[1]] == [7]
+
+    def test_empty_batches(self):
+        service = SolverService()
+        assert service.check_batch([]) == []
+        assert service.probe_batch((ast.ult(X, bv_const(4, 8)),), []) == []
+        assert service.iter_models_batch([]) == []
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(SolverError):
+            SolverService(workers=0)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with SolverService(workers=2) as service:
+        yield service
+
+
+class TestPoolBackend:
+    def test_check_batch_matches_scratch(self, pool):
+        rng = random.Random(20140301)
+        queries = [_random_query(rng) for _ in range(24)]
+        results = pool.check_batch(queries)
+        for query, result in zip(queries, results):
+            scratch = Solver().check(list(query))
+            assert result.status == scratch.status, query
+            if result.is_sat:
+                # The model is complete and actually satisfies the query.
+                from repro.solver.evalmodel import all_hold
+                assert all_hold(list(query), dict(result.model))
+
+    def test_results_in_input_order(self, pool):
+        # Alternate sat/unsat so any chunk mixup flips an answer.
+        queries = []
+        for i in range(17):
+            if i % 2 == 0:
+                queries.append((eq(X, bv_const(i, 8)),))
+            else:
+                queries.append((eq(X, bv_const(i, 8)),
+                                ne(X, bv_const(i, 8))))
+        statuses = [r.is_sat for r in pool.check_batch(queries)]
+        assert statuses == [i % 2 == 0 for i in range(17)]
+
+    def test_probe_batch_matches_serial(self, pool):
+        serial = SolverService()
+        prefix = (ast.ult(X, bv_const(50, 8)), ast.ugt(Y, bv_const(5, 8)))
+        probes = [(eq(X, bv_const(v, 8)),) for v in (0, 49, 50, 120, 3)]
+        assert (pool.probe_batch(prefix, probes)
+                == serial.probe_batch(prefix, probes))
+
+    def test_iter_models_batch_matches_serial(self, pool):
+        specs = [((ast.ult(X, bv_const(4, 8)),), (X,)),
+                 ((ast.ult(Y, bv_const(2, 8)), ne(Y, bv_const(0, 8))), (Y,)),
+                 ((eq(Z, bv_const(9, 8)),), (Z,))]
+        expected = [list(iter_models(c, v)) for c, v in specs]
+        assert pool.iter_models_batch(specs) == expected
+
+    def test_worker_stats_merged_on_join(self, pool):
+        before = pool.stats.copy()
+        queries = [(eq(X, bv_const(i, 8)),) for i in range(8)]
+        pool.check_batch(queries)
+        delta = pool.stats.delta_since(before)
+        assert delta.queries == 8
+        assert delta.sat_answers == 8
+        assert delta.frames_pushed > 0
+
+    def test_models_never_served_from_canonical_cache(self, pool):
+        # Two canonically-equal but raw-distinct queries: each must get a
+        # model computed from its own stack, so witnesses cannot depend on
+        # which chunk (or worker) a query lands on.
+        q1 = (ast.ult(X, bv_const(10, 8)), eq(Y, bv_const(3, 8)))
+        q2 = (eq(Y, bv_const(3, 8)), ast.ult(X, bv_const(10, 8)))
+        r1, r2 = pool.check_batch([q1, q2])
+        assert r1.model == r2.model  # pure function of the constraint set
+
+
+class TestChunking:
+    def test_chunks_are_contiguous_and_cover(self):
+        items = list(range(11))
+        chunks = _chunk(items, 4)
+        assert [len(c) for c in chunks] == [3, 3, 3, 2]
+        assert [x for chunk in chunks for x in chunk] == items
+
+    def test_fewer_items_than_workers(self):
+        assert _chunk([1], 8) == [[1]]
+
+
+class TestSolverStatsAggregation:
+    def test_merge_sums_every_field(self):
+        a = SolverStats(queries=3, cache_hits=5, cache_misses=1,
+                        propagation_seconds=0.25, frames_pushed=7)
+        b = SolverStats(queries=2, cache_hits=1, cache_misses=3,
+                        propagation_seconds=0.5, frames_pushed=2)
+        a += b
+        assert a.queries == 5
+        assert a.cache_hits == 6
+        assert a.cache_misses == 4
+        assert a.frames_pushed == 9
+        assert a.propagation_seconds == pytest.approx(0.75)
+        # hit rate stays consistent with the merged counters
+        assert a.cache_hit_rate == pytest.approx(0.6)
+
+    def test_merge_order_independent_for_counters(self):
+        parts = [SolverStats(queries=i, cache_hits=2 * i) for i in range(5)]
+        forward = SolverStats()
+        for part in parts:
+            forward += part
+        backward = SolverStats()
+        for part in reversed(parts):
+            backward += part
+        assert forward == backward
+
+    def test_copy_is_independent(self):
+        stats = SolverStats(queries=4)
+        snapshot = stats.copy()
+        stats.queries += 10
+        assert snapshot.queries == 4
+        assert stats.delta_since(snapshot).queries == 10
+
+    def test_hit_rate_zero_when_unused(self):
+        assert SolverStats().cache_hit_rate == 0.0
+
+
+class TestSeededFallback:
+    """The from-scratch fallback starts from the frame stack's fixpoint."""
+
+    def test_seed_domains_narrow_the_model(self):
+        constraints = [ast.ult(X, bv_const(100, 8))]
+        seeded = Solver().check(constraints,
+                                seed_domains={X: Interval(40, 60)})
+        assert seeded.is_sat
+        assert 40 <= seeded.model[X] <= 60
+
+    def test_seeds_for_absent_variables_are_ignored(self):
+        result = Solver().check([eq(X, bv_const(3, 8))],
+                                seed_domains={Y: Interval(1, 2)})
+        assert result.is_sat
+        assert result.model[X] == 3
+
+    def test_incremental_fallback_agrees_with_scratch(self):
+        # A disjunction over two variables defeats the quick-sat candidate
+        # (lower bounds violate it), forcing the seeded fallback path.
+        rng = random.Random(7)
+        for _ in range(50):
+            stack = [_random_query(rng) for _ in range(rng.randint(1, 3))]
+            flat = tuple(c for q in stack for c in q)
+            disjunct = ast.or_(eq(X, bv_const(rng.randint(1, 255), 8)),
+                               eq(Y, bv_const(rng.randint(1, 255), 8)))
+            query = flat + (disjunct,)
+            inc = IncrementalSolver()
+            result = inc.check(query)
+            scratch = Solver().check(list(query))
+            assert result.status == scratch.status, query
