@@ -10,11 +10,15 @@ Run::
 
     python examples/fsp_trojan_hunt.py
     python examples/fsp_trojan_hunt.py --workers 4   # parallel solver service
+    python examples/fsp_trojan_hunt.py --shards 4    # sharded exploration
 
 ``--workers N`` shards the embarrassingly parallel solver batches (the
 ``differentFrom`` matrix, negation probes, per-path predicate re-checks)
-across N worker processes; the findings are byte-identical to the serial
-run.
+across N worker processes; ``--shards N`` partitions the server's path
+tree itself by decision prefixes across N exploration processes with
+work-stealing. Both knobs compose, and the findings are byte-identical
+to the serial run either way. ``--search-order`` and ``--max-paths``
+override the exploration policy.
 """
 
 import argparse
@@ -30,10 +34,19 @@ def main() -> None:
     parser.add_argument("--workers", type=int, default=1,
                         help="solver-service worker processes (default: 1, "
                              "fully serial)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="exploration shard processes for the server "
+                             "search (default: 1, one in-process walk)")
+    parser.add_argument("--search-order", choices=["dfs", "bfs"], default=None,
+                        help="exploration worklist order (default: dfs)")
+    parser.add_argument("--max-paths", type=int, default=None,
+                        help="cap on completed paths per exploration")
     args = parser.parse_args()
     print(f"Running Achilles on FSP (8 utilities, path bound 5, "
-          f"workers={args.workers})...")
-    outcome = run_fsp_accuracy(workers=args.workers)
+          f"workers={args.workers}, shards={args.shards})...")
+    outcome = run_fsp_accuracy(workers=args.workers, shards=args.shards,
+                               search_order=args.search_order,
+                               max_paths=args.max_paths)
     report = outcome.report
 
     print(format_table(

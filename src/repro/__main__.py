@@ -17,12 +17,20 @@ import sys
 from repro.bench.tables import format_table
 
 
-def _run_toy(workers: int = 1) -> int:
+def _run_toy(workers: int = 1, shards: int = 1,
+             search_order: str | None = None,
+             max_paths: int | None = None) -> int:
     from repro.achilles import Achilles, AchillesConfig
+    from repro.bench.experiments import make_engine_config
     from repro.systems.toy import TOY_LAYOUT, toy_client, toy_server
 
     with Achilles(AchillesConfig(layout=TOY_LAYOUT,
-                                 workers=workers)) as achilles:
+                                 client_engine=make_engine_config(
+                                     search_order, max_paths),
+                                 server_engine=make_engine_config(
+                                     search_order, max_paths),
+                                 workers=workers,
+                                 shards=shards)) as achilles:
         predicates = achilles.extract_clients({"toy": toy_client})
         report = achilles.search(toy_server, predicates)
     rows = [[f.server_path_id, f.witness.hex(),
@@ -33,10 +41,14 @@ def _run_toy(workers: int = 1) -> int:
     return 0
 
 
-def _run_fsp(workers: int = 1) -> int:
+def _run_fsp(workers: int = 1, shards: int = 1,
+             search_order: str | None = None,
+             max_paths: int | None = None) -> int:
     from repro.bench.experiments import run_fsp_accuracy
 
-    outcome = run_fsp_accuracy(workers=workers)
+    outcome = run_fsp_accuracy(workers=workers, shards=shards,
+                               search_order=search_order,
+                               max_paths=max_paths)
     print(format_table(
         ["metric", "paper", "here"],
         [["true positives", 80, outcome.true_positives],
@@ -48,11 +60,14 @@ def _run_fsp(workers: int = 1) -> int:
     return 0 if outcome.false_positives == 0 else 1
 
 
-def _run_fsp_wildcard(workers: int = 1) -> int:
+def _run_fsp_wildcard(workers: int = 1, shards: int = 1,
+                      search_order: str | None = None,
+                      max_paths: int | None = None) -> int:
     from repro.bench.experiments import run_fsp_wildcard
     from repro.systems.fsp import FSP_LAYOUT
 
-    report = run_fsp_wildcard(workers=workers)
+    report = run_fsp_wildcard(workers=workers, shards=shards,
+                              search_order=search_order, max_paths=max_paths)
     buf = FSP_LAYOUT.view("buf")
     wildcard = [w for w in report.witnesses()
                 if any(b in (42, 63) for b in w[buf.offset:buf.end])]
@@ -64,10 +79,13 @@ def _run_fsp_wildcard(workers: int = 1) -> int:
     return 0 if wildcard else 1
 
 
-def _run_pbft(workers: int = 1) -> int:
+def _run_pbft(workers: int = 1, shards: int = 1,
+              search_order: str | None = None,
+              max_paths: int | None = None) -> int:
     from repro.bench.experiments import run_pbft_impact
 
-    outcome = run_pbft_impact(workers=workers)
+    outcome = run_pbft_impact(workers=workers, shards=shards,
+                              search_order=search_order, max_paths=max_paths)
     print(f"findings: {outcome.report.trojan_count} "
           f"(MAC != {outcome.mac_stub.hex()}) in "
           f"{outcome.report.timings.total:.2f}s")
@@ -98,13 +116,25 @@ def main(argv: list[str] | None = None) -> int:
                         help="solver-service worker processes (default: 1, "
                              "fully serial; findings are identical at any "
                              "worker count)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="exploration shard processes for the server "
+                             "search (default: 1, one in-process walk; "
+                             "findings are identical at any shard count)")
+    parser.add_argument("--search-order", choices=["dfs", "bfs"],
+                        default=None,
+                        help="exploration worklist order (default: the "
+                             "engine default, dfs)")
+    parser.add_argument("--max-paths", type=int, default=None,
+                        help="cap on completed paths per exploration "
+                             "(default: the engine default)")
     args = parser.parse_args(argv)
     if args.experiment == "list":
         for name, (_, description) in sorted(_EXPERIMENTS.items()):
             print(f"{name:14} {description}")
         return 0
     runner, _ = _EXPERIMENTS[args.experiment]
-    return runner(workers=args.workers)
+    return runner(workers=args.workers, shards=args.shards,
+                  search_order=args.search_order, max_paths=args.max_paths)
 
 
 if __name__ == "__main__":

@@ -83,6 +83,14 @@ class AchillesConfig:
             ``differentFrom`` matrix, the negation overlap probes and the
             per-path predicate re-checks) across a ``multiprocessing``
             pool. Findings are byte-identical at any worker count.
+        shards: phase-2 exploration shard count. 1 (the default) walks
+            the server's path tree in one process; >1 partitions the
+            tree by decision prefixes across that many worker processes
+            (:mod:`repro.explore`) with coordinator-brokered stealing.
+            Findings are byte-identical at any shard count. ``workers``
+            and ``shards`` compose: the former parallelizes solver
+            *batches* (pre-processing, and the seed phase's probes), the
+            latter the *walk* itself.
     """
 
     layout: MessageLayout
@@ -93,6 +101,20 @@ class AchillesConfig:
     destination: str | None = None
     msg_name: str = "msg"
     workers: int = 1
+    shards: int = 1
+
+    def __post_init__(self) -> None:
+        # Validate here, not at pool start: a bad count otherwise
+        # surfaces deep inside multiprocessing as a confusing failure.
+        if self.workers < 1:
+            raise AchillesError(
+                f"AchillesConfig.workers must be >= 1, got {self.workers} "
+                "(1 = serial; N > 1 = N solver worker processes)")
+        if self.shards < 1:
+            raise AchillesError(
+                f"AchillesConfig.shards must be >= 1, got {self.shards} "
+                "(1 = in-process exploration; N > 1 = N exploration "
+                "shard processes)")
 
 
 class Achilles:
@@ -158,7 +180,8 @@ class Achilles:
         report, _ = search_server(
             server, clients, self.server_msg, self.config.server_engine,
             self.config.optimizations, self.config.msg_name,
-            query_cache=self.query_cache, service=self.service)
+            query_cache=self.query_cache, service=self.service,
+            shards=self.config.shards)
         report.workers = self.config.workers
         report.timings.client_extraction = clients.stats.extraction_seconds
         report.timings.preprocessing = clients.stats.preprocess_seconds

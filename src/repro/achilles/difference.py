@@ -113,6 +113,20 @@ class DifferentFrom:
     def is_independent(self, index: int, field: str) -> bool:
         return self._independent.get((index, field), False)
 
+    # -- pickling ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Drop the solver service: the matrix is pure data after _build.
+
+        Sharded exploration ships the whole :class:`ClientPredicateSet`
+        (this matrix included) to worker processes; the service — which
+        may hold a live multiprocessing pool — is only used during
+        construction and must not travel.
+        """
+        state = self.__dict__.copy()
+        state["_service"] = None
+        return state
+
     # -- construction ----------------------------------------------------------------
 
     def _build(self, field_negations: FieldNegations | None) -> None:

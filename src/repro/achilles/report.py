@@ -120,6 +120,13 @@ class AchillesReport:
             the run's *shared* canonical cache only (its lookup traffic
             is the same at any worker count), keeping ``cache_hit_rate``
             comparable between serial and parallel runs.
+        shards: exploration shard count the server search ran with (1 =
+            one in-process walk). When shards > 1, per-shard solver
+            counters are folded in like worker counters, and the cache
+            counters describe only the coordinator's seed-phase cache —
+            shard workers warm private caches whose traffic depends on
+            the (timing-dependent) partition. Findings never depend on
+            the shard count.
     """
 
     findings: list[TrojanFinding] = field(default_factory=list)
@@ -134,6 +141,7 @@ class AchillesReport:
     frames_reused: int = 0
     propagation_seconds: float = 0.0
     workers: int = 1
+    shards: int = 1
 
     @property
     def trojan_count(self) -> int:

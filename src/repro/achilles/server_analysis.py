@@ -26,17 +26,18 @@ first, difference the predicates afterwards.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.achilles.client_analysis import ClientPredicateSet
 from repro.achilles.negate import single_field_of
 from repro.achilles.report import AchillesReport, TrojanFinding
+from repro.errors import AchillesError
 from repro.solver.ast import Expr
 from repro.solver.cache import QueryCache
 from repro.symex.context import ExecutionContext
-from repro.symex.engine import Engine, EngineConfig, ExplorationResult
-from repro.symex.observers import PathObserver
+from repro.symex.engine import DFS, DeferredModel, Engine, EngineConfig, ExplorationResult
+from repro.symex.observers import ObserverDelta, PathObserver
 from repro.symex.state import ACCEPTED, PathResult
 
 #: A server node program as Achilles drives it: the engine hands it the
@@ -72,6 +73,33 @@ class _PathSlot:
     """Per-path search state (lives in ``PathState.observer_slot``)."""
 
     live: set[int] = field(default_factory=set)
+    samples: list[tuple[int, int]] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class _TrojanPathRecord:
+    """Per-path payload inside a :class:`ObserverDelta` (picklable)."""
+
+    samples: tuple[tuple[int, int], ...]
+    finding: TrojanFinding | None
+
+
+@dataclass
+class _FindingCell:
+    """One accepting path's (possibly still in-flight) witness solve.
+
+    Cells keep findings in discovery order even when some witness models
+    resolve eagerly (cache hits, serial service) and others are still on
+    the worker pool: :meth:`TrojanSearchObserver.finalize` materializes
+    the ``findings`` list from the cell sequence.
+    """
+
+    deferred: DeferredModel
+    result: PathResult
+    pc: tuple[Expr, ...]
+    negation: tuple[Expr, ...]
+    live: tuple[int, ...]
+    finding: TrojanFinding | None = None
 
 
 class TrojanSearchObserver(PathObserver):
@@ -85,11 +113,26 @@ class TrojanSearchObserver(PathObserver):
     incremental assertion stack answers as push/pop against the path's
     frame: the ``pc`` prefix keeps its propagation fixpoint and only the
     probe conjuncts are propagated per query.
+
+    Witness models for accepting paths go through
+    :meth:`Engine.solve_async`: with a parallel service the solve is in
+    flight on the worker pool while exploration continues, and
+    :meth:`finalize` (called once exploration ends) joins the stragglers
+    — findings stay in discovery order with witnesses byte-identical to
+    the serial run, only ``elapsed_seconds`` of late-resolving findings
+    shifts to the join point.
+
+    The observer is also delta-capable (:meth:`delta` / :meth:`restore`),
+    which is what lets the sharded exploration layer run one private
+    instance per shard worker and deterministically rebuild the merged
+    findings on the coordinator. Both are sound because every hook here
+    is a pure function of the path's constraint sequence.
     """
 
     def __init__(self, engine: Engine, clients: ClientPredicateSet,
                  server_msg: tuple[Expr, ...],
-                 flags: OptimizationFlags | None = None):
+                 flags: OptimizationFlags | None = None,
+                 record_delta: bool = False):
         self._engine = engine
         self._clients = clients
         self._server_msg = server_msg
@@ -98,6 +141,16 @@ class TrojanSearchObserver(PathObserver):
         self._negation_exprs = [n.expr for n in clients.negations]
         self._trojan_cache: dict[tuple[tuple[Expr, ...], frozenset[int]], bool] = {}
         self._started = time.perf_counter()
+        self._cells: list[_FindingCell] = []
+        # Sharding support costs per-path bookkeeping (samples are kept
+        # per path as well as in the flat stream), so it is opt-in: only
+        # observers created for a sharded run record it.
+        self._record_delta = record_delta
+        # (decisions, per-path samples, witness cell or None) per executed
+        # path; delta() freezes these into _TrojanPathRecord payloads.
+        self._per_path: list[tuple[tuple[bool, ...],
+                                   tuple[tuple[int, int], ...],
+                                   _FindingCell | None]] = []
         self.findings: list[TrojanFinding] = []
         self.samples: list[tuple[int, int]] = []
         self.paths_pruned = 0
@@ -115,6 +168,8 @@ class TrojanSearchObserver(PathObserver):
         pc = tuple(ctx.state.constraints)
         if self._flags.incremental_drop:
             self._drop_dead_predicates(pc, constraint, slot)
+        if self._record_delta:
+            slot.samples.append((len(pc), len(slot.live)))
         self.samples.append((len(pc), len(slot.live)))
         if self._flags.prune_unreachable and not self._trojan_feasible(
                 pc, frozenset(slot.live)):
@@ -123,28 +178,89 @@ class TrojanSearchObserver(PathObserver):
         return True
 
     def on_path_end(self, ctx: ExecutionContext, result: PathResult) -> None:
-        if result.verdict != ACCEPTED:
-            return
         slot: _PathSlot = ctx.state.observer_slot
+        cell = None
+        if result.verdict == ACCEPTED:
+            cell = self._witness_cell(result, slot)
+        if self._record_delta:
+            self._per_path.append((result.decisions, tuple(slot.samples),
+                                   cell))
+
+    def _witness_cell(self, result: PathResult,
+                      slot: _PathSlot) -> _FindingCell | None:
         live = frozenset(slot.live)
         pc = result.constraints
         if not self._trojan_feasible(pc, live):
-            return  # accepting, but only by non-Trojan messages
+            return None  # accepting, but only by non-Trojan messages
         negation = self._negation_query(live)
-        model = self._engine.solve(pc + negation)
+        cell = _FindingCell(
+            deferred=self._engine.solve_async(pc + negation),
+            result=result, pc=pc, negation=negation,
+            live=tuple(sorted(live)))
+        self._cells.append(cell)
+        if cell.deferred.done:
+            self._materialize(cell)
+        return cell
+
+    def _materialize(self, cell: _FindingCell) -> None:
+        model = cell.deferred.result()
         if model is None:  # pragma: no cover - guarded by trojan_feasible
             return
         witness = bytes(model.get(var, 0) for var in self._server_msg)
-        self.findings.append(TrojanFinding(
-            server_path_id=result.path_id,
-            decisions=result.decisions,
-            path_condition=pc,
-            negation=negation,
+        cell.finding = TrojanFinding(
+            server_path_id=cell.result.path_id,
+            decisions=cell.result.decisions,
+            path_condition=cell.pc,
+            negation=cell.negation,
             witness=witness,
-            live_predicates=tuple(sorted(live)),
+            live_predicates=cell.live,
             elapsed_seconds=time.perf_counter() - self._started,
-            labels=result.labels,
-        ))
+            labels=cell.result.labels,
+        )
+
+    # -- deferred work / sharding protocol ----------------------------------------
+
+    def finalize(self) -> None:
+        """Join in-flight witness solves; (re)build ``findings`` in order."""
+        for cell in self._cells:
+            if cell.finding is None:
+                self._materialize(cell)
+        self.findings = [cell.finding for cell in self._cells
+                         if cell.finding is not None]
+
+    def delta(self) -> ObserverDelta | None:
+        """Picklable snapshot of this instance's findings (see base class).
+
+        None unless the observer was created with ``record_delta=True``.
+        """
+        if not self._record_delta:
+            return None
+        self.finalize()
+        per_path = [
+            (decisions,
+             _TrojanPathRecord(samples=samples,
+                               finding=cell.finding if cell else None))
+            for decisions, samples, cell in self._per_path
+        ]
+        return ObserverDelta(
+            per_path=per_path,
+            counters={"paths_seen": self.paths_seen,
+                      "paths_pruned": self.paths_pruned})
+
+    def restore(self, delta: ObserverDelta,
+                path_ids: dict[tuple[bool, ...], int]) -> None:
+        """Rebuild findings/samples from a canonical shard-delta merge."""
+        self.paths_seen = delta.counters.get("paths_seen", 0)
+        self.paths_pruned = delta.counters.get("paths_pruned", 0)
+        self.samples = []
+        self.findings = []
+        self._cells = []
+        self._per_path = []
+        for decisions, record in delta.per_path:
+            self.samples.extend(record.samples)
+            if record.finding is not None:
+                self.findings.append(replace(
+                    record.finding, server_path_id=path_ids[decisions]))
 
     # -- search internals --------------------------------------------------------------
 
@@ -190,6 +306,25 @@ class TrojanSearchObserver(PathObserver):
         return cached
 
 
+def _shard_setup(engine: Engine, server, clients: ClientPredicateSet,
+                 server_msg: tuple[Expr, ...],
+                 flags: OptimizationFlags | None, msg_name: str,
+                 record_delta: bool = False):
+    """Build one shard's (program, observer) pair on its private engine.
+
+    Module-level (and its args picklable) so the shard scheduler can ship
+    it to worker processes under any multiprocessing start method.
+    """
+    observer = TrojanSearchObserver(engine, clients, server_msg, flags,
+                                    record_delta=record_delta)
+
+    def program(ctx: ExecutionContext) -> None:
+        wire = tuple(ctx.fresh_bytes(msg_name, len(server_msg)))
+        server(ctx, wire)
+
+    return program, observer
+
+
 def search_server(server, clients: ClientPredicateSet,
                   server_msg: tuple[Expr, ...],
                   engine_config: EngineConfig | None = None,
@@ -197,6 +332,7 @@ def search_server(server, clients: ClientPredicateSet,
                   msg_name: str = "msg",
                   query_cache: QueryCache | None = None,
                   service=None,
+                  shards: int = 1,
                   ) -> tuple[AchillesReport, ExplorationResult]:
     """Explore a server program under the incremental Trojan search.
 
@@ -213,9 +349,19 @@ def search_server(server, clients: ClientPredicateSet,
             the phase-1 cache here so cross-phase queries hit).
         service: optional :class:`~repro.solver.service.SolverService`;
             when parallel, the observer's per-constraint predicate
-            re-checks dispatch their cache misses across its worker pool.
+            re-checks dispatch their cache misses across its worker pool
+            and witness solves overlap with exploration as async futures.
             Worker-side counters accumulated during this search are merged
             into the report.
+        shards: exploration shard count. 1 (the default) walks the path
+            tree in-process; > 1 partitions it by decision prefixes
+            across that many worker processes
+            (:class:`~repro.explore.scheduler.ShardScheduler`) with
+            work-stealing, and the deterministic merge makes findings
+            byte-identical to the serial walk. Query-cache counters then
+            describe the coordinator's seed phase only (shard workers
+            warm private caches), while query/frame/propagation counters
+            include the per-shard solver work.
 
     Returns:
         The (partially filled) report and the raw exploration result; the
@@ -223,15 +369,36 @@ def search_server(server, clients: ClientPredicateSet,
     """
     engine = Engine(engine_config or EngineConfig(), query_cache=query_cache,
                     service=service)
-    observer = TrojanSearchObserver(engine, clients, server_msg, flags)
-
-    def program(ctx: ExecutionContext) -> None:
-        wire = tuple(ctx.fresh_bytes(msg_name, len(server_msg)))
-        server(ctx, wire)
+    if shards > 1 and engine.config.search_order != DFS:
+        # The sharded merge renumbers paths in canonical prefix order,
+        # which reproduces DFS completion order exactly — a serial BFS
+        # run orders findings differently, so the byte-parity promise
+        # cannot be kept for it. Fail loudly instead of quietly
+        # reordering.
+        raise AchillesError(
+            f"sharded exploration requires the default {DFS!r} search "
+            f"order (got {engine.config.search_order!r}): findings are "
+            "only byte-identical across shard counts for DFS runs")
 
     service_mark = service.stats.copy() if service is not None else None
     started = time.perf_counter()
-    exploration = engine.explore(program, observer)
+    shard_stats = None
+    if shards > 1:
+        from repro.explore import ShardScheduler
+
+        scheduler = ShardScheduler(
+            _shard_setup,
+            (server, clients, server_msg, flags, msg_name, True),
+            shards=shards, engine=engine)
+        sharded = scheduler.run()
+        exploration = sharded.exploration
+        observer = sharded.observer
+        shard_stats = sharded.worker_solver_stats
+    else:
+        program, observer = _shard_setup(engine, server, clients, server_msg,
+                                         flags, msg_name)
+        exploration = engine.explore(program, observer)
+        observer.finalize()
     elapsed = time.perf_counter() - started
 
     report = AchillesReport(
@@ -245,7 +412,12 @@ def search_server(server, clients: ClientPredicateSet,
         cache_misses=engine.query_cache.stats.misses,
         frames_reused=engine.solver.stats.frames_reused,
         propagation_seconds=engine.solver.stats.propagation_seconds,
+        shards=shards,
     )
+    if shard_stats is not None:
+        report.solver_queries += shard_stats.queries
+        report.frames_reused += shard_stats.frames_reused
+        report.propagation_seconds += shard_stats.propagation_seconds
     if service_mark is not None:
         _merge_service_stats(report, service, service_mark)
     report.timings.server_analysis = elapsed

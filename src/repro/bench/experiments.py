@@ -27,9 +27,21 @@ from repro.systems.pbft import (
     run_workload,
 )
 from repro.systems.pbft.cluster import ClusterStats
+from repro.symex.engine import EngineConfig
 
 #: The §6.1 annotation mask: session fields are stubbed, not analyzed.
 FSP_SESSION_MASK = FieldMask.hide("sum", "bb_key", "bb_seq", "bb_pos")
+
+
+def make_engine_config(search_order: str | None = None,
+                       max_paths: int | None = None) -> EngineConfig:
+    """An :class:`EngineConfig` with the CLI's exploration overrides applied."""
+    config = EngineConfig()
+    if search_order is not None:
+        config.search_order = search_order
+    if max_paths is not None:
+        config.max_paths = max_paths
+    return config
 
 
 @dataclass
@@ -48,22 +60,34 @@ class AccuracyOutcome:
 
 
 def _fsp_achilles(optimizations: OptimizationFlags | None = None,
-                  workers: int = 1) -> Achilles:
+                  workers: int = 1, shards: int = 1,
+                  search_order: str | None = None,
+                  max_paths: int | None = None) -> Achilles:
     config = AchillesConfig(layout=fsp.FSP_LAYOUT, mask=FSP_SESSION_MASK,
                             optimizations=optimizations or OptimizationFlags(),
-                            workers=workers)
+                            client_engine=make_engine_config(search_order,
+                                                             max_paths),
+                            server_engine=make_engine_config(search_order,
+                                                             max_paths),
+                            workers=workers, shards=shards)
     return Achilles(config)
 
 
 def run_fsp_accuracy(optimizations: OptimizationFlags | None = None,
-                     workers: int = 1) -> AccuracyOutcome:
+                     workers: int = 1, shards: int = 1,
+                     search_order: str | None = None,
+                     max_paths: int | None = None) -> AccuracyOutcome:
     """Table 1 (Achilles column) + Figures 10/11 raw data.
 
     ``workers`` > 1 dispatches the parallel batches (pre-processing and
     the per-path predicate re-checks) across a solver-service pool;
-    findings are byte-identical at any worker count.
+    ``shards`` > 1 additionally partitions the phase-2 path tree across
+    exploration worker processes. Findings are byte-identical at any
+    worker or shard count. ``search_order`` / ``max_paths`` override the
+    default exploration policy for both phases.
     """
-    with _fsp_achilles(optimizations, workers) as achilles:
+    with _fsp_achilles(optimizations, workers, shards, search_order,
+                       max_paths) as achilles:
         predicates = achilles.extract_clients(fsp.literal_clients())
         report = achilles.search(fsp.fsp_server, predicates)
     score = fsp.GroundTruth.score(report.witnesses())
@@ -77,9 +101,13 @@ def run_fsp_accuracy(optimizations: OptimizationFlags | None = None,
 
 
 def run_fsp_wildcard(listing: tuple[str, ...] = ("f1", "f2", "doc"),
-                     workers: int = 1) -> AchillesReport:
+                     workers: int = 1, shards: int = 1,
+                     search_order: str | None = None,
+                     max_paths: int | None = None) -> AchillesReport:
     """§6.3 wildcard experiment: globbing clients, same server."""
-    with _fsp_achilles(workers=workers) as achilles:
+    with _fsp_achilles(workers=workers, shards=shards,
+                       search_order=search_order,
+                       max_paths=max_paths) as achilles:
         predicates = achilles.extract_clients(fsp.globbing_clients(listing))
         return achilles.search(fsp.fsp_server, predicates)
 
@@ -202,18 +230,29 @@ class PbftOutcome:
     impact: dict[str, ClusterStats] = field(default_factory=dict)
 
 
-def run_pbft_analysis(workers: int = 1) -> AchillesReport:
+def run_pbft_analysis(workers: int = 1, shards: int = 1,
+                      search_order: str | None = None,
+                      max_paths: int | None = None) -> AchillesReport:
     """§6.2 PBFT run: the MAC Trojan on every accepting path."""
     with Achilles(AchillesConfig(layout=REQUEST_LAYOUT,
                                  destination="replica0",
-                                 workers=workers)) as achilles:
+                                 client_engine=make_engine_config(
+                                     search_order, max_paths),
+                                 server_engine=make_engine_config(
+                                     search_order, max_paths),
+                                 workers=workers,
+                                 shards=shards)) as achilles:
         predicates = achilles.extract_clients({"pbft-client": pbft_client})
         return achilles.search(pbft_replica, predicates)
 
 
-def run_pbft_impact(requests: int = 40, workers: int = 1) -> PbftOutcome:
+def run_pbft_impact(requests: int = 40, workers: int = 1, shards: int = 1,
+                    search_order: str | None = None,
+                    max_paths: int | None = None) -> PbftOutcome:
     """§6.3 MAC attack impact: throughput under increasing attack rates."""
-    report = run_pbft_analysis(workers=workers)
+    report = run_pbft_analysis(workers=workers, shards=shards,
+                               search_order=search_order,
+                               max_paths=max_paths)
     outcome = PbftOutcome(report=report, mac_stub=MAC_STUB)
     for label, every in {"clean": 0, "attack-10%": 10, "attack-50%": 2}.items():
         outcome.impact[label] = run_workload(requests, malicious_every=every)

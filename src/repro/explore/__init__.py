@@ -1,0 +1,69 @@
+"""Sharded parallel exploration: decision-prefix partitioning of the path tree.
+
+PR 3 parallelized the *solver batches*; this package parallelizes the
+*exploration itself* (Cloud9-style): the symbolic path tree is split by
+decision prefixes across a pool of worker processes, each running the
+stock :meth:`repro.symex.engine.Engine.explore` loop below its prefixes
+with a fully private solver pipeline (hash-consed arena, canonical
+:class:`~repro.solver.cache.QueryCache`, incremental frame stack — the
+PR 3 worker bootstrap, one engine per process instead of one solver per
+chunk).
+
+The protocol, end to end:
+
+1. **Seed** (:class:`~repro.explore.shard.FrontierControl`): the
+   coordinator explores in-process until its worklist holds at least
+   ``seed_factor x shards`` unexplored fork prefixes, then stops; the
+   remaining worklist is the *frontier*. Every frontier entry is a
+   decision prefix — a recorded branch-direction vector that the engine's
+   schedule mechanism replays deterministically (scheduled branches take
+   the recorded direction with no new solver checks), so handing a prefix
+   to another process hands it exactly the subtree below that fork.
+2. **Partition** (:mod:`~repro.explore.scheduler`): the frontier is
+   sorted canonically and split contiguously across the shard workers;
+   each worker explores its prefixes to exhaustion and reports a
+   :class:`~repro.explore.shard.ShardOutcome`.
+3. **Steal**: when a worker drains its prefixes while others are still
+   loaded, the coordinator sets the *steal flag* of a loaded worker; at
+   its next between-paths checkpoint
+   (:class:`~repro.explore.shard.StealControl`) that worker donates the
+   shallowest half of its live worklist back through the coordinator,
+   which reassigns it to the idle workers. Re-execution forking makes
+   stealing essentially free — every path replays from the root anyway,
+   so a migrated prefix costs one extra replay, not a state transfer.
+4. **Merge** (:mod:`~repro.explore.merge`): shard outcomes fold into one
+   :class:`~repro.symex.engine.ExplorationResult` — paths renumbered in
+   canonical prefix order (lexicographic, True before False, which *is*
+   the serial DFS completion order), exploration/solver counters summed
+   in a fixed order, and per-shard observer findings reduced through the
+   :class:`~repro.symex.observers.ObserverDelta` protocol. The merged
+   output is a pure function of the explored tree: byte-identical at any
+   shard count, with any stealing schedule, for DFS-ordered runs
+   byte-identical to the plain serial engine.
+
+The explored tree itself is shard-invariant because every pruning input
+is pure: branch feasibility is a function of the path condition, and
+delta-capable observers are (by the :class:`PathObserver` contract)
+deterministic functions of the constraint sequence.
+
+When to shard paths vs. batch queries: the solver service (layer 5)
+accelerates workloads whose *queries* are independent but whose
+exploration is cheap; sharding (this layer) is for workloads dominated by
+per-path work — path replays, per-constraint observer probes — where the
+walk itself must spread across cores. The two compose: a sharded run may
+still batch its pre-processing through a worker pool.
+"""
+
+from repro.explore.merge import MergedExploration, merge_outcomes
+from repro.explore.scheduler import ShardedExploration, ShardScheduler
+from repro.explore.shard import FrontierControl, ShardOutcome, StealControl
+
+__all__ = [
+    "FrontierControl",
+    "MergedExploration",
+    "ShardOutcome",
+    "ShardScheduler",
+    "ShardedExploration",
+    "StealControl",
+    "merge_outcomes",
+]

@@ -1,0 +1,275 @@
+"""The coordinator: seeds shards, brokers stealing, merges outcomes.
+
+:class:`ShardScheduler` owns the whole sharded run. It explores the top
+of the tree in-process to grow a frontier of fork prefixes, partitions
+that frontier across ``shards`` worker processes, then sits in a message
+loop re-balancing work: a worker that drains its prefixes goes idle, and
+the coordinator raises the steal flag of a loaded worker, whose next
+checkpoint donates the shallowest half of its worklist back for
+reassignment. Outcomes merge deterministically regardless of any of this
+scheduling — see :mod:`repro.explore.merge`.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import SymexError
+from repro.explore.merge import MergedExploration, merge_outcomes
+from repro.explore.shard import (
+    MSG_DONATE,
+    MSG_DONE,
+    MSG_ERROR,
+    FrontierControl,
+    Prefix,
+    ShardOutcome,
+    ShardSetup,
+    shard_worker,
+)
+from repro.solver.solver import SolverStats
+from repro.symex.engine import BFS, Engine, EngineConfig, ExplorationResult
+from repro.symex.observers import PathObserver
+from repro.symex.state import canonical_key
+
+#: Frontier prefixes harvested per shard before workers start; a few
+#: subtrees per worker gives the first round of load balancing for free.
+DEFAULT_SEED_FACTOR = 4
+
+#: Coordinator poll interval while waiting on worker messages (seconds).
+_POLL_SECONDS = 0.02
+
+
+@dataclass
+class ShardedExploration:
+    """Result of one sharded exploration run.
+
+    Attributes:
+        exploration: deterministic merged result (canonical path ids,
+            summed counters, ``stats.elapsed_seconds`` = coordinator
+            wall clock for the whole run).
+        observer: the coordinator's observer, with findings restored
+            from the canonical merge of every shard's delta (None when
+            the run had no observer).
+        path_ids: decision vector -> canonical path id for every
+            executed path.
+        worker_solver_stats: solver counters accumulated inside shard
+            workers, folded in canonical order (coordinator-side solver
+            work stays on the coordinator engine's own stats).
+        shards: worker process count the run was configured with.
+        steals: successful (non-empty) worklist donations brokered by
+            the coordinator — a load-balancing diagnostic, not part of
+            the deterministic output.
+    """
+
+    exploration: ExplorationResult
+    observer: PathObserver | None
+    path_ids: dict[Prefix, int]
+    worker_solver_stats: SolverStats
+    shards: int
+    steals: int = 0
+
+
+class ShardScheduler:
+    """Decision-prefix sharded exploration across a process pool.
+
+    Args:
+        setup: module-level callable building one shard's program and
+            observer: ``setup(engine, *setup_args) -> (program,
+            observer)``. Runs once on the coordinator engine (seed
+            phase) and once per assignment inside each worker. The
+            observer may be None (plain exploration); otherwise it must
+            be delta-capable (:meth:`PathObserver.delta`).
+        setup_args: picklable arguments for ``setup``.
+        shards: worker process count (>= 1).
+        engine: coordinator engine for the seed phase; defaults to a
+            fresh ``Engine(engine_config)``. Its query cache/service
+            wiring is used only above the frontier — workers build
+            private engines from ``engine_config``.
+        engine_config: exploration limits for workers (defaults to the
+            coordinator engine's config). Note the ``max_paths`` cap
+            degrades to per-worker granularity in a sharded run; byte
+            parity with the serial engine is only guaranteed for runs
+            that drain the tree below the cap.
+        seed_factor: frontier prefixes to grow per shard before
+            partitioning.
+    """
+
+    def __init__(self, setup: ShardSetup, setup_args: tuple = (), *,
+                 shards: int = 2, engine: Engine | None = None,
+                 engine_config: EngineConfig | None = None,
+                 seed_factor: int = DEFAULT_SEED_FACTOR):
+        if shards < 1:
+            raise SymexError(f"shard count must be >= 1, got {shards}")
+        self.setup = setup
+        self.setup_args = tuple(setup_args)
+        self.shards = shards
+        self.engine = engine or Engine(engine_config)
+        self.engine_config = engine_config or self.engine.config
+        self.seed_factor = max(1, seed_factor)
+
+    # -- phases --------------------------------------------------------------
+
+    def run(self) -> ShardedExploration:
+        """Seed, fan out, steal until drained, merge; see the class doc."""
+        started = time.perf_counter()
+        program, observer = self.setup(self.engine, *self.setup_args)
+        # Seed breadth-first regardless of the configured order: a DFS
+        # worklist only ever holds one open sibling per level (too narrow
+        # a frontier on deep trees), while BFS's worklist is the breadth
+        # frontier itself. The explored tree is order-invariant, so the
+        # canonical merge still reproduces the configured-order output.
+        seed = self.engine.explore(
+            program, observer,
+            control=FrontierControl(self.shards * self.seed_factor),
+            order=BFS)
+        seed_delta = None
+        if observer is not None:
+            observer.finalize()
+            seed_delta = observer.delta()
+            if seed_delta is None:
+                raise SymexError(
+                    f"{type(observer).__name__} is not delta-capable: "
+                    "sharded exploration needs PathObserver.delta() to "
+                    "return an ObserverDelta")
+        # Coordinator solver work is already booked on self.engine's own
+        # stats; the seed outcome ships an empty delta so it is not
+        # double-counted by the merge.
+        outcomes = [ShardOutcome(executed=seed.executed, paths=seed.paths,
+                                 stats=seed.stats, delta=seed_delta)]
+        steals = 0
+        frontier = sorted(seed.frontier, key=canonical_key)
+        if frontier:
+            shard_outcomes, steals = self._fan_out(frontier)
+            outcomes.extend(shard_outcomes)
+
+        merged = merge_outcomes(outcomes)
+        merged.exploration.stats.elapsed_seconds = (
+            time.perf_counter() - started)
+        if observer is not None and merged.delta is not None:
+            observer.restore(merged.delta, merged.path_ids)
+        return ShardedExploration(
+            exploration=merged.exploration, observer=observer,
+            path_ids=merged.path_ids,
+            worker_solver_stats=merged.solver_stats, shards=self.shards,
+            steals=steals)
+
+    # -- worker pool ---------------------------------------------------------
+
+    def _fan_out(self,
+                 frontier: list[Prefix]) -> tuple[list[ShardOutcome], int]:
+        """Partition ``frontier`` across worker processes; broker steals."""
+        import multiprocessing
+
+        # Same policy as the solver service: fork inherits the interned
+        # AST arena copy-on-write; spawn re-interns on unpickle.
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        count = self.shards
+        result_queue = ctx.Queue()
+        task_queues = [ctx.Queue() for _ in range(count)]
+        steal_flags = [ctx.Event() for _ in range(count)]
+        workers = [
+            ctx.Process(
+                target=shard_worker,
+                args=(wid, self.setup, self.setup_args, self.engine_config,
+                      task_queues[wid], result_queue, steal_flags[wid]),
+                daemon=True)
+            for wid in range(count)
+        ]
+        for worker in workers:
+            worker.start()
+        try:
+            return self._coordinate(frontier, result_queue, task_queues,
+                                    steal_flags, workers)
+        finally:
+            for task_queue in task_queues:
+                task_queue.put(None)
+            deadline = time.monotonic() + 10.0
+            for worker in workers:
+                worker.join(timeout=max(0.0, deadline - time.monotonic()))
+                if worker.is_alive():  # pragma: no cover - hang safety net
+                    worker.terminate()
+                    worker.join()
+
+    def _coordinate(self, frontier, result_queue, task_queues, steal_flags,
+                    workers) -> tuple[list[ShardOutcome], int]:
+        count = self.shards
+        pending: deque[Prefix] = deque(frontier)
+        idle = set(range(count))
+        steal_pending: set[int] = set()
+        outcomes: list[ShardOutcome] = []
+        steals = 0
+        dead_polls = 0
+        self._assign(pending, idle, task_queues)
+
+        while len(idle) < count or pending:
+            try:
+                kind, wid, payload = result_queue.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                # Liveness: a worker that died without reporting (OOM
+                # kill, hard crash — MSG_ERROR only covers Python
+                # exceptions) would leave this loop polling forever. A
+                # few empty polls of grace let a just-dead worker's last
+                # queued message drain first.
+                dead = [wid for wid in range(count)
+                        if wid not in idle and not workers[wid].is_alive()]
+                if dead:
+                    dead_polls += 1
+                    if dead_polls >= 5:
+                        raise SymexError(
+                            f"shard worker(s) {dead} died without "
+                            "reporting a result (killed?); sharded "
+                            "exploration cannot complete")
+                else:
+                    dead_polls = 0
+                self._request_steal(idle, steal_pending, steal_flags)
+                continue
+            dead_polls = 0
+            if kind == MSG_DONE:
+                outcomes.append(payload)
+                idle.add(wid)
+                steal_pending.discard(wid)
+                steal_flags[wid].clear()
+                if pending:
+                    self._assign(pending, idle, task_queues)
+                else:
+                    self._request_steal(idle, steal_pending, steal_flags)
+            elif kind == MSG_DONATE:
+                steal_pending.discard(wid)
+                if payload:
+                    steals += 1
+                    pending.extend(payload)
+                self._assign(pending, idle, task_queues)
+            elif kind == MSG_ERROR:
+                raise SymexError(
+                    f"shard worker {wid} failed:\n{payload}")
+            else:  # pragma: no cover - internal protocol
+                raise SymexError(f"unknown shard message kind {kind!r}")
+        return outcomes, steals
+
+    def _assign(self, pending: deque, idle: set[int], task_queues) -> None:
+        """Split the pending prefixes evenly across the idle workers."""
+        while pending and idle:
+            takers = sorted(idle)[:len(pending)]
+            base, extra = divmod(len(pending), len(takers))
+            for position, wid in enumerate(takers):
+                size = base + (1 if position < extra else 0)
+                assignment = [pending.popleft() for _ in range(size)]
+                idle.discard(wid)
+                task_queues[wid].put(assignment)
+
+    def _request_steal(self, idle: set[int], steal_pending: set[int],
+                       steal_flags) -> None:
+        """Raise one loaded worker's steal flag when someone is idle."""
+        if not idle:
+            return
+        busy = [wid for wid in range(self.shards)
+                if wid not in idle and wid not in steal_pending]
+        if busy:
+            target = busy[0]
+            steal_pending.add(target)
+            steal_flags[target].set()

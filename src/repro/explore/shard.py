@@ -1,0 +1,146 @@
+"""Shard-side primitives: exploration controls and the worker main loop.
+
+A *shard* is one worker process owning a private engine (and therefore a
+private solver pipeline). It is driven by the coordinator through two
+queues and a steal flag — see the package docstring for the protocol and
+:mod:`repro.explore.scheduler` for the coordinator side.
+"""
+
+from __future__ import annotations
+
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.solver.solver import SolverStats
+from repro.symex.engine import Engine, EngineConfig, ExploreControl
+from repro.symex.observers import ObserverDelta
+from repro.symex.state import PathResult
+
+#: A worker setup callable: ``setup(engine, *args) -> (program, observer)``.
+#: It runs once per assignment inside the worker process (and once on the
+#: coordinator for the seed phase), so it must be picklable under the
+#: ``spawn`` start method — a module-level function plus picklable args.
+ShardSetup = Callable
+
+#: Decision prefix identifying an unexplored subtree.
+Prefix = tuple[bool, ...]
+
+# result-queue message kinds (worker -> coordinator)
+MSG_DONE = "done"
+MSG_DONATE = "donate"
+MSG_ERROR = "error"
+
+
+@dataclass
+class ShardOutcome:
+    """Everything one exploration (seed phase or worker assignment) produced.
+
+    Attributes:
+        executed: ``(decisions, verdict)`` per executed path, local
+            execution order — the renumbering record.
+        paths: the finished :class:`PathResult` list (local path ids).
+        stats: this exploration's counters.
+        solver_stats: the engine's solver counters accumulated during
+            this exploration only (reset per assignment, so the
+            coordinator folds exact deltas).
+        delta: the observer's findings snapshot, or None when the run
+            had no observer.
+    """
+
+    executed: list[tuple[Prefix, str]] = field(default_factory=list)
+    paths: list[PathResult] = field(default_factory=list)
+    stats: object = None
+    solver_stats: SolverStats = field(default_factory=SolverStats)
+    delta: ObserverDelta | None = None
+
+
+class FrontierControl(ExploreControl):
+    """Stop exploring once the worklist holds ``target`` fork prefixes.
+
+    The coordinator's seed phase runs under this control: the worklist
+    left behind is the frontier that gets partitioned across shards.
+    """
+
+    def __init__(self, target: int):
+        self.target = max(1, target)
+
+    def checkpoint(self, worklist: deque) -> bool:
+        return len(worklist) < self.target
+
+
+class StealControl(ExploreControl):
+    """Donate worklist entries when the coordinator requests a steal.
+
+    ``flag`` is a :class:`multiprocessing.Event` the coordinator sets;
+    at the next between-paths checkpoint the worker pops the shallowest
+    half of its worklist (the oldest forks — for DFS those are the
+    biggest unexplored subtrees) and hands it to ``donate``. An empty
+    donation is still sent so the coordinator knows this worker had
+    nothing to give and can ask another.
+    """
+
+    def __init__(self, flag, donate: Callable[[list[Prefix]], None]):
+        self.flag = flag
+        self.donate = donate
+        self.donations = 0
+
+    def checkpoint(self, worklist: deque) -> bool:
+        if self.flag.is_set():
+            self.flag.clear()
+            share = [worklist.popleft() for _ in range(len(worklist) // 2)]
+            self.donations += 1
+            self.donate(share)
+        return True
+
+
+def run_assignment(engine: Engine, setup: ShardSetup, setup_args: tuple,
+                   prefixes: list[Prefix],
+                   control: ExploreControl | None = None) -> ShardOutcome:
+    """Explore ``prefixes`` to exhaustion on ``engine``; return the outcome.
+
+    A fresh ``(program, observer)`` pair is built per assignment (the
+    observer must start empty so its delta covers exactly this
+    assignment) while the engine — and with it the warm canonical cache
+    and frame stack — persists across assignments. Solver counters are
+    reset first so the outcome ships an exact per-assignment delta.
+    """
+    program, observer = setup(engine, *setup_args)
+    engine.solver.stats = SolverStats()
+    result = engine.explore(program, observer, roots=prefixes,
+                            control=control)
+    delta = None
+    if observer is not None:
+        observer.finalize()
+        delta = observer.delta()
+    return ShardOutcome(executed=result.executed, paths=result.paths,
+                        stats=result.stats, solver_stats=engine.solver.stats,
+                        delta=delta)
+
+
+def shard_worker(worker_id: int, setup: ShardSetup, setup_args: tuple,
+                 engine_config: EngineConfig, task_queue, result_queue,
+                 steal_flag) -> None:
+    """Worker process main loop (one per shard).
+
+    Blocks on ``task_queue`` for prefix assignments, explores each to
+    exhaustion (donating through ``steal_flag``/``result_queue`` when
+    asked) and ships a :class:`ShardOutcome` per assignment. ``None``
+    shuts the worker down. Any exception is reported as an
+    :data:`MSG_ERROR` message instead of dying silently.
+    """
+    try:
+        engine = Engine(engine_config)
+        control = StealControl(
+            steal_flag,
+            lambda share: result_queue.put((MSG_DONATE, worker_id, share)))
+        while True:
+            assignment = task_queue.get()
+            if assignment is None:
+                return
+            outcome = run_assignment(engine, setup, setup_args, assignment,
+                                     control)
+            result_queue.put((MSG_DONE, worker_id, outcome))
+    except Exception:  # pragma: no cover - exercised via scheduler tests
+        result_queue.put((MSG_ERROR, worker_id, traceback.format_exc()))

@@ -12,6 +12,12 @@ queries in bulk. :class:`SolverService` gives them one batched surface:
 * :meth:`SolverService.iter_models_batch` — exhaustive model enumeration
   over many independent bounded spaces.
 
+Each call also has a non-blocking ``submit_*`` twin returning a
+:class:`BatchFuture`: chunks go out to the pool immediately and the caller
+overlaps its own work with the in-flight solving, joining later via
+``future.result()`` (the exploration engine's async witness solves ride
+this, see :meth:`repro.symex.engine.Engine.solve_async`).
+
 Two backends answer them:
 
 * **serial** (``workers=1``, the default): everything runs in-process on
@@ -102,6 +108,9 @@ class SolverService:
         # up riding the same prefix frames.
         self.incremental = IncrementalSolver(solver=self.solver)
         self._pool = None
+        # Bumped on every close(): a BatchFuture remembers the generation
+        # it was dispatched under and refuses to join a newer pool.
+        self._generation = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -110,11 +119,20 @@ class SolverService:
         return self.workers > 1
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent; serial backend is a no-op)."""
+        """Shut the worker pool down (idempotent; serial backend is a no-op).
+
+        The service stays usable afterwards: the next batch lazily starts
+        a fresh pool (with cold worker caches). Outstanding
+        :class:`BatchFuture` handles from before the close are invalidated
+        — their chunks died with the pool — and raise a
+        :class:`~repro.errors.SolverError` on :meth:`BatchFuture.result`.
+        """
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+            # Invalidate futures dispatched to the pool that just died.
+            self._generation += 1
 
     def __enter__(self) -> "SolverService":
         return self
@@ -188,23 +206,116 @@ class SolverService:
                     for constraints, variables in specs]
         return self._dispatch("models", specs, extra=limit)
 
+    # -- async batched API ---------------------------------------------------
+    #
+    # submit_* are the non-blocking versions of the calls above: chunks
+    # are dispatched to the pool immediately and a BatchFuture is
+    # returned, so the caller's own work (exploration, report assembly)
+    # overlaps with the in-flight solving instead of blocking on the
+    # join. On the serial backend there is nothing to overlap with — the
+    # batch is answered eagerly and the future comes back completed, so
+    # semantics (and answers) are identical either way. Unlike the
+    # blocking calls, a parallel submit dispatches even a single-item
+    # batch: the caller asked for overlap, not amortization.
+
+    def submit_probe_batch(self, prefix: Sequence[Expr],
+                           probes: Sequence[Sequence[Expr]]) -> "BatchFuture":
+        """Non-blocking :meth:`probe_batch`; collect via ``.result()``."""
+        prefix = tuple(prefix)
+        probes = [tuple(p) for p in probes]
+        if not self.parallel or not probes:
+            return BatchFuture.completed(
+                self, [self.incremental.check(prefix + probe).is_sat
+                       for probe in probes])
+        return self._submit("probe", probes, extra=prefix)
+
+    def submit_check_batch(self,
+                           queries: Sequence[Sequence[Expr]]) -> "BatchFuture":
+        """Non-blocking :meth:`check_batch`; collect via ``.result()``."""
+        queries = [tuple(q) for q in queries]
+        if not self.parallel or not queries:
+            return BatchFuture.completed(
+                self, [self.incremental.check(query) for query in queries])
+        return self._submit("check", queries)
+
+    def submit_iter_models_batch(self, specs: Sequence[ModelSpec],
+                                 limit: int = 1_000_000) -> "BatchFuture":
+        """Non-blocking :meth:`iter_models_batch`; collect via ``.result()``."""
+        specs = [(tuple(constraints), tuple(variables))
+                 for constraints, variables in specs]
+        if not self.parallel or not specs:
+            return BatchFuture.completed(
+                self, [list(iter_models(constraints, variables, limit))
+                       for constraints, variables in specs])
+        return self._submit("models", specs, extra=limit)
+
     # -- pool dispatch -------------------------------------------------------
 
-    def _dispatch(self, kind: str, items: list, extra=None) -> list:
+    def _submit(self, kind: str, items: list, extra=None) -> "BatchFuture":
         pool = self._ensure_pool()
         chunks = _chunk(items, self.workers)
         handles = [pool.apply_async(_run_chunk, (kind, chunk, extra))
                    for chunk in chunks]
+        return BatchFuture(self, handles=handles)
+
+    def _dispatch(self, kind: str, items: list, extra=None) -> list:
+        return self._submit(kind, items, extra).result()
+
+
+class BatchFuture:
+    """Handle for one in-flight (or already answered) batch.
+
+    ``result()`` gathers the per-chunk answers in chunk-index order and —
+    exactly once — folds the per-chunk :class:`SolverStats` into
+    :attr:`SolverService.stats` in that same fixed order, so the stats
+    aggregate is identical whether a batch was collected eagerly or long
+    after later batches were submitted. Joining a future whose pool has
+    been closed raises :class:`~repro.errors.SolverError`.
+    """
+
+    __slots__ = ("_service", "_handles", "_generation", "_results")
+
+    _PENDING = object()
+
+    def __init__(self, service: SolverService, handles: list | None = None):
+        self._service = service
+        self._handles = handles or []
+        self._generation = service._generation
+        self._results: object = self._PENDING
+
+    @classmethod
+    def completed(cls, service: SolverService, results: list) -> "BatchFuture":
+        """An already-answered future (the serial backend's shape)."""
+        future = cls(service)
+        future._results = results
+        return future
+
+    @property
+    def done(self) -> bool:
+        """True when :meth:`result` will not block."""
+        return (self._results is not self._PENDING
+                or all(handle.ready() for handle in self._handles))
+
+    def result(self) -> list:
+        """Answers in input order (blocking until the chunks finish)."""
+        if self._results is not self._PENDING:
+            return self._results
+        if self._generation != self._service._generation:
+            raise SolverError(
+                "batch future is stale: the service was closed after this "
+                "batch was submitted; re-submit it on the fresh pool")
         results: list = []
         deltas: list[SolverStats] = []
-        for handle in handles:
+        for handle in self._handles:
             chunk_results, chunk_stats = handle.get()
             results.extend(chunk_results)
             deltas.append(chunk_stats)
         # Merge in chunk-index order: float accumulation (propagation
         # seconds) must not depend on worker completion order.
         for delta in deltas:
-            self.stats += delta
+            self._service.stats += delta
+        self._handles = []
+        self._results = results
         return results
 
 
@@ -282,5 +393,5 @@ def _probe_feasible(state: _WorkerState, query: Query) -> bool:
     return feasible
 
 
-__all__ = ["SolverService", "default_worker_count", "SAT", "UNSAT",
-           "SatResult"]
+__all__ = ["SolverService", "BatchFuture", "default_worker_count", "SAT",
+           "UNSAT", "SatResult"]

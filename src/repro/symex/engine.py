@@ -35,7 +35,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.errors import ExplorationLimit, PathDropped, PathInfeasible, SymexError
 from repro.solver import ast
@@ -108,13 +108,63 @@ class ExplorationStats:
     forks: int = 0
     elapsed_seconds: float = 0.0
 
+    def merge(self, other: "ExplorationStats") -> "ExplorationStats":
+        """Fold another run's counters into this one (returns self).
+
+        ``elapsed_seconds`` is summed like the rest: for sharded runs it
+        becomes aggregate CPU-time across shards, and the scheduler
+        overwrites it with the coordinator's wall clock afterwards.
+        """
+        self.paths_finished += other.paths_finished
+        self.paths_infeasible += other.paths_infeasible
+        self.paths_dropped += other.paths_dropped
+        self.paths_pruned += other.paths_pruned
+        self.paths_limited += other.paths_limited
+        self.forks += other.forks
+        self.elapsed_seconds += other.elapsed_seconds
+        return self
+
+
+class ExploreControl:
+    """Hook consulted between paths; lets a caller pause or split a run.
+
+    The sharded exploration layer (:mod:`repro.explore`) uses this to
+    export frontier prefixes (seeding) and to donate worklist entries to
+    other shards (stealing). The engine calls :meth:`checkpoint` with its
+    live worklist before popping each schedule; the control may harvest
+    entries from it (each removed prefix identifies an unexplored subtree
+    that can be replayed elsewhere) and may stop the run by returning
+    False — the untouched remainder of the worklist is then published as
+    :attr:`ExplorationResult.frontier`.
+    """
+
+    def checkpoint(self, worklist: "deque[tuple[bool, ...]]") -> bool:
+        """Return False to stop exploring; may mutate ``worklist``."""
+        return True
+
 
 @dataclass
 class ExplorationResult:
-    """All finished paths of one exploration plus counters."""
+    """All finished paths of one exploration plus counters.
+
+    Attributes:
+        paths: finished paths, in completion order.
+        stats: exploration counters.
+        executed: ``(decisions, verdict)`` for *every* executed path in
+            execution order — including infeasible/dropped/pruned paths
+            that never reach ``paths``. Execution order is also path-id
+            order, so this is the record the sharded merge uses to
+            renumber paths canonically.
+        frontier: worklist entries left unexplored when an
+            :class:`ExploreControl` stopped the run early (empty for a
+            drained exploration). Each entry is a decision prefix that
+            can be handed to another engine as a ``roots`` element.
+    """
 
     paths: list[PathResult]
     stats: ExplorationStats
+    executed: list[tuple[tuple[bool, ...], str]] = field(default_factory=list)
+    frontier: tuple[tuple[bool, ...], ...] = ()
 
     @property
     def accepting(self) -> list[PathResult]:
@@ -160,6 +210,10 @@ class Engine:
         # serial path stays on this engine's own incremental stack.
         self.service = service
         self._stats: ExplorationStats | None = None
+        # In-flight async model queries keyed canonically (solve_async):
+        # a second query for a key already on the pool attaches to the
+        # first instead of dispatching again.
+        self._inflight_models: dict = {}
 
     # -- services used by ExecutionContext ------------------------------------
 
@@ -328,6 +382,50 @@ class Engine:
                                                 queries[idx])
         return results
 
+    def solve_async(self, constraints: tuple[Expr, ...]) -> "DeferredModel":
+        """Like :meth:`solve`, but may overlap with further exploration.
+
+        With a parallel service (and the incremental layer on), a cache
+        miss is submitted to the worker pool and a :class:`DeferredModel`
+        handle is returned immediately — the caller keeps exploring while
+        the pool solves, and collects the model later via
+        :meth:`DeferredModel.result`. Everything else (serial service, no
+        service, cache hits, trivially-unsat queries) resolves eagerly, so
+        behaviour and answers are exactly :meth:`solve`'s.
+
+        Canonically-equal queries share one in-flight computation: a
+        second ``solve_async`` for a key already in flight attaches as a
+        follower and completes the leader's model with its own defaulted
+        variables — the same leader/follower semantics as
+        :meth:`solve_batch`, which is what keeps witnesses byte-identical
+        to the serial run at any worker count.
+        """
+        if (self.service is None or not self.service.parallel
+                or self.incremental is None):
+            # No pool to overlap with: answer now (the registry below is
+            # only ever populated on the parallel path).
+            return DeferredModel(engine=self, query=constraints,
+                                 value=self.solve(constraints))
+        cache = self.query_cache
+        key = cache.key(constraints)
+        hit, model = cache.get_model(key)
+        if hit:
+            self.solver.stats.cache_hits += 1
+            return DeferredModel(engine=self, query=constraints,
+                                 value=self._complete_model(model, constraints))
+        self.solver.stats.cache_misses += 1
+        if cache.is_trivially_unsat(key):
+            cache.put_model(key, None)
+            return DeferredModel(engine=self, query=constraints, value=None)
+        leader = self._inflight_models.get(key)
+        if leader is not None:
+            return DeferredModel(engine=self, query=constraints, leader=leader)
+        future = self.service.submit_check_batch([constraints])
+        deferred = DeferredModel(engine=self, query=constraints,
+                                 key=key, future=future)
+        self._inflight_models[key] = deferred
+        return deferred
+
     @staticmethod
     def _complete_model(model: dict[Expr, int] | None,
                         query: tuple[Expr, ...]) -> dict[Expr, int] | None:
@@ -346,29 +444,56 @@ class Engine:
     # -- exploration ---------------------------------------------------------------
 
     def explore(self, program: NodeProgram,
-                observer: PathObserver | None = None) -> ExplorationResult:
+                observer: PathObserver | None = None, *,
+                roots: "Sequence[tuple[bool, ...]] | None" = None,
+                control: ExploreControl | None = None,
+                order: str | None = None) -> ExplorationResult:
         """Run ``program`` over every feasible path (depth-first).
 
         Args:
             program: deterministic node program (see
                 :mod:`repro.symex.context` for the determinism contract).
             observer: optional hook object; defaults to a no-op observer.
+            roots: decision prefixes to seed the worklist with (default:
+                the empty prefix, i.e. the whole tree). A prefix exported
+                from another engine's :attr:`ExplorationResult.frontier`
+                replays deterministically here — scheduled branches take
+                the recorded direction without new solver checks — so the
+                subtree below it is explored exactly as the exporting run
+                would have.
+            control: optional :class:`ExploreControl` consulted between
+                paths; it may harvest worklist entries (donating subtrees
+                to other shards) or stop the run early, leaving the rest
+                of the worklist in :attr:`ExplorationResult.frontier`.
+            order: worklist order override for this run only (the
+                explored tree — and with it every per-path output — is
+                order-invariant; only completion sequence and worklist
+                shape change). The shard scheduler seeds breadth-first
+                this way: a DFS worklist stays as narrow as the tree is
+                deep, while BFS widens with the tree's breadth, which is
+                what a frontier harvest needs.
         """
-        if self.config.search_order not in (DFS, BFS):
-            raise SymexError(
-                f"unknown search order {self.config.search_order!r}")
+        order = order or self.config.search_order
+        if order not in (DFS, BFS):
+            raise SymexError(f"unknown search order {order!r}")
         observer = observer or PathObserver()
         stats = ExplorationStats()
         self._stats = stats
         results: list[PathResult] = []
+        executed: list[tuple[tuple[bool, ...], str]] = []
         # deque: BFS pops from the left in O(1) where list.pop(0) is O(n).
-        worklist: deque[tuple[bool, ...]] = deque([()])
+        worklist: deque[tuple[bool, ...]] = deque(
+            [()] if roots is None else [tuple(r) for r in roots])
         next_path_id = 0
+        stopped = False
         started = time.perf_counter()
 
         while worklist and (stats.paths_finished + stats.paths_limited
                             < self.config.max_paths):
-            if self.config.search_order == DFS:
+            if control is not None and not control.checkpoint(worklist):
+                stopped = True
+                break
+            if order == DFS:
                 schedule = worklist.pop()
             else:
                 schedule = worklist.popleft()
@@ -378,6 +503,7 @@ class Engine:
             observer.on_path_start(ctx)
             verdict = self._run_one(program, ctx, state)
             result = finalize(state, verdict)
+            executed.append((result.decisions, verdict))
 
             if verdict == st.INFEASIBLE:
                 stats.paths_infeasible += 1
@@ -395,7 +521,9 @@ class Engine:
 
         stats.elapsed_seconds = time.perf_counter() - started
         self._stats = None
-        return ExplorationResult(paths=results, stats=stats)
+        frontier = tuple(worklist) if (stopped or worklist) else ()
+        return ExplorationResult(paths=results, stats=stats,
+                                 executed=executed, frontier=frontier)
 
     def _run_one(self, program: NodeProgram, ctx: ExecutionContext,
                  state: PathState) -> str:
@@ -410,3 +538,68 @@ class Engine:
         except ExplorationLimit:
             return st.LIMIT
         return state.verdict or self.config.default_verdict(state)
+
+
+_UNSET = object()
+
+
+class DeferredModel:
+    """Handle for a model query that may still be in flight on the pool.
+
+    Produced by :meth:`Engine.solve_async`. Three shapes exist:
+
+    * *resolved* — the model was available at submit time (cache hit,
+      serial backend, trivially unsat); :meth:`result` never blocks.
+    * *leader* — the query was dispatched to the worker pool; the first
+      :meth:`result` call joins the pool future, stores the model in the
+      engine's canonical cache and unregisters the in-flight key.
+    * *follower* — a canonically-equal query was already in flight; the
+      model is completed from the leader's answer with this query's
+      missing variables defaulted to 0, mirroring the serial cache-hit
+      path.
+    """
+
+    __slots__ = ("_engine", "_query", "_key", "_future", "_leader",
+                 "_value", "_raw")
+
+    def __init__(self, engine: Engine, query: tuple[Expr, ...], *,
+                 value=_UNSET, key=None, future=None, leader=None):
+        self._engine = engine
+        self._query = query
+        self._key = key
+        self._future = future
+        self._leader = leader
+        self._value = value
+        self._raw = None
+
+    @property
+    def done(self) -> bool:
+        """True when :meth:`result` will not block."""
+        if self._value is not _UNSET:
+            return True
+        if self._leader is not None:
+            return self._leader.done
+        return self._future.done
+
+    def result(self) -> dict[Expr, int] | None:
+        """The model (a fresh dict per call), or None for unsat."""
+        if self._value is _UNSET:
+            if self._leader is not None:
+                self._value = self._engine._complete_model(
+                    self._leader._raw_model(), self._query)
+            else:
+                self._resolve_leader()
+        return dict(self._value) if self._value is not None else None
+
+    def _resolve_leader(self) -> None:
+        answer = self._future.result()[0]
+        self._raw = dict(answer.model) if answer.is_sat else None
+        self._engine.query_cache.put_model(self._key, self._raw)
+        self._engine._inflight_models.pop(self._key, None)
+        self._value = dict(self._raw) if self._raw is not None else None
+
+    def _raw_model(self) -> dict[Expr, int] | None:
+        """The leader's uncompleted model, resolving the future if needed."""
+        if self._value is _UNSET:
+            self._resolve_leader()
+        return self._raw

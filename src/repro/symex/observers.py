@@ -9,13 +9,54 @@ Achilles server analysis implements its incremental search on top of it.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.solver.ast import Expr
+from repro.symex.state import canonical_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.symex.context import ExecutionContext
     from repro.symex.state import PathResult
+
+
+@dataclass
+class ObserverDelta:
+    """Serializable reduction of one observer's findings.
+
+    The sharded exploration layer (:mod:`repro.explore`) runs a private
+    observer instance inside every shard worker; a delta is what ships
+    back to the coordinator. It carries one entry per executed path —
+    keyed by the path's decision vector, with an observer-defined
+    picklable payload — plus whole-run counters, so the coordinator can
+    rebuild the merged observer state in canonical path order regardless
+    of which shard explored what (or in what order results arrived).
+    """
+
+    #: ``(decisions, payload)`` per executed path; payload semantics are
+    #: owned by the observer class that produced the delta.
+    per_path: list[tuple[tuple[bool, ...], object]] = field(
+        default_factory=list)
+    #: Additive whole-run counters (e.g. ``paths_seen``).
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def merge(cls, deltas: "list[ObserverDelta]") -> "ObserverDelta":
+        """Combine shard deltas deterministically.
+
+        Per-path entries are sorted by :func:`canonical_key` of their
+        decision vector (paths of one exploration are prefix-free, so the
+        key is total) and counters are summed — the result is a pure
+        function of the explored tree, independent of shard count,
+        stealing decisions and arrival order.
+        """
+        merged = cls()
+        for delta in deltas:
+            merged.per_path.extend(delta.per_path)
+            for name, value in delta.counters.items():
+                merged.counters[name] = merged.counters.get(name, 0) + value
+        merged.per_path.sort(key=lambda entry: canonical_key(entry[0]))
+        return merged
 
 
 class PathObserver:
@@ -57,3 +98,32 @@ class PathObserver:
 
     def on_path_end(self, ctx: "ExecutionContext", result: "PathResult") -> None:
         """Called once the path has terminated with a verdict."""
+
+    # -- sharded exploration protocol ---------------------------------------
+    #
+    # Observers that support decision-prefix sharding additionally
+    # implement the delta triple below: finalize() settles any deferred
+    # work after an exploration, delta() snapshots this instance's
+    # findings as a picklable ObserverDelta, and restore() rebuilds the
+    # instance from a canonical merge of shard deltas. The base class
+    # opts out (delta() -> None), which the scheduler rejects when an
+    # observer is attached.
+
+    def finalize(self) -> None:
+        """Settle deferred work (e.g. in-flight async solves); idempotent."""
+
+    def delta(self) -> ObserverDelta | None:
+        """Picklable snapshot of findings, or None when not delta-capable."""
+        return None
+
+    def restore(self, delta: ObserverDelta,
+                path_ids: dict[tuple[bool, ...], int]) -> None:
+        """Replace this observer's findings with a merged delta's.
+
+        Args:
+            delta: canonical merge of all shard deltas (including this
+                instance's own, if it explored anything).
+            path_ids: decision vector -> renumbered path id, from the
+                deterministic merge; implementations must translate any
+                recorded path ids through it.
+        """

@@ -100,6 +100,20 @@ class PathResult:
         return self.verdict == REJECTED
 
 
+def canonical_key(decisions: Sequence[bool]) -> tuple[int, ...]:
+    """Sort key putting decision vectors in canonical prefix order.
+
+    Canonical order is lexicographic with True before False — exactly the
+    completion order of a serial DFS exploration (the engine takes the
+    True direction first and pops the most recent fork). Executed paths
+    of one exploration have pairwise prefix-free decision vectors (two
+    paths sharing a prefix would have diverged at its end), so this key
+    totally orders them; the sharded merge sorts on it to renumber paths
+    identically to the serial run.
+    """
+    return tuple(int(not d) for d in decisions)
+
+
 def finalize(state: PathState, verdict: str) -> PathResult:
     """Freeze a path state into a result record."""
     return PathResult(

@@ -1,0 +1,49 @@
+"""AchillesConfig validation: bad parallelism knobs fail fast and clearly."""
+
+import pytest
+
+from repro.achilles import AchillesConfig
+from repro.errors import AchillesError
+from repro.systems.toy import TOY_LAYOUT
+
+
+class TestParallelismValidation:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(AchillesError, match="workers must be >= 1"):
+            AchillesConfig(layout=TOY_LAYOUT, workers=0)
+
+    def test_rejects_negative_workers(self):
+        with pytest.raises(AchillesError, match="workers must be >= 1"):
+            AchillesConfig(layout=TOY_LAYOUT, workers=-2)
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(AchillesError, match="shards must be >= 1"):
+            AchillesConfig(layout=TOY_LAYOUT, shards=0)
+
+    def test_rejects_negative_shards(self):
+        with pytest.raises(AchillesError, match="shards must be >= 1"):
+            AchillesConfig(layout=TOY_LAYOUT, shards=-1)
+
+    def test_serial_defaults_accepted(self):
+        config = AchillesConfig(layout=TOY_LAYOUT)
+        assert config.workers == 1
+        assert config.shards == 1
+
+    def test_parallel_counts_accepted(self):
+        config = AchillesConfig(layout=TOY_LAYOUT, workers=4, shards=2)
+        assert config.workers == 4
+        assert config.shards == 2
+
+    def test_sharded_bfs_rejected(self):
+        """Sharded merge order == DFS completion order; a BFS serial run
+        orders findings differently, so the combination fails loudly."""
+        from repro.achilles import Achilles
+        from repro.symex.engine import BFS, EngineConfig
+        from repro.systems.toy import toy_client, toy_server
+
+        config = AchillesConfig(layout=TOY_LAYOUT, shards=2,
+                                server_engine=EngineConfig(search_order=BFS))
+        with Achilles(config) as achilles:
+            predicates = achilles.extract_clients({"toy": toy_client})
+            with pytest.raises(AchillesError, match="dfs"):
+                achilles.search(toy_server, predicates)

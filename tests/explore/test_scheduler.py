@@ -1,0 +1,133 @@
+"""Sharded exploration must be byte-identical to the serial engine.
+
+The setup callables live at module level (with picklable args) so the
+scheduler can ship them to worker processes under any multiprocessing
+start method.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.errors import SymexError
+from repro.explore import ShardScheduler
+from repro.symex.engine import Engine, EngineConfig
+from repro.symex.observers import PathObserver
+
+
+def tree_setup(engine, depth, thresholds=()):
+    """A full binary tree (fresh boolean per level) plus an optional
+    threshold cascade on a byte, so paths carry real constraints."""
+    def program(ctx):
+        for i in range(depth):
+            ctx.branch(ctx.fresh_bool(f"b{i}"))
+        x = ctx.fresh_byte("x")
+        for threshold in thresholds:
+            ctx.branch(x < threshold)
+    return program, None
+
+
+def skewed_setup(engine, depth):
+    """One shallow subtree and one bushy deep one — the stealing
+    workload: whoever draws the shallow prefix goes idle immediately."""
+    def program(ctx):
+        if ctx.branch(ctx.fresh_bool("shallow")):
+            return  # shallow side: done immediately
+        for i in range(depth):
+            ctx.branch(ctx.fresh_bool(f"deep{i}"))
+    return program, None
+
+
+def failing_setup(engine, parent_pid):
+    """Explodes only inside shard workers (pid differs from coordinator)."""
+    def program(ctx):
+        for i in range(4):
+            ctx.branch(ctx.fresh_bool(f"b{i}"))
+        if os.getpid() != parent_pid:
+            raise RuntimeError("worker boom")
+    return program, None
+
+
+def dying_setup(engine, parent_pid):
+    """Hard-kills the worker process mid-run — no MSG_ERROR possible."""
+    def program(ctx):
+        for i in range(4):
+            ctx.branch(ctx.fresh_bool(f"b{i}"))
+        if os.getpid() != parent_pid:
+            os.kill(os.getpid(), signal.SIGKILL)
+    return program, None
+
+
+def plain_observer_setup(engine):
+    program, _ = tree_setup(engine, 4)
+    return program, PathObserver()
+
+
+def _signature(result):
+    return [(p.path_id, p.verdict, p.decisions, p.constraints, p.labels)
+            for p in result.paths]
+
+
+def _serial(setup, args):
+    engine = Engine(EngineConfig())
+    program, observer = setup(engine, *args)
+    return engine.explore(program, observer)
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("shards", [1, 2, 3])
+    def test_tree_matches_serial(self, shards):
+        args = (4, [30, 80, 200])
+        serial = _serial(tree_setup, args)
+        sharded = ShardScheduler(tree_setup, args, shards=shards,
+                                 seed_factor=2).run()
+        assert _signature(sharded.exploration) == _signature(serial)
+        assert sharded.exploration.executed == serial.executed
+        assert (sharded.exploration.stats.paths_finished
+                == serial.stats.paths_finished)
+        assert sharded.exploration.stats.forks == serial.stats.forks
+
+    def test_skewed_tree_matches_serial(self):
+        """A lopsided tree forces rebalancing; output must not change."""
+        serial = _serial(skewed_setup, (7,))
+        sharded = ShardScheduler(skewed_setup, (7,), shards=2,
+                                 seed_factor=1).run()
+        assert _signature(sharded.exploration) == _signature(serial)
+
+    def test_tiny_tree_never_spawns_workers(self):
+        """A tree smaller than the frontier target is done at seed time."""
+        serial = _serial(tree_setup, (1,))
+        sharded = ShardScheduler(tree_setup, (1,), shards=4).run()
+        assert _signature(sharded.exploration) == _signature(serial)
+        assert sharded.steals == 0
+
+    def test_path_ids_cover_every_executed_path(self):
+        sharded = ShardScheduler(tree_setup, (4, [100]), shards=2).run()
+        assert set(sharded.path_ids.values()) == set(
+            range(len(sharded.exploration.executed)))
+
+
+class TestSchedulerValidation:
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(SymexError, match=">= 1"):
+            ShardScheduler(tree_setup, (2,), shards=0)
+
+    def test_worker_failure_surfaces_with_traceback(self):
+        scheduler = ShardScheduler(failing_setup, (os.getpid(),), shards=2,
+                                   seed_factor=1)
+        with pytest.raises(SymexError, match="boom"):
+            scheduler.run()
+
+    def test_killed_worker_detected_instead_of_hanging(self):
+        """A SIGKILLed worker can't send MSG_ERROR; the coordinator's
+        liveness check must surface it rather than poll forever."""
+        scheduler = ShardScheduler(dying_setup, (os.getpid(),), shards=2,
+                                   seed_factor=1)
+        with pytest.raises(SymexError, match="died"):
+            scheduler.run()
+
+    def test_non_delta_observer_rejected(self):
+        scheduler = ShardScheduler(plain_observer_setup, (), shards=2)
+        with pytest.raises(SymexError, match="delta-capable"):
+            scheduler.run()

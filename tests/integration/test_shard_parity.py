@@ -1,0 +1,104 @@
+"""Shard-parity: exploration shard count must never change what Achilles finds.
+
+Mirror of ``test_parallel_parity.py`` for the sharded exploration layer:
+the FSP and PBFT end-to-end analyses must produce *identical* findings
+(same order, same path ids, same witnesses, same live-predicate sets) at
+shards = 1, 2 and 4 — shards=1 being the plain in-process walk, so this
+also pins the sharded pipeline against the classic serial engine.
+"""
+
+import itertools
+
+import pytest
+
+from repro.achilles import Achilles, AchillesConfig
+from repro.bench.experiments import FSP_SESSION_MASK
+from repro.systems import fsp
+from repro.systems.pbft import REQUEST_LAYOUT, pbft_client, pbft_replica
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _finding_signature(report):
+    """Everything observable about the findings, in discovery order."""
+    return [
+        (f.server_path_id, f.decisions, f.path_condition, f.negation,
+         f.witness, f.live_predicates, f.labels)
+        for f in report.findings
+    ]
+
+
+def _run_fsp(shards: int, workers: int = 1):
+    commands = dict(itertools.islice(fsp.COMMANDS.items(), 4))
+    config = AchillesConfig(layout=fsp.FSP_LAYOUT, mask=FSP_SESSION_MASK,
+                            workers=workers, shards=shards)
+    with Achilles(config) as achilles:
+        predicates = achilles.extract_clients(fsp.literal_clients(commands))
+        report = achilles.search(fsp.fsp_server, predicates)
+    return report
+
+
+def _run_pbft(shards: int):
+    config = AchillesConfig(layout=REQUEST_LAYOUT, destination="replica0",
+                            shards=shards)
+    with Achilles(config) as achilles:
+        predicates = achilles.extract_clients({"pbft-client": pbft_client})
+        report = achilles.search(pbft_replica, predicates)
+    return report
+
+
+@pytest.fixture(scope="module")
+def fsp_runs():
+    return {shards: _run_fsp(shards) for shards in SHARD_COUNTS}
+
+
+@pytest.fixture(scope="module")
+def pbft_runs():
+    return {shards: _run_pbft(shards) for shards in SHARD_COUNTS}
+
+
+class TestFspShardParity:
+    def test_findings_identical_at_every_shard_count(self, fsp_runs):
+        baseline = _finding_signature(fsp_runs[1])
+        assert baseline  # the serial run must actually find Trojans
+        for shards in SHARD_COUNTS[1:]:
+            assert _finding_signature(fsp_runs[shards]) == baseline, (
+                f"shards={shards} diverged from serial")
+
+    def test_exploration_counters_identical(self, fsp_runs):
+        baseline = fsp_runs[1]
+        for shards in SHARD_COUNTS[1:]:
+            report = fsp_runs[shards]
+            assert report.server_paths_explored == \
+                baseline.server_paths_explored
+            assert report.server_paths_pruned == baseline.server_paths_pruned
+            assert report.predicate_samples == baseline.predicate_samples
+
+    def test_report_records_shard_count(self, fsp_runs):
+        for shards in SHARD_COUNTS:
+            assert fsp_runs[shards].shards == shards
+
+    def test_shards_compose_with_workers(self):
+        """Sharded exploration plus a parallel solver service for the
+        pre-processing batches: still byte-identical findings."""
+        baseline = _finding_signature(_run_fsp(1))
+        combined = _run_fsp(2, workers=2)
+        assert _finding_signature(combined) == baseline
+
+
+class TestPbftShardParity:
+    def test_findings_identical_at_every_shard_count(self, pbft_runs):
+        baseline = _finding_signature(pbft_runs[1])
+        assert len(baseline) == 2  # read-only reply + pre-prepare paths
+        for shards in SHARD_COUNTS[1:]:
+            assert _finding_signature(pbft_runs[shards]) == baseline, (
+                f"shards={shards} diverged from serial")
+
+    def test_witnesses_stay_trojan(self, pbft_runs):
+        from repro.messages.concrete import decode
+        from repro.systems.pbft import MAC_STUB
+
+        for shards in SHARD_COUNTS:
+            for finding in pbft_runs[shards].findings:
+                mac = decode(REQUEST_LAYOUT, finding.witness)["mac"]
+                assert mac != MAC_STUB

@@ -238,3 +238,97 @@ class TestSeededFallback:
             result = inc.check(query)
             scratch = Solver().check(list(query))
             assert result.status == scratch.status, query
+
+
+class TestAsyncSubmit:
+    """submit_* futures: same answers as the blocking calls, stats folded
+    exactly once, and overlap-friendly single-item dispatch."""
+
+    def test_serial_submit_is_eagerly_complete(self):
+        service = SolverService()
+        future = service.submit_check_batch([(ast.ult(X, bv_const(4, 8)),)])
+        assert future.done
+        assert [r.status for r in future.result()] == ["sat"]
+
+    def test_pool_submit_matches_blocking_call(self, pool):
+        rng = random.Random(20140302)
+        queries = [_random_query(rng) for _ in range(16)]
+        future = pool.submit_check_batch(queries)
+        blocking = pool.check_batch(queries)
+        async_results = future.result()
+        assert [r.status for r in async_results] == \
+            [r.status for r in blocking]
+        assert [r.model for r in async_results] == \
+            [r.model for r in blocking]
+
+    def test_pool_submit_probe_matches_blocking_call(self, pool):
+        prefix = (ast.ult(X, bv_const(100, 8)),)
+        probes = [(eq(X, bv_const(v, 8)),) for v in (1, 99, 100, 200, 50)]
+        future = pool.submit_probe_batch(prefix, probes)
+        assert future.result() == pool.probe_batch(prefix, probes)
+
+    def test_single_item_parallel_submit_dispatches(self, pool):
+        """Async submit ships even a lone query to the pool — that is the
+        overlap the caller asked for."""
+        future = pool.submit_check_batch([(eq(X, bv_const(7, 8)),)])
+        result = future.result()
+        assert len(result) == 1 and result[0].is_sat
+        assert result[0].model[X] == 7
+
+    def test_stats_folded_exactly_once(self, pool):
+        before = pool.stats.copy()
+        future = pool.submit_check_batch(
+            [(eq(X, bv_const(v, 8)),) for v in range(8)])
+        future.result()
+        after_first = pool.stats.copy()
+        assert after_first.queries > before.queries
+        future.result()  # joining again must not re-fold the deltas
+        assert pool.stats.queries == after_first.queries
+
+    def test_interleaved_futures_resolve_in_any_order(self, pool):
+        first = pool.submit_check_batch(
+            [(eq(X, bv_const(v, 8)),) for v in (1, 2, 3)])
+        second = pool.submit_check_batch(
+            [(eq(Y, bv_const(v, 8)),) for v in (4, 5)])
+        # Join out of submit order: answers must still match their batch.
+        assert [r.model[Y] for r in second.result()] == [4, 5]
+        assert [r.model[X] for r in first.result()] == [1, 2, 3]
+
+
+class TestCloseReentrancy:
+    """close() must leave the service reusable (ISSUE 4 satellite)."""
+
+    def test_batches_work_again_after_close(self):
+        service = SolverService(workers=2)
+        queries = [(eq(X, bv_const(v, 8)),) for v in (3, 9, 250)]
+        try:
+            first = service.check_batch(queries)
+            service.close()
+            second = service.check_batch(queries)  # restarts the pool lazily
+            assert [r.status for r in first] == [r.status for r in second]
+            assert [r.model for r in first] == [r.model for r in second]
+        finally:
+            service.close()
+
+    def test_close_is_idempotent(self):
+        service = SolverService(workers=2)
+        service.check_batch([(eq(X, bv_const(1, 8)),),
+                             (eq(X, bv_const(2, 8)),)])
+        service.close()
+        service.close()
+
+    def test_stale_future_rejected_after_close(self):
+        service = SolverService(workers=2)
+        try:
+            future = service.submit_check_batch(
+                [(eq(X, bv_const(v, 8)),) for v in (1, 2)])
+            service.close()
+            with pytest.raises(SolverError, match="stale"):
+                future.result()
+        finally:
+            service.close()
+
+    def test_serial_service_close_is_noop(self):
+        service = SolverService()
+        service.close()
+        assert service.probe_batch((), [(eq(X, bv_const(5, 8)),)]) == [True]

@@ -1,0 +1,82 @@
+"""Deterministic prefix replay: the foundation of sharded exploration.
+
+A decision prefix exported from one engine (a frontier/worklist entry)
+must, when replayed as a root on a *fresh* engine, reproduce exactly the
+subtree the exporting run would have explored below it — identical
+constraint sequences, identical verdicts, identical fresh-variable names.
+That determinism is what lets the shard scheduler hand subtrees to other
+processes.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.symex.engine import Engine, EngineConfig
+from repro.symex.state import canonical_key
+
+
+def _program(thresholds, pivot):
+    def program(ctx):
+        x = ctx.fresh_byte("x")
+        for i, threshold in enumerate(thresholds):
+            if ctx.branch(ctx.fresh_bool(f"b{i}")):
+                ctx.branch(x < threshold)
+        ctx.branch(x.eq(pivot))
+    return program
+
+
+@settings(max_examples=20, deadline=None)
+@given(thresholds=st.lists(st.integers(0, 255), min_size=1, max_size=3),
+       pivot=st.integers(0, 255),
+       cut=st.integers(0, 3))
+def test_replayed_prefix_reproduces_identical_paths(thresholds, pivot, cut):
+    """Every serial path is reproduced exactly by replaying its prefix."""
+    program = _program(thresholds, pivot)
+    serial = Engine(EngineConfig()).explore(program)
+    target = serial.paths[len(serial.paths) // 2]
+    prefix = target.decisions[:min(cut, len(target.decisions))]
+
+    replay = Engine(EngineConfig()).explore(program, roots=[prefix])
+
+    # The replay must produce exactly the serial paths below the prefix —
+    # same constraints (the "path constraint set"), same sends/labels,
+    # same verdicts, in canonical order.
+    expected = [p for p in serial.paths
+                if p.decisions[:len(prefix)] == prefix]
+    expected.sort(key=lambda p: canonical_key(p.decisions))
+    got = sorted(replay.paths, key=lambda p: canonical_key(p.decisions))
+    assert [(p.decisions, p.constraints, p.verdict, p.sends, p.labels)
+            for p in got] == \
+           [(p.decisions, p.constraints, p.verdict, p.sends, p.labels)
+            for p in expected]
+
+
+@settings(max_examples=20, deadline=None)
+@given(thresholds=st.lists(st.integers(0, 255), min_size=1, max_size=3),
+       pivot=st.integers(0, 255))
+def test_scheduled_replay_skips_solver_queries(thresholds, pivot):
+    """Branches inside the prefix take the recorded direction directly —
+    exploring a leaf prefix issues no feasibility forks for it."""
+    program = _program(thresholds, pivot)
+    serial = Engine(EngineConfig()).explore(program)
+    leaf = serial.paths[0]
+
+    engine = Engine(EngineConfig())
+    replay = engine.explore(program, roots=[leaf.decisions])
+    replayed = [p for p in replay.paths if p.decisions == leaf.decisions]
+    assert len(replayed) == 1
+    assert replayed[0].constraints == leaf.constraints
+    assert replayed[0].verdict == leaf.verdict
+
+
+@settings(max_examples=15, deadline=None)
+@given(thresholds=st.lists(st.integers(0, 255), min_size=2, max_size=3),
+       pivot=st.integers(0, 255))
+def test_serial_ids_are_canonical_ranks(thresholds, pivot):
+    """DFS completion order == canonical prefix order: the property the
+    sharded merge relies on to renumber paths identically to serial."""
+    program = _program(thresholds, pivot)
+    serial = Engine(EngineConfig()).explore(program)
+    keys = [canonical_key(decisions) for decisions, _ in serial.executed]
+    assert keys == sorted(keys)
+    assert [p.path_id for p in serial.paths] == sorted(
+        p.path_id for p in serial.paths)
