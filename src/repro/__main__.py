@@ -6,7 +6,13 @@ Usage::
     python -m repro fsp            # Table 1 accuracy run on FSP
     python -m repro fsp-wildcard   # §6.3 wildcard experiment
     python -m repro pbft           # MAC-attack analysis + cluster impact
+    python -m repro raft           # Raft follower ingress (9 seeded classes)
+    python -m repro tpc            # two-phase commit (ack-without-WAL)
     python -m repro list           # show available experiments
+
+Every experiment accepts ``--workers/--shards`` (parallel throughput
+knobs; findings are byte-identical at any count) and
+``--search-order/--max-paths`` (exploration policy overrides).
 """
 
 from __future__ import annotations
@@ -97,11 +103,60 @@ def _run_pbft(workers: int = 1, shards: int = 1,
     return 0
 
 
+def _accuracy_table(title: str, outcome, classes_total: int) -> None:
+    print(format_table(
+        ["metric", "seeded", "here"],
+        [["true positives", f">= {classes_total}", outcome.true_positives],
+         ["false positives", 0, outcome.false_positives],
+         ["classes", f"{classes_total}/{classes_total}",
+          f"{outcome.classes_found}/{outcome.classes_total}"],
+         ["precision", "1.00", f"{outcome.precision:.2f}"],
+         ["recall", "1.00", f"{outcome.recall:.2f}"],
+         ["time", "-", f"{outcome.report.timings.total:.1f}s"]],
+        title=title))
+
+
+def _run_raft(workers: int = 1, shards: int = 1,
+              search_order: str | None = None,
+              max_paths: int | None = None) -> int:
+    from repro.bench.experiments import run_raft_accuracy
+    from repro.systems.raft import all_trojan_classes, classify_message
+
+    outcome = run_raft_accuracy(workers=workers, shards=shards,
+                                search_order=search_order,
+                                max_paths=max_paths)
+    _accuracy_table("Raft follower ingress vs seeded ground truth",
+                    outcome, len(all_trojan_classes()))
+    for finding in outcome.report.findings:
+        print(f"  {classify_message(finding.witness)}  "
+              f"wire={finding.witness.hex()}")
+    return 0 if outcome.precision == 1.0 and outcome.recall == 1.0 else 1
+
+
+def _run_tpc(workers: int = 1, shards: int = 1,
+             search_order: str | None = None,
+             max_paths: int | None = None) -> int:
+    from repro.bench.experiments import run_tpc_accuracy
+    from repro.systems.tpc import all_trojan_classes, classify_message
+
+    outcome = run_tpc_accuracy(workers=workers, shards=shards,
+                               search_order=search_order,
+                               max_paths=max_paths)
+    _accuracy_table("Two-phase-commit participant vs seeded ground truth",
+                    outcome, len(all_trojan_classes()))
+    for finding in outcome.report.findings:
+        print(f"  {classify_message(finding.witness)}  "
+              f"wire={finding.witness.hex()}")
+    return 0 if outcome.precision == 1.0 and outcome.recall == 1.0 else 1
+
+
 _EXPERIMENTS = {
     "toy": (_run_toy, "the §2.1 working example"),
     "fsp": (_run_fsp, "Table 1 accuracy run on FSP"),
     "fsp-wildcard": (_run_fsp_wildcard, "§6.3 wildcard experiment"),
     "pbft": (_run_pbft, "MAC-attack analysis + cluster impact"),
+    "raft": (_run_raft, "Raft follower ingress vs 9 seeded Trojan classes"),
+    "tpc": (_run_tpc, "two-phase commit: ack-without-WAL + empty-op prepare"),
 }
 
 

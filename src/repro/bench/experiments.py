@@ -46,7 +46,7 @@ def make_engine_config(search_order: str | None = None,
 
 @dataclass
 class AccuracyOutcome:
-    """Result of one full Achilles run on FSP plus ground-truth scoring."""
+    """One full Achilles run scored against a system's seeded ground truth."""
 
     report: AchillesReport
     true_positives: int
@@ -56,6 +56,17 @@ class AccuracyOutcome:
 
     @property
     def coverage(self) -> float:
+        return self.classes_found / self.classes_total
+
+    @property
+    def precision(self) -> float:
+        """Fraction of reported witnesses that are genuine Trojans."""
+        reported = self.true_positives + self.false_positives
+        return self.true_positives / reported if reported else 0.0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of the seeded Trojan classes covered by a witness."""
         return self.classes_found / self.classes_total
 
 
@@ -257,3 +268,65 @@ def run_pbft_impact(requests: int = 40, workers: int = 1, shards: int = 1,
     for label, every in {"clean": 0, "attack-10%": 10, "attack-50%": 2}.items():
         outcome.impact[label] = run_workload(requests, malicious_every=every)
     return outcome
+
+
+def _scored_accuracy_run(layout, destination: str, clients, server,
+                         ground_truth, class_count: int,
+                         workers: int, shards: int,
+                         search_order: str | None,
+                         max_paths: int | None) -> AccuracyOutcome:
+    """Full pipeline + ground-truth scoring, shared by raft and tpc."""
+    config = AchillesConfig(layout=layout, destination=destination,
+                            client_engine=make_engine_config(search_order,
+                                                             max_paths),
+                            server_engine=make_engine_config(search_order,
+                                                             max_paths),
+                            workers=workers, shards=shards)
+    with Achilles(config) as achilles:
+        predicates = achilles.extract_clients(clients)
+        report = achilles.search(server, predicates)
+    score = ground_truth.score(report.witnesses())
+    return AccuracyOutcome(
+        report=report,
+        true_positives=score.true_positives,
+        false_positives=score.false_positives,
+        classes_found=len(score.classes_found),
+        classes_total=class_count,
+    )
+
+
+def run_raft_accuracy(workers: int = 1, shards: int = 1,
+                      search_order: str | None = None,
+                      max_paths: int | None = None) -> AccuracyOutcome:
+    """Raft follower ingress vs the 9 seeded Trojan classes.
+
+    Scores Achilles against :mod:`repro.systems.raft.ground_truth`
+    (8 stale-term AppendEntries classes + 1 vote off-by-one); a perfect
+    run has ``precision == recall == 1.0``. The parallel knobs behave as
+    for FSP: findings are byte-identical at any worker/shard count.
+    """
+    from repro.systems import raft
+
+    return _scored_accuracy_run(
+        raft.RAFT_LAYOUT, "follower", raft.peer_clients(),
+        raft.raft_follower, raft.GroundTruth,
+        len(raft.all_trojan_classes()), workers, shards, search_order,
+        max_paths)
+
+
+def run_tpc_accuracy(workers: int = 1, shards: int = 1,
+                     search_order: str | None = None,
+                     max_paths: int | None = None) -> AccuracyOutcome:
+    """Two-phase-commit participant vs the 2 seeded Trojan classes.
+
+    Scores Achilles against :mod:`repro.systems.tpc.ground_truth`
+    (ack-without-WAL + empty-op prepare); a perfect run has
+    ``precision == recall == 1.0``.
+    """
+    from repro.systems import tpc
+
+    return _scored_accuracy_run(
+        tpc.TPC_LAYOUT, "participant", tpc.coordinator_clients(),
+        tpc.tpc_participant, tpc.GroundTruth,
+        len(tpc.all_trojan_classes()), workers, shards, search_order,
+        max_paths)

@@ -10,7 +10,12 @@ level the Achilles analysis operates on:
 * :mod:`~repro.systems.pbft` — PBFT request ingress and a simulated
   replica cluster (the MAC attack, §6.3);
 * :mod:`~repro.systems.paxos` — a single-decree Paxos acceptor used to
-  demonstrate the local-state modes (§3.4).
+  demonstrate the local-state modes (§3.4);
+* :mod:`~repro.systems.raft` — a Raft-style leader-election +
+  log-replication follower (stale-term AppendEntries truncation and a
+  vote-granting off-by-one, both seeded);
+* :mod:`~repro.systems.tpc` — a two-phase-commit participant (malformed
+  PREPARE acked without its write-ahead record, seeded).
 
 Every system ships both *node programs* (symbolic, for Achilles) and
 *concrete nodes* (for the simulated network), built from the same

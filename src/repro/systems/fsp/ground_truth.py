@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from itertools import product
 
 from repro.messages.concrete import decode_ints
+from repro.systems.scoring import TrojanScore
 from repro.systems.fsp.protocol import (
     COMMANDS,
     COMMAND_NAMES,
@@ -130,38 +131,8 @@ def _buf_bytes(message: bytes) -> bytes:
     return message[view.offset:view.end]
 
 
-@dataclass
-class GroundTruth:
-    """Scoring of a set of concrete messages against the 80 classes.
+class GroundTruth(TrojanScore):
+    """Scoring of a set of concrete messages against the 80 classes."""
 
-    Attributes:
-        classes_found: distinct Trojan classes covered.
-        true_positives: messages that are genuine Trojans.
-        false_positives: messages flagged as Trojan that are not.
-    """
-
-    classes_found: set[TrojanClass]
-    true_positives: int
-    false_positives: int
-
-    @classmethod
-    def score(cls, messages: list[bytes]) -> "GroundTruth":
-        """Score messages claimed to be Trojans."""
-        found: set[TrojanClass] = set()
-        tp = 0
-        fp = 0
-        for message in messages:
-            trojan_class = classify_message(message)
-            if trojan_class is None:
-                fp += 1
-            else:
-                tp += 1
-                found.add(trojan_class)
-        return cls(found, tp, fp)
-
-    @property
-    def coverage(self) -> float:
-        return len(self.classes_found) / len(all_trojan_classes())
-
-    def missing(self) -> list[TrojanClass]:
-        return sorted(set(all_trojan_classes()) - self.classes_found)
+    classify = staticmethod(classify_message)
+    universe = staticmethod(all_trojan_classes)

@@ -1,0 +1,88 @@
+"""Raft — leader election and log replication under test.
+
+A three-node Raft-style replicated key-value store, analyzed at one
+follower's RPC ingress. Two Trojan families are seeded:
+
+* **Stale-term AppendEntries** — the follower forgets the
+  ``term >= currentTerm`` rejection, so a deposed leader's AppendEntries
+  is accepted; because acceptance truncates the log after prevLogIndex,
+  the Trojans with ``prevLogIndex < COMMIT_INDEX`` erase *committed*
+  entries (8 classes over ``(stale term, prevLogIndex)``);
+* **Vote off-by-one** — the up-to-date check grants votes at
+  ``lastLogIndex + 1 >= LAST_INDEX``, electing a candidate whose log is
+  one entry short of the follower's (1 class).
+
+As for the other systems, the symbolic node programs (for Achilles) and
+the concrete follower (for the simulated network) are built from the
+same protocol constants, so findings transfer between the two.
+"""
+
+from repro.systems.raft.protocol import (
+    CANDIDATE_LOGS,
+    COMMIT_INDEX,
+    CURRENT_TERM,
+    LAST_INDEX,
+    LAST_TERM,
+    LOG_TERMS,
+    MSG_APPEND,
+    MSG_VOTE,
+    NODE_IDS,
+    RAFT_LAYOUT,
+    TERM_LEADERS,
+    VOTE_PADDING,
+)
+from repro.systems.raft.nodes import (
+    peer_clients,
+    raft_candidate,
+    raft_follower,
+    raft_leader,
+)
+from repro.systems.raft.cluster import (
+    LogEntry,
+    RaftFollowerNode,
+    TruncationOutcome,
+    append_message,
+    run_truncation_attack,
+)
+from repro.systems.raft.ground_truth import (
+    GroundTruth,
+    RaftTrojanClass,
+    STALE_APPEND,
+    VOTE_OFF_BY_ONE,
+    all_trojan_classes,
+    classify_message,
+    is_follower_accepted,
+    is_peer_generable,
+)
+
+__all__ = [
+    "CANDIDATE_LOGS",
+    "COMMIT_INDEX",
+    "CURRENT_TERM",
+    "GroundTruth",
+    "LAST_INDEX",
+    "LAST_TERM",
+    "LOG_TERMS",
+    "LogEntry",
+    "MSG_APPEND",
+    "MSG_VOTE",
+    "NODE_IDS",
+    "RAFT_LAYOUT",
+    "RaftFollowerNode",
+    "RaftTrojanClass",
+    "STALE_APPEND",
+    "TERM_LEADERS",
+    "TruncationOutcome",
+    "VOTE_OFF_BY_ONE",
+    "VOTE_PADDING",
+    "all_trojan_classes",
+    "append_message",
+    "classify_message",
+    "is_follower_accepted",
+    "is_peer_generable",
+    "peer_clients",
+    "raft_candidate",
+    "raft_follower",
+    "raft_leader",
+    "run_truncation_attack",
+]

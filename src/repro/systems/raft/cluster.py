@@ -1,0 +1,180 @@
+"""Concrete Raft follower — demonstrating the truncation attack's impact.
+
+The symbolic analysis finds the stale-term AppendEntries Trojans; this
+module shows what one of them *does*: a single forged message from a
+deposed leader erases committed (applied!) log entries on a live
+follower built from the same protocol constants — so findings transfer
+between the symbolic and concrete worlds, as for the other systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.messages.concrete import decode_ints, encode
+from repro.net.network import Network, Node
+from repro.systems.raft.protocol import (
+    COMMIT_INDEX,
+    CURRENT_TERM,
+    LAST_INDEX,
+    LAST_TERM,
+    LOG_TERMS,
+    MSG_APPEND,
+    MSG_VOTE,
+    NODE_IDS,
+    RAFT_LAYOUT,
+    TERM_LEADERS,
+    VOTE_PADDING,
+)
+
+#: Ack byte the follower replies with on a successful append.
+APPEND_OK = 0x4F
+
+#: Reply byte for a granted vote.
+VOTE_GRANTED = 0x56
+
+
+@dataclass
+class LogEntry:
+    """One replicated entry: the term it was created in plus the command."""
+
+    term: int
+    cmd: int
+
+
+class RaftFollowerNode(Node):
+    """A concrete follower with the same two bugs as the symbolic program.
+
+    The log starts as the reference history (:data:`LOG_TERMS`); entries
+    up to :data:`COMMIT_INDEX` are committed, i.e. already applied to the
+    key-value store. Accepted AppendEntries truncate after ``idx`` and
+    append — without the staleness rejection, so a stale-term message
+    can erase committed entries (counted in :attr:`committed_lost`).
+    """
+
+    def __init__(self, name: str = "follower"):
+        super().__init__(name)
+        self.log: list[LogEntry] = [
+            LogEntry(term, 0) for term in LOG_TERMS[1:]]
+        self.current_term = CURRENT_TERM
+        self.commit_index = COMMIT_INDEX
+        self.committed_lost = 0
+        self.appends_acked = 0
+        self.votes_granted: list[tuple[int, int]] = []
+
+    @property
+    def log_terms(self) -> list[int]:
+        return [entry.term for entry in self.log]
+
+    def handle(self, source: str, payload: bytes, network: Network) -> None:
+        if len(payload) != RAFT_LAYOUT.total_size:
+            return
+        fields = decode_ints(RAFT_LAYOUT, payload)
+        if fields["type"] == MSG_APPEND:
+            self._handle_append(source, fields, network)
+        elif fields["type"] == MSG_VOTE:
+            self._handle_vote(source, fields, network)
+
+    def _handle_append(self, source: str, fields: dict,
+                       network: Network) -> None:
+        term = fields["term"]
+        if not 1 <= term <= self.current_term:  # missing: term >= current
+            return
+        if fields["sender"] != TERM_LEADERS[term]:
+            return
+        prev = fields["idx"]
+        if not 0 <= prev <= len(self.log):
+            return
+        prev_term = 0 if prev == 0 else self.log[prev - 1].term
+        if fields["logterm"] != prev_term:
+            return
+        # Truncate after prev and append — committed entries included.
+        removed = self.log[prev:]
+        self.committed_lost += sum(
+            1 for position, _ in enumerate(removed, start=prev + 1)
+            if position <= self.commit_index)
+        self.log = self.log[:prev] + [LogEntry(term, fields["cmd"])]
+        self.appends_acked += 1
+        network.send(self.name, source, bytes([APPEND_OK]))
+
+    def _handle_vote(self, source: str, fields: dict,
+                     network: Network) -> None:
+        if fields["term"] != self.current_term:
+            return
+        if fields["sender"] not in NODE_IDS:
+            return
+        if fields["cmd"] != VOTE_PADDING:
+            return
+        if fields["logterm"] != LAST_TERM:
+            return
+        last = fields["idx"]
+        if not 0 <= last <= LAST_INDEX:
+            return
+        if last + 1 >= LAST_INDEX:  # the off-by-one grant
+            self.votes_granted.append((fields["sender"], last))
+            network.send(self.name, source, bytes([VOTE_GRANTED]))
+
+
+class _Sink(Node):
+    """Collects replies so the network can deliver them."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.received: list[bytes] = []
+
+    def handle(self, source: str, payload: bytes,
+               network: Network) -> None:
+        self.received.append(payload)
+
+
+def append_message(term: int, prev_index: int, cmd: int = 0x99) -> bytes:
+    """Encode one AppendEntries wire message against the reference log."""
+    return encode(RAFT_LAYOUT, {
+        "type": MSG_APPEND, "term": term, "sender": TERM_LEADERS[term],
+        "idx": prev_index, "logterm": LOG_TERMS[prev_index],
+        "cmd": cmd,
+    })
+
+
+@dataclass
+class TruncationOutcome:
+    """Before/after evidence of one stale-term truncation attack."""
+
+    log_terms_before: list[int] = field(default_factory=list)
+    log_terms_after: list[int] = field(default_factory=list)
+    committed_lost: int = 0
+    acked: bool = False
+
+
+def run_truncation_attack(prev_index: int = 0) -> TruncationOutcome:
+    """Deliver one stale-term AppendEntries Trojan to a live follower.
+
+    A correct current-term append is delivered first (the control: no
+    committed entry is lost), then the Trojan — an AppendEntries in a
+    historical term probing ``prev_index`` below the commit point. The
+    follower acks it like any append while erasing its committed prefix.
+    """
+    network = Network()
+    follower = RaftFollowerNode()
+    attacker = _Sink("attacker")
+    leader = _Sink("leader")
+    network.attach(follower)
+    network.attach(attacker)
+    network.attach(leader)
+
+    outcome = TruncationOutcome(log_terms_before=follower.log_terms)
+    # Control: the real leader extends the log; nothing committed is lost.
+    network.send("leader", follower.name,
+                 append_message(CURRENT_TERM, LAST_INDEX, cmd=0x01))
+    network.run()
+    assert follower.committed_lost == 0
+
+    stale_term = 1  # a term whose leader was long deposed
+    network.send("attacker", follower.name,
+                 append_message(stale_term, prev_index, cmd=0x99))
+    network.run()
+
+    outcome.log_terms_after = follower.log_terms
+    outcome.committed_lost = follower.committed_lost
+    outcome.acked = bool(attacker.received)
+    return outcome

@@ -1,0 +1,150 @@
+"""Mathematical ground truth for the Raft accuracy experiment.
+
+With the cluster history pinned (:mod:`repro.systems.raft.protocol`)
+the follower's accept predicate and the correct peers' generable set are
+both small enough to enumerate exactly:
+
+* **stale-append** — AppendEntries in a historical term
+  ``t < CURRENT_TERM`` passing the prevLog consistency probe at index
+  ``p``: ``(CURRENT_TERM - 1) × (LAST_INDEX + 1) = 8`` classes, one per
+  ``(t, p)``. The ``p < COMMIT_INDEX`` members truncate committed
+  entries.
+* **vote-off-by-one** — a RequestVote granted to a candidate whose log
+  ends one entry short (``lastLogIndex == LAST_INDEX - 1`` with the
+  current last term): 1 class.
+
+The oracles classify arbitrary concrete messages, so Achilles (and any
+baseline) can be scored for precision/recall against the same reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.messages.concrete import decode_ints
+from repro.systems.scoring import TrojanScore
+from repro.systems.raft.protocol import (
+    CANDIDATE_LOGS,
+    COMMIT_INDEX,
+    CURRENT_TERM,
+    LAST_INDEX,
+    LAST_TERM,
+    LOG_TERMS,
+    MSG_APPEND,
+    MSG_VOTE,
+    NODE_IDS,
+    RAFT_LAYOUT,
+    TERM_LEADERS,
+    VOTE_PADDING,
+)
+
+#: Class kinds.
+STALE_APPEND = "stale-append"
+VOTE_OFF_BY_ONE = "vote-off-by-one"
+
+
+@dataclass(frozen=True, order=True)
+class RaftTrojanClass:
+    """One seeded Trojan class.
+
+    Attributes:
+        kind: :data:`STALE_APPEND` or :data:`VOTE_OFF_BY_ONE`.
+        term: message term (the stale term, or CURRENT_TERM for votes).
+        index: prevLogIndex (appends) or lastLogIndex (votes).
+    """
+
+    kind: str
+    term: int
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}(term={self.term}, index={self.index})"
+
+    @property
+    def truncates_committed(self) -> bool:
+        return self.kind == STALE_APPEND and self.index < COMMIT_INDEX
+
+
+def all_trojan_classes() -> list[RaftTrojanClass]:
+    """The complete seeded ground-truth set — 9 classes."""
+    classes = [RaftTrojanClass(STALE_APPEND, term, index)
+               for term in range(1, CURRENT_TERM)
+               for index in range(LAST_INDEX + 1)]
+    classes.append(RaftTrojanClass(VOTE_OFF_BY_ONE, CURRENT_TERM,
+                                   LAST_INDEX - 1))
+    return classes
+
+
+def is_follower_accepted(message: bytes) -> bool:
+    """Reference model of the follower's accept predicate ``PS``."""
+    if len(message) != RAFT_LAYOUT.total_size:
+        return False
+    fields = decode_ints(RAFT_LAYOUT, message)
+    if fields["type"] == MSG_APPEND:
+        term = fields["term"]
+        if not 1 <= term <= CURRENT_TERM:  # the missing staleness check
+            return False
+        if fields["sender"] != TERM_LEADERS[term]:
+            return False
+        prev = fields["idx"]
+        if not 0 <= prev <= LAST_INDEX:
+            return False
+        return fields["logterm"] == LOG_TERMS[prev]
+    if fields["type"] == MSG_VOTE:
+        if fields["term"] != CURRENT_TERM:
+            return False
+        if fields["sender"] not in NODE_IDS:
+            return False
+        if fields["cmd"] != VOTE_PADDING:
+            return False
+        if fields["logterm"] != LAST_TERM:
+            return False
+        last = fields["idx"]
+        if not 0 <= last <= LAST_INDEX:
+            return False
+        return last + 1 >= LAST_INDEX  # the off-by-one grant
+    return False
+
+
+def is_peer_generable(message: bytes) -> bool:
+    """Reference model of the correct peers' predicate ``PC``."""
+    if len(message) != RAFT_LAYOUT.total_size:
+        return False
+    fields = decode_ints(RAFT_LAYOUT, message)
+    if fields["type"] == MSG_APPEND:
+        # Only the current leader replicates, in the current term, with
+        # the true term of the probed entry.
+        if fields["term"] != CURRENT_TERM:
+            return False
+        if fields["sender"] != TERM_LEADERS[CURRENT_TERM]:
+            return False
+        prev = fields["idx"]
+        if not 0 <= prev <= LAST_INDEX:
+            return False
+        return fields["logterm"] == LOG_TERMS[prev]
+    if fields["type"] == MSG_VOTE:
+        if fields["term"] != CURRENT_TERM:
+            return False
+        if fields["sender"] not in NODE_IDS:
+            return False
+        if fields["cmd"] != VOTE_PADDING:
+            return False
+        return (fields["idx"], fields["logterm"]) in CANDIDATE_LOGS
+    return False
+
+
+def classify_message(message: bytes) -> RaftTrojanClass | None:
+    """Map an accepted-but-ungenerable message to its Trojan class."""
+    if not is_follower_accepted(message) or is_peer_generable(message):
+        return None
+    fields = decode_ints(RAFT_LAYOUT, message)
+    if fields["type"] == MSG_APPEND:
+        return RaftTrojanClass(STALE_APPEND, fields["term"], fields["idx"])
+    return RaftTrojanClass(VOTE_OFF_BY_ONE, fields["term"], fields["idx"])
+
+
+class GroundTruth(TrojanScore):
+    """Scoring of a set of concrete messages against the seeded classes."""
+
+    classify = staticmethod(classify_message)
+    universe = staticmethod(all_trojan_classes)

@@ -1,0 +1,187 @@
+"""Symbolic Raft node programs: correct peers and the vulnerable follower.
+
+The *clients* of the Achilles analysis are the correct peers that can
+legitimately message the follower under test: the current-term leader
+(:func:`raft_leader`, AppendEntries) and a campaigning candidate
+(:func:`raft_candidate`, RequestVote). The *server* is one follower's RPC
+ingress (:func:`raft_follower`) carrying the two seeded vulnerabilities
+described in :mod:`repro.systems.raft.protocol`.
+"""
+
+from __future__ import annotations
+
+from repro.messages.symbolic import MessageBuilder, field_expr
+from repro.solver import ast
+from repro.solver.ast import Expr
+from repro.symex.context import ExecutionContext
+from repro.symex.engine import NodeProgram
+from repro.systems.raft.protocol import (
+    CANDIDATE_LOGS,
+    COMMIT_INDEX,
+    CURRENT_TERM,
+    LAST_INDEX,
+    LAST_TERM,
+    LOG_TERMS,
+    MSG_APPEND,
+    MSG_VOTE,
+    NODE_IDS,
+    RAFT_LAYOUT,
+    TERM_LEADERS,
+    VOTE_PADDING,
+)
+
+
+def raft_leader(ctx: ExecutionContext, follower: str = "follower") -> None:
+    """The current-term leader replicating one entry to the follower.
+
+    The leader's view of the follower's log (``nextIndex - 1``) can be
+    any prefix of its own log, so ``idx`` forks over 0..LAST_INDEX — but
+    a correct leader always pairs it with the *true* term of that entry
+    and always speaks in its own (the current) term.
+    """
+    prev_index = ctx.fresh_byte("prev_index")
+    for index in range(LAST_INDEX + 1):
+        if ctx.branch(ast.eq(prev_index, ast.bv_const(index, 8))):
+            command = ctx.fresh_byte("command")
+            _send_rpc(ctx, follower, MSG_APPEND, CURRENT_TERM,
+                      TERM_LEADERS[CURRENT_TERM], prev_index,
+                      LOG_TERMS[index], command)
+            return
+    # nextIndex never points past the log: no message on this path.
+
+
+def raft_candidate(ctx: ExecutionContext, follower: str = "follower") -> None:
+    """A correct candidate requesting the follower's vote.
+
+    Any cluster member may campaign, but it reports its *true* log: one
+    of the :data:`CANDIDATE_LOGS` states (at least the committed prefix,
+    at most the full log), with the matching lastLogTerm.
+    """
+    candidate_id = ctx.fresh_byte("candidate_id")
+    member = ast.any_of([ast.eq(candidate_id, ast.bv_const(n, 8))
+                         for n in NODE_IDS])
+    if not ctx.branch(member):
+        return
+    replicated = ctx.fresh_byte("state:replicated_to")
+    for last_index, last_term in CANDIDATE_LOGS:
+        if ctx.branch(ast.eq(replicated, ast.bv_const(last_index, 8))):
+            _send_rpc(ctx, follower, MSG_VOTE, CURRENT_TERM, candidate_id,
+                      replicated, last_term, VOTE_PADDING)
+            return
+    # A correct node's log is never shorter than the committed prefix
+    # nor longer than the leader's: no message on this path.
+
+
+def peer_clients(follower: str = "follower") -> dict[str, NodeProgram]:
+    """Both correct-peer programs, keyed for :meth:`Achilles.extract_clients`."""
+    return {
+        "leader": lambda ctx: raft_leader(ctx, follower),
+        "candidate": lambda ctx: raft_candidate(ctx, follower),
+    }
+
+
+def raft_follower(ctx: ExecutionContext, msg: tuple[Expr, ...]) -> None:
+    """One follower event-loop iteration (accept/reject classified)."""
+    field = lambda name: field_expr(msg, RAFT_LAYOUT.view(name))
+    if ctx.branch(ast.eq(field("type"), ast.bv_const(MSG_APPEND, 8))):
+        _handle_append(ctx, field)
+        return
+    if ctx.branch(ast.eq(field("type"), ast.bv_const(MSG_VOTE, 8))):
+        _handle_vote(ctx, field)
+        return
+    ctx.reject("unknown-type")
+
+
+def _handle_append(ctx: ExecutionContext, field) -> None:
+    """AppendEntries ingress — with the stale-term truncation bug.
+
+    The term switch accepts every historical term 1..CURRENT_TERM: the
+    ``term >= currentTerm`` staleness rejection is missing, so a deposed
+    leader's AppendEntries still reaches the truncate-and-append step.
+    """
+    term = None
+    term_field = field("term")
+    for value in range(1, CURRENT_TERM + 1):
+        if ctx.branch(ast.eq(term_field, ast.bv_const(value, 8))):
+            term = value
+            break
+    if term is None:
+        ctx.reject("bad-term")
+        return
+    # The sender must be the leader the follower recorded for that term.
+    if not ctx.branch(ast.eq(field("sender"),
+                             ast.bv_const(TERM_LEADERS[term], 8))):
+        ctx.reject("not-the-leader")
+        return
+    prev = None
+    idx = field("idx")
+    for index in range(LAST_INDEX + 1):
+        if ctx.branch(ast.eq(idx, ast.bv_const(index, 8))):
+            prev = index
+            break
+    if prev is None:
+        ctx.reject("prev-beyond-log")
+        return
+    if not ctx.branch(ast.eq(field("logterm"),
+                             ast.bv_const(LOG_TERMS[prev], 8))):
+        ctx.reject("prev-term-mismatch")
+        return
+    # Consistency check passed: truncate after ``prev`` and append the
+    # entry (``cmd`` is the unvalidated command payload). Truncating
+    # below the commit point erases applied entries — the damage the
+    # stale-term Trojans do.
+    if prev < COMMIT_INDEX:
+        ctx.label("truncates-committed")
+    ctx.accept(f"append:term{term}:prev{prev}")
+
+
+def _handle_vote(ctx: ExecutionContext, field) -> None:
+    """RequestVote ingress — with the off-by-one up-to-date check."""
+    if not ctx.branch(ast.eq(field("term"),
+                             ast.bv_const(CURRENT_TERM, 8))):
+        ctx.reject("vote-wrong-term")
+        return
+    sender = field("sender")
+    member = ast.any_of([ast.eq(sender, ast.bv_const(n, 8))
+                         for n in NODE_IDS])
+    if not ctx.branch(member):
+        ctx.reject("unknown-candidate")
+        return
+    if not ctx.branch(ast.eq(field("cmd"),
+                             ast.bv_const(VOTE_PADDING, 8))):
+        ctx.reject("bad-vote-padding")
+        return
+    # Log entry terms never exceed the message term, so in the current
+    # term a consistent candidate log ends in exactly LAST_TERM; anything
+    # else is stale or malformed.
+    if not ctx.branch(ast.eq(field("logterm"),
+                             ast.bv_const(LAST_TERM, 8))):
+        ctx.reject("log-not-up-to-date")
+        return
+    last = None
+    idx = field("idx")
+    for index in range(LAST_INDEX + 1):
+        if ctx.branch(ast.eq(idx, ast.bv_const(index, 8))):
+            last = index
+            break
+    if last is None:
+        ctx.reject("index-beyond-any-log")
+        return
+    # Up-to-date predicate. Correct Raft requires last >= LAST_INDEX;
+    # the off-by-one also elects a candidate one entry short.
+    if last + 1 >= LAST_INDEX:
+        ctx.accept(f"vote:grant:last{last}")
+    else:
+        ctx.reject("log-behind")
+
+
+def _send_rpc(ctx: ExecutionContext, follower: str, msg_type: int, term: int,
+              sender, idx, logterm: int, cmd) -> None:
+    builder = MessageBuilder(RAFT_LAYOUT)
+    builder.set("type", msg_type)
+    builder.set("term", term)
+    builder.set("sender", sender)
+    builder.set("idx", idx)
+    builder.set("logterm", logterm)
+    builder.set("cmd", cmd)
+    ctx.send(follower, builder.wire())

@@ -1,0 +1,78 @@
+"""Two-phase commit — atomic commitment under test.
+
+A coordinator prepares, commits and aborts transactions across
+participants. The seeded vulnerability family lives on the participant's
+``PREPARE`` path:
+
+* **ack-without-WAL** — a malformed PREPARE with the durable flag clear
+  is acked exactly like a well-formed one but never reaches the
+  write-ahead log; a crash after the ack silently loses the prepared
+  write (commit atomicity broken);
+* **empty-op** — the operation payload is never validated, so the empty
+  operation (which no correct coordinator prepares) is logged and acked.
+
+Symbolic node programs (for Achilles) and the concrete participant (for
+the simulated network) are built from the same protocol constants.
+"""
+
+from repro.systems.tpc.protocol import (
+    ABORT,
+    ACK_PREPARED,
+    COMMIT,
+    FLAG_DURABLE,
+    FLAG_NONE,
+    NO_OP,
+    PREPARE,
+    TPC_LAYOUT,
+)
+from repro.systems.tpc.nodes import (
+    LostWriteOutcome,
+    TpcParticipantNode,
+    WalRecord,
+    coordinator_clients,
+    prepare_message,
+    run_lost_write_demo,
+    tpc_abort,
+    tpc_commit,
+    tpc_participant,
+    tpc_prepare,
+)
+from repro.systems.tpc.ground_truth import (
+    EMPTY_OP,
+    GroundTruth,
+    SKIP_WAL,
+    TpcTrojanClass,
+    all_trojan_classes,
+    classify_message,
+    is_coordinator_generable,
+    is_participant_accepted,
+)
+
+__all__ = [
+    "ABORT",
+    "ACK_PREPARED",
+    "COMMIT",
+    "EMPTY_OP",
+    "FLAG_DURABLE",
+    "FLAG_NONE",
+    "GroundTruth",
+    "LostWriteOutcome",
+    "NO_OP",
+    "PREPARE",
+    "SKIP_WAL",
+    "TPC_LAYOUT",
+    "TpcParticipantNode",
+    "TpcTrojanClass",
+    "WalRecord",
+    "all_trojan_classes",
+    "classify_message",
+    "coordinator_clients",
+    "is_coordinator_generable",
+    "is_participant_accepted",
+    "prepare_message",
+    "run_lost_write_demo",
+    "tpc_abort",
+    "tpc_commit",
+    "tpc_participant",
+    "tpc_prepare",
+]

@@ -1,0 +1,97 @@
+"""Mathematical ground truth for the two-phase-commit experiment.
+
+The participant's accept predicate and the coordinator's generable set
+differ in exactly two places, both on the ``PREPARE`` path:
+
+* **skip-wal** — the durable flag clear: acked without a write-ahead
+  record (no correct coordinator clears the flag);
+* **empty-op** — a durable prepare of the empty operation (no correct
+  coordinator prepares ``NO_OP``).
+
+Classification priority: a clear flag decides **skip-wal** regardless of
+the operation byte; only durable prepares can be **empty-op**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.messages.concrete import decode_ints
+from repro.systems.scoring import TrojanScore
+from repro.systems.tpc.protocol import (
+    ABORT,
+    COMMIT,
+    FLAG_DURABLE,
+    FLAG_NONE,
+    NO_OP,
+    PREPARE,
+    TPC_LAYOUT,
+)
+
+#: Class kinds.
+SKIP_WAL = "skip-wal"
+EMPTY_OP = "empty-op"
+
+
+@dataclass(frozen=True, order=True)
+class TpcTrojanClass:
+    """One seeded Trojan class: :data:`SKIP_WAL` or :data:`EMPTY_OP`."""
+
+    kind: str
+
+    def __str__(self) -> str:
+        return f"prepare:{self.kind}"
+
+
+def all_trojan_classes() -> list[TpcTrojanClass]:
+    """The complete seeded ground-truth set — 2 classes."""
+    return [TpcTrojanClass(SKIP_WAL), TpcTrojanClass(EMPTY_OP)]
+
+
+def is_participant_accepted(message: bytes) -> bool:
+    """Reference model of the participant's accept predicate ``PS``."""
+    if len(message) != TPC_LAYOUT.total_size:
+        return False
+    fields = decode_ints(TPC_LAYOUT, message)
+    if fields["txid"] == 0:
+        return False
+    if fields["kind"] == PREPARE:
+        # op unchecked; FLAG_NONE acked too — the two bugs.
+        return fields["flags"] in (FLAG_DURABLE, FLAG_NONE)
+    if fields["kind"] in (COMMIT, ABORT):
+        # The commit path's prepared-set check is over-approximate
+        # symbolic state: any nonzero txid can be the prepared one.
+        return fields["flags"] == FLAG_NONE and fields["op"] == NO_OP
+    return False
+
+
+def is_coordinator_generable(message: bytes) -> bool:
+    """Reference model of the correct coordinator's predicate ``PC``."""
+    if len(message) != TPC_LAYOUT.total_size:
+        return False
+    fields = decode_ints(TPC_LAYOUT, message)
+    if fields["txid"] == 0:
+        return False
+    if fields["kind"] == PREPARE:
+        return fields["flags"] == FLAG_DURABLE and fields["op"] != NO_OP
+    if fields["kind"] in (COMMIT, ABORT):
+        return fields["flags"] == FLAG_NONE and fields["op"] == NO_OP
+    return False
+
+
+def classify_message(message: bytes) -> TpcTrojanClass | None:
+    """Map an accepted-but-ungenerable message to its Trojan class."""
+    if not is_participant_accepted(message) or \
+            is_coordinator_generable(message):
+        return None
+    fields = decode_ints(TPC_LAYOUT, message)
+    if fields["flags"] == FLAG_NONE:
+        return TpcTrojanClass(SKIP_WAL)
+    return TpcTrojanClass(EMPTY_OP)
+
+
+class GroundTruth(TrojanScore):
+    """Scoring of a set of concrete messages against the seeded classes."""
+
+    classify = staticmethod(classify_message)
+    universe = staticmethod(all_trojan_classes)

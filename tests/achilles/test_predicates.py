@@ -109,6 +109,57 @@ class TestCombined:
         assert not check(query).is_sat
 
 
+class TestPickleRoundTrip:
+    """Shard workers receive the whole ``ClientPredicateSet`` by pickle;
+    every system's predicate set must survive the trip byte-exactly
+    (expressions re-intern on unpickle, the ``DifferentFrom`` matrix
+    drops only its solver service)."""
+
+    @staticmethod
+    def _extracted(system: str):
+        from repro.achilles import Achilles, AchillesConfig
+        from repro.systems import raft, tpc
+
+        if system == "raft":
+            config = AchillesConfig(layout=raft.RAFT_LAYOUT,
+                                    destination="follower")
+            clients = raft.peer_clients()
+        else:
+            config = AchillesConfig(layout=tpc.TPC_LAYOUT,
+                                    destination="participant")
+            clients = tpc.coordinator_clients()
+        with Achilles(config) as achilles:
+            return achilles.extract_clients(clients)
+
+    @pytest.mark.parametrize("system", ["raft", "tpc"])
+    def test_predicate_set_round_trips(self, system):
+        import pickle
+
+        predicates = self._extracted(system)
+        clone = pickle.loads(pickle.dumps(predicates))
+        assert len(clone) == len(predicates)
+        for original, copied in zip(predicates.predicates, clone.predicates):
+            assert copied.index == original.index
+            assert copied.client == original.client
+            # Hash-consing re-interns on unpickle: structural equality is
+            # identity, so == here means the expressions are the same nodes.
+            assert copied.payload == original.payload
+            assert copied.constraints == original.constraints
+            assert copied.signature() == original.signature()
+        assert [n.disjuncts for n in clone.negations] == \
+            [n.disjuncts for n in predicates.negations]
+        assert clone.different_from._table == predicates.different_from._table
+
+    @pytest.mark.parametrize("system", ["raft", "tpc"])
+    def test_different_from_drops_its_service(self, system):
+        import pickle
+
+        predicates = self._extracted(system)
+        clone = pickle.loads(pickle.dumps(predicates))
+        restored = clone.different_from.__dict__
+        assert restored.get("_service") is None
+
+
 class TestSignature:
     def test_same_structure_same_signature(self):
         first = _pred(_payload_with(B), [B < 100])

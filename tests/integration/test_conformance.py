@@ -1,0 +1,222 @@
+"""Differential conformance suite: every solver layer is one oracle.
+
+The pipeline's fast paths — canonicalization, the shared
+:class:`QueryCache`, the :class:`IncrementalSolver` frame stack, and
+:class:`SolverService` dispatch (serial and pooled) — are each pinned
+against from-scratch :meth:`Solver.check` pairwise elsewhere. This suite
+is the N-way version: hypothesis generates random small protocol layouts
+plus constraint sets over their fields, and every layer must return the
+same answer (and a genuinely satisfying model) for
+
+* from-scratch ``Solver().check`` at every prefix depth,
+* ``IncrementalSolver`` at every push depth, including after pops,
+* ``QueryCache``-fronted ``Engine.is_feasible`` calls (miss, replay hit,
+  and the canonically-equal reordered variant),
+* ``SolverService.check_batch`` / ``probe_batch`` on the serial backend
+  and on a worker pool.
+
+The hypothesis profile is derandomized (fixed seed) with the deadline
+disabled, so the suite is reproducible on 1-core CI runners; CI runs it
+as its own job step.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.messages.layout import Field, MessageLayout
+from repro.messages.symbolic import field_expr, message_vars
+from repro.solver import ast
+from repro.solver.ast import bv_const
+from repro.solver.cache import QueryCache
+from repro.solver.evalmodel import all_hold
+from repro.solver.incremental import IncrementalSolver
+from repro.solver.service import SolverService
+from repro.solver.solver import Solver
+from repro.symex.engine import Engine
+
+settings.register_profile(
+    "conformance",
+    deadline=None,             # solver calls dwarf the default 200ms budget
+    derandomize=True,          # fixed seed: reproducible on any runner
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+CONFORMANCE = settings.get_profile("conformance")
+
+_COMPARISONS = ("eq", "ne", "ult", "ule", "slt", "sle")
+_ARITH = ("add", "sub", "bvand", "bvor", "bvxor")
+
+
+@st.composite
+def layouts(draw):
+    """A random small protocol layout: 2-4 fields of 1-2 bytes."""
+    widths = draw(st.lists(st.sampled_from([1, 2]), min_size=2, max_size=4))
+    return MessageLayout("conf", [
+        Field(f"f{i}", width) for i, width in enumerate(widths)])
+
+
+def _field_term(layout, wire, spec):
+    """One arithmetic term over a drawn field of the layout."""
+    arith, field_index, constant = spec
+    view = layout.fields[field_index % len(layout.fields)]
+    expr = field_expr(wire, layout.view(view.name))
+    op = _ARITH[arith % len(_ARITH)]
+    return getattr(ast, op)(expr, bv_const(constant & ((1 << expr.width) - 1),
+                                           expr.width))
+
+
+def _constraint(layout, wire, spec):
+    comparison, negate, term_spec, constant = spec
+    term = _field_term(layout, wire, term_spec)
+    rhs = bv_const(constant & ((1 << term.width) - 1), term.width)
+    pred = getattr(ast, _COMPARISONS[comparison % len(_COMPARISONS)])(term, rhs)
+    return ast.not_(pred) if negate else pred
+
+
+CONSTRAINT_SPEC = st.tuples(
+    st.integers(0, 5), st.booleans(),
+    st.tuples(st.integers(0, 4), st.integers(0, 3), st.integers(0, 0xFFFF)),
+    st.integers(0, 0xFFFF))
+
+
+@st.composite
+def workloads(draw):
+    """A layout plus a constraint conjunction over its fields."""
+    layout = draw(layouts())
+    wire = message_vars(layout, "conf_msg")
+    specs = draw(st.lists(CONSTRAINT_SPEC, min_size=1, max_size=4))
+    return layout, [_constraint(layout, wire, spec) for spec in specs]
+
+
+def _reference_answers(constraints):
+    """From-scratch `Solver.check` at every prefix depth — the oracle."""
+    return [Solver().check(constraints[:depth + 1])
+            for depth in range(len(constraints))]
+
+
+@CONFORMANCE
+@given(workload=workloads())
+def test_incremental_agrees_at_every_push_depth(workload):
+    _, constraints = workload
+    reference = _reference_answers(constraints)
+    incremental = IncrementalSolver()
+    for depth, conjunct in enumerate(constraints):
+        incremental.push(conjunct)
+        result = incremental.check_current()
+        assert result.is_sat == reference[depth].is_sat, f"depth {depth}"
+        if result.is_sat:
+            assert all_hold(constraints[:depth + 1], dict(result.model))
+    # Pop back to half depth: the trail must restore the exact fixpoint.
+    half = len(constraints) // 2
+    while incremental.depth > half:
+        incremental.pop()
+    if half:
+        result = incremental.check_current()
+        assert result.is_sat == reference[half - 1].is_sat
+
+
+@CONFORMANCE
+@given(workload=workloads())
+def test_query_cache_fronted_engine_agrees(workload):
+    _, constraints = workload
+    reference = Solver().check(constraints)
+    cache = QueryCache()
+    engine = Engine(query_cache=cache)
+    query = tuple(constraints)
+    assert engine.is_feasible(query) == reference.is_sat
+    # Replay: the identical query must be answered from the cache.
+    hits_before = cache.stats.hits
+    assert engine.is_feasible(query) == reference.is_sat
+    assert cache.stats.hits == hits_before + 1
+    # A canonically-equal variant (reordered conjuncts) hits the same
+    # entry even on a *fresh* engine sharing the cache.
+    variant = tuple(reversed(constraints))
+    hits_before = cache.stats.hits
+    assert Engine(query_cache=cache).is_feasible(variant) == reference.is_sat
+    assert cache.stats.hits == hits_before + 1
+
+
+@CONFORMANCE
+@given(workload=workloads())
+def test_serial_service_agrees_with_scratch(workload):
+    _, constraints = workload
+    reference = _reference_answers(constraints)
+    prefixes = [tuple(constraints[:depth + 1])
+                for depth in range(len(constraints))]
+    with SolverService(workers=1) as service:
+        results = service.check_batch(prefixes)
+        assert [r.is_sat for r in results] == \
+            [r.is_sat for r in reference]
+        for prefix, result in zip(prefixes, results):
+            if result.is_sat:
+                assert all_hold(prefix, dict(result.model))
+        # The push/pop probe surface must agree too, including on the
+        # negated final conjunct.
+        probes = [(constraints[-1],), (ast.not_(constraints[-1]),)]
+        probed = service.probe_batch(tuple(constraints[:-1]), probes)
+        assert probed[0] == reference[-1].is_sat
+        assert probed[1] == Solver().is_satisfiable(
+            list(constraints[:-1]) + [ast.not_(constraints[-1])])
+
+
+def _battery():
+    """A deterministic battery of workloads for the pooled backend.
+
+    Pool startup is too expensive to pay per hypothesis example, so the
+    worker-pool leg of the oracle runs once over a fixed sweep built
+    from the same constraint grammar.
+    """
+    layout = MessageLayout("conf", [Field("f0", 1), Field("f1", 2)])
+    wire = message_vars(layout, "conf_msg")
+    queries = []
+    for comparison in range(len(_COMPARISONS)):
+        for negate in (False, True):
+            for arith in range(len(_ARITH)):
+                spec = (comparison, negate,
+                        (arith, arith % 2, 0x1234 + 17 * comparison),
+                        (59 * arith + 11 * comparison) & 0xFFFF)
+                anchor = _constraint(layout, wire, (0, False,
+                                                    (0, 0, 7), 7 + negate))
+                queries.append((anchor, _constraint(layout, wire, spec)))
+    return queries
+
+
+def test_worker_pool_agrees_with_scratch():
+    queries = _battery()
+    reference = [Solver().check(query) for query in queries]
+    with SolverService(workers=2) as service:
+        results = service.check_batch(queries)
+    assert [r.is_sat for r in results] == [r.is_sat for r in reference]
+    for query, result in zip(queries, results):
+        if result.is_sat:
+            assert all_hold(query, dict(result.model))
+
+
+def test_all_layers_one_oracle():
+    """The N-way cross-check on one battery: every layer, same answers.
+
+    This is the suite's summary property — scratch, incremental (at
+    every depth), cache-fronted engine, and the serial service answer
+    one fixed battery identically. (The pooled leg is pinned against
+    the same scratch reference above.)
+    """
+    queries = _battery()
+    with SolverService(workers=1) as service:
+        batched = service.check_batch(queries)
+        for query, from_service in zip(queries, batched):
+            scratch = Solver().check(query)
+            incremental = IncrementalSolver()
+            prefix_answers = []
+            for conjunct in query:
+                incremental.push(conjunct)
+                prefix_answers.append(incremental.check_current().is_sat)
+            engine = Engine(query_cache=QueryCache())
+            answers = {
+                "scratch": scratch.is_sat,
+                "incremental": prefix_answers[-1],
+                "engine+cache": engine.is_feasible(tuple(query)),
+                "service": from_service.is_sat,
+            }
+            assert len(set(answers.values())) == 1, answers
+            # Prefix monotonicity: once UNSAT, deeper stays UNSAT.
+            for shallow, deep in zip(prefix_answers, prefix_answers[1:]):
+                assert shallow or not deep

@@ -1,10 +1,12 @@
 """Shard-parity: exploration shard count must never change what Achilles finds.
 
 Mirror of ``test_parallel_parity.py`` for the sharded exploration layer:
-the FSP and PBFT end-to-end analyses must produce *identical* findings
-(same order, same path ids, same witnesses, same live-predicate sets) at
-shards = 1, 2 and 4 — shards=1 being the plain in-process walk, so this
-also pins the sharded pipeline against the classic serial engine.
+the FSP, PBFT, Raft and two-phase-commit end-to-end analyses must
+produce *identical* findings (same order, same path ids, same witnesses,
+same live-predicate sets) at shards = 1, 2 and 4 — shards=1 being the
+plain in-process walk, so this also pins the sharded pipeline against
+the classic serial engine. The canonical ordering is the same pinned
+prefix order for every system.
 """
 
 import itertools
@@ -13,7 +15,7 @@ import pytest
 
 from repro.achilles import Achilles, AchillesConfig
 from repro.bench.experiments import FSP_SESSION_MASK
-from repro.systems import fsp
+from repro.systems import fsp, raft, tpc
 from repro.systems.pbft import REQUEST_LAYOUT, pbft_client, pbft_replica
 
 SHARD_COUNTS = (1, 2, 4)
@@ -44,6 +46,24 @@ def _run_pbft(shards: int):
     with Achilles(config) as achilles:
         predicates = achilles.extract_clients({"pbft-client": pbft_client})
         report = achilles.search(pbft_replica, predicates)
+    return report
+
+
+def _run_raft(shards: int, workers: int = 1):
+    config = AchillesConfig(layout=raft.RAFT_LAYOUT, destination="follower",
+                            workers=workers, shards=shards)
+    with Achilles(config) as achilles:
+        predicates = achilles.extract_clients(raft.peer_clients())
+        report = achilles.search(raft.raft_follower, predicates)
+    return report
+
+
+def _run_tpc(shards: int, workers: int = 1):
+    config = AchillesConfig(layout=tpc.TPC_LAYOUT, destination="participant",
+                            workers=workers, shards=shards)
+    with Achilles(config) as achilles:
+        predicates = achilles.extract_clients(tpc.coordinator_clients())
+        report = achilles.search(tpc.tpc_participant, predicates)
     return report
 
 
@@ -83,6 +103,62 @@ class TestFspShardParity:
         pre-processing batches: still byte-identical findings."""
         baseline = _finding_signature(_run_fsp(1))
         combined = _run_fsp(2, workers=2)
+        assert _finding_signature(combined) == baseline
+
+
+@pytest.fixture(scope="module")
+def raft_runs():
+    return {shards: _run_raft(shards) for shards in SHARD_COUNTS}
+
+
+@pytest.fixture(scope="module")
+def tpc_runs():
+    return {shards: _run_tpc(shards) for shards in SHARD_COUNTS}
+
+
+class TestRaftShardParity:
+    def test_findings_identical_at_every_shard_count(self, raft_runs):
+        baseline = _finding_signature(raft_runs[1])
+        assert len(baseline) == 9  # 8 stale appends + the off-by-one vote
+        for shards in SHARD_COUNTS[1:]:
+            assert _finding_signature(raft_runs[shards]) == baseline, (
+                f"shards={shards} diverged from serial")
+
+    def test_exploration_counters_identical(self, raft_runs):
+        baseline = raft_runs[1]
+        for shards in SHARD_COUNTS[1:]:
+            report = raft_runs[shards]
+            assert report.server_paths_explored == \
+                baseline.server_paths_explored
+            assert report.server_paths_pruned == baseline.server_paths_pruned
+
+    def test_witnesses_stay_trojan(self, raft_runs):
+        for shards in SHARD_COUNTS:
+            for finding in raft_runs[shards].findings:
+                assert raft.classify_message(finding.witness) is not None
+
+    def test_shards_compose_with_workers(self):
+        baseline = _finding_signature(_run_raft(1))
+        combined = _run_raft(2, workers=2)
+        assert _finding_signature(combined) == baseline
+
+
+class TestTpcShardParity:
+    def test_findings_identical_at_every_shard_count(self, tpc_runs):
+        baseline = _finding_signature(tpc_runs[1])
+        assert len(baseline) == 2  # ack-without-wal + empty-op prepare
+        for shards in SHARD_COUNTS[1:]:
+            assert _finding_signature(tpc_runs[shards]) == baseline, (
+                f"shards={shards} diverged from serial")
+
+    def test_witnesses_stay_trojan(self, tpc_runs):
+        for shards in SHARD_COUNTS:
+            for finding in tpc_runs[shards].findings:
+                assert tpc.classify_message(finding.witness) is not None
+
+    def test_shards_compose_with_workers(self):
+        baseline = _finding_signature(_run_tpc(1))
+        combined = _run_tpc(2, workers=2)
         assert _finding_signature(combined) == baseline
 
 
