@@ -1,0 +1,158 @@
+"""Transport overhead: local vs TCP shard dispatch on the FSP workload.
+
+The pluggable transport's promise is *byte-identical findings* on either
+wire plus a dispatch overhead small enough that multi-host fan-out pays
+off as soon as real cores exist on the far side. This benchmark runs the
+FSP end-to-end analysis (4-utility subset, shards=2) three ways — serial
+baseline, local multiprocessing transport, TCP against two localhost
+``repro worker`` daemons — and emits ``BENCH_transport.json`` with the
+wall clocks and the shipped-cache effect. Parity is asserted
+unconditionally; the overhead numbers are recorded, not gated (a 1-core
+runner time-slices everything, which the JSON shows rather than hides).
+
+The cache-snapshot satellite is measured here too: shard workers that
+absorb the coordinator's phase-1 feasibility answers pose measurably
+fewer solver queries than cold-cache workers on the same run.
+"""
+
+import itertools
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.achilles import Achilles, AchillesConfig
+from repro.achilles.server_analysis import _shard_setup
+from repro.bench.experiments import FSP_SESSION_MASK
+from repro.bench.tables import format_table
+from repro.explore import ShardScheduler
+from repro.systems import fsp
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _spawn_daemons(count: int):
+    env = dict(os.environ)
+    src = str(_REPO_ROOT / "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    daemons, hosts = [], []
+    for _ in range(count):
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker",
+             "--listen", "127.0.0.1:0"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        daemons.append(daemon)
+        ready, host, port = daemon.stdout.readline().split()
+        assert ready == "READY"
+        hosts.append(f"{host}:{port}")
+    return daemons, tuple(hosts)
+
+
+def _run_fsp(shards: int, transport: str = "local", hosts=()):
+    commands = dict(itertools.islice(fsp.COMMANDS.items(), 4))
+    config = AchillesConfig(layout=fsp.FSP_LAYOUT, mask=FSP_SESSION_MASK,
+                            shards=shards, transport=transport,
+                            hosts=tuple(hosts))
+    with Achilles(config) as achilles:
+        predicates = achilles.extract_clients(fsp.literal_clients(commands))
+        started = time.perf_counter()
+        report = achilles.search(fsp.fsp_server, predicates)
+        seconds = time.perf_counter() - started
+    return report, seconds
+
+
+def test_transport_overhead(benchmark, artifact, json_artifact):
+    """Local vs TCP dispatch on identical work; parity unconditional."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cores = os.cpu_count() or 1
+
+    serial_report, serial_seconds = _run_fsp(1)
+    local_report, local_seconds = _run_fsp(2)
+    daemons, hosts = _spawn_daemons(2)
+    try:
+        # Warm-up run absorbs daemon fork/connect cold start, then the
+        # measured run — mirroring the pool warm-up in bench_scaling.
+        _run_fsp(2, transport="tcp", hosts=hosts)
+        tcp_report, tcp_seconds = _run_fsp(2, transport="tcp", hosts=hosts)
+    finally:
+        for daemon in daemons:
+            daemon.terminate()
+        for daemon in daemons:
+            daemon.wait(timeout=10)
+
+    # Parity: the whole point of the transport abstraction.
+    assert local_report.witnesses() == serial_report.witnesses()
+    assert tcp_report.witnesses() == serial_report.witnesses()
+    assert tcp_report.server_paths_explored == \
+        serial_report.server_paths_explored
+
+    rows = [
+        ["serial (shards=1)", f"{serial_seconds:.2f}s", "-"],
+        ["local transport (shards=2)", f"{local_seconds:.2f}s",
+         f"{local_seconds / serial_seconds:.2f}x"],
+        ["tcp transport (shards=2, 2 daemons)", f"{tcp_seconds:.2f}s",
+         f"{tcp_seconds / serial_seconds:.2f}x"],
+    ]
+    artifact("transport_overhead", format_table(
+        ["Configuration", "Server search", "vs serial"], rows,
+        title=f"Transport dispatch overhead, FSP 4-utility subset "
+              f"({cores} core(s) available)"))
+    json_artifact("transport", {
+        "cpu_count": cores,
+        "workload": "FSP 4-utility subset, server search",
+        "serial_seconds": round(serial_seconds, 4),
+        "local_shards2_seconds": round(local_seconds, 4),
+        "tcp_shards2_seconds": round(tcp_seconds, 4),
+        "tcp_vs_local_overhead": round(tcp_seconds / local_seconds, 4),
+        "findings": local_report.trojan_count,
+        "parity": True,
+    })
+
+
+def test_cache_snapshot_cuts_duplicate_queries(benchmark, json_artifact):
+    """Shipping the coordinator's feasibility snapshot at fan-out must
+    cut the shard workers' solver queries vs cold caches — the ~1.6x
+    duplicate-query overhead the sharding PR measured at 2 shards."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    commands = dict(itertools.islice(fsp.COMMANDS.items(), 4))
+
+    def sharded_queries(ship_cache: bool):
+        achilles = Achilles(AchillesConfig(layout=fsp.FSP_LAYOUT,
+                                           mask=FSP_SESSION_MASK))
+        predicates = achilles.extract_clients(fsp.literal_clients(commands))
+        scheduler = ShardScheduler(
+            _shard_setup,
+            (fsp.fsp_server, predicates, achilles.server_msg, None, "msg",
+             True),
+            shards=2, engine_config=achilles.config.server_engine,
+            ship_cache=ship_cache)
+        # Warm the coordinator cache exactly as search_server would: the
+        # phase-1 answers are already in achilles.query_cache.
+        scheduler.engine.query_cache.absorb(achilles.query_cache.snapshot())
+        sharded = scheduler.run()
+        worker_queries = sharded.worker_solver_stats.queries
+        return worker_queries, sharded
+
+    cold_queries, cold = sharded_queries(ship_cache=False)
+    warm_queries, warm = sharded_queries(ship_cache=True)
+
+    assert warm.cache_entries_shipped > 0
+    assert cold.cache_entries_shipped == 0
+    # Identical findings either way — the snapshot is an accelerator,
+    # never an input.
+    assert [f.witness for f in warm.observer.findings] == \
+        [f.witness for f in cold.observer.findings]
+    assert warm_queries < cold_queries, (
+        f"snapshot shipping did not reduce worker queries: "
+        f"{warm_queries} vs {cold_queries}")
+
+    json_artifact("transport_cache_snapshot", {
+        "workload": "FSP 4-utility subset, shards=2",
+        "worker_queries_cold": cold_queries,
+        "worker_queries_with_snapshot": warm_queries,
+        "reduction_factor": round(cold_queries / max(1, warm_queries), 4),
+        "cache_entries_shipped": warm.cache_entries_shipped,
+    })

@@ -12,13 +12,21 @@ Run::
     python examples/fsp_trojan_hunt.py --workers 4   # parallel solver service
     python examples/fsp_trojan_hunt.py --shards 4    # sharded exploration
 
+    # multi-host: start a worker daemon per analysis machine first
+    #   (hostA) python -m repro worker --listen 0.0.0.0:9100
+    #   (hostB) python -m repro worker --listen 0.0.0.0:9100
+    python examples/fsp_trojan_hunt.py --shards 4 \
+        --hosts hostA:9100,hostB:9100
+
 ``--workers N`` shards the embarrassingly parallel solver batches (the
 ``differentFrom`` matrix, negation probes, per-path predicate re-checks)
 across N worker processes; ``--shards N`` partitions the server's path
 tree itself by decision prefixes across N exploration processes with
-work-stealing. Both knobs compose, and the findings are byte-identical
-to the serial run either way. ``--search-order`` and ``--max-paths``
-override the exploration policy.
+work-stealing. ``--hosts`` lifts those shards off local processes and
+onto TCP worker daemons (shards round-robin across the listed hosts).
+All knobs compose, and the findings are byte-identical to the serial
+run either way. ``--search-order`` and ``--max-paths`` override the
+exploration policy.
 """
 
 import argparse
@@ -41,12 +49,21 @@ def main() -> None:
                         help="exploration worklist order (default: dfs)")
     parser.add_argument("--max-paths", type=int, default=None,
                         help="cap on completed paths per exploration")
+    parser.add_argument("--hosts", default=None,
+                        help="comma-separated host:port worker daemons; "
+                             "runs the shards over TCP instead of local "
+                             "processes (start each daemon with "
+                             "`python -m repro worker --listen HOST:PORT`)")
     args = parser.parse_args()
+    hosts = tuple(h.strip() for h in (args.hosts or "").split(",") if h.strip())
+    transport = "tcp" if hosts else "local"
+    where = f"hosts={','.join(hosts)}" if hosts else "local processes"
     print(f"Running Achilles on FSP (8 utilities, path bound 5, "
-          f"workers={args.workers}, shards={args.shards})...")
+          f"workers={args.workers}, shards={args.shards}, {where})...")
     outcome = run_fsp_accuracy(workers=args.workers, shards=args.shards,
                                search_order=args.search_order,
-                               max_paths=args.max_paths)
+                               max_paths=args.max_paths,
+                               transport=transport, hosts=hosts)
     report = outcome.report
 
     print(format_table(

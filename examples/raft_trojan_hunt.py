@@ -12,11 +12,15 @@ Run::
     python examples/raft_trojan_hunt.py
     python examples/raft_trojan_hunt.py --workers 4   # parallel solver service
     python examples/raft_trojan_hunt.py --shards 4    # sharded exploration
+    python examples/raft_trojan_hunt.py --shards 4 \
+        --hosts hostA:9100,hostB:9100    # shards over TCP worker daemons
 
 ``--workers N`` shards the embarrassingly parallel solver batches across
 N worker processes; ``--shards N`` partitions the follower's path tree
-by decision prefixes across N exploration processes. Both knobs compose,
-and the findings are byte-identical to the serial run either way.
+by decision prefixes across N exploration processes. ``--hosts`` lifts
+those shards onto ``python -m repro worker`` daemons over TCP. All knobs
+compose, and the findings are byte-identical to the serial run either
+way.
 """
 
 import argparse
@@ -41,12 +45,21 @@ def main() -> None:
                         help="exploration worklist order (default: dfs)")
     parser.add_argument("--max-paths", type=int, default=None,
                         help="cap on completed paths per exploration")
+    parser.add_argument("--hosts", default=None,
+                        help="comma-separated host:port worker daemons; "
+                             "runs the shards over TCP instead of local "
+                             "processes (start each daemon with "
+                             "`python -m repro worker --listen HOST:PORT`)")
     args = parser.parse_args()
+    hosts = tuple(h.strip() for h in (args.hosts or "").split(",") if h.strip())
+    transport = "tcp" if hosts else "local"
+    where = f"hosts={','.join(hosts)}" if hosts else "local processes"
     print(f"Running Achilles on the Raft follower (workers={args.workers}, "
-          f"shards={args.shards})...")
+          f"shards={args.shards}, {where})...")
     outcome = run_raft_accuracy(workers=args.workers, shards=args.shards,
                                 search_order=args.search_order,
-                                max_paths=args.max_paths)
+                                max_paths=args.max_paths,
+                                transport=transport, hosts=hosts)
     report = outcome.report
 
     print(format_table(

@@ -10,9 +10,17 @@ Usage::
     python -m repro tpc            # two-phase commit (ack-without-WAL)
     python -m repro list           # show available experiments
 
+    python -m repro worker --listen 0.0.0.0:9100   # shard worker daemon
+
 Every experiment accepts ``--workers/--shards`` (parallel throughput
 knobs; findings are byte-identical at any count) and
 ``--search-order/--max-paths`` (exploration policy overrides).
+
+Multi-host analysis: start a ``worker`` daemon on each host, then point
+any experiment at them with ``--transport tcp --hosts
+hostA:9100,hostB:9100``. The coordinator connects one shard session per
+``--shards`` slot, round-robin over the hosts, and the deterministic
+merge keeps findings byte-identical to the local run.
 """
 
 from __future__ import annotations
@@ -25,7 +33,8 @@ from repro.bench.tables import format_table
 
 def _run_toy(workers: int = 1, shards: int = 1,
              search_order: str | None = None,
-             max_paths: int | None = None) -> int:
+             max_paths: int | None = None,
+             transport: str = "local", hosts: tuple = ()) -> int:
     from repro.achilles import Achilles, AchillesConfig
     from repro.bench.experiments import make_engine_config
     from repro.systems.toy import TOY_LAYOUT, toy_client, toy_server
@@ -36,7 +45,9 @@ def _run_toy(workers: int = 1, shards: int = 1,
                                  server_engine=make_engine_config(
                                      search_order, max_paths),
                                  workers=workers,
-                                 shards=shards)) as achilles:
+                                 shards=shards,
+                                 transport=transport,
+                                 hosts=tuple(hosts))) as achilles:
         predicates = achilles.extract_clients({"toy": toy_client})
         report = achilles.search(toy_server, predicates)
     rows = [[f.server_path_id, f.witness.hex(),
@@ -49,12 +60,14 @@ def _run_toy(workers: int = 1, shards: int = 1,
 
 def _run_fsp(workers: int = 1, shards: int = 1,
              search_order: str | None = None,
-             max_paths: int | None = None) -> int:
+             max_paths: int | None = None,
+             transport: str = "local", hosts: tuple = ()) -> int:
     from repro.bench.experiments import run_fsp_accuracy
 
     outcome = run_fsp_accuracy(workers=workers, shards=shards,
                                search_order=search_order,
-                               max_paths=max_paths)
+                               max_paths=max_paths,
+                               transport=transport, hosts=hosts)
     print(format_table(
         ["metric", "paper", "here"],
         [["true positives", 80, outcome.true_positives],
@@ -68,12 +81,14 @@ def _run_fsp(workers: int = 1, shards: int = 1,
 
 def _run_fsp_wildcard(workers: int = 1, shards: int = 1,
                       search_order: str | None = None,
-                      max_paths: int | None = None) -> int:
+                      max_paths: int | None = None,
+                      transport: str = "local", hosts: tuple = ()) -> int:
     from repro.bench.experiments import run_fsp_wildcard
     from repro.systems.fsp import FSP_LAYOUT
 
     report = run_fsp_wildcard(workers=workers, shards=shards,
-                              search_order=search_order, max_paths=max_paths)
+                              search_order=search_order, max_paths=max_paths,
+                              transport=transport, hosts=hosts)
     buf = FSP_LAYOUT.view("buf")
     wildcard = [w for w in report.witnesses()
                 if any(b in (42, 63) for b in w[buf.offset:buf.end])]
@@ -87,11 +102,13 @@ def _run_fsp_wildcard(workers: int = 1, shards: int = 1,
 
 def _run_pbft(workers: int = 1, shards: int = 1,
               search_order: str | None = None,
-              max_paths: int | None = None) -> int:
+              max_paths: int | None = None,
+              transport: str = "local", hosts: tuple = ()) -> int:
     from repro.bench.experiments import run_pbft_impact
 
     outcome = run_pbft_impact(workers=workers, shards=shards,
-                              search_order=search_order, max_paths=max_paths)
+                              search_order=search_order, max_paths=max_paths,
+                              transport=transport, hosts=hosts)
     print(f"findings: {outcome.report.trojan_count} "
           f"(MAC != {outcome.mac_stub.hex()}) in "
           f"{outcome.report.timings.total:.2f}s")
@@ -118,13 +135,15 @@ def _accuracy_table(title: str, outcome, classes_total: int) -> None:
 
 def _run_raft(workers: int = 1, shards: int = 1,
               search_order: str | None = None,
-              max_paths: int | None = None) -> int:
+              max_paths: int | None = None,
+              transport: str = "local", hosts: tuple = ()) -> int:
     from repro.bench.experiments import run_raft_accuracy
     from repro.systems.raft import all_trojan_classes, classify_message
 
     outcome = run_raft_accuracy(workers=workers, shards=shards,
                                 search_order=search_order,
-                                max_paths=max_paths)
+                                max_paths=max_paths,
+                                transport=transport, hosts=hosts)
     _accuracy_table("Raft follower ingress vs seeded ground truth",
                     outcome, len(all_trojan_classes()))
     for finding in outcome.report.findings:
@@ -135,13 +154,15 @@ def _run_raft(workers: int = 1, shards: int = 1,
 
 def _run_tpc(workers: int = 1, shards: int = 1,
              search_order: str | None = None,
-             max_paths: int | None = None) -> int:
+             max_paths: int | None = None,
+             transport: str = "local", hosts: tuple = ()) -> int:
     from repro.bench.experiments import run_tpc_accuracy
     from repro.systems.tpc import all_trojan_classes, classify_message
 
     outcome = run_tpc_accuracy(workers=workers, shards=shards,
                                search_order=search_order,
-                               max_paths=max_paths)
+                               max_paths=max_paths,
+                               transport=transport, hosts=hosts)
     _accuracy_table("Two-phase-commit participant vs seeded ground truth",
                     outcome, len(all_trojan_classes()))
     for finding in outcome.report.findings:
@@ -160,13 +181,44 @@ _EXPERIMENTS = {
 }
 
 
+def _run_worker(argv: list[str]) -> int:
+    """The ``worker`` subcommand: a shard worker daemon for TCP transport."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro worker",
+        description="Run a shard worker daemon that serves TCP-transport "
+                    "exploration sessions. Point a coordinator at it with "
+                    "--transport tcp --hosts HOST:PORT[,...]. Prints "
+                    "'READY <host> <port>' once listening (port 0 picks "
+                    "an ephemeral port).")
+    parser.add_argument("--listen", required=True, metavar="HOST:PORT",
+                        help="address to listen on, e.g. 0.0.0.0:9100 "
+                             "or 127.0.0.1:0")
+    parser.add_argument("--max-sessions", type=int, default=None,
+                        help="exit after serving this many sessions "
+                             "(default: serve forever)")
+    args = parser.parse_args(argv)
+    from repro.explore.tcp import serve_worker
+
+    serve_worker(args.listen, max_sessions=args.max_sessions,
+                 ready_stream=sys.stdout)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # The worker daemon has its own flag set (and runs forever), so it
+    # branches off before the experiment parser.
+    if argv[:1] == ["worker"]:
+        return _run_worker(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Run Achilles reproduction experiments.")
+        description="Run Achilles reproduction experiments "
+                    "('python -m repro worker --help' for the shard "
+                    "worker daemon).")
     parser.add_argument("experiment",
-                        choices=sorted(_EXPERIMENTS) + ["list"],
-                        help="experiment to run, or 'list'")
+                        choices=sorted(_EXPERIMENTS) + ["list", "worker"],
+                        help="experiment to run, 'list', or 'worker' "
+                             "(shard worker daemon)")
     parser.add_argument("--workers", type=int, default=1,
                         help="solver-service worker processes (default: 1, "
                              "fully serial; findings are identical at any "
@@ -175,6 +227,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="exploration shard processes for the server "
                              "search (default: 1, one in-process walk; "
                              "findings are identical at any shard count)")
+    parser.add_argument("--transport", choices=["local", "tcp"],
+                        default="local",
+                        help="where shard workers live (default: local "
+                             "processes; tcp drives `repro worker` daemons "
+                             "named by --hosts)")
+    parser.add_argument("--hosts", default="", metavar="HOST:PORT[,...]",
+                        help="comma-separated worker daemon addresses for "
+                             "--transport tcp; shards round-robin over them")
     parser.add_argument("--search-order", choices=["dfs", "bfs"],
                         default=None,
                         help="exploration worklist order (default: the "
@@ -186,10 +246,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "list":
         for name, (_, description) in sorted(_EXPERIMENTS.items()):
             print(f"{name:14} {description}")
+        print("worker         shard worker daemon "
+              "(python -m repro worker --help)")
         return 0
+    hosts = tuple(h.strip() for h in args.hosts.split(",") if h.strip())
     runner, _ = _EXPERIMENTS[args.experiment]
     return runner(workers=args.workers, shards=args.shards,
-                  search_order=args.search_order, max_paths=args.max_paths)
+                  search_order=args.search_order, max_paths=args.max_paths,
+                  transport=args.transport, hosts=hosts)
 
 
 if __name__ == "__main__":

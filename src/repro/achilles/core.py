@@ -91,6 +91,14 @@ class AchillesConfig:
             and ``shards`` compose: the former parallelizes solver
             *batches* (pre-processing, and the seed phase's probes), the
             latter the *walk* itself.
+        transport: where the shard workers live — ``"local"`` (the
+            default: ``multiprocessing`` processes on this machine) or
+            ``"tcp"`` (``python -m repro worker`` daemons reached over
+            sockets; requires ``hosts``). Findings are byte-identical
+            on either transport.
+        hosts: ``"host:port"`` addresses of running ``repro worker``
+            daemons, one shard session per address round-robin (so 4
+            shards against 2 hosts run 2 sessions on each).
     """
 
     layout: MessageLayout
@@ -102,6 +110,8 @@ class AchillesConfig:
     msg_name: str = "msg"
     workers: int = 1
     shards: int = 1
+    transport: str = "local"
+    hosts: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         # Validate here, not at pool start: a bad count otherwise
@@ -115,6 +125,19 @@ class AchillesConfig:
                 f"AchillesConfig.shards must be >= 1, got {self.shards} "
                 "(1 = in-process exploration; N > 1 = N exploration "
                 "shard processes)")
+        self.hosts = tuple(self.hosts)
+        if self.transport not in ("local", "tcp"):
+            raise AchillesError(
+                f"AchillesConfig.transport must be 'local' or 'tcp', "
+                f"got {self.transport!r}")
+        if self.transport == "tcp" and not self.hosts:
+            raise AchillesError(
+                "AchillesConfig.transport='tcp' needs hosts: 'host:port' "
+                "addresses of running `python -m repro worker` daemons")
+        if self.transport == "local" and self.hosts:
+            raise AchillesError(
+                "AchillesConfig.hosts is only meaningful with "
+                "transport='tcp'")
 
 
 class Achilles:
@@ -181,7 +204,8 @@ class Achilles:
             server, clients, self.server_msg, self.config.server_engine,
             self.config.optimizations, self.config.msg_name,
             query_cache=self.query_cache, service=self.service,
-            shards=self.config.shards)
+            shards=self.config.shards, transport=self.config.transport,
+            hosts=self.config.hosts)
         report.workers = self.config.workers
         report.timings.client_extraction = clients.stats.extraction_seconds
         report.timings.preprocessing = clients.stats.preprocess_seconds

@@ -333,6 +333,8 @@ def search_server(server, clients: ClientPredicateSet,
                   query_cache: QueryCache | None = None,
                   service=None,
                   shards: int = 1,
+                  transport: str | None = None,
+                  hosts: tuple = (),
                   ) -> tuple[AchillesReport, ExplorationResult]:
     """Explore a server program under the incremental Trojan search.
 
@@ -362,6 +364,12 @@ def search_server(server, clients: ClientPredicateSet,
             describe the coordinator's seed phase only (shard workers
             warm private caches), while query/frame/propagation counters
             include the per-shard solver work.
+        transport: where sharded workers live — a
+            :class:`~repro.explore.transport.Transport` instance,
+            ``"local"`` / ``"tcp"``, or None (tcp when ``hosts`` are
+            given, local otherwise). Ignored for ``shards == 1``.
+        hosts: ``"host:port"`` addresses of running
+            ``python -m repro worker`` daemons for the TCP transport.
 
     Returns:
         The (partially filled) report and the raw exploration result; the
@@ -389,7 +397,8 @@ def search_server(server, clients: ClientPredicateSet,
         scheduler = ShardScheduler(
             _shard_setup,
             (server, clients, server_msg, flags, msg_name, True),
-            shards=shards, engine=engine)
+            shards=shards, engine=engine,
+            transport=transport, hosts=hosts)
         sharded = scheduler.run()
         exploration = sharded.exploration
         observer = sharded.observer

@@ -73,21 +73,26 @@ class AccuracyOutcome:
 def _fsp_achilles(optimizations: OptimizationFlags | None = None,
                   workers: int = 1, shards: int = 1,
                   search_order: str | None = None,
-                  max_paths: int | None = None) -> Achilles:
+                  max_paths: int | None = None,
+                  transport: str = "local",
+                  hosts: tuple = ()) -> Achilles:
     config = AchillesConfig(layout=fsp.FSP_LAYOUT, mask=FSP_SESSION_MASK,
                             optimizations=optimizations or OptimizationFlags(),
                             client_engine=make_engine_config(search_order,
                                                              max_paths),
                             server_engine=make_engine_config(search_order,
                                                              max_paths),
-                            workers=workers, shards=shards)
+                            workers=workers, shards=shards,
+                            transport=transport, hosts=tuple(hosts))
     return Achilles(config)
 
 
 def run_fsp_accuracy(optimizations: OptimizationFlags | None = None,
                      workers: int = 1, shards: int = 1,
                      search_order: str | None = None,
-                     max_paths: int | None = None) -> AccuracyOutcome:
+                     max_paths: int | None = None,
+                     transport: str = "local",
+                     hosts: tuple = ()) -> AccuracyOutcome:
     """Table 1 (Achilles column) + Figures 10/11 raw data.
 
     ``workers`` > 1 dispatches the parallel batches (pre-processing and
@@ -95,10 +100,12 @@ def run_fsp_accuracy(optimizations: OptimizationFlags | None = None,
     ``shards`` > 1 additionally partitions the phase-2 path tree across
     exploration worker processes. Findings are byte-identical at any
     worker or shard count. ``search_order`` / ``max_paths`` override the
-    default exploration policy for both phases.
+    default exploration policy for both phases. ``transport``/``hosts``
+    choose where shard workers live (``"tcp"`` drives remote
+    ``python -m repro worker`` daemons; findings stay byte-identical).
     """
     with _fsp_achilles(optimizations, workers, shards, search_order,
-                       max_paths) as achilles:
+                       max_paths, transport, hosts) as achilles:
         predicates = achilles.extract_clients(fsp.literal_clients())
         report = achilles.search(fsp.fsp_server, predicates)
     score = fsp.GroundTruth.score(report.witnesses())
@@ -114,11 +121,14 @@ def run_fsp_accuracy(optimizations: OptimizationFlags | None = None,
 def run_fsp_wildcard(listing: tuple[str, ...] = ("f1", "f2", "doc"),
                      workers: int = 1, shards: int = 1,
                      search_order: str | None = None,
-                     max_paths: int | None = None) -> AchillesReport:
+                     max_paths: int | None = None,
+                     transport: str = "local",
+                     hosts: tuple = ()) -> AchillesReport:
     """§6.3 wildcard experiment: globbing clients, same server."""
     with _fsp_achilles(workers=workers, shards=shards,
                        search_order=search_order,
-                       max_paths=max_paths) as achilles:
+                       max_paths=max_paths, transport=transport,
+                       hosts=hosts) as achilles:
         predicates = achilles.extract_clients(fsp.globbing_clients(listing))
         return achilles.search(fsp.fsp_server, predicates)
 
@@ -243,7 +253,9 @@ class PbftOutcome:
 
 def run_pbft_analysis(workers: int = 1, shards: int = 1,
                       search_order: str | None = None,
-                      max_paths: int | None = None) -> AchillesReport:
+                      max_paths: int | None = None,
+                      transport: str = "local",
+                      hosts: tuple = ()) -> AchillesReport:
     """§6.2 PBFT run: the MAC Trojan on every accepting path."""
     with Achilles(AchillesConfig(layout=REQUEST_LAYOUT,
                                  destination="replica0",
@@ -252,18 +264,23 @@ def run_pbft_analysis(workers: int = 1, shards: int = 1,
                                  server_engine=make_engine_config(
                                      search_order, max_paths),
                                  workers=workers,
-                                 shards=shards)) as achilles:
+                                 shards=shards,
+                                 transport=transport,
+                                 hosts=tuple(hosts))) as achilles:
         predicates = achilles.extract_clients({"pbft-client": pbft_client})
         return achilles.search(pbft_replica, predicates)
 
 
 def run_pbft_impact(requests: int = 40, workers: int = 1, shards: int = 1,
                     search_order: str | None = None,
-                    max_paths: int | None = None) -> PbftOutcome:
+                    max_paths: int | None = None,
+                    transport: str = "local",
+                    hosts: tuple = ()) -> PbftOutcome:
     """§6.3 MAC attack impact: throughput under increasing attack rates."""
     report = run_pbft_analysis(workers=workers, shards=shards,
                                search_order=search_order,
-                               max_paths=max_paths)
+                               max_paths=max_paths, transport=transport,
+                               hosts=hosts)
     outcome = PbftOutcome(report=report, mac_stub=MAC_STUB)
     for label, every in {"clean": 0, "attack-10%": 10, "attack-50%": 2}.items():
         outcome.impact[label] = run_workload(requests, malicious_every=every)
@@ -274,14 +291,17 @@ def _scored_accuracy_run(layout, destination: str, clients, server,
                          ground_truth, class_count: int,
                          workers: int, shards: int,
                          search_order: str | None,
-                         max_paths: int | None) -> AccuracyOutcome:
+                         max_paths: int | None,
+                         transport: str = "local",
+                         hosts: tuple = ()) -> AccuracyOutcome:
     """Full pipeline + ground-truth scoring, shared by raft and tpc."""
     config = AchillesConfig(layout=layout, destination=destination,
                             client_engine=make_engine_config(search_order,
                                                              max_paths),
                             server_engine=make_engine_config(search_order,
                                                              max_paths),
-                            workers=workers, shards=shards)
+                            workers=workers, shards=shards,
+                            transport=transport, hosts=tuple(hosts))
     with Achilles(config) as achilles:
         predicates = achilles.extract_clients(clients)
         report = achilles.search(server, predicates)
@@ -297,7 +317,9 @@ def _scored_accuracy_run(layout, destination: str, clients, server,
 
 def run_raft_accuracy(workers: int = 1, shards: int = 1,
                       search_order: str | None = None,
-                      max_paths: int | None = None) -> AccuracyOutcome:
+                      max_paths: int | None = None,
+                      transport: str = "local",
+                      hosts: tuple = ()) -> AccuracyOutcome:
     """Raft follower ingress vs the 9 seeded Trojan classes.
 
     Scores Achilles against :mod:`repro.systems.raft.ground_truth`
@@ -311,12 +333,14 @@ def run_raft_accuracy(workers: int = 1, shards: int = 1,
         raft.RAFT_LAYOUT, "follower", raft.peer_clients(),
         raft.raft_follower, raft.GroundTruth,
         len(raft.all_trojan_classes()), workers, shards, search_order,
-        max_paths)
+        max_paths, transport, hosts)
 
 
 def run_tpc_accuracy(workers: int = 1, shards: int = 1,
                      search_order: str | None = None,
-                     max_paths: int | None = None) -> AccuracyOutcome:
+                     max_paths: int | None = None,
+                     transport: str = "local",
+                     hosts: tuple = ()) -> AccuracyOutcome:
     """Two-phase-commit participant vs the 2 seeded Trojan classes.
 
     Scores Achilles against :mod:`repro.systems.tpc.ground_truth`
@@ -329,4 +353,4 @@ def run_tpc_accuracy(workers: int = 1, shards: int = 1,
         tpc.TPC_LAYOUT, "participant", tpc.coordinator_clients(),
         tpc.tpc_participant, tpc.GroundTruth,
         len(tpc.all_trojan_classes()), workers, shards, search_order,
-        max_paths)
+        max_paths, transport, hosts)

@@ -52,18 +52,36 @@ exploration is cheap; sharding (this layer) is for workloads dominated by
 per-path work — path replays, per-constraint observer probes — where the
 walk itself must spread across cores. The two compose: a sharded run may
 still batch its pre-processing through a worker pool.
+
+*Where* the shard workers live is pluggable
+(:mod:`repro.explore.transport`): the default
+:class:`~repro.explore.transport.LocalTransport` runs them as
+``multiprocessing`` processes on this machine, while
+:class:`~repro.explore.tcp.TcpTransport` drives ``python -m repro
+worker`` daemons on arbitrary hosts over length-prefixed pickled frames.
+The deterministic merge makes findings byte-identical on either.
 """
 
 from repro.explore.merge import MergedExploration, merge_outcomes
 from repro.explore.scheduler import ShardedExploration, ShardScheduler
 from repro.explore.shard import FrontierControl, ShardOutcome, StealControl
+from repro.explore.transport import (
+    LocalTransport,
+    Transport,
+    WorkerSession,
+    resolve_transport,
+)
 
 __all__ = [
     "FrontierControl",
+    "LocalTransport",
     "MergedExploration",
     "ShardOutcome",
     "ShardScheduler",
     "ShardedExploration",
     "StealControl",
+    "Transport",
+    "WorkerSession",
     "merge_outcomes",
+    "resolve_transport",
 ]

@@ -2,23 +2,29 @@
 
 :class:`ShardScheduler` owns the whole sharded run. It explores the top
 of the tree in-process to grow a frontier of fork prefixes, partitions
-that frontier across ``shards`` worker processes, then sits in a message
-loop re-balancing work: a worker that drains its prefixes goes idle, and
-the coordinator raises the steal flag of a loaded worker, whose next
+that frontier across ``shards`` workers, then sits in a message loop
+re-balancing work: a worker that drains its prefixes goes idle, and the
+coordinator raises the steal flag of a loaded worker, whose next
 checkpoint donates the shallowest half of its worklist back for
 reassignment. Outcomes merge deterministically regardless of any of this
 scheduling — see :mod:`repro.explore.merge`.
+
+Where the workers live is the :class:`~repro.explore.transport.Transport`'s
+business: :class:`~repro.explore.transport.LocalTransport` (the default)
+runs them as ``multiprocessing`` processes on this machine,
+:class:`~repro.explore.tcp.TcpTransport` drives ``repro worker`` daemons
+on remote hosts over sockets. The scheduler speaks only the transport
+interface, so findings are byte-identical on either.
 """
 
 from __future__ import annotations
 
-import queue as queue_module
 import time
 from collections import deque
 from dataclasses import dataclass
 
 from repro.errors import SymexError
-from repro.explore.merge import MergedExploration, merge_outcomes
+from repro.explore.merge import merge_outcomes
 from repro.explore.shard import (
     MSG_DONATE,
     MSG_DONE,
@@ -27,8 +33,8 @@ from repro.explore.shard import (
     Prefix,
     ShardOutcome,
     ShardSetup,
-    shard_worker,
 )
+from repro.explore.transport import Transport, WorkerSession, resolve_transport
 from repro.solver.solver import SolverStats
 from repro.symex.engine import BFS, Engine, EngineConfig, ExplorationResult
 from repro.symex.observers import PathObserver
@@ -58,10 +64,13 @@ class ShardedExploration:
         worker_solver_stats: solver counters accumulated inside shard
             workers, folded in canonical order (coordinator-side solver
             work stays on the coordinator engine's own stats).
-        shards: worker process count the run was configured with.
+        shards: worker count the run was configured with.
         steals: successful (non-empty) worklist donations brokered by
             the coordinator — a load-balancing diagnostic, not part of
             the deterministic output.
+        cache_entries_shipped: feasibility entries in the query-cache
+            snapshot shipped to each worker at fan-out (0 when shipping
+            was disabled or the run never fanned out).
     """
 
     exploration: ExplorationResult
@@ -70,10 +79,11 @@ class ShardedExploration:
     worker_solver_stats: SolverStats
     shards: int
     steals: int = 0
+    cache_entries_shipped: int = 0
 
 
 class ShardScheduler:
-    """Decision-prefix sharded exploration across a process pool.
+    """Decision-prefix sharded exploration across a worker fleet.
 
     Args:
         setup: module-level callable building one shard's program and
@@ -83,7 +93,7 @@ class ShardScheduler:
             observer may be None (plain exploration); otherwise it must
             be delta-capable (:meth:`PathObserver.delta`).
         setup_args: picklable arguments for ``setup``.
-        shards: worker process count (>= 1).
+        shards: worker count (>= 1).
         engine: coordinator engine for the seed phase; defaults to a
             fresh ``Engine(engine_config)``. Its query cache/service
             wiring is used only above the frontier — workers build
@@ -95,12 +105,27 @@ class ShardScheduler:
             that drain the tree below the cap.
         seed_factor: frontier prefixes to grow per shard before
             partitioning.
+        transport: where the workers live — a ready
+            :class:`~repro.explore.transport.Transport`, ``"local"``
+            (default) or ``"tcp"`` (requires ``hosts``).
+        hosts: ``"host:port"`` addresses of running ``repro worker``
+            daemons for the TCP transport.
+        ship_cache: ship a read-only snapshot of the coordinator
+            engine's canonical query cache (phase-1 + seed-phase
+            feasibility answers) to every worker at fan-out, so shards
+            do not re-solve queries a sibling phase already answered.
+            Sound on any transport (booleans are pure functions of the
+            canonical query); disable only to measure the overhead it
+            removes.
     """
 
     def __init__(self, setup: ShardSetup, setup_args: tuple = (), *,
                  shards: int = 2, engine: Engine | None = None,
                  engine_config: EngineConfig | None = None,
-                 seed_factor: int = DEFAULT_SEED_FACTOR):
+                 seed_factor: int = DEFAULT_SEED_FACTOR,
+                 transport: Transport | str | None = None,
+                 hosts: tuple = (),
+                 ship_cache: bool = True):
         if shards < 1:
             raise SymexError(f"shard count must be >= 1, got {shards}")
         self.setup = setup
@@ -109,6 +134,8 @@ class ShardScheduler:
         self.engine = engine or Engine(engine_config)
         self.engine_config = engine_config or self.engine.config
         self.seed_factor = max(1, seed_factor)
+        self.transport = resolve_transport(transport, hosts)
+        self.ship_cache = ship_cache
 
     # -- phases --------------------------------------------------------------
 
@@ -140,9 +167,10 @@ class ShardScheduler:
         outcomes = [ShardOutcome(executed=seed.executed, paths=seed.paths,
                                  stats=seed.stats, delta=seed_delta)]
         steals = 0
+        shipped = 0
         frontier = sorted(seed.frontier, key=canonical_key)
         if frontier:
-            shard_outcomes, steals = self._fan_out(frontier)
+            shard_outcomes, steals, shipped = self._fan_out(frontier)
             outcomes.extend(shard_outcomes)
 
         merged = merge_outcomes(outcomes)
@@ -154,104 +182,104 @@ class ShardScheduler:
             exploration=merged.exploration, observer=observer,
             path_ids=merged.path_ids,
             worker_solver_stats=merged.solver_stats, shards=self.shards,
-            steals=steals)
+            steals=steals, cache_entries_shipped=shipped)
 
-    # -- worker pool ---------------------------------------------------------
+    # -- worker fleet --------------------------------------------------------
 
-    def _fan_out(self,
-                 frontier: list[Prefix]) -> tuple[list[ShardOutcome], int]:
-        """Partition ``frontier`` across worker processes; broker steals."""
-        import multiprocessing
-
-        # Same policy as the solver service: fork inherits the interned
-        # AST arena copy-on-write; spawn re-interns on unpickle.
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else "spawn")
-        count = self.shards
-        result_queue = ctx.Queue()
-        task_queues = [ctx.Queue() for _ in range(count)]
-        steal_flags = [ctx.Event() for _ in range(count)]
-        workers = [
-            ctx.Process(
-                target=shard_worker,
-                args=(wid, self.setup, self.setup_args, self.engine_config,
-                      task_queues[wid], result_queue, steal_flags[wid]),
-                daemon=True)
-            for wid in range(count)
-        ]
-        for worker in workers:
-            worker.start()
+    def _fan_out(self, frontier: list[Prefix],
+                 ) -> tuple[list[ShardOutcome], int, int]:
+        """Partition ``frontier`` across the fleet; broker steals."""
+        snapshot = (self.engine.query_cache.snapshot()
+                    if self.ship_cache else None)
+        session = WorkerSession(
+            setup=self.setup, setup_args=self.setup_args,
+            engine_config=self.engine_config, cache_snapshot=snapshot)
+        self.transport.start(self.shards, session)
         try:
-            return self._coordinate(frontier, result_queue, task_queues,
-                                    steal_flags, workers)
+            outcomes, steals = self._coordinate(frontier)
         finally:
-            for task_queue in task_queues:
-                task_queue.put(None)
-            deadline = time.monotonic() + 10.0
-            for worker in workers:
-                worker.join(timeout=max(0.0, deadline - time.monotonic()))
-                if worker.is_alive():  # pragma: no cover - hang safety net
-                    worker.terminate()
-                    worker.join()
+            self.transport.stop()
+        return outcomes, steals, len(snapshot or ())
 
-    def _coordinate(self, frontier, result_queue, task_queues, steal_flags,
-                    workers) -> tuple[list[ShardOutcome], int]:
+    def _coordinate(self, frontier) -> tuple[list[ShardOutcome], int]:
+        transport = self.transport
         count = self.shards
         pending: deque[Prefix] = deque(frontier)
         idle = set(range(count))
         steal_pending: set[int] = set()
+        # Last assignment shipped to each busy worker — what the error
+        # names when a worker dies holding it.
+        assigned: dict[int, list[Prefix]] = {}
         outcomes: list[ShardOutcome] = []
         steals = 0
         dead_polls = 0
-        self._assign(pending, idle, task_queues)
+        self._assign(pending, idle, assigned)
 
         while len(idle) < count or pending:
-            try:
-                kind, wid, payload = result_queue.get(timeout=_POLL_SECONDS)
-            except queue_module.Empty:
+            message = transport.recv(_POLL_SECONDS)
+            if message is None:
                 # Liveness: a worker that died without reporting (OOM
-                # kill, hard crash — MSG_ERROR only covers Python
-                # exceptions) would leave this loop polling forever. A
-                # few empty polls of grace let a just-dead worker's last
-                # queued message drain first.
+                # kill, hard crash, lost host — MSG_ERROR only covers
+                # Python exceptions) would leave this loop polling
+                # forever. A few empty polls of grace let a just-dead
+                # worker's last in-flight message drain first.
                 dead = [wid for wid in range(count)
-                        if wid not in idle and not workers[wid].is_alive()]
+                        if wid not in idle and not transport.alive(wid)]
                 if dead:
                     dead_polls += 1
                     if dead_polls >= 5:
-                        raise SymexError(
-                            f"shard worker(s) {dead} died without "
-                            "reporting a result (killed?); sharded "
-                            "exploration cannot complete")
+                        raise SymexError(self._death_report(dead, assigned))
                 else:
                     dead_polls = 0
-                self._request_steal(idle, steal_pending, steal_flags)
+                self._request_steal(idle, steal_pending)
                 continue
             dead_polls = 0
+            kind, wid, payload = message
             if kind == MSG_DONE:
                 outcomes.append(payload)
                 idle.add(wid)
+                assigned.pop(wid, None)
                 steal_pending.discard(wid)
-                steal_flags[wid].clear()
+                transport.acknowledge_done(wid)
                 if pending:
-                    self._assign(pending, idle, task_queues)
+                    self._assign(pending, idle, assigned)
                 else:
-                    self._request_steal(idle, steal_pending, steal_flags)
+                    self._request_steal(idle, steal_pending)
             elif kind == MSG_DONATE:
                 steal_pending.discard(wid)
                 if payload:
                     steals += 1
                     pending.extend(payload)
-                self._assign(pending, idle, task_queues)
+                self._assign(pending, idle, assigned)
             elif kind == MSG_ERROR:
                 raise SymexError(
-                    f"shard worker {wid} failed:\n{payload}")
+                    f"shard worker {transport.describe(wid)} failed:\n"
+                    f"{payload}")
             else:  # pragma: no cover - internal protocol
                 raise SymexError(f"unknown shard message kind {kind!r}")
         return outcomes, steals
 
-    def _assign(self, pending: deque, idle: set[int], task_queues) -> None:
+    def _death_report(self, dead: list[int],
+                      assigned: dict[int, list[Prefix]]) -> str:
+        """Name the dead workers and the assignments that died with them."""
+        lines = []
+        for wid in dead:
+            prefixes = assigned.get(wid, [])
+            rendered = ", ".join(
+                "".join("T" if d else "F" for d in p) or "<root>"
+                for p in prefixes[:4])
+            more = len(prefixes) - 4
+            lines.append(
+                f"  {self.transport.describe(wid)} holding "
+                f"{len(prefixes)} prefix(es) "
+                f"[{rendered}{f', +{more} more' if more > 0 else ''}]")
+        detail = "\n".join(lines)
+        return ("shard worker(s) died without reporting a result "
+                f"(killed? lost host?); the lost assignment(s):\n{detail}\n"
+                "sharded exploration cannot complete")
+
+    def _assign(self, pending: deque, idle: set[int],
+                assigned: dict[int, list[Prefix]]) -> None:
         """Split the pending prefixes evenly across the idle workers."""
         while pending and idle:
             takers = sorted(idle)[:len(pending)]
@@ -260,10 +288,11 @@ class ShardScheduler:
                 size = base + (1 if position < extra else 0)
                 assignment = [pending.popleft() for _ in range(size)]
                 idle.discard(wid)
-                task_queues[wid].put(assignment)
+                assigned[wid] = assignment
+                self.transport.assign(wid, assignment)
 
-    def _request_steal(self, idle: set[int], steal_pending: set[int],
-                       steal_flags) -> None:
+    def _request_steal(self, idle: set[int],
+                       steal_pending: set[int]) -> None:
         """Raise one loaded worker's steal flag when someone is idle."""
         if not idle:
             return
@@ -272,4 +301,4 @@ class ShardScheduler:
         if busy:
             target = busy[0]
             steal_pending.add(target)
-            steal_flags[target].set()
+            self.transport.request_steal(target)

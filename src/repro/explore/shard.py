@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.solver.solver import SolverStats
-from repro.symex.engine import Engine, EngineConfig, ExploreControl
+from repro.symex.engine import Engine, ExploreControl
 from repro.symex.observers import ObserverDelta
 from repro.symex.state import PathResult
 
@@ -119,28 +119,50 @@ def run_assignment(engine: Engine, setup: ShardSetup, setup_args: tuple,
                         delta=delta)
 
 
-def shard_worker(worker_id: int, setup: ShardSetup, setup_args: tuple,
-                 engine_config: EngineConfig, task_queue, result_queue,
-                 steal_flag) -> None:
-    """Worker process main loop (one per shard).
+def worker_loop(session, get_task: Callable, put_message: Callable,
+                steal_flag) -> None:
+    """Transport-agnostic worker main loop (one per shard).
 
-    Blocks on ``task_queue`` for prefix assignments, explores each to
-    exhaustion (donating through ``steal_flag``/``result_queue`` when
-    asked) and ships a :class:`ShardOutcome` per assignment. ``None``
-    shuts the worker down. Any exception is reported as an
-    :data:`MSG_ERROR` message instead of dying silently.
+    The shared heart of both transports: ``get_task()`` blocks for the
+    next prefix assignment (None shuts the loop down), ``put_message``
+    ships ``(kind, payload)`` messages back to the coordinator, and
+    ``steal_flag`` is any object with ``is_set``/``clear`` — a
+    ``multiprocessing.Event`` for local workers, a ``threading.Event``
+    fed by the socket reader for TCP workers. The engine (and with it
+    the warm canonical cache and frame stack) persists across
+    assignments; the coordinator's cache snapshot, when shipped, is
+    absorbed once before the first assignment. Any exception is reported
+    as an :data:`MSG_ERROR` message instead of dying silently.
+
+    Args:
+        session: a :class:`~repro.explore.transport.WorkerSession`.
     """
     try:
-        engine = Engine(engine_config)
+        engine = Engine(session.engine_config)
+        if session.cache_snapshot is not None:
+            engine.query_cache.absorb(session.cache_snapshot)
         control = StealControl(
-            steal_flag,
-            lambda share: result_queue.put((MSG_DONATE, worker_id, share)))
+            steal_flag, lambda share: put_message(MSG_DONATE, share))
         while True:
-            assignment = task_queue.get()
+            assignment = get_task()
             if assignment is None:
                 return
-            outcome = run_assignment(engine, setup, setup_args, assignment,
-                                     control)
-            result_queue.put((MSG_DONE, worker_id, outcome))
+            # A steal request that raced a previous DONE must not leak
+            # into this assignment.
+            steal_flag.clear()
+            outcome = run_assignment(engine, session.setup,
+                                     session.setup_args, assignment, control)
+            put_message(MSG_DONE, outcome)
     except Exception:  # pragma: no cover - exercised via scheduler tests
-        result_queue.put((MSG_ERROR, worker_id, traceback.format_exc()))
+        put_message(MSG_ERROR, traceback.format_exc())
+
+
+def shard_worker(worker_id: int, session, task_queue, result_queue,
+                 steal_flag) -> None:
+    """``multiprocessing`` entry point: :func:`worker_loop` over queues."""
+    worker_loop(
+        session,
+        get_task=task_queue.get,
+        put_message=lambda kind, payload: result_queue.put(
+            (kind, worker_id, payload)),
+        steal_flag=steal_flag)

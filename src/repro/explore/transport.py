@@ -1,0 +1,243 @@
+"""The coordinator↔worker transport abstraction for sharded exploration.
+
+The shard protocol was deliberately transport-shaped from the start: the
+coordinator assigns decision-prefix lists, raises steal flags, and folds
+back ``ShardOutcome``/donation/error messages — nothing in it requires
+the workers to live on the same host. :class:`Transport` names that
+protocol as an interface; two interchangeable implementations ship:
+
+* :class:`LocalTransport` — worker processes on this machine, driven
+  over ``multiprocessing`` queues and ``Event`` steal flags. The default
+  and exactly the pre-transport behaviour.
+* :class:`~repro.explore.tcp.TcpTransport` — workers are
+  ``python -m repro worker`` daemons on arbitrary hosts, driven over
+  length-prefixed pickled frames on TCP sockets.
+
+The scheduler (:mod:`repro.explore.scheduler`) is written purely against
+this interface, so findings are byte-identical on either transport: the
+deterministic canonical-order merge never sees which wire carried an
+outcome. Parity is pinned by ``tests/explore/test_transport_parity.py``.
+
+Message flow, coordinator side:
+
+1. :meth:`Transport.start` launches/connects ``count`` workers and hands
+   each one the :class:`WorkerSession` (setup callable, engine config,
+   and the read-only :class:`~repro.solver.cache.QueryCache` snapshot).
+2. :meth:`Transport.assign` ships a prefix list to one worker;
+   :meth:`Transport.request_steal` raises its steal flag.
+3. :meth:`Transport.recv` polls for the next ``(kind, wid, payload)``
+   message (``MSG_DONE``/``MSG_DONATE``/``MSG_ERROR``), returning None
+   on timeout so the scheduler can run its liveness checks via
+   :meth:`Transport.alive`.
+4. :meth:`Transport.stop` shuts every worker down (idempotent).
+
+Failure semantics are uniform: a worker that raises reports
+``MSG_ERROR`` with its traceback; a worker that dies silently (SIGKILL,
+lost host) is detected by ``alive()`` going False while the worker still
+holds an assignment, and the scheduler fails loudly naming the lost
+assignment. See the ROADMAP architecture note (layer 6) for when to use
+which transport.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import SymexError
+from repro.explore.shard import Prefix, ShardSetup, shard_worker
+from repro.symex.engine import EngineConfig
+
+
+@dataclass
+class WorkerSession:
+    """Everything a worker needs to serve one sharded run.
+
+    This is the session-init payload both transports hand to every
+    worker before the first assignment; all of it must be picklable
+    (the TCP transport literally puts it on the wire).
+
+    Attributes:
+        setup: module-level ``setup(engine, *args) -> (program, observer)``
+            callable, rebuilt per assignment inside the worker.
+        setup_args: picklable arguments for ``setup``.
+        engine_config: exploration limits for the worker's private engine.
+        cache_snapshot: read-only snapshot of the coordinator's canonical
+            query cache (:meth:`repro.solver.cache.QueryCache.snapshot`),
+            absorbed into the worker's cache at session start so shard
+            workers do not re-solve what phase 1 and the seed phase
+            already answered. None ships no warm-up.
+    """
+
+    setup: ShardSetup
+    setup_args: tuple = ()
+    engine_config: EngineConfig = field(default_factory=EngineConfig)
+    cache_snapshot: dict | None = None
+
+
+class Transport:
+    """Coordinator-side interface over one fleet of shard workers.
+
+    Implementations own the full worker lifecycle: :meth:`start` brings
+    the fleet up (or connects to it), the messaging methods carry the
+    shard protocol, and :meth:`stop` tears it down. All methods are
+    called from the coordinator thread only.
+    """
+
+    #: Number of workers this transport was started with.
+    worker_count: int = 0
+
+    def start(self, count: int, session: WorkerSession) -> None:
+        """Bring up ``count`` workers, each initialized with ``session``."""
+        raise NotImplementedError
+
+    def assign(self, wid: int, prefixes: list[Prefix]) -> None:
+        """Ship an assignment; raises :class:`SymexError` if the worker
+        is unreachable (the assignment would otherwise be silently lost)."""
+        raise NotImplementedError
+
+    def request_steal(self, wid: int) -> None:
+        """Raise ``wid``'s steal flag (best effort on a dying worker)."""
+        raise NotImplementedError
+
+    def acknowledge_done(self, wid: int) -> None:
+        """Called when ``wid`` reports done: clear any stale steal state."""
+        raise NotImplementedError
+
+    def recv(self, timeout: float) -> tuple[str, int, object] | None:
+        """Next ``(kind, wid, payload)`` message, or None on timeout."""
+        raise NotImplementedError
+
+    def alive(self, wid: int) -> bool:
+        """True while the worker can still deliver messages."""
+        raise NotImplementedError
+
+    def describe(self, wid: int) -> str:
+        """Human-readable worker identity for error messages."""
+        return f"worker {wid}"
+
+    def stop(self) -> None:
+        """Shut every worker down; idempotent, never raises."""
+        raise NotImplementedError
+
+
+class LocalTransport(Transport):
+    """Shard workers as local ``multiprocessing`` processes.
+
+    The default transport, preserving the original scheduler plumbing
+    verbatim: one task queue and one steal ``Event`` per worker, one
+    shared result queue back, daemon processes joined (and terminated as
+    a hang safety net) on :meth:`stop`.
+    """
+
+    #: Grace given to workers to drain their queues at shutdown (seconds).
+    SHUTDOWN_GRACE = 10.0
+
+    def __init__(self):
+        self._workers: list = []
+        self._task_queues: list = []
+        self._steal_flags: list = []
+        self._result_queue = None
+
+    def start(self, count: int, session: WorkerSession) -> None:
+        import multiprocessing
+
+        # Same policy as the solver service: fork inherits the interned
+        # AST arena copy-on-write; spawn re-interns on unpickle.
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        self.worker_count = count
+        self._result_queue = ctx.Queue()
+        self._task_queues = [ctx.Queue() for _ in range(count)]
+        self._steal_flags = [ctx.Event() for _ in range(count)]
+        self._workers = [
+            ctx.Process(
+                target=shard_worker,
+                args=(wid, session, self._task_queues[wid],
+                      self._result_queue, self._steal_flags[wid]),
+                daemon=True)
+            for wid in range(count)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    def assign(self, wid: int, prefixes: list[Prefix]) -> None:
+        self._task_queues[wid].put(prefixes)
+
+    def request_steal(self, wid: int) -> None:
+        self._steal_flags[wid].set()
+
+    def acknowledge_done(self, wid: int) -> None:
+        # An unanswered steal request must not leak into the worker's
+        # next assignment (the worker also clears defensively on its
+        # side at assignment start).
+        self._steal_flags[wid].clear()
+
+    def recv(self, timeout: float) -> tuple[str, int, object] | None:
+        try:
+            return self._result_queue.get(timeout=timeout)
+        except queue_module.Empty:
+            return None
+
+    def alive(self, wid: int) -> bool:
+        return self._workers[wid].is_alive()
+
+    def describe(self, wid: int) -> str:
+        pid = self._workers[wid].pid
+        return f"local worker {wid} (pid {pid})"
+
+    def stop(self) -> None:
+        for task_queue in self._task_queues:
+            try:
+                task_queue.put(None)
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        deadline = time.monotonic() + self.SHUTDOWN_GRACE
+        for worker in self._workers:
+            worker.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.is_alive():  # pragma: no cover - hang safety net
+                worker.terminate()
+                worker.join()
+        self._workers = []
+        self._task_queues = []
+        self._steal_flags = []
+        self._result_queue = None
+
+
+def resolve_transport(transport, hosts=()) -> Transport:
+    """Build the transport a caller asked for.
+
+    Args:
+        transport: a ready :class:`Transport` instance (used as-is), the
+            string ``"local"`` / ``"tcp"``, or None (meaning ``"tcp"``
+            when ``hosts`` are given, ``"local"`` otherwise).
+        hosts: ``"host:port"`` strings of running ``repro worker``
+            daemons, required for (and only meaningful with) ``"tcp"``.
+
+    Raises:
+        SymexError: unknown transport name, ``"tcp"`` without hosts, or
+            hosts given with an explicitly local transport.
+    """
+    if isinstance(transport, Transport):
+        return transport
+    if transport is None:
+        transport = "tcp" if hosts else "local"
+    if transport == "local":
+        if hosts:
+            raise SymexError(
+                "transport='local' does not take hosts; pass "
+                "transport='tcp' to use them")
+        return LocalTransport()
+    if transport == "tcp":
+        if not hosts:
+            raise SymexError(
+                "transport='tcp' needs at least one 'host:port' of a "
+                "running `python -m repro worker` daemon")
+        from repro.explore.tcp import TcpTransport
+
+        return TcpTransport(hosts)
+    raise SymexError(
+        f"unknown transport {transport!r}: expected 'local', 'tcp', or a "
+        "Transport instance")

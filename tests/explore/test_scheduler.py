@@ -121,11 +121,16 @@ class TestSchedulerValidation:
 
     def test_killed_worker_detected_instead_of_hanging(self):
         """A SIGKILLed worker can't send MSG_ERROR; the coordinator's
-        liveness check must surface it rather than poll forever."""
+        liveness check must surface it rather than poll forever — and the
+        error must name who died and the assignment that died with it."""
         scheduler = ShardScheduler(dying_setup, (os.getpid(),), shards=2,
                                    seed_factor=1)
-        with pytest.raises(SymexError, match="died"):
+        with pytest.raises(SymexError) as excinfo:
             scheduler.run()
+        message = str(excinfo.value)
+        assert "died without reporting a result" in message
+        assert "local worker" in message          # who
+        assert "prefix(es)" in message            # what it was holding
 
     def test_non_delta_observer_rejected(self):
         scheduler = ShardScheduler(plain_observer_setup, (), shards=2)

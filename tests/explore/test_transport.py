@@ -1,0 +1,278 @@
+"""Unit tests for the transport layer: frame codec, resolution, snapshots.
+
+The end-to-end socket behaviour (parity with the local transport, worker
+death, remote tracebacks) lives in
+``tests/integration/test_transport_parity.py``; this file covers the
+pieces in isolation.
+"""
+
+import pickle
+import socket
+import threading
+
+import pytest
+
+from repro.errors import SymexError
+from repro.explore import LocalTransport, Transport, resolve_transport
+from repro.explore.tcp import (
+    MSG_HELLO,
+    PROTOCOL_VERSION,
+    FrameReader,
+    TcpTransport,
+    parse_hostport,
+    send_frame,
+)
+from repro.solver.ast import bv_const, bv_var, ult
+from repro.solver.cache import QueryCache
+from repro.symex.engine import EngineConfig
+
+
+def _socketpair():
+    left, right = socket.socketpair()
+    left.settimeout(5.0)
+    right.settimeout(5.0)
+    return left, right
+
+
+class TestFrameCodec:
+    def test_round_trip_one_frame(self):
+        left, right = _socketpair()
+        with left, right:
+            send_frame(left, "task", [(True, False), (False,)])
+            reader = FrameReader(right)
+            while not reader.pending():
+                assert reader.feed()
+            assert reader.next_frame() == ("task", [(True, False), (False,)])
+
+    def test_multiple_frames_in_one_read(self):
+        """One recv can deliver several frames; pending() must surface
+        each of them without another socket read."""
+        left, right = _socketpair()
+        with left, right:
+            for i in range(3):
+                send_frame(left, "task", i)
+            left.shutdown(socket.SHUT_WR)
+            reader = FrameReader(right)
+            got = []
+            while True:
+                if reader.pending():
+                    got.append(reader.next_frame())
+                    continue
+                if not reader.feed():
+                    break
+            assert got == [("task", 0), ("task", 1), ("task", 2)]
+
+    def test_expressions_survive_the_wire(self):
+        """Hash-consed expressions re-intern on unpickle: a frame-carried
+        constraint is identical (is-comparable) to the local build."""
+        left, right = _socketpair()
+        constraint = ult(bv_var("msg_0", 8), bv_const(42, 8))
+        with left, right:
+            send_frame(left, "done", (constraint,))
+            reader = FrameReader(right)
+            while not reader.pending():
+                assert reader.feed()
+            _, (received,) = reader.next_frame()
+            assert received is constraint
+
+    def test_oversized_frame_rejected(self):
+        left, right = _socketpair()
+        with left, right:
+            left.sendall((1 << 30).to_bytes(4, "big"))
+            reader = FrameReader(right)
+            reader.feed()
+            with pytest.raises(SymexError, match="oversized frame"):
+                reader.pending()
+
+    def test_recv_blocking_times_out_loudly(self):
+        left, right = _socketpair()
+        with left, right:
+            reader = FrameReader(right)
+            with pytest.raises(SymexError, match="timed out"):
+                reader.recv_blocking(timeout=0.05)
+
+    def test_recv_blocking_returns_none_on_eof(self):
+        left, right = _socketpair()
+        with right:
+            left.close()
+            reader = FrameReader(right)
+            assert reader.recv_blocking(timeout=1.0) is None
+
+
+class TestParseHostport:
+    def test_parses_host_and_port(self):
+        assert parse_hostport("10.0.0.7:9100") == ("10.0.0.7", 9100)
+
+    def test_rejects_missing_port(self):
+        with pytest.raises(SymexError, match="expected 'host:port'"):
+            parse_hostport("justahost")
+
+    def test_rejects_non_integer_port(self):
+        with pytest.raises(SymexError, match="not an integer"):
+            parse_hostport("host:ninety")
+
+    def test_rejects_empty_host(self):
+        with pytest.raises(SymexError, match="expected 'host:port'"):
+            parse_hostport(":9100")
+
+
+class TestResolveTransport:
+    def test_default_is_local(self):
+        assert isinstance(resolve_transport(None), LocalTransport)
+        assert isinstance(resolve_transport("local"), LocalTransport)
+
+    def test_hosts_imply_tcp(self):
+        transport = resolve_transport(None, ("127.0.0.1:9100",))
+        assert isinstance(transport, TcpTransport)
+
+    def test_instance_passes_through(self):
+        instance = LocalTransport()
+        assert resolve_transport(instance) is instance
+
+    def test_tcp_without_hosts_rejected(self):
+        with pytest.raises(SymexError, match="needs at least one"):
+            resolve_transport("tcp")
+
+    def test_local_with_hosts_rejected(self):
+        with pytest.raises(SymexError, match="does not take hosts"):
+            resolve_transport("local", ("127.0.0.1:9100",))
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SymexError, match="unknown transport"):
+            resolve_transport("carrier-pigeon")
+
+
+class TestTcpConnectFailure:
+    def test_unreachable_host_fails_with_guidance(self):
+        # A bound-but-never-accepting port is indistinguishable from a
+        # dead daemon; grab a fresh port and close it so connect fails.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        transport = TcpTransport([f"127.0.0.1:{port}"],
+                                 connect_timeout=0.3, retry_interval=0.05)
+        from repro.explore.transport import WorkerSession
+
+        with pytest.raises(SymexError, match="repro worker --listen"):
+            transport.start(1, WorkerSession(setup=None))
+
+    def test_non_worker_endpoint_rejected_at_handshake(self):
+        """Connecting to something that is not a repro worker must fail
+        at the hello, not deep inside an unpickle."""
+        server = socket.create_server(("127.0.0.1", 0))
+        port = server.getsockname()[1]
+
+        def bogus_peer():
+            conn, _ = server.accept()
+            with conn:
+                send_frame(conn, "greetings", 99)
+
+        thread = threading.Thread(target=bogus_peer, daemon=True)
+        thread.start()
+        transport = TcpTransport([f"127.0.0.1:{port}"], connect_timeout=2.0)
+        from repro.explore.transport import WorkerSession
+
+        with server:
+            with pytest.raises(SymexError, match="not a compatible"):
+                transport.start(1, WorkerSession(setup=None))
+        thread.join(timeout=5.0)
+
+    def test_hello_frame_shape(self):
+        assert pickle.loads(pickle.dumps((MSG_HELLO, PROTOCOL_VERSION))) \
+            == (MSG_HELLO, PROTOCOL_VERSION)
+
+
+class TestCacheSnapshot:
+    def _key(self, cache, byte):
+        return cache.key((ult(bv_var("m_0", 8), bv_const(byte, 8)),))
+
+    def test_snapshot_ships_feasibility_only(self):
+        cache = QueryCache()
+        key = self._key(cache, 10)
+        cache.put_feasible(key, True)
+        model_key = self._key(cache, 20)
+        cache.put_model(model_key, {bv_var("m_0", 8): 5})
+        snapshot = cache.snapshot()
+        # put_model implies feasibility, so both keys appear — but only
+        # as booleans; the model itself must not travel.
+        assert snapshot == {key: True, model_key: True}
+
+    def test_absorb_preloads_and_counts_new_entries(self):
+        source, target = QueryCache(), QueryCache()
+        key = self._key(source, 33)
+        source.put_feasible(key, False)
+        assert target.absorb(source.snapshot()) == 1
+        assert target.absorb(source.snapshot()) == 0  # idempotent
+        # The absorbed answer is served as an ordinary hit.
+        assert target.get_feasible(key) is False
+        assert target.stats.hits == 1
+        assert target.stats.misses == 0
+
+    def test_absorb_never_overwrites_local_entries(self):
+        local, remote = QueryCache(), QueryCache()
+        key = self._key(local, 7)
+        local.put_feasible(key, True)
+        remote_snapshot = {key: False}  # cannot happen in practice
+        local.absorb(remote_snapshot)
+        assert local.get_feasible(key) is True
+
+    def test_absorb_does_not_touch_counters(self):
+        cache = QueryCache()
+        cache.absorb({self._key(cache, 3): True})
+        assert cache.stats.queries == 0
+
+    def test_snapshot_survives_pickling(self):
+        cache = QueryCache()
+        key = self._key(cache, 99)
+        cache.put_feasible(key, True)
+        revived = pickle.loads(pickle.dumps(cache.snapshot()))
+        other = QueryCache()
+        assert other.absorb(revived) == 1
+        assert other.get_feasible(self._key(other, 99)) is True
+
+
+class TestTransportInterface:
+    def test_base_class_is_abstract_enough(self):
+        transport = Transport()
+        with pytest.raises(NotImplementedError):
+            transport.start(1, None)
+        with pytest.raises(NotImplementedError):
+            transport.recv(0.1)
+        assert transport.describe(3) == "worker 3"
+
+
+def tiny_setup(engine):
+    def program(ctx):
+        ctx.branch(ctx.fresh_bool("b"))
+    return program, None
+
+
+class TestLocalTransportLifecycle:
+    def test_start_assign_recv_stop(self):
+        from repro.explore import WorkerSession
+        from repro.explore.shard import MSG_DONE
+
+        transport = LocalTransport()
+        transport.start(1, WorkerSession(setup=tiny_setup,
+                                         engine_config=EngineConfig()))
+        try:
+            assert transport.alive(0)
+            assert "local worker 0" in transport.describe(0)
+            transport.assign(0, [()])
+            message = None
+            for _ in range(500):
+                message = transport.recv(0.05)
+                if message is not None:
+                    break
+            assert message is not None
+            kind, wid, outcome = message
+            assert (kind, wid) == (MSG_DONE, 0)
+            assert len(outcome.paths) == 2
+        finally:
+            transport.stop()
+
+    def test_stop_is_idempotent(self):
+        transport = LocalTransport()
+        transport.stop()
+        transport.stop()

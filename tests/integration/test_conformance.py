@@ -12,8 +12,10 @@ same answer (and a genuinely satisfying model) for
 * ``IncrementalSolver`` at every push depth, including after pops,
 * ``QueryCache``-fronted ``Engine.is_feasible`` calls (miss, replay hit,
   and the canonically-equal reordered variant),
-* ``SolverService.check_batch`` / ``probe_batch`` on the serial backend
-  and on a worker pool.
+* ``SolverService.check_batch`` / ``probe_batch`` /
+  ``iter_models_batch`` on the serial backend and on a worker pool,
+* the async ``submit_*`` twins of each batch surface, which must agree
+  with their blocking counterparts element for element.
 
 The hypothesis profile is derandomized (fixed seed) with the deadline
 disabled, so the suite is reproducible on 1-core CI runners; CI runs it
@@ -189,6 +191,80 @@ def test_worker_pool_agrees_with_scratch():
     for query, result in zip(queries, results):
         if result.is_sat:
             assert all_hold(query, dict(result.model))
+
+
+def _model_battery():
+    """Fixed ``(constraints, variables)`` enumeration spaces.
+
+    Kept deliberately narrow (single-byte fields, tight bounds) so model
+    counts stay small; one unsat space pins the empty-list answer.
+    """
+    layout = MessageLayout("conf", [Field("f0", 1), Field("f1", 1)])
+    wire = message_vars(layout, "conf_msg")
+    f0 = field_expr(wire, layout.view("f0"))
+    f1 = field_expr(wire, layout.view("f1"))
+    specs = []
+    for bound in (1, 3, 6):
+        specs.append(((ast.ult(f0, bv_const(bound, 8)),), (f0,)))
+        specs.append(((ast.ult(f0, bv_const(bound, 8)),
+                       ast.eq(f1, bv_const(7, 8))), (f0, f1)))
+    specs.append(((ast.eq(f0, bv_const(9, 8)),
+                   ast.ult(f0, bv_const(2, 8))), (f0,)))  # unsat: no models
+    return specs
+
+
+def test_iter_models_batch_agrees_with_direct_enumeration():
+    """The batched enumeration surface folds into the N-way oracle: the
+    serial service and a worker pool must both reproduce the direct
+    ``iter_models`` answer, order included (chunking-invariance)."""
+    from repro.solver.enumerate import iter_models
+
+    specs = _model_battery()
+    reference = [list(iter_models(constraints, variables))
+                 for constraints, variables in specs]
+    assert any(reference) and [] in reference  # sat and unsat both present
+    with SolverService(workers=1) as serial:
+        assert serial.iter_models_batch(specs) == reference
+    with SolverService(workers=2) as pooled:
+        assert pooled.iter_models_batch(specs) == reference
+
+
+def test_async_submissions_agree_with_blocking_calls():
+    """submit_check/probe/iter_models must return exactly what their
+    blocking twins return — on the pooled backend, where the answers
+    genuinely travel through worker processes."""
+    queries = _battery()
+    prefix = queries[0][:1]
+    probes = [query[1:] for query in queries]
+    model_specs = _model_battery()
+    with SolverService(workers=2) as service:
+        blocking_checks = service.check_batch(queries)
+        blocking_probes = service.probe_batch(prefix, probes)
+        blocking_models = service.iter_models_batch(model_specs)
+        # Submit all three before collecting any: results must land by
+        # submission identity, not completion order.
+        check_future = service.submit_check_batch(queries)
+        probe_future = service.submit_probe_batch(prefix, probes)
+        models_future = service.submit_iter_models_batch(model_specs)
+        async_checks = check_future.result()
+        assert probe_future.result() == blocking_probes
+        assert models_future.result() == blocking_models
+    assert [r.is_sat for r in async_checks] == \
+        [r.is_sat for r in blocking_checks]
+    assert [r.model for r in async_checks] == \
+        [r.model for r in blocking_checks]
+
+
+def test_async_submissions_serial_fallback_agrees():
+    """The serial service completes submissions eagerly; the contract
+    (same answers as blocking) must hold there too."""
+    queries = _battery()[:6]
+    model_specs = _model_battery()
+    with SolverService(workers=1) as service:
+        assert [r.is_sat for r in service.submit_check_batch(queries).result()] \
+            == [r.is_sat for r in service.check_batch(queries)]
+        assert service.submit_iter_models_batch(model_specs).result() \
+            == service.iter_models_batch(model_specs)
 
 
 def test_all_layers_one_oracle():
