@@ -51,11 +51,13 @@ def _spawn_daemons(count: int):
     return daemons, tuple(hosts)
 
 
-def _run_fsp(shards: int, transport: str = "local", hosts=()):
+def _run_fsp(shards: int, transport="local", hosts=(),
+             on_worker_loss: str = "fail"):
     commands = dict(itertools.islice(fsp.COMMANDS.items(), 4))
     config = AchillesConfig(layout=fsp.FSP_LAYOUT, mask=FSP_SESSION_MASK,
                             shards=shards, transport=transport,
-                            hosts=tuple(hosts))
+                            hosts=tuple(hosts),
+                            on_worker_loss=on_worker_loss)
     with Achilles(config) as achilles:
         predicates = achilles.extract_clients(fsp.literal_clients(commands))
         started = time.perf_counter()
@@ -155,4 +157,80 @@ def test_cache_snapshot_cuts_duplicate_queries(benchmark, json_artifact):
         "worker_queries_with_snapshot": warm_queries,
         "reduction_factor": round(cold_queries / max(1, warm_queries), 4),
         "cache_entries_shipped": warm.cache_entries_shipped,
+    })
+
+
+def test_recovery_overhead(benchmark, artifact, json_artifact):
+    """What a mid-run worker loss costs under ``on_worker_loss="recover"``.
+
+    The same FSP run three ways — fault-free, one worker killed before
+    its first result (plus one refused respawn, exercising the retry
+    budget), and the same fault plan over TCP daemons. Findings must be
+    byte-identical in every configuration (the robustness criterion);
+    the JSON records the recovery wall clock the faults cost.
+    """
+    from repro.explore import (FaultPlan, FaultyTransport, KillWorker,
+                               LocalTransport, RefuseRespawn)
+    from repro.explore.tcp import TcpTransport
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def chaos_plan():
+        return FaultPlan(KillWorker(0, after_results=0),
+                         RefuseRespawn(0, times=1))
+
+    baseline_report, baseline_seconds = _run_fsp(1)
+    clean_report, clean_seconds = _run_fsp(2, on_worker_loss="recover")
+
+    local_faulty = FaultyTransport(LocalTransport(), chaos_plan())
+    local_report, local_seconds = _run_fsp(2, transport=local_faulty,
+                                           on_worker_loss="recover")
+
+    daemons, hosts = _spawn_daemons(2)
+    try:
+        tcp_faulty = FaultyTransport(TcpTransport(hosts), chaos_plan())
+        tcp_report, tcp_seconds = _run_fsp(2, transport=tcp_faulty,
+                                           on_worker_loss="recover")
+    finally:
+        for daemon in daemons:
+            daemon.terminate()
+        for daemon in daemons:
+            daemon.wait(timeout=10)
+
+    # Byte-identical findings with and without injected faults.
+    assert clean_report.witnesses() == baseline_report.witnesses()
+    assert local_report.witnesses() == baseline_report.witnesses()
+    assert tcp_report.witnesses() == baseline_report.witnesses()
+    # The faults must actually have fired, and been accounted for.
+    assert local_faulty.injected_kills == 1
+    assert tcp_faulty.injected_kills == 1
+    assert local_report.worker_failures == 1
+    assert tcp_report.worker_failures == 1
+    assert clean_report.worker_failures == 0
+
+    rows = [
+        ["fault-free (shards=2, local)", f"{clean_seconds:.2f}s", "-", "-"],
+        ["1 kill + 1 refused respawn (local)", f"{local_seconds:.2f}s",
+         f"{local_report.prefixes_reassigned}",
+         f"{local_report.recovery_seconds:.3f}s"],
+        ["1 kill + 1 refused respawn (tcp)", f"{tcp_seconds:.2f}s",
+         f"{tcp_report.prefixes_reassigned}",
+         f"{tcp_report.recovery_seconds:.3f}s"],
+    ]
+    artifact("recovery_overhead", format_table(
+        ["Configuration", "Server search", "Prefixes moved", "Recovery"],
+        rows, title="Worker-loss recovery overhead, FSP 4-utility subset"))
+    json_artifact("recovery", {
+        "workload": "FSP 4-utility subset, shards=2, "
+                    "KillWorker(0)+RefuseRespawn(0)",
+        "serial_seconds": round(baseline_seconds, 4),
+        "fault_free_seconds": round(clean_seconds, 4),
+        "local_faulted_seconds": round(local_seconds, 4),
+        "tcp_faulted_seconds": round(tcp_seconds, 4),
+        "local_recovery_seconds": round(local_report.recovery_seconds, 4),
+        "tcp_recovery_seconds": round(tcp_report.recovery_seconds, 4),
+        "local_prefixes_reassigned": local_report.prefixes_reassigned,
+        "tcp_prefixes_reassigned": tcp_report.prefixes_reassigned,
+        "worker_failures": local_report.worker_failures,
+        "parity": True,
     })

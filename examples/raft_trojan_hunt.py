@@ -50,6 +50,11 @@ def main() -> None:
                              "runs the shards over TCP instead of local "
                              "processes (start each daemon with "
                              "`python -m repro worker --listen HOST:PORT`)")
+    parser.add_argument("--on-worker-loss", choices=["fail", "recover"],
+                        default="fail",
+                        help="recover reassigns a dead worker's prefixes "
+                             "instead of aborting the run; findings are "
+                             "byte-identical either way")
     args = parser.parse_args()
     hosts = tuple(h.strip() for h in (args.hosts or "").split(",") if h.strip())
     transport = "tcp" if hosts else "local"
@@ -59,7 +64,8 @@ def main() -> None:
     outcome = run_raft_accuracy(workers=args.workers, shards=args.shards,
                                 search_order=args.search_order,
                                 max_paths=args.max_paths,
-                                transport=transport, hosts=hosts)
+                                transport=transport, hosts=hosts,
+                                on_worker_loss=args.on_worker_loss)
     report = outcome.report
 
     print(format_table(

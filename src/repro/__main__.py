@@ -20,7 +20,10 @@ Multi-host analysis: start a ``worker`` daemon on each host, then point
 any experiment at them with ``--transport tcp --hosts
 hostA:9100,hostB:9100``. The coordinator connects one shard session per
 ``--shards`` slot, round-robin over the hosts, and the deterministic
-merge keeps findings byte-identical to the local run.
+merge keeps findings byte-identical to the local run. With
+``--on-worker-loss recover`` a killed daemon session (or local worker)
+no longer aborts the run: its prefixes are reassigned and the findings
+stay byte-identical.
 """
 
 from __future__ import annotations
@@ -34,7 +37,8 @@ from repro.bench.tables import format_table
 def _run_toy(workers: int = 1, shards: int = 1,
              search_order: str | None = None,
              max_paths: int | None = None,
-             transport: str = "local", hosts: tuple = ()) -> int:
+             transport: str = "local", hosts: tuple = (),
+             on_worker_loss: str = "fail") -> int:
     from repro.achilles import Achilles, AchillesConfig
     from repro.bench.experiments import make_engine_config
     from repro.systems.toy import TOY_LAYOUT, toy_client, toy_server
@@ -47,7 +51,8 @@ def _run_toy(workers: int = 1, shards: int = 1,
                                  workers=workers,
                                  shards=shards,
                                  transport=transport,
-                                 hosts=tuple(hosts))) as achilles:
+                                 hosts=tuple(hosts),
+                                 on_worker_loss=on_worker_loss)) as achilles:
         predicates = achilles.extract_clients({"toy": toy_client})
         report = achilles.search(toy_server, predicates)
     rows = [[f.server_path_id, f.witness.hex(),
@@ -61,13 +66,15 @@ def _run_toy(workers: int = 1, shards: int = 1,
 def _run_fsp(workers: int = 1, shards: int = 1,
              search_order: str | None = None,
              max_paths: int | None = None,
-             transport: str = "local", hosts: tuple = ()) -> int:
+             transport: str = "local", hosts: tuple = (),
+             on_worker_loss: str = "fail") -> int:
     from repro.bench.experiments import run_fsp_accuracy
 
     outcome = run_fsp_accuracy(workers=workers, shards=shards,
                                search_order=search_order,
                                max_paths=max_paths,
-                               transport=transport, hosts=hosts)
+                               transport=transport, hosts=hosts,
+                               on_worker_loss=on_worker_loss)
     print(format_table(
         ["metric", "paper", "here"],
         [["true positives", 80, outcome.true_positives],
@@ -82,13 +89,15 @@ def _run_fsp(workers: int = 1, shards: int = 1,
 def _run_fsp_wildcard(workers: int = 1, shards: int = 1,
                       search_order: str | None = None,
                       max_paths: int | None = None,
-                      transport: str = "local", hosts: tuple = ()) -> int:
+                      transport: str = "local", hosts: tuple = (),
+                      on_worker_loss: str = "fail") -> int:
     from repro.bench.experiments import run_fsp_wildcard
     from repro.systems.fsp import FSP_LAYOUT
 
     report = run_fsp_wildcard(workers=workers, shards=shards,
                               search_order=search_order, max_paths=max_paths,
-                              transport=transport, hosts=hosts)
+                              transport=transport, hosts=hosts,
+                              on_worker_loss=on_worker_loss)
     buf = FSP_LAYOUT.view("buf")
     wildcard = [w for w in report.witnesses()
                 if any(b in (42, 63) for b in w[buf.offset:buf.end])]
@@ -103,12 +112,14 @@ def _run_fsp_wildcard(workers: int = 1, shards: int = 1,
 def _run_pbft(workers: int = 1, shards: int = 1,
               search_order: str | None = None,
               max_paths: int | None = None,
-              transport: str = "local", hosts: tuple = ()) -> int:
+              transport: str = "local", hosts: tuple = (),
+              on_worker_loss: str = "fail") -> int:
     from repro.bench.experiments import run_pbft_impact
 
     outcome = run_pbft_impact(workers=workers, shards=shards,
                               search_order=search_order, max_paths=max_paths,
-                              transport=transport, hosts=hosts)
+                              transport=transport, hosts=hosts,
+                              on_worker_loss=on_worker_loss)
     print(f"findings: {outcome.report.trojan_count} "
           f"(MAC != {outcome.mac_stub.hex()}) in "
           f"{outcome.report.timings.total:.2f}s")
@@ -136,14 +147,16 @@ def _accuracy_table(title: str, outcome, classes_total: int) -> None:
 def _run_raft(workers: int = 1, shards: int = 1,
               search_order: str | None = None,
               max_paths: int | None = None,
-              transport: str = "local", hosts: tuple = ()) -> int:
+              transport: str = "local", hosts: tuple = (),
+              on_worker_loss: str = "fail") -> int:
     from repro.bench.experiments import run_raft_accuracy
     from repro.systems.raft import all_trojan_classes, classify_message
 
     outcome = run_raft_accuracy(workers=workers, shards=shards,
                                 search_order=search_order,
                                 max_paths=max_paths,
-                                transport=transport, hosts=hosts)
+                                transport=transport, hosts=hosts,
+                                on_worker_loss=on_worker_loss)
     _accuracy_table("Raft follower ingress vs seeded ground truth",
                     outcome, len(all_trojan_classes()))
     for finding in outcome.report.findings:
@@ -155,14 +168,16 @@ def _run_raft(workers: int = 1, shards: int = 1,
 def _run_tpc(workers: int = 1, shards: int = 1,
              search_order: str | None = None,
              max_paths: int | None = None,
-             transport: str = "local", hosts: tuple = ()) -> int:
+             transport: str = "local", hosts: tuple = (),
+             on_worker_loss: str = "fail") -> int:
     from repro.bench.experiments import run_tpc_accuracy
     from repro.systems.tpc import all_trojan_classes, classify_message
 
     outcome = run_tpc_accuracy(workers=workers, shards=shards,
                                search_order=search_order,
                                max_paths=max_paths,
-                               transport=transport, hosts=hosts)
+                               transport=transport, hosts=hosts,
+                               on_worker_loss=on_worker_loss)
     _accuracy_table("Two-phase-commit participant vs seeded ground truth",
                     outcome, len(all_trojan_classes()))
     for finding in outcome.report.findings:
@@ -235,6 +250,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--hosts", default="", metavar="HOST:PORT[,...]",
                         help="comma-separated worker daemon addresses for "
                              "--transport tcp; shards round-robin over them")
+    parser.add_argument("--on-worker-loss", choices=["fail", "recover"],
+                        default="fail",
+                        help="policy when a shard worker dies silently "
+                             "mid-run (default: fail loudly naming the "
+                             "lost assignment; recover reassigns it to a "
+                             "respawned or surviving worker — findings "
+                             "are identical either way)")
     parser.add_argument("--search-order", choices=["dfs", "bfs"],
                         default=None,
                         help="exploration worklist order (default: the "
@@ -253,7 +275,8 @@ def main(argv: list[str] | None = None) -> int:
     runner, _ = _EXPERIMENTS[args.experiment]
     return runner(workers=args.workers, shards=args.shards,
                   search_order=args.search_order, max_paths=args.max_paths,
-                  transport=args.transport, hosts=hosts)
+                  transport=args.transport, hosts=hosts,
+                  on_worker_loss=args.on_worker_loss)
 
 
 if __name__ == "__main__":

@@ -98,7 +98,21 @@ class AchillesConfig:
             on either transport.
         hosts: ``"host:port"`` addresses of running ``repro worker``
             daemons, one shard session per address round-robin (so 4
-            shards against 2 hosts run 2 sessions on each).
+            shards against 2 hosts run 2 sessions on each). Extra
+            addresses beyond the shard count serve as spares: with
+            ``on_worker_loss="recover"`` a lost session respawns against
+            the next listed host.
+        on_worker_loss: what a sharded search does when a worker dies
+            silently mid-run (SIGKILL, lost host). ``"fail"`` (the
+            default) raises an error naming the dead worker and the
+            decision prefixes it held; ``"recover"`` discards the dead
+            worker's partial results, reclaims its prefixes, and re-runs
+            them on a respawned replacement or the surviving workers —
+            findings stay byte-identical, the fault costs only wall
+            clock (reported as ``AchillesReport.recovery_seconds``).
+        max_worker_retries: with ``on_worker_loss="recover"``, respawn
+            attempts per worker slot before that slot is written off and
+            its work spread over the survivors.
     """
 
     layout: MessageLayout
@@ -110,12 +124,16 @@ class AchillesConfig:
     msg_name: str = "msg"
     workers: int = 1
     shards: int = 1
-    transport: str = "local"
+    transport: object = "local"
     hosts: tuple[str, ...] = ()
+    on_worker_loss: str = "fail"
+    max_worker_retries: int = 2
 
     def __post_init__(self) -> None:
         # Validate here, not at pool start: a bad count otherwise
         # surfaces deep inside multiprocessing as a confusing failure.
+        from repro.explore.transport import Transport
+
         if self.workers < 1:
             raise AchillesError(
                 f"AchillesConfig.workers must be >= 1, got {self.workers} "
@@ -126,18 +144,31 @@ class AchillesConfig:
                 "(1 = in-process exploration; N > 1 = N exploration "
                 "shard processes)")
         self.hosts = tuple(self.hosts)
-        if self.transport not in ("local", "tcp"):
+        if isinstance(self.transport, Transport):
+            if self.hosts:
+                raise AchillesError(
+                    "a Transport instance carries its own hosts; "
+                    "AchillesConfig.hosts must stay empty with one")
+        elif self.transport not in ("local", "tcp"):
             raise AchillesError(
-                f"AchillesConfig.transport must be 'local' or 'tcp', "
-                f"got {self.transport!r}")
-        if self.transport == "tcp" and not self.hosts:
+                f"AchillesConfig.transport must be 'local', 'tcp', or a "
+                f"Transport instance, got {self.transport!r}")
+        elif self.transport == "tcp" and not self.hosts:
             raise AchillesError(
                 "AchillesConfig.transport='tcp' needs hosts: 'host:port' "
                 "addresses of running `python -m repro worker` daemons")
-        if self.transport == "local" and self.hosts:
+        elif self.transport == "local" and self.hosts:
             raise AchillesError(
                 "AchillesConfig.hosts is only meaningful with "
                 "transport='tcp'")
+        if self.on_worker_loss not in ("fail", "recover"):
+            raise AchillesError(
+                f"AchillesConfig.on_worker_loss must be 'fail' or "
+                f"'recover', got {self.on_worker_loss!r}")
+        if self.max_worker_retries < 0:
+            raise AchillesError(
+                f"AchillesConfig.max_worker_retries must be >= 0, got "
+                f"{self.max_worker_retries}")
 
 
 class Achilles:
@@ -205,7 +236,9 @@ class Achilles:
             self.config.optimizations, self.config.msg_name,
             query_cache=self.query_cache, service=self.service,
             shards=self.config.shards, transport=self.config.transport,
-            hosts=self.config.hosts)
+            hosts=self.config.hosts,
+            on_worker_loss=self.config.on_worker_loss,
+            max_worker_retries=self.config.max_worker_retries)
         report.workers = self.config.workers
         report.timings.client_extraction = clients.stats.extraction_seconds
         report.timings.preprocessing = clients.stats.preprocess_seconds

@@ -127,6 +127,18 @@ class AchillesReport:
             shard workers warm private caches whose traffic depends on
             the (timing-dependent) partition. Findings never depend on
             the shard count.
+        worker_failures: shard workers declared dead during the search.
+            0 on a fault-free run; only ever non-zero with
+            ``on_worker_loss="recover"`` (a loss under the default
+            ``"fail"`` policy raises instead of reporting).
+        prefixes_reassigned: decision prefixes reclaimed from dead
+            workers and re-run elsewhere. Re-running is sound — the
+            merge renumbers canonically and the dead worker's partial
+            results are discarded — so these never change findings.
+        recovery_seconds: wall clock the search spent reclaiming,
+            respawning, and re-dispatching after worker losses — the
+            overhead the faults cost (included in the server-analysis
+            timing, not extra).
     """
 
     findings: list[TrojanFinding] = field(default_factory=list)
@@ -142,6 +154,9 @@ class AchillesReport:
     propagation_seconds: float = 0.0
     workers: int = 1
     shards: int = 1
+    worker_failures: int = 0
+    prefixes_reassigned: int = 0
+    recovery_seconds: float = 0.0
 
     @property
     def trojan_count(self) -> int:

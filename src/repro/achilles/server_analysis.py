@@ -335,6 +335,8 @@ def search_server(server, clients: ClientPredicateSet,
                   shards: int = 1,
                   transport: str | None = None,
                   hosts: tuple = (),
+                  on_worker_loss: str = "fail",
+                  max_worker_retries: int = 2,
                   ) -> tuple[AchillesReport, ExplorationResult]:
     """Explore a server program under the incremental Trojan search.
 
@@ -370,6 +372,15 @@ def search_server(server, clients: ClientPredicateSet,
             given, local otherwise). Ignored for ``shards == 1``.
         hosts: ``"host:port"`` addresses of running
             ``python -m repro worker`` daemons for the TCP transport.
+        on_worker_loss: ``"fail"`` (default) raises when a shard worker
+            dies silently mid-search; ``"recover"`` reclaims and re-runs
+            the lost prefixes (see
+            :class:`~repro.explore.scheduler.ShardScheduler`) —
+            findings stay byte-identical, and the report carries
+            ``worker_failures``/``prefixes_reassigned``/
+            ``recovery_seconds``.
+        max_worker_retries: respawn attempts per lost worker before its
+            slot is written off (``"recover"`` only).
 
     Returns:
         The (partially filled) report and the raw exploration result; the
@@ -398,7 +409,9 @@ def search_server(server, clients: ClientPredicateSet,
             _shard_setup,
             (server, clients, server_msg, flags, msg_name, True),
             shards=shards, engine=engine,
-            transport=transport, hosts=hosts)
+            transport=transport, hosts=hosts,
+            on_worker_loss=on_worker_loss,
+            max_worker_retries=max_worker_retries)
         sharded = scheduler.run()
         exploration = sharded.exploration
         observer = sharded.observer
@@ -427,6 +440,9 @@ def search_server(server, clients: ClientPredicateSet,
         report.solver_queries += shard_stats.queries
         report.frames_reused += shard_stats.frames_reused
         report.propagation_seconds += shard_stats.propagation_seconds
+        report.worker_failures = sharded.worker_failures
+        report.prefixes_reassigned = sharded.prefixes_reassigned
+        report.recovery_seconds = sharded.recovery_seconds
     if service_mark is not None:
         _merge_service_stats(report, service, service_mark)
     report.timings.server_analysis = elapsed

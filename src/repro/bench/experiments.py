@@ -74,8 +74,9 @@ def _fsp_achilles(optimizations: OptimizationFlags | None = None,
                   workers: int = 1, shards: int = 1,
                   search_order: str | None = None,
                   max_paths: int | None = None,
-                  transport: str = "local",
-                  hosts: tuple = ()) -> Achilles:
+                  transport="local",
+                  hosts: tuple = (),
+                  on_worker_loss: str = "fail") -> Achilles:
     config = AchillesConfig(layout=fsp.FSP_LAYOUT, mask=FSP_SESSION_MASK,
                             optimizations=optimizations or OptimizationFlags(),
                             client_engine=make_engine_config(search_order,
@@ -83,7 +84,8 @@ def _fsp_achilles(optimizations: OptimizationFlags | None = None,
                             server_engine=make_engine_config(search_order,
                                                              max_paths),
                             workers=workers, shards=shards,
-                            transport=transport, hosts=tuple(hosts))
+                            transport=transport, hosts=tuple(hosts),
+                            on_worker_loss=on_worker_loss)
     return Achilles(config)
 
 
@@ -91,8 +93,9 @@ def run_fsp_accuracy(optimizations: OptimizationFlags | None = None,
                      workers: int = 1, shards: int = 1,
                      search_order: str | None = None,
                      max_paths: int | None = None,
-                     transport: str = "local",
-                     hosts: tuple = ()) -> AccuracyOutcome:
+                     transport="local",
+                     hosts: tuple = (),
+                     on_worker_loss: str = "fail") -> AccuracyOutcome:
     """Table 1 (Achilles column) + Figures 10/11 raw data.
 
     ``workers`` > 1 dispatches the parallel batches (pre-processing and
@@ -105,7 +108,8 @@ def run_fsp_accuracy(optimizations: OptimizationFlags | None = None,
     ``python -m repro worker`` daemons; findings stay byte-identical).
     """
     with _fsp_achilles(optimizations, workers, shards, search_order,
-                       max_paths, transport, hosts) as achilles:
+                       max_paths, transport, hosts,
+                       on_worker_loss) as achilles:
         predicates = achilles.extract_clients(fsp.literal_clients())
         report = achilles.search(fsp.fsp_server, predicates)
     score = fsp.GroundTruth.score(report.witnesses())
@@ -122,13 +126,14 @@ def run_fsp_wildcard(listing: tuple[str, ...] = ("f1", "f2", "doc"),
                      workers: int = 1, shards: int = 1,
                      search_order: str | None = None,
                      max_paths: int | None = None,
-                     transport: str = "local",
-                     hosts: tuple = ()) -> AchillesReport:
+                     transport="local",
+                     hosts: tuple = (),
+                     on_worker_loss: str = "fail") -> AchillesReport:
     """§6.3 wildcard experiment: globbing clients, same server."""
     with _fsp_achilles(workers=workers, shards=shards,
                        search_order=search_order,
                        max_paths=max_paths, transport=transport,
-                       hosts=hosts) as achilles:
+                       hosts=hosts, on_worker_loss=on_worker_loss) as achilles:
         predicates = achilles.extract_clients(fsp.globbing_clients(listing))
         return achilles.search(fsp.fsp_server, predicates)
 
@@ -254,8 +259,9 @@ class PbftOutcome:
 def run_pbft_analysis(workers: int = 1, shards: int = 1,
                       search_order: str | None = None,
                       max_paths: int | None = None,
-                      transport: str = "local",
-                      hosts: tuple = ()) -> AchillesReport:
+                      transport="local",
+                      hosts: tuple = (),
+                      on_worker_loss: str = "fail") -> AchillesReport:
     """§6.2 PBFT run: the MAC Trojan on every accepting path."""
     with Achilles(AchillesConfig(layout=REQUEST_LAYOUT,
                                  destination="replica0",
@@ -266,7 +272,8 @@ def run_pbft_analysis(workers: int = 1, shards: int = 1,
                                  workers=workers,
                                  shards=shards,
                                  transport=transport,
-                                 hosts=tuple(hosts))) as achilles:
+                                 hosts=tuple(hosts),
+                                 on_worker_loss=on_worker_loss)) as achilles:
         predicates = achilles.extract_clients({"pbft-client": pbft_client})
         return achilles.search(pbft_replica, predicates)
 
@@ -274,13 +281,14 @@ def run_pbft_analysis(workers: int = 1, shards: int = 1,
 def run_pbft_impact(requests: int = 40, workers: int = 1, shards: int = 1,
                     search_order: str | None = None,
                     max_paths: int | None = None,
-                    transport: str = "local",
-                    hosts: tuple = ()) -> PbftOutcome:
+                    transport="local",
+                    hosts: tuple = (),
+                    on_worker_loss: str = "fail") -> PbftOutcome:
     """§6.3 MAC attack impact: throughput under increasing attack rates."""
     report = run_pbft_analysis(workers=workers, shards=shards,
                                search_order=search_order,
                                max_paths=max_paths, transport=transport,
-                               hosts=hosts)
+                               hosts=hosts, on_worker_loss=on_worker_loss)
     outcome = PbftOutcome(report=report, mac_stub=MAC_STUB)
     for label, every in {"clean": 0, "attack-10%": 10, "attack-50%": 2}.items():
         outcome.impact[label] = run_workload(requests, malicious_every=every)
@@ -292,8 +300,9 @@ def _scored_accuracy_run(layout, destination: str, clients, server,
                          workers: int, shards: int,
                          search_order: str | None,
                          max_paths: int | None,
-                         transport: str = "local",
-                         hosts: tuple = ()) -> AccuracyOutcome:
+                         transport="local",
+                         hosts: tuple = (),
+                         on_worker_loss: str = "fail") -> AccuracyOutcome:
     """Full pipeline + ground-truth scoring, shared by raft and tpc."""
     config = AchillesConfig(layout=layout, destination=destination,
                             client_engine=make_engine_config(search_order,
@@ -301,7 +310,8 @@ def _scored_accuracy_run(layout, destination: str, clients, server,
                             server_engine=make_engine_config(search_order,
                                                              max_paths),
                             workers=workers, shards=shards,
-                            transport=transport, hosts=tuple(hosts))
+                            transport=transport, hosts=tuple(hosts),
+                            on_worker_loss=on_worker_loss)
     with Achilles(config) as achilles:
         predicates = achilles.extract_clients(clients)
         report = achilles.search(server, predicates)
@@ -318,8 +328,9 @@ def _scored_accuracy_run(layout, destination: str, clients, server,
 def run_raft_accuracy(workers: int = 1, shards: int = 1,
                       search_order: str | None = None,
                       max_paths: int | None = None,
-                      transport: str = "local",
-                      hosts: tuple = ()) -> AccuracyOutcome:
+                      transport="local",
+                      hosts: tuple = (),
+                      on_worker_loss: str = "fail") -> AccuracyOutcome:
     """Raft follower ingress vs the 9 seeded Trojan classes.
 
     Scores Achilles against :mod:`repro.systems.raft.ground_truth`
@@ -333,14 +344,15 @@ def run_raft_accuracy(workers: int = 1, shards: int = 1,
         raft.RAFT_LAYOUT, "follower", raft.peer_clients(),
         raft.raft_follower, raft.GroundTruth,
         len(raft.all_trojan_classes()), workers, shards, search_order,
-        max_paths, transport, hosts)
+        max_paths, transport, hosts, on_worker_loss)
 
 
 def run_tpc_accuracy(workers: int = 1, shards: int = 1,
                      search_order: str | None = None,
                      max_paths: int | None = None,
-                     transport: str = "local",
-                     hosts: tuple = ()) -> AccuracyOutcome:
+                     transport="local",
+                     hosts: tuple = (),
+                     on_worker_loss: str = "fail") -> AccuracyOutcome:
     """Two-phase-commit participant vs the 2 seeded Trojan classes.
 
     Scores Achilles against :mod:`repro.systems.tpc.ground_truth`
@@ -353,4 +365,4 @@ def run_tpc_accuracy(workers: int = 1, shards: int = 1,
         tpc.TPC_LAYOUT, "participant", tpc.coordinator_clients(),
         tpc.tpc_participant, tpc.GroundTruth,
         len(tpc.all_trojan_classes()), workers, shards, search_order,
-        max_paths, transport, hosts)
+        max_paths, transport, hosts, on_worker_loss)

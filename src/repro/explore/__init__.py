@@ -62,9 +62,24 @@ worker`` daemons on arbitrary hosts over length-prefixed pickled frames.
 The deterministic merge makes findings byte-identical on either.
 """
 
+from repro.explore.faults import (
+    DelayResult,
+    DropConnection,
+    FaultPlan,
+    FaultyTransport,
+    GarbleResult,
+    KillWorker,
+    RefuseRespawn,
+)
 from repro.explore.merge import MergedExploration, merge_outcomes
 from repro.explore.scheduler import ShardedExploration, ShardScheduler
-from repro.explore.shard import FrontierControl, ShardOutcome, StealControl
+from repro.explore.shard import (
+    Assignment,
+    ExcludeControl,
+    FrontierControl,
+    ShardOutcome,
+    StealControl,
+)
 from repro.explore.transport import (
     LocalTransport,
     Transport,
@@ -73,9 +88,18 @@ from repro.explore.transport import (
 )
 
 __all__ = [
+    "Assignment",
+    "DelayResult",
+    "DropConnection",
+    "ExcludeControl",
+    "FaultPlan",
+    "FaultyTransport",
     "FrontierControl",
+    "GarbleResult",
+    "KillWorker",
     "LocalTransport",
     "MergedExploration",
+    "RefuseRespawn",
     "ShardOutcome",
     "ShardScheduler",
     "ShardedExploration",

@@ -15,13 +15,22 @@ runs them as ``multiprocessing`` processes on this machine,
 :class:`~repro.explore.tcp.TcpTransport` drives ``repro worker`` daemons
 on remote hosts over sockets. The scheduler speaks only the transport
 interface, so findings are byte-identical on either.
+
+Worker loss is a policy decision (``on_worker_loss``): the default
+``"fail"`` raises a :class:`SymexError` naming the dead worker and its
+assignment; ``"recover"`` discards the dead worker's partial results,
+reclaims its decision prefixes (minus the subtrees it had already
+donated — those live on elsewhere), and reassigns them to a respawned
+replacement or the surviving workers. Because every path replays from
+the root and the merge renumbers canonically, a re-run assignment yields
+byte-identical findings — recovery costs wall clock, never correctness.
 """
 
 from __future__ import annotations
 
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import SymexError
 from repro.explore.merge import merge_outcomes
@@ -29,10 +38,12 @@ from repro.explore.shard import (
     MSG_DONATE,
     MSG_DONE,
     MSG_ERROR,
+    Assignment,
     FrontierControl,
     Prefix,
     ShardOutcome,
     ShardSetup,
+    extends,
 )
 from repro.explore.transport import Transport, WorkerSession, resolve_transport
 from repro.solver.solver import SolverStats
@@ -46,6 +57,10 @@ DEFAULT_SEED_FACTOR = 4
 
 #: Coordinator poll interval while waiting on worker messages (seconds).
 _POLL_SECONDS = 0.02
+
+#: Consecutive empty polls with a non-responding worker before the death
+#: verdict — grace for a just-dead worker's last in-flight message.
+_DEATH_GRACE_POLLS = 5
 
 
 @dataclass
@@ -71,6 +86,14 @@ class ShardedExploration:
         cache_entries_shipped: feasibility entries in the query-cache
             snapshot shipped to each worker at fan-out (0 when shipping
             was disabled or the run never fanned out).
+        worker_failures: workers declared dead during the run (0 on a
+            fault-free run; only ever non-zero with
+            ``on_worker_loss="recover"`` — a death under ``"fail"``
+            raises instead).
+        prefixes_reassigned: decision prefixes reclaimed from dead
+            workers and re-run elsewhere.
+        recovery_seconds: wall clock spent inside recovery (reclaiming,
+            respawning, re-dispatching) — the overhead a fault cost.
     """
 
     exploration: ExplorationResult
@@ -80,6 +103,22 @@ class ShardedExploration:
     shards: int
     steals: int = 0
     cache_entries_shipped: int = 0
+    worker_failures: int = 0
+    prefixes_reassigned: int = 0
+    recovery_seconds: float = 0.0
+
+
+@dataclass
+class _Booking:
+    """Coordinator-side record of one outstanding assignment.
+
+    ``exclude`` grows as the holder donates: a donated subtree belongs
+    to whoever the coordinator reassigns it to, so if the holder dies
+    its region is re-run *minus* every donation.
+    """
+
+    roots: list[Prefix]
+    exclude: list[Prefix] = field(default_factory=list)
 
 
 class ShardScheduler:
@@ -117,6 +156,18 @@ class ShardScheduler:
             Sound on any transport (booleans are pure functions of the
             canonical query); disable only to measure the overhead it
             removes.
+        on_worker_loss: ``"fail"`` (default) raises on a silently dead
+            worker, naming the lost assignment — exactly the
+            pre-recovery semantics. ``"recover"`` reclaims the dead
+            worker's prefixes and reassigns them (to a respawned
+            replacement when the transport can provide one, else to the
+            survivors); findings stay byte-identical either way. A
+            worker that reports a Python exception (``MSG_ERROR``)
+            always fails the run — the bug is deterministic, re-running
+            it would just crash again.
+        max_worker_retries: respawn attempts per worker slot across the
+            run before that slot is written off and its work spread over
+            the survivors. The run only fails when no worker is left.
     """
 
     def __init__(self, setup: ShardSetup, setup_args: tuple = (), *,
@@ -125,9 +176,18 @@ class ShardScheduler:
                  seed_factor: int = DEFAULT_SEED_FACTOR,
                  transport: Transport | str | None = None,
                  hosts: tuple = (),
-                 ship_cache: bool = True):
+                 ship_cache: bool = True,
+                 on_worker_loss: str = "fail",
+                 max_worker_retries: int = 2):
         if shards < 1:
             raise SymexError(f"shard count must be >= 1, got {shards}")
+        if on_worker_loss not in ("fail", "recover"):
+            raise SymexError(
+                f"on_worker_loss must be 'fail' or 'recover', "
+                f"got {on_worker_loss!r}")
+        if max_worker_retries < 0:
+            raise SymexError(
+                f"max_worker_retries must be >= 0, got {max_worker_retries}")
         self.setup = setup
         self.setup_args = tuple(setup_args)
         self.shards = shards
@@ -136,12 +196,20 @@ class ShardScheduler:
         self.seed_factor = max(1, seed_factor)
         self.transport = resolve_transport(transport, hosts)
         self.ship_cache = ship_cache
+        self.on_worker_loss = on_worker_loss
+        self.max_worker_retries = max_worker_retries
+        self._worker_failures = 0
+        self._prefixes_reassigned = 0
+        self._recovery_seconds = 0.0
 
     # -- phases --------------------------------------------------------------
 
     def run(self) -> ShardedExploration:
         """Seed, fan out, steal until drained, merge; see the class doc."""
         started = time.perf_counter()
+        self._worker_failures = 0
+        self._prefixes_reassigned = 0
+        self._recovery_seconds = 0.0
         program, observer = self.setup(self.engine, *self.setup_args)
         # Seed breadth-first regardless of the configured order: a DFS
         # worklist only ever holds one open sibling per level (too narrow
@@ -182,7 +250,10 @@ class ShardScheduler:
             exploration=merged.exploration, observer=observer,
             path_ids=merged.path_ids,
             worker_solver_stats=merged.solver_stats, shards=self.shards,
-            steals=steals, cache_entries_shipped=shipped)
+            steals=steals, cache_entries_shipped=shipped,
+            worker_failures=self._worker_failures,
+            prefixes_reassigned=self._prefixes_reassigned,
+            recovery_seconds=self._recovery_seconds)
 
     # -- worker fleet --------------------------------------------------------
 
@@ -203,19 +274,31 @@ class ShardScheduler:
 
     def _coordinate(self, frontier) -> tuple[list[ShardOutcome], int]:
         transport = self.transport
-        count = self.shards
-        pending: deque[Prefix] = deque(frontier)
-        idle = set(range(count))
+        # Pending work is (root prefix, exclusions) — exclusions are
+        # non-empty only for work reclaimed from a dead worker that had
+        # donated parts of its region before dying.
+        pending: deque[tuple[Prefix, tuple[Prefix, ...]]] = deque(
+            (prefix, ()) for prefix in frontier)
+        active = set(range(self.shards))
+        idle = set(active)
         steal_pending: set[int] = set()
-        # Last assignment shipped to each busy worker — what the error
-        # names when a worker dies holding it.
-        assigned: dict[int, list[Prefix]] = {}
+        # Outstanding assignment per busy worker — what recovery reclaims
+        # (and what the fail-mode error names) when a worker dies.
+        assigned: dict[int, _Booking] = {}
+        retries = {wid: 0 for wid in active}
         outcomes: list[ShardOutcome] = []
         steals = 0
         dead_polls = 0
-        self._assign(pending, idle, assigned)
+        self._dispatch(pending, idle, active, assigned, steal_pending,
+                       retries)
 
-        while len(idle) < count or pending:
+        while len(idle) < len(active) or pending:
+            if not active:
+                raise SymexError(
+                    "all shard workers were lost and none could be "
+                    f"respawned within max_worker_retries="
+                    f"{self.max_worker_retries}; sharded exploration "
+                    "cannot complete")
             message = transport.recv(_POLL_SECONDS)
             if message is None:
                 # Liveness: a worker that died without reporting (OOM
@@ -223,18 +306,31 @@ class ShardScheduler:
                 # Python exceptions) would leave this loop polling
                 # forever. A few empty polls of grace let a just-dead
                 # worker's last in-flight message drain first.
-                dead = [wid for wid in range(count)
+                dead = [wid for wid in sorted(active)
                         if wid not in idle and not transport.alive(wid)]
                 if dead:
                     dead_polls += 1
-                    if dead_polls >= 5:
-                        raise SymexError(self._death_report(dead, assigned))
+                    if dead_polls >= _DEATH_GRACE_POLLS:
+                        dead_polls = 0
+                        if self.on_worker_loss == "fail":
+                            raise SymexError(
+                                self._death_report(dead, assigned))
+                        for wid in dead:
+                            self._recover(wid, pending, idle, active,
+                                          assigned, steal_pending, retries)
+                        self._dispatch(pending, idle, active, assigned,
+                                       steal_pending, retries)
                 else:
                     dead_polls = 0
-                self._request_steal(idle, steal_pending)
+                self._request_steal(idle, active, steal_pending)
                 continue
             dead_polls = 0
             kind, wid, payload = message
+            if wid not in active:
+                # A worker slot already written off; its reclaimed work
+                # runs elsewhere, so folding this message in too would
+                # double-count.
+                continue
             if kind == MSG_DONE:
                 outcomes.append(payload)
                 idle.add(wid)
@@ -242,15 +338,28 @@ class ShardScheduler:
                 steal_pending.discard(wid)
                 transport.acknowledge_done(wid)
                 if pending:
-                    self._assign(pending, idle, assigned)
+                    self._dispatch(pending, idle, active, assigned,
+                                   steal_pending, retries)
                 else:
-                    self._request_steal(idle, steal_pending)
+                    self._request_steal(idle, active, steal_pending)
             elif kind == MSG_DONATE:
                 steal_pending.discard(wid)
                 if payload:
                     steals += 1
-                    pending.extend(payload)
-                self._assign(pending, idle, assigned)
+                    booking = assigned.get(wid)
+                    donor_exclude = tuple(booking.exclude) if booking else ()
+                    for prefix in payload:
+                        # The donor's standing exclusions that fall inside
+                        # this donated subtree travel with it.
+                        pending.append((prefix, tuple(
+                            d for d in donor_exclude
+                            if extends(d, prefix) and d != prefix)))
+                    if booking is not None:
+                        # Donated subtrees leave the donor's region: if it
+                        # dies later, they must not be re-run with it.
+                        booking.exclude.extend(payload)
+                self._dispatch(pending, idle, active, assigned,
+                               steal_pending, retries)
             elif kind == MSG_ERROR:
                 raise SymexError(
                     f"shard worker {transport.describe(wid)} failed:\n"
@@ -259,12 +368,48 @@ class ShardScheduler:
                 raise SymexError(f"unknown shard message kind {kind!r}")
         return outcomes, steals
 
+    # -- recovery ------------------------------------------------------------
+
+    def _recover(self, wid: int, pending: deque, idle: set[int],
+                 active: set[int], assigned: dict[int, _Booking],
+                 steal_pending: set[int], retries: dict[int, int]) -> None:
+        """Reclaim a dead worker's region; respawn or retire the slot.
+
+        The dead worker's partial results never reached the outcome list
+        (a worker reports one ``MSG_DONE`` per assignment, at the end),
+        so discarding means simply re-running its booking — roots minus
+        the subtrees it donated, which other workers own now.
+        """
+        recovery_started = time.perf_counter()
+        self._worker_failures += 1
+        steal_pending.discard(wid)
+        idle.discard(wid)
+        booking = assigned.pop(wid, None)
+        if booking is not None:
+            self._prefixes_reassigned += len(booking.roots)
+            for root in booking.roots:
+                pending.append((root, tuple(
+                    d for d in booking.exclude
+                    if extends(d, root) and d != root)))
+        revived = False
+        while retries[wid] < self.max_worker_retries:
+            retries[wid] += 1
+            if self.transport.respawn(wid):
+                revived = True
+                break
+        if revived:
+            idle.add(wid)
+        else:
+            active.discard(wid)
+        self._recovery_seconds += time.perf_counter() - recovery_started
+
     def _death_report(self, dead: list[int],
-                      assigned: dict[int, list[Prefix]]) -> str:
+                      assigned: dict[int, _Booking]) -> str:
         """Name the dead workers and the assignments that died with them."""
         lines = []
         for wid in dead:
-            prefixes = assigned.get(wid, [])
+            booking = assigned.get(wid)
+            prefixes = booking.roots if booking else []
             rendered = ", ".join(
                 "".join("T" if d else "F" for d in p) or "<root>"
                 for p in prefixes[:4])
@@ -276,27 +421,98 @@ class ShardScheduler:
         detail = "\n".join(lines)
         return ("shard worker(s) died without reporting a result "
                 f"(killed? lost host?); the lost assignment(s):\n{detail}\n"
-                "sharded exploration cannot complete")
+                "sharded exploration cannot complete "
+                "(on_worker_loss='recover' reassigns instead)")
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch(self, pending: deque, idle: set[int], active: set[int],
+                  assigned: dict[int, _Booking], steal_pending: set[int],
+                  retries: dict[int, int]) -> None:
+        """Assign pending work; under ``"recover"``, a worker that turns
+        out unreachable at assign time is treated exactly like a
+        liveness-poll death (its booking reclaimed, slot respawned or
+        retired) and dispatching continues on whoever is left."""
+        while True:
+            failed = self._assign(pending, idle, assigned)
+            if not failed:
+                return
+            for wid in failed:
+                self._recover(wid, pending, idle, active, assigned,
+                              steal_pending, retries)
 
     def _assign(self, pending: deque, idle: set[int],
-                assigned: dict[int, list[Prefix]]) -> None:
-        """Split the pending prefixes evenly across the idle workers."""
-        while pending and idle:
-            takers = sorted(idle)[:len(pending)]
+                assigned: dict[int, _Booking]) -> list[int]:
+        """Split the pending work evenly across the idle workers.
+
+        Returns the workers whose assignment could not be delivered
+        (always empty under ``on_worker_loss="fail"`` — the transport
+        error propagates instead).
+        """
+        failed: list[int] = []
+        while pending and (idle - set(failed)):
+            takers = sorted(idle - set(failed))[:len(pending)]
             base, extra = divmod(len(pending), len(takers))
             for position, wid in enumerate(takers):
+                if not pending:
+                    break
                 size = base + (1 if position < extra else 0)
-                assignment = [pending.popleft() for _ in range(size)]
+                booking = self._take_batch(pending, size)
+                if booking is None:
+                    continue
                 idle.discard(wid)
-                assigned[wid] = assignment
-                self.transport.assign(wid, assignment)
+                assigned[wid] = booking
+                try:
+                    self.transport.assign(wid, Assignment(
+                        roots=tuple(booking.roots),
+                        exclude=tuple(booking.exclude)))
+                except SymexError:
+                    if self.on_worker_loss == "fail":
+                        raise
+                    failed.append(wid)
+        return failed
 
-    def _request_steal(self, idle: set[int],
+    @staticmethod
+    def _take_batch(pending: deque, size: int) -> _Booking | None:
+        """Pop up to ``size`` compatible pending entries into one booking.
+
+        A batch ships one merged exclusion list, so entries are only
+        batched together when no root of the batch falls inside another
+        entry's exclusions (the worker's exclusion filter would silently
+        drop that root). Incompatible entries are deferred, keeping
+        their queue order; a single entry is always self-consistent
+        (its exclusions are strict descendants of its own root), so
+        dispatch always makes progress.
+        """
+        if size <= 0:
+            return None
+        roots: list[Prefix] = []
+        exclude: list[Prefix] = []
+        deferred: list[tuple[Prefix, tuple[Prefix, ...]]] = []
+        for _ in range(len(pending)):
+            if len(roots) >= size:
+                break
+            root, root_exclude = pending.popleft()
+            candidate_roots = roots + [root]
+            candidate_exclude = exclude + [
+                d for d in root_exclude if d not in exclude]
+            if any(extends(r, d) for r in candidate_roots
+                   for d in candidate_exclude):
+                deferred.append((root, root_exclude))
+                continue
+            roots = candidate_roots
+            exclude = candidate_exclude
+        pending.extendleft(reversed(deferred))
+        if not roots:
+            return None
+        return _Booking(roots=roots, exclude=exclude)
+
+    def _request_steal(self, idle: set[int], active: set[int],
                        steal_pending: set[int]) -> None:
         """Raise one loaded worker's steal flag when someone is idle."""
         if not idle:
             return
-        busy = [wid for wid in range(self.shards)
+        busy = [wid for wid in sorted(active)
                 if wid not in idle and wid not in steal_pending]
         if busy:
             target = busy[0]

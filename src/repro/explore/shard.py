@@ -33,6 +33,34 @@ MSG_DONATE = "donate"
 MSG_ERROR = "error"
 
 
+def extends(prefix: Prefix, ancestor: Prefix) -> bool:
+    """True when ``prefix`` lies inside ``ancestor``'s subtree.
+
+    A prefix extends its ancestor when it replays the same decisions up
+    to the ancestor's depth (equal prefixes count: a subtree contains its
+    own root).
+    """
+    return len(prefix) >= len(ancestor) and prefix[:len(ancestor)] == ancestor
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One unit of work shipped to a shard worker.
+
+    Attributes:
+        roots: decision prefixes whose subtrees the worker explores to
+            exhaustion.
+        exclude: decision prefixes carved *out* of those subtrees. Empty
+            on a first-time assignment; non-empty when the coordinator
+            reassigns a dead worker's region — the parts the dead worker
+            had already donated belong to other workers now, and
+            re-exploring them would double-merge their paths.
+    """
+
+    roots: tuple[Prefix, ...]
+    exclude: tuple[Prefix, ...] = ()
+
+
 @dataclass
 class ShardOutcome:
     """Everything one exploration (seed phase or worker assignment) produced.
@@ -95,6 +123,40 @@ class StealControl(ExploreControl):
         return True
 
 
+class ExcludeControl(ExploreControl):
+    """Drop worklist entries that descend into excluded subtrees.
+
+    A reclaimed assignment re-runs a dead worker's roots, but subtrees
+    that worker had *donated* before dying are owned (possibly already
+    completed) by other workers; re-exploring them would make the merge
+    reject the run for overlapping paths. Filtering the worklist between
+    paths is sufficient to carve those subtrees out exactly: replay is
+    deterministic, and an executing path only enters an excluded subtree
+    by popping a schedule that extends the excluded prefix — at the fork
+    that *pushed* the excluded prefix, the continuing execution took the
+    other direction.
+
+    Runs before ``inner`` (the steal control on a worker), so donations
+    drawn from the filtered worklist are exclusion-free by construction.
+    """
+
+    def __init__(self, exclude: tuple[Prefix, ...],
+                 inner: ExploreControl | None = None):
+        self.exclude = tuple(exclude)
+        self.inner = inner
+
+    def checkpoint(self, worklist: deque) -> bool:
+        if self.exclude:
+            kept = [p for p in worklist
+                    if not any(extends(p, d) for d in self.exclude)]
+            if len(kept) != len(worklist):
+                worklist.clear()
+                worklist.extend(kept)
+        if self.inner is not None:
+            return self.inner.checkpoint(worklist)
+        return True
+
+
 def run_assignment(engine: Engine, setup: ShardSetup, setup_args: tuple,
                    prefixes: list[Prefix],
                    control: ExploreControl | None = None) -> ShardOutcome:
@@ -141,7 +203,7 @@ def worker_loop(session, get_task: Callable, put_message: Callable,
         engine = Engine(session.engine_config)
         if session.cache_snapshot is not None:
             engine.query_cache.absorb(session.cache_snapshot)
-        control = StealControl(
+        steal = StealControl(
             steal_flag, lambda share: put_message(MSG_DONATE, share))
         while True:
             assignment = get_task()
@@ -150,8 +212,15 @@ def worker_loop(session, get_task: Callable, put_message: Callable,
             # A steal request that raced a previous DONE must not leak
             # into this assignment.
             steal_flag.clear()
+            if isinstance(assignment, Assignment):
+                roots = list(assignment.roots)
+                exclude = assignment.exclude
+            else:  # bare prefix list (direct transport callers, old tests)
+                roots = list(assignment)
+                exclude = ()
+            control = (ExcludeControl(exclude, steal) if exclude else steal)
             outcome = run_assignment(engine, session.setup,
-                                     session.setup_args, assignment, control)
+                                     session.setup_args, roots, control)
             put_message(MSG_DONE, outcome)
     except Exception:  # pragma: no cover - exercised via scheduler tests
         put_message(MSG_ERROR, traceback.format_exc())

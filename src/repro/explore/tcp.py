@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import random
 import select
 import socket
 import struct
@@ -51,12 +52,14 @@ import threading
 import time
 
 from repro.errors import SymexError
-from repro.explore.shard import Prefix
+from repro.explore.shard import Assignment, Prefix
 from repro.explore.transport import Transport, WorkerSession
 
 #: Bumped on any incompatible frame/protocol change; the hello handshake
 #: rejects mismatches instead of failing deep inside an unpickle.
-PROTOCOL_VERSION = 1
+#: v2: ``task`` frames may carry an :class:`Assignment` (roots +
+#: exclusions for reclaimed work) instead of a bare prefix list.
+PROTOCOL_VERSION = 2
 
 # coordinator -> worker frame kinds (worker -> coordinator kinds are the
 # queue message kinds MSG_DONE/MSG_DONATE/MSG_ERROR from explore.shard).
@@ -131,13 +134,22 @@ class FrameReader:
         del self._buf[:end]
         return pickle.loads(body)
 
+    def partial(self) -> bool:
+        """True while the buffer holds an incomplete frame (bytes arrived
+        but no frame is decodable yet) — the stalled-stream signal the
+        coordinator's per-worker recv deadline watches."""
+        return bool(self._buf) and not self.pending()
+
     def recv_blocking(self, timeout: float | None = None) -> tuple | None:
         """Block for the next frame; None on EOF.
 
         Raises :class:`SymexError` when ``timeout`` (seconds) elapses
         first — used for the handshake, where a silent peer should fail
-        fast rather than hang the coordinator.
+        fast rather than hang the coordinator. The socket's previous
+        timeout mode is restored on every exit (success, EOF, timeout,
+        error) — callers that configured their own timeout keep it.
         """
+        previous = self.sock.gettimeout()
         self.sock.settimeout(timeout)
         try:
             while not self.pending():
@@ -148,7 +160,7 @@ class FrameReader:
                 f"timed out after {timeout}s waiting for a frame from "
                 f"{_peer_name(self.sock)}")
         finally:
-            self.sock.settimeout(None)
+            self.sock.settimeout(previous)
         return self.next_frame()
 
 
@@ -176,43 +188,66 @@ class TcpTransport(Transport):
             4-wide.
         connect_timeout: total seconds to keep retrying each initial
             connection before failing (daemons may still be starting).
-        retry_interval: sleep between connection attempts.
+        retry_interval: initial sleep between connection attempts; each
+            failed attempt doubles it (capped at ``retry_max_delay``)
+            with jitter, so a fleet reconnecting to a recovering daemon
+            does not hammer it in lockstep.
+        retry_max_delay: backoff cap for the sleep between attempts.
+        recv_deadline: seconds a *partially received* frame may stall
+            before the sender is declared dead. A worker host that drops
+            off the network mid-frame delivers no EOF; without this
+            deadline the coordinator would buffer the torso forever.
     """
 
     def __init__(self, hosts, connect_timeout: float = 10.0,
-                 retry_interval: float = 0.1):
+                 retry_interval: float = 0.1,
+                 retry_max_delay: float = 2.0,
+                 recv_deadline: float = 60.0):
         if not hosts:
             raise SymexError("TcpTransport needs at least one 'host:port'")
         self.hosts = [parse_hostport(h) if isinstance(h, str) else tuple(h)
                       for h in hosts]
         self.connect_timeout = connect_timeout
         self.retry_interval = retry_interval
+        self.retry_max_delay = retry_max_delay
+        self.recv_deadline = recv_deadline
         self._socks: list[socket.socket] = []
         self._readers: list[FrameReader] = []
         self._dead: set[int] = set()
+        self._host_of_wid: dict[int, int] = {}
+        self._init_frame: bytes | None = None
+        self._partial_since: dict[int, float] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self, count: int, session: WorkerSession) -> None:
         self.worker_count = count
-        init = pickle.dumps((MSG_INIT, session),
+        body = pickle.dumps((MSG_INIT, session),
                             protocol=pickle.HIGHEST_PROTOCOL)
+        self._init_frame = _HEADER.pack(len(body)) + body
         try:
             for wid in range(count):
-                host, port = self.hosts[wid % len(self.hosts)]
-                sock = self._connect(host, port)
+                index = wid % len(self.hosts)
+                self._host_of_wid[wid] = index
+                sock = self._connect(*self.hosts[index])
                 self._socks.append(sock)
                 self._readers.append(FrameReader(sock))
                 self._handshake(wid)
-                sock.sendall(_HEADER.pack(len(init)) + init)
+                sock.sendall(self._init_frame)
         except Exception:
             self.stop()
             raise
 
     def _connect(self, host: str, port: int) -> socket.socket:
+        # Capped exponential backoff with jitter: the first attempt is
+        # immediate, then sleeps double from retry_interval up to
+        # retry_max_delay, each scaled by a random factor in [0.5, 1.0).
         deadline = time.monotonic() + self.connect_timeout
+        delay = self.retry_interval
+        attempts = 0
         last_error: Exception | None = None
-        while time.monotonic() < deadline:
+        while True:
+            attempts += 1
             try:
                 sock = socket.create_connection((host, port), timeout=5.0)
                 sock.settimeout(None)
@@ -220,10 +255,15 @@ class TcpTransport(Transport):
                 return sock
             except OSError as error:
                 last_error = error
-                time.sleep(self.retry_interval)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            time.sleep(min(remaining, delay * (0.5 + random.random() / 2)))
+            delay = min(delay * 2, self.retry_max_delay)
         raise SymexError(
             f"cannot reach shard worker at {host}:{port} after "
-            f"{self.connect_timeout:.1f}s: {last_error} — is "
+            f"{attempts} attempt(s) over {self.connect_timeout:.1f}s "
+            f"(exponential backoff): {last_error} — is "
             f"`python -m repro worker --listen {host}:{port}` running?")
 
     def _handshake(self, wid: int) -> None:
@@ -253,18 +293,23 @@ class TcpTransport(Transport):
         self._socks = []
         self._readers = []
         self._dead = set()
+        self._host_of_wid = {}
+        self._init_frame = None
+        self._partial_since = {}
 
     # -- shard protocol ------------------------------------------------------
 
-    def assign(self, wid: int, prefixes: list[Prefix]) -> None:
+    def assign(self, wid: int, prefixes) -> None:
+        roots = (list(prefixes.roots) if isinstance(prefixes, Assignment)
+                 else list(prefixes))
         try:
             send_frame(self._socks[wid], MSG_TASK, prefixes)
         except OSError as error:
             self._dead.add(wid)
             raise SymexError(
                 f"shard worker at {self.describe(wid)} became unreachable "
-                f"while being assigned {len(prefixes)} prefix(es) "
-                f"{_preview(prefixes)}: {error}")
+                f"while being assigned {len(roots)} prefix(es) "
+                f"{_preview(roots)}: {error}")
 
     def request_steal(self, wid: int) -> None:
         try:
@@ -284,9 +329,19 @@ class TcpTransport(Transport):
             # Serve buffered frames first: one socket read can deliver
             # several frames, and select() would not re-report them.
             for wid, reader in enumerate(self._readers):
-                if wid not in self._dead and reader.pending():
+                if wid in self._dead:
+                    continue
+                try:
+                    if not reader.pending():
+                        continue
                     kind, payload = reader.next_frame()
-                    return kind, wid, payload
+                except Exception:
+                    # An oversized header or an undecodable pickle means
+                    # the stream is desynced — nothing after this point
+                    # can be framed. Equivalent to losing the worker.
+                    self._dead.add(wid)
+                    continue
+                return kind, wid, payload
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 return None
@@ -303,12 +358,71 @@ class TcpTransport(Transport):
                         self._dead.add(wid)
                 except OSError:
                     self._dead.add(wid)
+            self._check_stalls()
+
+    def _check_stalls(self) -> None:
+        """Per-worker recv deadline: a frame torso that stops growing for
+        ``recv_deadline`` seconds means the host dropped off the network
+        without an EOF — declare the worker dead instead of buffering the
+        partial frame forever."""
+        now = time.monotonic()
+        for wid, reader in enumerate(self._readers):
+            if wid in self._dead:
+                self._partial_since.pop(wid, None)
+                continue
+            try:
+                stalled = reader.partial()
+            except SymexError:
+                continue  # oversized header; the frame scan handles it
+            if not stalled:
+                self._partial_since.pop(wid, None)
+            elif now - self._partial_since.setdefault(wid, now) \
+                    > self.recv_deadline:
+                self._dead.add(wid)
 
     def alive(self, wid: int) -> bool:
         return wid not in self._dead
 
+    def respawn(self, wid: int) -> bool:
+        """Open a replacement session for ``wid``, preferring the *next*
+        listed host (a spare daemon) and falling back around the ring to
+        the original. The old socket is closed first, so a still-running
+        remote session child sees EOF and exits."""
+        if self._init_frame is None:  # pragma: no cover - not started
+            return False
+        try:
+            self._socks[wid].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        start_index = self._host_of_wid.get(wid, wid % len(self.hosts))
+        for step in range(1, len(self.hosts) + 1):
+            index = (start_index + step) % len(self.hosts)
+            host, port = self.hosts[index]
+            try:
+                sock = self._connect(host, port)
+            except SymexError:
+                continue
+            self._socks[wid] = sock
+            self._readers[wid] = FrameReader(sock)
+            self._host_of_wid[wid] = index
+            self._dead.discard(wid)
+            self._partial_since.pop(wid, None)
+            try:
+                self._handshake(wid)
+                sock.sendall(self._init_frame)
+            except (SymexError, OSError):
+                self._dead.add(wid)
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover - double close
+                    pass
+                continue
+            return True
+        return False
+
     def describe(self, wid: int) -> str:
-        host, port = self.hosts[wid % len(self.hosts)]
+        index = self._host_of_wid.get(wid, wid % len(self.hosts))
+        host, port = self.hosts[index]
         return f"{host}:{port} (session {wid})"
 
 
@@ -405,8 +519,14 @@ def serve_worker(listen: str, max_sessions: int | None = None,
     same run; elsewhere sessions fall back to threads (correct, but
     GIL-serialized). Prints a parseable ``READY host port`` line once
     listening so scripts and tests can wait on it.
+
+    ``SIGTERM`` drains rather than kills: the listener closes (new
+    coordinators get connection-refused and fail over to other hosts)
+    while in-flight sessions run to completion before the daemon exits —
+    a rolling restart never looks like a mid-assignment crash.
     """
     import multiprocessing
+    import signal as signal_module
     import sys
 
     host, port = parse_hostport(listen)
@@ -415,23 +535,67 @@ def serve_worker(listen: str, max_sessions: int | None = None,
     stream = ready_stream or sys.stdout
     print(f"READY {actual_host} {actual_port}", file=stream, flush=True)
 
+    draining = threading.Event()
+
+    def _start_drain(signum=None, frame=None):
+        draining.set()
+        try:
+            server.close()  # pending accept() raises OSError, loop exits
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    previous_handler = None
+    try:
+        previous_handler = signal_module.signal(
+            signal_module.SIGTERM, _start_drain)
+    except ValueError:  # pragma: no cover - not the main thread (tests)
+        pass
+
     fork_ctx = (multiprocessing.get_context("fork")
                 if "fork" in multiprocessing.get_all_start_methods()
                 else None)
+    children: list = []
+    threads: list = []
     served = 0
-    with server:
+    try:
         while max_sessions is None or served < max_sessions:
-            conn, addr = server.accept()
+            try:
+                conn, addr = server.accept()
+            except OSError:
+                if draining.is_set():
+                    break
+                raise
             served += 1
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            children[:] = [c for c in children if c.is_alive()]
             if fork_ctx is not None:
                 child = fork_ctx.Process(target=_serve_forked, args=(conn,),
                                          daemon=False)
                 child.start()
+                children.append(child)
                 conn.close()  # the child owns its inherited copy
             else:  # pragma: no cover - non-fork platforms
-                threading.Thread(target=handle_session, args=(conn,),
-                                 daemon=True).start()
+                thread = threading.Thread(target=handle_session, args=(conn,),
+                                          daemon=True)
+                thread.start()
+                threads.append(thread)
+    finally:
+        try:
+            server.close()
+        except OSError:  # pragma: no cover - double close
+            pass
+        # Drain: in-flight sessions (forked children / threads) finish
+        # their assignments and see the coordinator's stop frame before
+        # the daemon exits.
+        for child in children:
+            child.join()
+        for thread in threads:  # pragma: no cover - non-fork platforms
+            thread.join(timeout=60.0)
+        if previous_handler is not None:
+            try:
+                signal_module.signal(signal_module.SIGTERM, previous_handler)
+            except ValueError:  # pragma: no cover - not the main thread
+                pass
 
 
 def _serve_forked(conn: socket.socket) -> None:  # pragma: no cover - child

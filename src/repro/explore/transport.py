@@ -34,9 +34,13 @@ Message flow, coordinator side:
 Failure semantics are uniform: a worker that raises reports
 ``MSG_ERROR`` with its traceback; a worker that dies silently (SIGKILL,
 lost host) is detected by ``alive()`` going False while the worker still
-holds an assignment, and the scheduler fails loudly naming the lost
-assignment. See the ROADMAP architecture note (layer 6) for when to use
-which transport.
+holds an assignment. What happens next is the scheduler's
+``on_worker_loss`` policy: ``"fail"`` (default) raises naming the lost
+assignment, ``"recover"`` reclaims the assignment and asks the transport
+to :meth:`Transport.respawn` a replacement worker — a fresh local
+process seeded with the same :class:`WorkerSession`, or a new TCP
+session against the next listed host. See the ROADMAP architecture note
+(layer 6) for when to use which transport.
 """
 
 from __future__ import annotations
@@ -92,8 +96,10 @@ class Transport:
         """Bring up ``count`` workers, each initialized with ``session``."""
         raise NotImplementedError
 
-    def assign(self, wid: int, prefixes: list[Prefix]) -> None:
-        """Ship an assignment; raises :class:`SymexError` if the worker
+    def assign(self, wid: int,
+               prefixes: "list[Prefix] | object") -> None:
+        """Ship an assignment (an :class:`~repro.explore.shard.Assignment`
+        or a bare prefix list); raises :class:`SymexError` if the worker
         is unreachable (the assignment would otherwise be silently lost)."""
         raise NotImplementedError
 
@@ -112,6 +118,20 @@ class Transport:
     def alive(self, wid: int) -> bool:
         """True while the worker can still deliver messages."""
         raise NotImplementedError
+
+    def respawn(self, wid: int) -> bool:
+        """Try to replace a dead worker with a fresh one for the same
+        session (new process / new connection, same ``WorkerSession``).
+
+        Returns True when slot ``wid`` is live again and ready for an
+        assignment; False when this transport cannot (or could not)
+        bring a replacement up — the scheduler then reassigns the lost
+        work to the surviving workers instead. Messages from the retired
+        worker must never surface under ``wid`` afterwards (its partial
+        results were discarded; delivering them would double-merge).
+        The base implementation never respawns.
+        """
+        return False
 
     def describe(self, wid: int) -> str:
         """Human-readable worker identity for error messages."""
@@ -135,10 +155,21 @@ class LocalTransport(Transport):
     SHUTDOWN_GRACE = 10.0
 
     def __init__(self):
+        self._ctx = None
+        self._session: WorkerSession | None = None
+        # Worker ids are stable for the scheduler; processes are not
+        # (respawn replaces them). A *slot* is one process + its task
+        # queue + steal flag; ``_slot_of_wid`` maps the scheduler's wid
+        # to its current slot, and workers tag result-queue messages
+        # with their slot id so late messages from a terminated
+        # predecessor (which shares the result queue) are recognized and
+        # dropped instead of being credited to the replacement.
         self._workers: list = []
         self._task_queues: list = []
         self._steal_flags: list = []
         self._result_queue = None
+        self._slot_of_wid: list[int] = []
+        self._wid_of_slot: dict[int, int] = {}
 
     def start(self, count: int, session: WorkerSession) -> None:
         import multiprocessing
@@ -146,54 +177,87 @@ class LocalTransport(Transport):
         # Same policy as the solver service: fork inherits the interned
         # AST arena copy-on-write; spawn re-interns on unpickle.
         methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context(
+        self._ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn")
         self.worker_count = count
-        self._result_queue = ctx.Queue()
-        self._task_queues = [ctx.Queue() for _ in range(count)]
-        self._steal_flags = [ctx.Event() for _ in range(count)]
-        self._workers = [
-            ctx.Process(
-                target=shard_worker,
-                args=(wid, session, self._task_queues[wid],
-                      self._result_queue, self._steal_flags[wid]),
-                daemon=True)
-            for wid in range(count)
-        ]
-        for worker in self._workers:
-            worker.start()
+        self._session = session
+        self._result_queue = self._ctx.Queue()
+        self._slot_of_wid = list(range(count))
+        self._wid_of_slot = {slot: slot for slot in range(count)}
+        for _ in range(count):
+            self._spawn_slot()
 
-    def assign(self, wid: int, prefixes: list[Prefix]) -> None:
-        self._task_queues[wid].put(prefixes)
+    def _spawn_slot(self) -> int:
+        """Fork one fresh worker process in a new slot; returns the slot."""
+        slot = len(self._workers)
+        self._task_queues.append(self._ctx.Queue())
+        self._steal_flags.append(self._ctx.Event())
+        worker = self._ctx.Process(
+            target=shard_worker,
+            args=(slot, self._session, self._task_queues[slot],
+                  self._result_queue, self._steal_flags[slot]),
+            daemon=True)
+        self._workers.append(worker)
+        worker.start()
+        return slot
+
+    def assign(self, wid: int, prefixes) -> None:
+        self._task_queues[self._slot_of_wid[wid]].put(prefixes)
 
     def request_steal(self, wid: int) -> None:
-        self._steal_flags[wid].set()
+        self._steal_flags[self._slot_of_wid[wid]].set()
 
     def acknowledge_done(self, wid: int) -> None:
         # An unanswered steal request must not leak into the worker's
         # next assignment (the worker also clears defensively on its
         # side at assignment start).
-        self._steal_flags[wid].clear()
+        self._steal_flags[self._slot_of_wid[wid]].clear()
 
     def recv(self, timeout: float) -> tuple[str, int, object] | None:
-        try:
-            return self._result_queue.get(timeout=timeout)
-        except queue_module.Empty:
-            return None
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            try:
+                kind, slot, payload = self._result_queue.get(
+                    timeout=max(0.0, remaining))
+            except queue_module.Empty:
+                return None
+            wid = self._wid_of_slot.get(slot)
+            if wid is None:
+                # A retired slot's late message: its worker was declared
+                # dead and its assignment reclaimed — merging this too
+                # would double-count the subtree.
+                continue
+            return kind, wid, payload
 
     def alive(self, wid: int) -> bool:
-        return self._workers[wid].is_alive()
+        return self._workers[self._slot_of_wid[wid]].is_alive()
+
+    def respawn(self, wid: int) -> bool:
+        old_slot = self._slot_of_wid[wid]
+        self._wid_of_slot.pop(old_slot, None)
+        worker = self._workers[old_slot]
+        if worker.is_alive():
+            # "Dead" here is the scheduler's verdict (e.g. an injected
+            # fault severed the worker); make it true before replacing.
+            worker.terminate()
+        worker.join(timeout=self.SHUTDOWN_GRACE)
+        slot = self._spawn_slot()
+        self._slot_of_wid[wid] = slot
+        self._wid_of_slot[slot] = wid
+        return True
 
     def describe(self, wid: int) -> str:
-        pid = self._workers[wid].pid
+        pid = self._workers[self._slot_of_wid[wid]].pid
         return f"local worker {wid} (pid {pid})"
 
     def stop(self) -> None:
-        for task_queue in self._task_queues:
-            try:
-                task_queue.put(None)
-            except Exception:  # pragma: no cover - queue already broken
-                pass
+        for slot, task_queue in enumerate(self._task_queues):
+            if slot in self._wid_of_slot:
+                try:
+                    task_queue.put(None)
+                except Exception:  # pragma: no cover - queue already broken
+                    pass
         deadline = time.monotonic() + self.SHUTDOWN_GRACE
         for worker in self._workers:
             worker.join(timeout=max(0.0, deadline - time.monotonic()))
@@ -204,6 +268,9 @@ class LocalTransport(Transport):
         self._task_queues = []
         self._steal_flags = []
         self._result_queue = None
+        self._slot_of_wid = []
+        self._wid_of_slot = {}
+        self._session = None
 
 
 def resolve_transport(transport, hosts=()) -> Transport:

@@ -34,6 +34,37 @@ class TestParallelismValidation:
         assert config.workers == 4
         assert config.shards == 2
 
+    def test_rejects_unknown_worker_loss_policy(self):
+        with pytest.raises(AchillesError, match="on_worker_loss"):
+            AchillesConfig(layout=TOY_LAYOUT, on_worker_loss="shrug")
+
+    def test_rejects_negative_retry_budget(self):
+        with pytest.raises(AchillesError,
+                           match="max_worker_retries must be >= 0"):
+            AchillesConfig(layout=TOY_LAYOUT, max_worker_retries=-1)
+
+    def test_recovery_knobs_accepted(self):
+        config = AchillesConfig(layout=TOY_LAYOUT, shards=2,
+                                on_worker_loss="recover",
+                                max_worker_retries=0)
+        assert config.on_worker_loss == "recover"
+        assert config.max_worker_retries == 0
+
+    def test_transport_instance_accepted_without_hosts(self):
+        from repro.explore import LocalTransport
+
+        transport = LocalTransport()
+        config = AchillesConfig(layout=TOY_LAYOUT, shards=2,
+                                transport=transport)
+        assert config.transport is transport
+
+    def test_transport_instance_with_hosts_rejected(self):
+        from repro.explore import LocalTransport
+
+        with pytest.raises(AchillesError, match="carries its own hosts"):
+            AchillesConfig(layout=TOY_LAYOUT, transport=LocalTransport(),
+                           hosts=("127.0.0.1:9100",))
+
     def test_sharded_bfs_rejected(self):
         """Sharded merge order == DFS completion order; a BFS serial run
         orders findings differently, so the combination fails loudly."""

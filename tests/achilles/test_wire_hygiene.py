@@ -145,6 +145,18 @@ class TestShardOutcome:
 
 
 class TestScalarPayloads:
+    def test_assignment(self):
+        """The task-frame payload a coordinator ships on reassignment:
+        roots plus the excluded (already-donated) subtrees."""
+        from repro.explore import Assignment
+
+        assignment = Assignment(roots=((True,), (False, True)),
+                                exclude=((False, True, False),))
+        copy = wire_roundtrip(assignment)
+        assert copy == assignment
+        assert copy.roots == ((True,), (False, True))
+        assert copy.exclude == ((False, True, False),)
+
     def test_solver_stats(self):
         stats = SolverStats()
         stats.queries = 41

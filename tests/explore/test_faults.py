@@ -1,0 +1,348 @@
+"""The fault-injection harness and the recovery paths it drives.
+
+Two layers of coverage: :class:`FaultyTransport` semantics against a
+scripted in-memory transport (the plan fires exactly when and where the
+script says), then end-to-end recovery runs over a real
+``LocalTransport`` asserting the headline criterion — findings are
+byte-identical with and without injected faults under
+``on_worker_loss="recover"``.
+
+Setup callables live at module level so worker processes can unpickle
+them under any start method.
+"""
+
+import time
+from collections import deque
+
+import pytest
+
+from repro.errors import SymexError
+from repro.explore import (
+    DelayResult,
+    DropConnection,
+    ExcludeControl,
+    FaultPlan,
+    FaultyTransport,
+    GarbleResult,
+    KillWorker,
+    LocalTransport,
+    RefuseRespawn,
+    ShardScheduler,
+    Transport,
+)
+from repro.explore.shard import MSG_DONE, extends
+from repro.symex.engine import Engine, EngineConfig
+
+
+def tree_setup(engine, depth, thresholds=()):
+    def program(ctx):
+        for i in range(depth):
+            ctx.branch(ctx.fresh_bool(f"b{i}"))
+        x = ctx.fresh_byte("x")
+        for threshold in thresholds:
+            ctx.branch(x < threshold)
+    return program, None
+
+
+def _signature(result):
+    return [(p.path_id, p.verdict, p.decisions, p.constraints, p.labels)
+            for p in result.paths]
+
+
+def _serial(setup, args):
+    engine = Engine(EngineConfig())
+    program, observer = setup(engine, *args)
+    return engine.explore(program, observer)
+
+
+# -- FaultyTransport semantics against a scripted inner transport -------------
+
+
+class _ScriptedTransport(Transport):
+    """An in-memory transport: tests enqueue messages, record calls."""
+
+    def __init__(self, workers=2):
+        self.workers = workers
+        self.inbox = deque()
+        self.assigned = []
+        self.respawned = []
+        self.stopped = False
+
+    @property
+    def worker_count(self):
+        return self.workers
+
+    def start(self, count, session):
+        self.workers = count
+
+    def assign(self, wid, prefixes):
+        self.assigned.append((wid, prefixes))
+
+    def request_steal(self, wid):
+        pass
+
+    def acknowledge_done(self, wid):
+        pass
+
+    def recv(self, timeout):
+        if self.inbox:
+            return self.inbox.popleft()
+        return None
+
+    def alive(self, wid):
+        return True
+
+    def respawn(self, wid):
+        self.respawned.append(wid)
+        return True
+
+    def describe(self, wid):
+        return f"scripted worker {wid}"
+
+    def stop(self):
+        self.stopped = True
+
+
+class TestFaultyTransportSemantics:
+    def test_empty_plan_is_transparent(self):
+        inner = _ScriptedTransport()
+        faulty = FaultyTransport(inner, FaultPlan())
+        inner.inbox.append((MSG_DONE, 0, "payload"))
+        faulty.assign(0, [()])
+        assert inner.assigned == [(0, [()])]
+        assert faulty.recv(0.1) == (MSG_DONE, 0, "payload")
+        assert faulty.alive(0)
+        assert faulty.injected_kills == 0
+
+    def test_kill_after_zero_results_severs_immediately(self):
+        faulty = FaultyTransport(_ScriptedTransport(),
+                                 FaultPlan(KillWorker(0, after_results=0)))
+        assert not faulty.alive(0)
+        assert faulty.alive(1)
+        assert faulty.injected_kills == 1
+        with pytest.raises(SymexError, match="unreachable"):
+            faulty.assign(0, [()])
+        assert "severed by fault plan" in faulty.describe(0)
+
+    def test_kill_after_nth_result_lets_earlier_messages_through(self):
+        inner = _ScriptedTransport()
+        faulty = FaultyTransport(inner,
+                                 FaultPlan(KillWorker(0, after_results=1)))
+        inner.inbox.append((MSG_DONE, 0, "first"))
+        inner.inbox.append((MSG_DONE, 0, "second"))
+        assert faulty.recv(0.1) == (MSG_DONE, 0, "first")
+        # One message delivered: the kill is due; the second is swallowed.
+        assert faulty.recv(0.1) is None
+        assert not faulty.alive(0)
+        assert faulty.injected_kills == 1
+
+    def test_drop_connection_behaves_like_kill(self):
+        faulty = FaultyTransport(_ScriptedTransport(),
+                                 FaultPlan(DropConnection(1)))
+        assert not faulty.alive(1)
+        assert faulty.alive(0)
+
+    def test_severed_workers_messages_are_swallowed_not_delivered(self):
+        inner = _ScriptedTransport()
+        faulty = FaultyTransport(inner, FaultPlan(KillWorker(0)))
+        inner.inbox.append((MSG_DONE, 0, "from the dead"))
+        inner.inbox.append((MSG_DONE, 1, "alive"))
+        assert faulty.recv(0.1) == (MSG_DONE, 1, "alive")
+
+    def test_respawn_refused_then_granted(self):
+        inner = _ScriptedTransport()
+        faulty = FaultyTransport(
+            inner, FaultPlan(KillWorker(0), RefuseRespawn(0, times=2)))
+        assert not faulty.alive(0)
+        assert not faulty.respawn(0)
+        assert not faulty.respawn(0)
+        assert faulty.refused_respawns == 2
+        assert inner.respawned == []          # refusals never reach inner
+        assert faulty.respawn(0)
+        assert inner.respawned == [0]
+        assert faulty.alive(0)                # severed state cleared
+
+    def test_respawn_resets_delivery_count_for_second_kill(self):
+        inner = _ScriptedTransport()
+        faulty = FaultyTransport(
+            inner, FaultPlan(KillWorker(0, after_results=0),
+                             KillWorker(0, after_results=1)))
+        assert not faulty.alive(0)
+        assert faulty.respawn(0)
+        assert faulty.alive(0)                # second kill needs 1 delivery
+        inner.inbox.append((MSG_DONE, 0, "one"))
+        assert faulty.recv(0.1) == (MSG_DONE, 0, "one")
+        assert not faulty.alive(0)            # and now it fires
+        assert faulty.injected_kills == 2
+
+    def test_delay_result_sleeps_but_delivers(self):
+        inner = _ScriptedTransport()
+        faulty = FaultyTransport(inner,
+                                 FaultPlan(DelayResult(0, nth=1,
+                                                       seconds=0.05)))
+        inner.inbox.append((MSG_DONE, 0, "slow"))
+        before = time.monotonic()
+        assert faulty.recv(1.0) == (MSG_DONE, 0, "slow")
+        assert time.monotonic() - before >= 0.05
+        assert faulty.alive(0)
+        assert faulty.injected_kills == 0
+
+    def test_garble_severs_the_stream(self):
+        inner = _ScriptedTransport()
+        faulty = FaultyTransport(inner, FaultPlan(GarbleResult(0, nth=1)))
+        inner.inbox.append((MSG_DONE, 0, "garbled"))
+        assert faulty.recv(0.1) is None       # dropped, stream severed
+        assert not faulty.alive(0)
+        assert faulty.injected_kills == 1
+
+    def test_plan_repr_names_its_faults(self):
+        plan = FaultPlan(KillWorker(3), RefuseRespawn(3, times=2))
+        assert "KillWorker" in repr(plan)
+        assert "RefuseRespawn" in repr(plan)
+
+
+# -- ExcludeControl: the reclaim-without-double-merge mechanism ---------------
+
+
+class TestExcludeControl:
+    def test_extends_relation(self):
+        assert extends((True, False), (True,))
+        assert extends((True,), (True,))      # a subtree contains its root
+        assert not extends((True,), (True, False))
+        assert not extends((False, True), (True,))
+        assert extends((True,), ())           # everything is under the root
+
+    def test_filters_descendants_of_excluded_prefixes(self):
+        control = ExcludeControl(exclude=((True,),))
+        worklist = deque([(True,), (True, False), (False,), (False, True)])
+        assert control.checkpoint(worklist)
+        assert list(worklist) == [(False,), (False, True)]
+
+    def test_empty_exclusion_leaves_worklist_untouched(self):
+        control = ExcludeControl(exclude=())
+        worklist = deque([(True,), (False,)])
+        assert control.checkpoint(worklist)
+        assert list(worklist) == [(True,), (False,)]
+
+    def test_delegates_to_inner_control(self):
+        class Stop:
+            def checkpoint(self, worklist):
+                return False
+
+        control = ExcludeControl(exclude=((True,),), inner=Stop())
+        assert control.checkpoint(deque()) is False
+
+
+# -- end-to-end recovery over a real LocalTransport ---------------------------
+
+
+TREE_ARGS = (4, [30, 200])
+
+
+def _recover_run(plan, shards=2, max_worker_retries=2, seed_factor=2):
+    faulty = FaultyTransport(LocalTransport(), plan)
+    scheduler = ShardScheduler(tree_setup, TREE_ARGS, shards=shards,
+                               seed_factor=seed_factor, transport=faulty,
+                               on_worker_loss="recover",
+                               max_worker_retries=max_worker_retries)
+    return scheduler.run(), faulty
+
+
+class TestRecoveryParity:
+    def test_fault_free_recover_mode_matches_serial(self):
+        """recover mode on a healthy run changes nothing at all."""
+        serial = _serial(tree_setup, TREE_ARGS)
+        sharded, faulty = _recover_run(FaultPlan())
+        assert _signature(sharded.exploration) == _signature(serial)
+        assert sharded.worker_failures == 0
+        assert sharded.prefixes_reassigned == 0
+        assert sharded.recovery_seconds == 0.0
+        assert faulty.injected_kills == 0
+
+    def test_killed_worker_recovers_byte_identical(self):
+        serial = _serial(tree_setup, TREE_ARGS)
+        sharded, faulty = _recover_run(
+            FaultPlan(KillWorker(0, after_results=0)))
+        assert faulty.injected_kills == 1
+        assert sharded.worker_failures == 1
+        assert sharded.prefixes_reassigned >= 1
+        assert sharded.recovery_seconds > 0.0
+        assert _signature(sharded.exploration) == _signature(serial)
+        assert sharded.exploration.executed == serial.executed
+
+    def test_kill_plus_refused_respawn_still_recovers(self):
+        """First respawn refused, second granted — inside the default
+        max_worker_retries=2 budget."""
+        serial = _serial(tree_setup, TREE_ARGS)
+        sharded, faulty = _recover_run(
+            FaultPlan(KillWorker(0, after_results=0),
+                      RefuseRespawn(0, times=1)))
+        assert faulty.injected_kills == 1
+        assert faulty.refused_respawns == 1
+        assert sharded.worker_failures == 1
+        assert _signature(sharded.exploration) == _signature(serial)
+
+    def test_retries_exhausted_survivors_finish_the_work(self):
+        """When a slot can never be respawned its region spreads over the
+        survivors; the run completes and stays byte-identical."""
+        serial = _serial(tree_setup, TREE_ARGS)
+        sharded, faulty = _recover_run(
+            FaultPlan(KillWorker(0, after_results=0),
+                      RefuseRespawn(0, times=10)),
+            max_worker_retries=2)
+        assert faulty.refused_respawns == 2   # the whole retry budget
+        assert sharded.worker_failures == 1
+        assert _signature(sharded.exploration) == _signature(serial)
+
+    def test_all_workers_lost_fails_loudly(self):
+        plan = FaultPlan(KillWorker(0), KillWorker(1),
+                         RefuseRespawn(0, times=10),
+                         RefuseRespawn(1, times=10))
+        faulty = FaultyTransport(LocalTransport(), plan)
+        scheduler = ShardScheduler(tree_setup, TREE_ARGS, shards=2,
+                                   seed_factor=2, transport=faulty,
+                                   on_worker_loss="recover",
+                                   max_worker_retries=1)
+        with pytest.raises(SymexError, match="all shard workers were lost"):
+            scheduler.run()
+
+    def test_garbled_result_recovers_byte_identical(self):
+        """A corrupted frame severs the worker; recovery re-runs its
+        region and the merge stays canonical."""
+        serial = _serial(tree_setup, TREE_ARGS)
+        sharded, faulty = _recover_run(FaultPlan(GarbleResult(0, nth=1)))
+        assert faulty.injected_kills == 1
+        assert sharded.worker_failures == 1
+        assert _signature(sharded.exploration) == _signature(serial)
+
+    def test_delayed_result_is_not_a_death(self):
+        """A slow message within the grace window must not trigger
+        recovery — slow is not dead."""
+        serial = _serial(tree_setup, TREE_ARGS)
+        sharded, faulty = _recover_run(
+            FaultPlan(DelayResult(0, nth=1, seconds=0.2)))
+        assert sharded.worker_failures == 0
+        assert _signature(sharded.exploration) == _signature(serial)
+
+    def test_fail_mode_still_fails_under_injected_kill(self):
+        """The default policy keeps today's loud-failure contract even
+        when the death is injected rather than real — the error names
+        the worker instead of recovering."""
+        faulty = FaultyTransport(LocalTransport(),
+                                 FaultPlan(KillWorker(0, after_results=0)))
+        scheduler = ShardScheduler(tree_setup, TREE_ARGS, shards=2,
+                                   seed_factor=2, transport=faulty)
+        with pytest.raises(SymexError, match="local worker 0"):
+            scheduler.run()
+
+
+class TestSchedulerPolicyValidation:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SymexError, match="on_worker_loss"):
+            ShardScheduler(tree_setup, TREE_ARGS, shards=2,
+                           on_worker_loss="retry-forever")
+
+    def test_rejects_negative_retry_budget(self):
+        with pytest.raises(SymexError, match="max_worker_retries"):
+            ShardScheduler(tree_setup, TREE_ARGS, shards=2,
+                           max_worker_retries=-1)

@@ -11,7 +11,8 @@ import signal
 import pytest
 
 from repro.errors import SymexError
-from repro.explore import ShardScheduler
+from repro.explore import ExcludeControl, ShardScheduler, merge_outcomes
+from repro.explore.shard import run_assignment
 from repro.symex.engine import Engine, EngineConfig
 from repro.symex.observers import PathObserver
 
@@ -55,6 +56,25 @@ def dying_setup(engine, parent_pid):
         for i in range(4):
             ctx.branch(ctx.fresh_bool(f"b{i}"))
         if os.getpid() != parent_pid:
+            os.kill(os.getpid(), signal.SIGKILL)
+    return program, None
+
+
+def die_once_setup(engine, coordinator_pid, marker):
+    """SIGKILLs the first worker process to finish a path — exactly once
+    across the whole run, via an O_EXCL marker file — so a recovery run
+    sees one real death and its respawned replacement completes."""
+    def program(ctx):
+        for i in range(4):
+            ctx.branch(ctx.fresh_bool(f"b{i}"))
+        x = ctx.fresh_byte("x")
+        ctx.branch(x < 100)
+        if os.getpid() != coordinator_pid:
+            try:
+                fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                return
+            os.close(fd)
             os.kill(os.getpid(), signal.SIGKILL)
     return program, None
 
@@ -136,3 +156,57 @@ class TestSchedulerValidation:
         scheduler = ShardScheduler(plain_observer_setup, (), shards=2)
         with pytest.raises(SymexError, match="delta-capable"):
             scheduler.run()
+
+
+class TestWorkerLossRecovery:
+    def test_sigkilled_worker_recovers_byte_identical(self, tmp_path):
+        """A real SIGKILL (not an injected fault): with
+        ``on_worker_loss="recover"`` the dead worker's prefixes re-run on
+        a respawned process and the merged result matches the serial
+        engine path-for-path."""
+        marker = str(tmp_path / "killed-once")
+        args = (os.getpid(), marker)
+        serial = _serial(die_once_setup, args)
+        scheduler = ShardScheduler(die_once_setup, args, shards=2,
+                                   seed_factor=1, on_worker_loss="recover")
+        sharded = scheduler.run()
+        assert os.path.exists(marker), "the kill never fired"
+        assert sharded.worker_failures == 1
+        assert sharded.prefixes_reassigned >= 1
+        assert sharded.recovery_seconds > 0.0
+        assert _signature(sharded.exploration) == _signature(serial)
+        assert sharded.exploration.executed == serial.executed
+
+    def test_fault_free_run_reports_zero_recovery_counters(self):
+        sharded = ShardScheduler(tree_setup, (4, [100]), shards=2,
+                                 on_worker_loss="recover").run()
+        assert sharded.worker_failures == 0
+        assert sharded.prefixes_reassigned == 0
+        assert sharded.recovery_seconds == 0.0
+
+
+class TestMergeReclaimSoundness:
+    """Reclaiming a dead worker's roots must not re-explore subtrees it
+    had donated — the merge rejects the overlap; ``ExcludeControl``
+    carves the donation out exactly."""
+
+    def test_naive_rerun_of_donated_subtree_rejected_by_merge(self):
+        full = run_assignment(Engine(EngineConfig()), tree_setup, (3,), [()])
+        donated = run_assignment(Engine(EngineConfig()), tree_setup, (3,),
+                                 [(False,)])
+        with pytest.raises(SymexError, match="overlap"):
+            merge_outcomes([full, donated])
+
+    def test_exclusion_carves_out_the_donated_subtree(self):
+        """Re-running the dead worker's root with its donation excluded
+        plus the donation's own run merges cleanly into the serial tree.
+        (The excluded prefix ends in False — donations always do, since
+        the worklist holds the not-taken side of each fork.)"""
+        rest = run_assignment(Engine(EngineConfig()), tree_setup, (3,), [()],
+                              control=ExcludeControl(((False,),)))
+        donated = run_assignment(Engine(EngineConfig()), tree_setup, (3,),
+                                 [(False,)])
+        merged = merge_outcomes([rest, donated])
+        serial = _serial(tree_setup, (3,))
+        assert _signature(merged.exploration) == _signature(serial)
+        assert merged.exploration.executed == serial.executed

@@ -98,6 +98,20 @@ class TestFrameCodec:
             reader = FrameReader(right)
             assert reader.recv_blocking(timeout=1.0) is None
 
+    def test_recv_blocking_restores_previous_socket_timeout(self):
+        """The blocking read must not clobber the socket's configured
+        timeout — later polling reads rely on it."""
+        left, right = _socketpair()
+        with left, right:
+            send_frame(left, "task", 1)
+            reader = FrameReader(right)
+            assert reader.recv_blocking(timeout=0.5) == ("task", 1)
+            assert right.gettimeout() == 5.0
+            # Also after a timeout (the error path runs the same finally).
+            with pytest.raises(SymexError, match="timed out"):
+                reader.recv_blocking(timeout=0.05)
+            assert right.gettimeout() == 5.0
+
 
 class TestParseHostport:
     def test_parses_host_and_port(self):
@@ -156,6 +170,22 @@ class TestTcpConnectFailure:
 
         with pytest.raises(SymexError, match="repro worker --listen"):
             transport.start(1, WorkerSession(setup=None))
+
+    def test_connect_failure_reports_backoff_attempts(self):
+        """The error must say how hard it tried: attempt count and the
+        backoff discipline, so a flaky-network failure is debuggable."""
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        transport = TcpTransport([f"127.0.0.1:{port}"],
+                                 connect_timeout=0.3, retry_interval=0.05)
+        from repro.explore.transport import WorkerSession
+
+        with pytest.raises(SymexError,
+                           match=r"\d+ attempt\(s\)") as excinfo:
+            transport.start(1, WorkerSession(setup=None))
+        assert "exponential backoff" in str(excinfo.value)
 
     def test_non_worker_endpoint_rejected_at_handshake(self):
         """Connecting to something that is not a repro worker must fail
@@ -241,6 +271,11 @@ class TestTransportInterface:
             transport.recv(0.1)
         assert transport.describe(3) == "worker 3"
 
+    def test_respawn_defaults_to_unsupported(self):
+        """A transport that can't replace workers says so by returning
+        False — the scheduler then spreads work over the survivors."""
+        assert Transport().respawn(0) is False
+
 
 def tiny_setup(engine):
     def program(ctx):
@@ -276,3 +311,38 @@ class TestLocalTransportLifecycle:
         transport = LocalTransport()
         transport.stop()
         transport.stop()
+
+    def test_respawn_replaces_a_dead_worker(self):
+        """Terminate a worker process outright, respawn its slot, and
+        the replacement serves a fresh assignment — while any stray
+        message from the terminated predecessor is dropped (the slot
+        indirection), never surfacing under the respawned wid."""
+        from repro.explore import WorkerSession
+        from repro.explore.shard import MSG_DONE
+
+        transport = LocalTransport()
+        transport.start(2, WorkerSession(setup=tiny_setup,
+                                         engine_config=EngineConfig()))
+        try:
+            victim = transport._workers[transport._slot_of_wid[0]]
+            victim.terminate()
+            victim.join(timeout=10)
+            for _ in range(200):
+                if not transport.alive(0):
+                    break
+            assert not transport.alive(0)
+            assert transport.alive(1)
+            assert transport.respawn(0) is True
+            assert transport.alive(0)
+            transport.assign(0, [()])
+            message = None
+            for _ in range(500):
+                message = transport.recv(0.05)
+                if message is not None:
+                    break
+            assert message is not None
+            kind, wid, outcome = message
+            assert (kind, wid) == (MSG_DONE, 0)
+            assert len(outcome.paths) == 2
+        finally:
+            transport.stop()

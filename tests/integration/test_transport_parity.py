@@ -202,6 +202,26 @@ def failing_setup(engine, coordinator_pid):
     return program, None
 
 
+def die_once_setup(engine, coordinator_pid, marker):
+    """SIGKILLs the first worker session to finish a path — exactly once
+    across the whole run, via an O_EXCL marker file — so a recovery run
+    sees one real daemon-session death and the respawned session (on the
+    next listed host) completes the reclaimed work."""
+    def program(ctx):
+        for i in range(4):
+            ctx.branch(ctx.fresh_bool(f"b{i}"))
+        x = ctx.fresh_byte("x")
+        ctx.branch(x < 100)
+        if os.getpid() != coordinator_pid:
+            try:
+                fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                return
+            os.close(fd)
+            os.kill(os.getpid(), signal.SIGKILL)
+    return program, None
+
+
 @pytest.fixture
 def private_hosts():
     daemons, hosts = _spawn_daemons(
@@ -238,6 +258,34 @@ class TestTcpRobustness:
         message = str(excinfo.value)
         assert "remote worker boom" in message
         assert "Traceback" in message             # the full remote trace
+
+    def test_killed_worker_recovers_byte_identical_over_tcp(
+            self, private_hosts, tmp_path):
+        """SIGKILL on a TCP worker session mid-run, this time with
+        ``on_worker_loss="recover"``: the coordinator reclaims the dead
+        session's prefixes, respawns against the next host, and the
+        merged result matches the serial engine path-for-path."""
+        from repro.symex.engine import Engine, EngineConfig
+
+        marker = str(tmp_path / "killed-once")
+        args = (os.getpid(), marker)
+        engine = Engine(EngineConfig())
+        program, _ = die_once_setup(engine, *args)
+        serial = engine.explore(program)
+        scheduler = ShardScheduler(die_once_setup, args, shards=2,
+                                   seed_factor=1, transport="tcp",
+                                   hosts=private_hosts,
+                                   on_worker_loss="recover")
+        sharded = scheduler.run()
+        assert os.path.exists(marker), "the kill never fired"
+        assert sharded.worker_failures == 1
+        assert sharded.prefixes_reassigned >= 1
+        serial_paths = [(p.path_id, p.verdict, p.decisions, p.constraints)
+                        for p in serial.paths]
+        sharded_paths = [(p.path_id, p.verdict, p.decisions, p.constraints)
+                         for p in sharded.exploration.paths]
+        assert sharded_paths == serial_paths
+        assert sharded.exploration.executed == serial.executed
 
     def test_plain_exploration_parity_over_tcp(self, private_hosts):
         """Scheduler-level (no Achilles) parity: a plain tree explored
