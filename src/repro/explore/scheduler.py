@@ -386,8 +386,17 @@ class ShardScheduler:
         idle.discard(wid)
         booking = assigned.pop(wid, None)
         if booking is not None:
-            self._prefixes_reassigned += len(booking.roots)
             for root in booking.roots:
+                if any(extends(root, d) for d in booking.exclude):
+                    # The root itself was donated away (StealControl
+                    # hands out the shallowest worklist entries, which
+                    # can be untouched roots of a multi-root
+                    # assignment): its subtree already belongs to
+                    # whoever received the donation, so requeueing it
+                    # here would explore it twice and the merge would
+                    # reject the overlap.
+                    continue
+                self._prefixes_reassigned += 1
                 pending.append((root, tuple(
                     d for d in booking.exclude
                     if extends(d, root) and d != root)))
@@ -483,6 +492,13 @@ class ShardScheduler:
         their queue order; a single entry is always self-consistent
         (its exclusions are strict descendants of its own root), so
         dispatch always makes progress.
+
+        Duplicate roots are collapsed: an entry whose root is already
+        covered by an accepted root (and not carved back out by the
+        batch exclusions) would seed the worker's worklist twice and
+        yield duplicate paths inside one outcome, so it is dropped —
+        keeping its exclusions, which mark subtrees owned elsewhere.
+        Defense in depth against any double-enqueued reclaim.
         """
         if size <= 0:
             return None
@@ -493,11 +509,20 @@ class ShardScheduler:
             if len(roots) >= size:
                 break
             root, root_exclude = pending.popleft()
+            if (any(extends(root, r) for r in roots)
+                    and not any(extends(root, d) for d in exclude)):
+                exclude.extend(
+                    d for d in root_exclude if d not in exclude)
+                continue
             candidate_roots = roots + [root]
             candidate_exclude = exclude + [
                 d for d in root_exclude if d not in exclude]
-            if any(extends(r, d) for r in candidate_roots
-                   for d in candidate_exclude):
+            if (any(extends(r, d) for r in candidate_roots
+                    for d in candidate_exclude)
+                    or any(extends(r, root) for r in roots)):
+                # An exclusion swallowing a batch root, or a candidate
+                # containing an accepted root: either would corrupt the
+                # worker's worklist — defer to a later batch.
                 deferred.append((root, root_exclude))
                 continue
             roots = candidate_roots

@@ -140,6 +140,11 @@ class FrameReader:
         coordinator's per-worker recv deadline watches."""
         return bool(self._buf) and not self.pending()
 
+    def buffered(self) -> int:
+        """Bytes currently buffered — the coordinator's stall clock
+        restarts whenever this grows (a slow frame is not a dead one)."""
+        return len(self._buf)
+
     def recv_blocking(self, timeout: float | None = None) -> tuple | None:
         """Block for the next frame; None on EOF.
 
@@ -193,10 +198,13 @@ class TcpTransport(Transport):
             with jitter, so a fleet reconnecting to a recovering daemon
             does not hammer it in lockstep.
         retry_max_delay: backoff cap for the sleep between attempts.
-        recv_deadline: seconds a *partially received* frame may stall
-            before the sender is declared dead. A worker host that drops
-            off the network mid-frame delivers no EOF; without this
-            deadline the coordinator would buffer the torso forever.
+        recv_deadline: seconds a *partially received* frame may go
+            without a single new byte before the sender is declared
+            dead. A worker host that drops off the network mid-frame
+            delivers no EOF; without this deadline the coordinator
+            would buffer the torso forever. A large frame that merely
+            takes long to transfer keeps resetting the clock as its
+            bytes arrive.
     """
 
     def __init__(self, hosts, connect_timeout: float = 10.0,
@@ -216,7 +224,9 @@ class TcpTransport(Transport):
         self._dead: set[int] = set()
         self._host_of_wid: dict[int, int] = {}
         self._init_frame: bytes | None = None
-        self._partial_since: dict[int, float] = {}
+        # Per-worker stall clock: (buffered bytes last seen, when that
+        # count was first seen). Reset whenever the buffer grows.
+        self._partial_since: dict[int, tuple[int, float]] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -364,7 +374,9 @@ class TcpTransport(Transport):
         """Per-worker recv deadline: a frame torso that stops growing for
         ``recv_deadline`` seconds means the host dropped off the network
         without an EOF — declare the worker dead instead of buffering the
-        partial frame forever."""
+        partial frame forever. The clock restarts every time the buffer
+        grows, so a large frame that simply takes longer than the
+        deadline to transfer is never mistaken for a death."""
         now = time.monotonic()
         for wid, reader in enumerate(self._readers):
             if wid in self._dead:
@@ -376,8 +388,12 @@ class TcpTransport(Transport):
                 continue  # oversized header; the frame scan handles it
             if not stalled:
                 self._partial_since.pop(wid, None)
-            elif now - self._partial_since.setdefault(wid, now) \
-                    > self.recv_deadline:
+                continue
+            size = reader.buffered()
+            mark = self._partial_since.get(wid)
+            if mark is None or size > mark[0]:
+                self._partial_since[wid] = (size, now)
+            elif now - mark[1] > self.recv_deadline:
                 self._dead.add(wid)
 
     def alive(self, wid: int) -> bool:

@@ -7,12 +7,24 @@ start method.
 
 import os
 import signal
+from collections import deque
 
 import pytest
 
 from repro.errors import SymexError
-from repro.explore import ExcludeControl, ShardScheduler, merge_outcomes
-from repro.explore.shard import run_assignment
+from repro.explore import (
+    ExcludeControl,
+    ShardScheduler,
+    Transport,
+    merge_outcomes,
+)
+from repro.explore.scheduler import _Booking
+from repro.explore.shard import (
+    MSG_DONATE,
+    MSG_DONE,
+    Assignment,
+    run_assignment,
+)
 from repro.symex.engine import Engine, EngineConfig
 from repro.symex.observers import PathObserver
 
@@ -210,3 +222,136 @@ class TestMergeReclaimSoundness:
         serial = _serial(tree_setup, (3,))
         assert _signature(merged.exploration) == _signature(serial)
         assert merged.exploration.executed == serial.executed
+
+
+class _DonateRootThenDieTransport(Transport):
+    """Inline transport scripting one exact schedule: worker 0's first
+    multi-root assignment donates an *untouched whole root* back to the
+    coordinator, then the worker dies silently (no DONE, no error frame
+    — ``alive()`` just turns False, like a SIGKILL). Every other
+    assignment — including the respawned slot's — runs synchronously
+    in-process, so the schedule is fully deterministic."""
+
+    def __init__(self):
+        self.inbox = deque()
+        self.donated = None
+        self._session = None
+        self._alive = {}
+
+    def start(self, count, session):
+        self.worker_count = count
+        self._session = session
+        self._alive = {wid: True for wid in range(count)}
+
+    def assign(self, wid, prefixes):
+        assignment = (prefixes if isinstance(prefixes, Assignment)
+                      else Assignment(roots=tuple(prefixes)))
+        if wid == 0 and self.donated is None and len(assignment.roots) > 1:
+            self.donated = assignment.roots[-1]
+            self.inbox.append((MSG_DONATE, wid, [self.donated]))
+            self._alive[wid] = False
+            return
+        engine = Engine(self._session.engine_config)
+        control = (ExcludeControl(assignment.exclude)
+                   if assignment.exclude else None)
+        outcome = run_assignment(engine, self._session.setup,
+                                 self._session.setup_args,
+                                 list(assignment.roots), control)
+        self.inbox.append((MSG_DONE, wid, outcome))
+
+    def request_steal(self, wid):
+        pass  # assignments complete inline; nothing to steal from
+
+    def acknowledge_done(self, wid):
+        pass
+
+    def recv(self, timeout):
+        if self.inbox:
+            return self.inbox.popleft()
+        return None
+
+    def alive(self, wid):
+        return self._alive.get(wid, True)
+
+    def respawn(self, wid):
+        self._alive[wid] = True
+        return True
+
+    def describe(self, wid):
+        return f"inline worker {wid}"
+
+    def stop(self):
+        pass
+
+
+class TestReclaimAfterDonation:
+    def test_donated_whole_root_is_not_requeued_on_recovery(self):
+        """The uncovered schedule from the review: a worker donates an
+        untouched root of its multi-root assignment, *then* dies. The
+        reclaim must skip that root — its subtree already ran via the
+        donation — or the merge rejects the overlap and the run crashes
+        despite on_worker_loss='recover'."""
+        args = (4, [100])
+        serial = _serial(tree_setup, args)
+        transport = _DonateRootThenDieTransport()
+        scheduler = ShardScheduler(tree_setup, args, shards=2,
+                                   seed_factor=2, transport=transport,
+                                   on_worker_loss="recover")
+        sharded = scheduler.run()
+        assert transport.donated is not None, "the scripted donation " \
+            "never fired (assignment held a single root?)"
+        assert sharded.worker_failures == 1
+        assert sharded.steals == 1
+        assert _signature(sharded.exploration) == _signature(serial)
+        assert sharded.exploration.executed == serial.executed
+
+    def test_recover_skips_fully_donated_root(self):
+        """Unit-level pin: a booking root equal to (or inside) a donated
+        subtree must not come back as pending work, and must not count
+        as reassigned."""
+        scheduler = ShardScheduler(tree_setup, (3,), shards=2,
+                                   on_worker_loss="recover",
+                                   max_worker_retries=0)
+        pending = deque()
+        active = {0, 1}
+        assigned = {0: _Booking(roots=[(False,), (True,)],
+                                exclude=[(True,), (False, True)])}
+        scheduler._recover(0, pending, idle=set(), active=active,
+                           assigned=assigned, steal_pending=set(),
+                           retries={0: 0, 1: 0})
+        # (True,) was donated whole — it belongs to its new owner; only
+        # (False,) returns, minus its own donated (False, True) subtree.
+        assert list(pending) == [((False,), ((False, True),))]
+        assert scheduler._prefixes_reassigned == 1
+        assert 0 not in active  # zero retries: the slot is written off
+
+
+class TestTakeBatchDeduplication:
+    def test_duplicate_roots_collapse_with_exclusions_merged(self):
+        """Two pending entries for the same root (a double-enqueued
+        reclaim) must not both seed one worker's worklist; the
+        duplicate's exclusions still mark subtrees owned elsewhere."""
+        pending = deque([((False,), ()), ((False,), ((False, True),))])
+        booking = ShardScheduler._take_batch(pending, 2)
+        assert booking.roots == [(False,)]
+        assert booking.exclude == [(False, True)]
+        assert not pending
+
+    def test_entry_carved_out_by_batch_exclusion_is_deferred_not_dropped(
+            self):
+        """The legitimate nesting: the batch explores () minus (False,),
+        and the (False,) entry is someone's donated region — it must be
+        deferred to its own batch, never silently dropped."""
+        pending = deque([((), ((False,),)), ((False,), ())])
+        booking = ShardScheduler._take_batch(pending, 2)
+        assert booking.roots == [()]
+        assert booking.exclude == [(False,)]
+        assert list(pending) == [((False,), ())]
+
+    def test_root_containing_an_accepted_root_is_deferred(self):
+        """The other overlap direction: a candidate whose subtree
+        contains an already-accepted root would double-seed it."""
+        pending = deque([((False, True), ()), ((False,), ())])
+        booking = ShardScheduler._take_batch(pending, 2)
+        assert booking.roots == [(False, True)]
+        assert list(pending) == [((False,), ())]

@@ -8,7 +8,9 @@ pieces in isolation.
 
 import pickle
 import socket
+import struct
 import threading
+import time
 
 import pytest
 
@@ -211,6 +213,60 @@ class TestTcpConnectFailure:
     def test_hello_frame_shape(self):
         assert pickle.loads(pickle.dumps((MSG_HELLO, PROTOCOL_VERSION))) \
             == (MSG_HELLO, PROTOCOL_VERSION)
+
+
+class TestRecvStallDeadline:
+    """The per-worker recv deadline fires on a frame that *stops
+    growing*, never on a large frame that is still arriving — slow is
+    not dead."""
+
+    def _transport_with_reader(self, deadline):
+        transport = TcpTransport(["127.0.0.1:9100"], recv_deadline=deadline)
+        left, right = _socketpair()
+        transport._socks = [right]
+        transport._readers = [FrameReader(right)]
+        return transport, left, transport._readers[0]
+
+    def test_growing_frame_resets_the_stall_clock(self):
+        """Bytes keep landing, each gap longer than the deadline: the
+        worker must stay alive — the transfer is making progress."""
+        transport, left, reader = self._transport_with_reader(0.05)
+        with left, reader.sock:
+            left.sendall(b"\x00")  # frame torso begins (partial header)
+            reader.feed()
+            transport._check_stalls()
+            for _ in range(3):
+                time.sleep(0.06)   # past the deadline every time...
+                left.sendall(b"\x00")  # ...but another byte arrives
+                reader.feed()
+                transport._check_stalls()
+            assert transport.alive(0)
+
+    def test_frame_that_stops_growing_is_a_death(self):
+        transport, left, reader = self._transport_with_reader(0.05)
+        with left, reader.sock:
+            left.sendall(b"\x00")
+            reader.feed()
+            transport._check_stalls()  # clock starts
+            time.sleep(0.06)
+            transport._check_stalls()  # no new bytes for > deadline
+            assert not transport.alive(0)
+
+    def test_completed_frame_clears_the_stall_clock(self):
+        transport, left, reader = self._transport_with_reader(0.05)
+        body = pickle.dumps(("done", 1), protocol=pickle.HIGHEST_PROTOCOL)
+        frame = struct.pack(">I", len(body)) + body
+        with left, reader.sock:
+            left.sendall(frame[:3])
+            reader.feed()
+            transport._check_stalls()
+            assert 0 in transport._partial_since
+            left.sendall(frame[3:])    # the rest arrives; frame complete
+            reader.feed()
+            transport._check_stalls()
+            assert 0 not in transport._partial_since
+            assert reader.pending()
+            assert transport.alive(0)
 
 
 class TestCacheSnapshot:
