@@ -1,0 +1,82 @@
+"""Warm-vs-cold repeat analysis through the durable query cache.
+
+The persistent cache's promise: re-analysis of a server should only pay
+for what changed. This benchmark runs the FSP end-to-end analysis
+(4-utility subset) twice against the same ``--cache-dir`` — a cold first
+run that populates the segments, then a warm second run that opens them —
+and emits ``BENCH_persist.json`` with both runs' cache hit rates,
+``disk_hits``, and the wall-clock delta. The warm run must answer every
+query from disk (strictly higher hit rate, zero misses-to-solver beyond
+what the cold run already paid) while finding byte-identical Trojans;
+the wall clocks are recorded, not gated (a loaded CI runner time-slices
+everything, which the JSON shows rather than hides).
+"""
+
+import itertools
+import time
+
+from repro.achilles import Achilles, AchillesConfig
+from repro.bench.experiments import FSP_SESSION_MASK
+from repro.bench.tables import format_table
+from repro.systems import fsp
+
+
+def _run_fsp(cache_dir):
+    commands = dict(itertools.islice(fsp.COMMANDS.items(), 4))
+    config = AchillesConfig(layout=fsp.FSP_LAYOUT, mask=FSP_SESSION_MASK,
+                            cache_dir=str(cache_dir))
+    started = time.perf_counter()
+    with Achilles(config) as achilles:
+        predicates = achilles.extract_clients(fsp.literal_clients(commands))
+        report = achilles.search(fsp.fsp_server, predicates)
+    return report, time.perf_counter() - started
+
+
+def test_warm_cache_repeat_analysis(benchmark, artifact, json_artifact,
+                                    tmp_path):
+    """Second FSP run against the same cache dir: strictly higher hit
+    rate, identical findings."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cache_dir = tmp_path / "cache"
+
+    cold_report, cold_seconds = _run_fsp(cache_dir)
+    warm_report, warm_seconds = _run_fsp(cache_dir)
+
+    # Identical findings — the cache must never warp an answer.
+    assert warm_report.witnesses() == cold_report.witnesses()
+    assert warm_report.server_paths_explored == \
+        cold_report.server_paths_explored
+
+    # The cold run sees an empty directory; the warm run answers from it.
+    assert cold_report.disk_hits == 0
+    assert warm_report.disk_hits > 0
+    assert warm_report.salvaged_records == 0
+    assert warm_report.dropped_records == 0
+    assert warm_report.cache_hit_rate > cold_report.cache_hit_rate
+    assert warm_report.cache_misses == 0  # everything was persisted
+
+    rows = [
+        ["cold (empty cache dir)", f"{cold_seconds:.2f}s",
+         f"{cold_report.cache_hit_rate:.3f}", str(cold_report.disk_hits)],
+        ["warm (same cache dir)", f"{warm_seconds:.2f}s",
+         f"{warm_report.cache_hit_rate:.3f}", str(warm_report.disk_hits)],
+    ]
+    artifact("persist_warm_cache", format_table(
+        ["Run", "Wall clock", "Cache hit rate", "Disk hits"], rows,
+        title="Repeat FSP analysis through the durable query cache "
+              "(4-utility subset)"))
+    json_artifact("persist", {
+        "workload": "FSP 4-utility subset, full pipeline",
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "warm_vs_cold_speedup": round(cold_seconds / warm_seconds, 4),
+        "cold_hit_rate": round(cold_report.cache_hit_rate, 6),
+        "warm_hit_rate": round(warm_report.cache_hit_rate, 6),
+        "cold_disk_hits": cold_report.disk_hits,
+        "warm_disk_hits": warm_report.disk_hits,
+        "warm_cache_misses": warm_report.cache_misses,
+        "salvaged_records": warm_report.salvaged_records,
+        "dropped_records": warm_report.dropped_records,
+        "findings": warm_report.trojan_count,
+        "parity": True,
+    })

@@ -11,10 +11,19 @@ Usage::
     python -m repro list           # show available experiments
 
     python -m repro worker --listen 0.0.0.0:9100   # shard worker daemon
+    python -m repro cache stats --cache-dir CACHE  # inspect a disk cache
 
 Every experiment accepts ``--workers/--shards`` (parallel throughput
 knobs; findings are byte-identical at any count) and
 ``--search-order/--max-paths`` (exploration policy overrides).
+
+Crash safety: ``--cache-dir DIR`` persists the canonical query cache
+across runs (a warm re-analysis only re-solves what changed; corrupted
+cache files degrade to a colder cache, never an error). With ``--shards
+N --run-dir DIR`` the sharded search journals its progress, and
+``--resume DIR`` continues a killed run from its last checkpoint —
+findings are byte-identical to an uninterrupted run. The ``cache``
+subcommand inspects, verifies, compacts, or clears a cache directory.
 
 Multi-host analysis: start a ``worker`` daemon on each host, then point
 any experiment at them with ``--transport tcp --hosts
@@ -38,7 +47,11 @@ def _run_toy(workers: int = 1, shards: int = 1,
              search_order: str | None = None,
              max_paths: int | None = None,
              transport: str = "local", hosts: tuple = (),
-             on_worker_loss: str = "fail") -> int:
+             on_worker_loss: str = "fail",
+             cache_dir: str | None = None,
+             run_dir: str | None = None,
+             checkpoint_interval: int = 1,
+             resume: bool = False) -> int:
     from repro.achilles import Achilles, AchillesConfig
     from repro.bench.experiments import make_engine_config
     from repro.systems.toy import TOY_LAYOUT, toy_client, toy_server
@@ -52,7 +65,11 @@ def _run_toy(workers: int = 1, shards: int = 1,
                                  shards=shards,
                                  transport=transport,
                                  hosts=tuple(hosts),
-                                 on_worker_loss=on_worker_loss)) as achilles:
+                                 on_worker_loss=on_worker_loss,
+                                 cache_dir=cache_dir,
+                                 run_dir=run_dir,
+                                 checkpoint_interval=checkpoint_interval,
+                                 resume=resume)) as achilles:
         predicates = achilles.extract_clients({"toy": toy_client})
         report = achilles.search(toy_server, predicates)
     rows = [[f.server_path_id, f.witness.hex(),
@@ -67,14 +84,21 @@ def _run_fsp(workers: int = 1, shards: int = 1,
              search_order: str | None = None,
              max_paths: int | None = None,
              transport: str = "local", hosts: tuple = (),
-             on_worker_loss: str = "fail") -> int:
+             on_worker_loss: str = "fail",
+             cache_dir: str | None = None,
+             run_dir: str | None = None,
+             checkpoint_interval: int = 1,
+             resume: bool = False) -> int:
     from repro.bench.experiments import run_fsp_accuracy
 
     outcome = run_fsp_accuracy(workers=workers, shards=shards,
                                search_order=search_order,
                                max_paths=max_paths,
                                transport=transport, hosts=hosts,
-                               on_worker_loss=on_worker_loss)
+                               on_worker_loss=on_worker_loss,
+                               cache_dir=cache_dir, run_dir=run_dir,
+                               checkpoint_interval=checkpoint_interval,
+                               resume=resume)
     print(format_table(
         ["metric", "paper", "here"],
         [["true positives", 80, outcome.true_positives],
@@ -90,14 +114,21 @@ def _run_fsp_wildcard(workers: int = 1, shards: int = 1,
                       search_order: str | None = None,
                       max_paths: int | None = None,
                       transport: str = "local", hosts: tuple = (),
-                      on_worker_loss: str = "fail") -> int:
+                      on_worker_loss: str = "fail",
+                      cache_dir: str | None = None,
+                      run_dir: str | None = None,
+                      checkpoint_interval: int = 1,
+                      resume: bool = False) -> int:
     from repro.bench.experiments import run_fsp_wildcard
     from repro.systems.fsp import FSP_LAYOUT
 
     report = run_fsp_wildcard(workers=workers, shards=shards,
                               search_order=search_order, max_paths=max_paths,
                               transport=transport, hosts=hosts,
-                              on_worker_loss=on_worker_loss)
+                              on_worker_loss=on_worker_loss,
+                              cache_dir=cache_dir, run_dir=run_dir,
+                              checkpoint_interval=checkpoint_interval,
+                              resume=resume)
     buf = FSP_LAYOUT.view("buf")
     wildcard = [w for w in report.witnesses()
                 if any(b in (42, 63) for b in w[buf.offset:buf.end])]
@@ -113,13 +144,20 @@ def _run_pbft(workers: int = 1, shards: int = 1,
               search_order: str | None = None,
               max_paths: int | None = None,
               transport: str = "local", hosts: tuple = (),
-              on_worker_loss: str = "fail") -> int:
+              on_worker_loss: str = "fail",
+              cache_dir: str | None = None,
+              run_dir: str | None = None,
+              checkpoint_interval: int = 1,
+              resume: bool = False) -> int:
     from repro.bench.experiments import run_pbft_impact
 
     outcome = run_pbft_impact(workers=workers, shards=shards,
                               search_order=search_order, max_paths=max_paths,
                               transport=transport, hosts=hosts,
-                              on_worker_loss=on_worker_loss)
+                              on_worker_loss=on_worker_loss,
+                              cache_dir=cache_dir, run_dir=run_dir,
+                              checkpoint_interval=checkpoint_interval,
+                              resume=resume)
     print(f"findings: {outcome.report.trojan_count} "
           f"(MAC != {outcome.mac_stub.hex()}) in "
           f"{outcome.report.timings.total:.2f}s")
@@ -148,7 +186,11 @@ def _run_raft(workers: int = 1, shards: int = 1,
               search_order: str | None = None,
               max_paths: int | None = None,
               transport: str = "local", hosts: tuple = (),
-              on_worker_loss: str = "fail") -> int:
+              on_worker_loss: str = "fail",
+              cache_dir: str | None = None,
+              run_dir: str | None = None,
+              checkpoint_interval: int = 1,
+              resume: bool = False) -> int:
     from repro.bench.experiments import run_raft_accuracy
     from repro.systems.raft import all_trojan_classes, classify_message
 
@@ -156,7 +198,10 @@ def _run_raft(workers: int = 1, shards: int = 1,
                                 search_order=search_order,
                                 max_paths=max_paths,
                                 transport=transport, hosts=hosts,
-                                on_worker_loss=on_worker_loss)
+                                on_worker_loss=on_worker_loss,
+                                cache_dir=cache_dir, run_dir=run_dir,
+                                checkpoint_interval=checkpoint_interval,
+                                resume=resume)
     _accuracy_table("Raft follower ingress vs seeded ground truth",
                     outcome, len(all_trojan_classes()))
     for finding in outcome.report.findings:
@@ -169,7 +214,11 @@ def _run_tpc(workers: int = 1, shards: int = 1,
              search_order: str | None = None,
              max_paths: int | None = None,
              transport: str = "local", hosts: tuple = (),
-             on_worker_loss: str = "fail") -> int:
+             on_worker_loss: str = "fail",
+             cache_dir: str | None = None,
+             run_dir: str | None = None,
+             checkpoint_interval: int = 1,
+             resume: bool = False) -> int:
     from repro.bench.experiments import run_tpc_accuracy
     from repro.systems.tpc import all_trojan_classes, classify_message
 
@@ -177,7 +226,10 @@ def _run_tpc(workers: int = 1, shards: int = 1,
                                search_order=search_order,
                                max_paths=max_paths,
                                transport=transport, hosts=hosts,
-                               on_worker_loss=on_worker_loss)
+                               on_worker_loss=on_worker_loss,
+                               cache_dir=cache_dir, run_dir=run_dir,
+                               checkpoint_interval=checkpoint_interval,
+                               resume=resume)
     _accuracy_table("Two-phase-commit participant vs seeded ground truth",
                     outcome, len(all_trojan_classes()))
     for finding in outcome.report.findings:
@@ -219,21 +271,74 @@ def _run_worker(argv: list[str]) -> int:
     return 0
 
 
+def _run_cache(argv: list[str]) -> int:
+    """The ``cache`` subcommand: inspect/maintain a disk query cache."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cache",
+        description="Inspect or maintain a persistent query-cache "
+                    "directory (the --cache-dir of analysis runs). "
+                    "'stats' prints segment/record counts, 'verify' "
+                    "replays every segment and reports salvage/drop "
+                    "counts (exit 1 when records were lost), 'compact' "
+                    "rewrites the segments into one (model records "
+                    "subsume their feasibility records), 'clear' deletes "
+                    "all segments.")
+    parser.add_argument("action",
+                        choices=["stats", "verify", "compact", "clear"],
+                        help="what to do with the cache directory")
+    parser.add_argument("--cache-dir", required=True, metavar="DIR",
+                        help="the cache directory analysis runs wrote "
+                             "with --cache-dir")
+    args = parser.parse_args(argv)
+    from repro.solver.diskcache import DiskCacheStore
+
+    store = DiskCacheStore(args.cache_dir)
+    if args.action == "stats":
+        for name, value in store.stats().items():
+            print(f"{name:18} {value}")
+        return 0
+    if args.action == "verify":
+        report = store.verify()
+        print(f"segments scanned   {report.segments_scanned}")
+        print(f"segments damaged   {report.segments_damaged}")
+        print(f"records loaded     {report.loaded_records}")
+        print(f"records salvaged   {report.salvaged_records}")
+        print(f"records dropped    {report.dropped_records}")
+        if report.truncated:
+            print("load truncated at the in-memory entry bound")
+        for warning in report.warnings:
+            print(f"warning: {warning}")
+        return 1 if report.dropped_records else 0
+    if args.action == "compact":
+        segments, kept = store.compact()
+        print(f"compacted {segments} segment(s) into "
+              f"{len(store.segment_paths())}; {kept} record(s) kept")
+        return 0
+    removed = store.clear()
+    print(f"removed {removed} segment(s)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     # The worker daemon has its own flag set (and runs forever), so it
     # branches off before the experiment parser.
     if argv[:1] == ["worker"]:
         return _run_worker(argv[1:])
+    if argv[:1] == ["cache"]:
+        return _run_cache(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run Achilles reproduction experiments "
                     "('python -m repro worker --help' for the shard "
-                    "worker daemon).")
+                    "worker daemon, 'python -m repro cache --help' for "
+                    "the disk-cache maintenance tool).")
     parser.add_argument("experiment",
-                        choices=sorted(_EXPERIMENTS) + ["list", "worker"],
-                        help="experiment to run, 'list', or 'worker' "
-                             "(shard worker daemon)")
+                        choices=sorted(_EXPERIMENTS) + ["list", "worker",
+                                                        "cache"],
+                        help="experiment to run, 'list', 'worker' (shard "
+                             "worker daemon), or 'cache' (disk-cache "
+                             "maintenance)")
     parser.add_argument("--workers", type=int, default=1,
                         help="solver-service worker processes (default: 1, "
                              "fully serial; findings are identical at any "
@@ -264,19 +369,50 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-paths", type=int, default=None,
                         help="cap on completed paths per exploration "
                              "(default: the engine default)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persist the canonical query cache to this "
+                             "directory and pre-load it on start; a warm "
+                             "re-run only re-solves what changed, and "
+                             "corrupted cache files degrade to a colder "
+                             "cache, never an error")
+    parser.add_argument("--run-dir", default=None, metavar="DIR",
+                        help="journal sharded-search progress to "
+                             "DIR/journal.wal (needs --shards >= 2) so a "
+                             "killed run can be continued with --resume")
+    parser.add_argument("--checkpoint-interval", type=int, default=1,
+                        metavar="N",
+                        help="completed shard assignments per durable "
+                             "(fsync'd) journal checkpoint (default: 1)")
+    parser.add_argument("--resume", default=None, metavar="RUN_DIR",
+                        help="continue the interrupted run journaled in "
+                             "RUN_DIR from its last checkpoint; findings "
+                             "are byte-identical to an uninterrupted run")
     args = parser.parse_args(argv)
     if args.experiment == "list":
         for name, (_, description) in sorted(_EXPERIMENTS.items()):
             print(f"{name:14} {description}")
         print("worker         shard worker daemon "
               "(python -m repro worker --help)")
+        print("cache          disk-cache maintenance "
+              "(python -m repro cache --help)")
         return 0
+    run_dir = args.run_dir
+    resume = False
+    if args.resume is not None:
+        if run_dir is not None and run_dir != args.resume:
+            parser.error("--resume RUN_DIR already names the run "
+                         "directory; drop the conflicting --run-dir")
+        run_dir = args.resume
+        resume = True
     hosts = tuple(h.strip() for h in args.hosts.split(",") if h.strip())
     runner, _ = _EXPERIMENTS[args.experiment]
     return runner(workers=args.workers, shards=args.shards,
                   search_order=args.search_order, max_paths=args.max_paths,
                   transport=args.transport, hosts=hosts,
-                  on_worker_loss=args.on_worker_loss)
+                  on_worker_loss=args.on_worker_loss,
+                  cache_dir=args.cache_dir, run_dir=run_dir,
+                  checkpoint_interval=args.checkpoint_interval,
+                  resume=resume)
 
 
 if __name__ == "__main__":

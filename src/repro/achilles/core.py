@@ -43,6 +43,7 @@ manager (or call :meth:`Achilles.close`) to shut the pool down.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.achilles.client_analysis import (
     ClientPredicateSet,
@@ -113,6 +114,24 @@ class AchillesConfig:
         max_worker_retries: with ``on_worker_loss="recover"``, respawn
             attempts per worker slot before that slot is written off and
             its work spread over the survivors.
+        cache_dir: when set, persist the canonical query cache to this
+            directory (:class:`~repro.solver.diskcache.DiskCacheStore`)
+            and pre-load whatever a previous run left there: feasibility
+            and model answers are content-addressed on process-stable
+            structural fingerprints, so a warm re-analysis only pays for
+            the queries that changed. Corrupted segments degrade to a
+            partially cold cache with a warning — never an error, never
+            a wrong answer.
+        run_dir: when set (sharded runs only), journal completed
+            assignments to ``run_dir/journal.wal`` so a killed
+            coordinator can be resumed with ``resume=True``.
+        checkpoint_interval: completed shard assignments per durable
+            (fsync'd) journal checkpoint; 1 (the default) checkpoints
+            every completion.
+        resume: replay ``run_dir``'s journal instead of starting the
+            phase-2 search from scratch: journaled outcomes merge as-is
+            and only the outstanding frontier is re-explored. Findings
+            are byte-identical to an uninterrupted run.
     """
 
     layout: MessageLayout
@@ -128,6 +147,10 @@ class AchillesConfig:
     hosts: tuple[str, ...] = ()
     on_worker_loss: str = "fail"
     max_worker_retries: int = 2
+    cache_dir: str | None = None
+    run_dir: str | None = None
+    checkpoint_interval: int = 1
+    resume: bool = False
 
     def __post_init__(self) -> None:
         # Validate here, not at pool start: a bad count otherwise
@@ -169,6 +192,46 @@ class AchillesConfig:
             raise AchillesError(
                 f"AchillesConfig.max_worker_retries must be >= 0, got "
                 f"{self.max_worker_retries}")
+        if self.checkpoint_interval < 1:
+            raise AchillesError(
+                f"AchillesConfig.checkpoint_interval must be >= 1, got "
+                f"{self.checkpoint_interval} (1 = fsync the run journal "
+                "after every completed shard assignment)")
+        if self.cache_dir is not None:
+            cache_path = Path(self.cache_dir)
+            if cache_path.exists() and not cache_path.is_dir():
+                raise AchillesError(
+                    f"AchillesConfig.cache_dir points at a file "
+                    f"({cache_path}); it must name a directory for the "
+                    "cache segments (it is created if missing)")
+        if self.run_dir is not None:
+            run_path = Path(self.run_dir)
+            if run_path.exists() and not run_path.is_dir():
+                raise AchillesError(
+                    f"AchillesConfig.run_dir points at a file "
+                    f"({run_path}); it must name a directory for the "
+                    "run journal (it is created if missing)")
+            if self.shards < 2:
+                raise AchillesError(
+                    "AchillesConfig.run_dir checkpoints the sharded "
+                    f"phase-2 search, but shards={self.shards}; set "
+                    "shards >= 2 (a serial walk has no coordinator to "
+                    "checkpoint)")
+        if self.resume:
+            if self.run_dir is None:
+                raise AchillesError(
+                    "AchillesConfig.resume=True needs run_dir: the "
+                    "journal of the interrupted run is what a resume "
+                    "replays")
+            from repro.explore.checkpoint import JOURNAL_NAME
+
+            journal = Path(self.run_dir) / JOURNAL_NAME
+            if not journal.exists():
+                raise AchillesError(
+                    f"AchillesConfig.resume=True but {journal} does not "
+                    "exist; resume needs the journal a previous "
+                    "checkpointed run wrote (start one with run_dir "
+                    "set, then resume after an interruption)")
 
 
 class Achilles:
@@ -181,6 +244,15 @@ class Achilles:
         # One canonical query cache for the whole run: phase 1 engines and
         # the phase 2 search all consult (and fill) the same instance.
         self.query_cache = QueryCache()
+        #: The disk-cache salvage report when ``cache_dir`` is set
+        #: (:class:`~repro.solver.diskcache.LoadReport`), else None.
+        self.disk_cache_report = None
+        self._store = None
+        if config.cache_dir is not None:
+            from repro.solver.diskcache import DiskCacheStore
+
+            self._store = DiskCacheStore(config.cache_dir)
+            self.disk_cache_report = self._store.load_into(self.query_cache)
         self._service: SolverService | None = None
 
     # -- solver service -----------------------------------------------------------
@@ -198,7 +270,8 @@ class Achilles:
         return self._service
 
     def close(self) -> None:
-        """Shut the worker pool down (no-op for serial runs)."""
+        """Flush the disk cache and shut the worker pool down."""
+        self.query_cache.flush_store()
         if self._service is not None:
             self._service.close()
             self._service = None
@@ -222,11 +295,16 @@ class Achilles:
             raise AchillesError(
                 "no client messages captured; check the destination filter "
                 "and that the clients reach ctx.send()")
-        return preprocess(
+        result = preprocess(
             predicates, self.config.layout, self.server_msg,
             self.config.mask, Solver(), stats,
             build_difference=self.config.optimizations.use_different_from,
             service=self.service)
+        # Phase-1 + pre-processing answers become durable before phase 2
+        # starts: a crash during the server search still leaves a warm
+        # cache for the re-run.
+        self.query_cache.flush_store()
+        return result
 
     def search(self, server: ServerProgram,
                clients: ClientPredicateSet) -> AchillesReport:
@@ -238,7 +316,10 @@ class Achilles:
             shards=self.config.shards, transport=self.config.transport,
             hosts=self.config.hosts,
             on_worker_loss=self.config.on_worker_loss,
-            max_worker_retries=self.config.max_worker_retries)
+            max_worker_retries=self.config.max_worker_retries,
+            run_dir=self.config.run_dir,
+            checkpoint_interval=self.config.checkpoint_interval,
+            resume=self.config.resume)
         report.workers = self.config.workers
         report.timings.client_extraction = clients.stats.extraction_seconds
         report.timings.preprocessing = clients.stats.preprocess_seconds

@@ -337,6 +337,10 @@ def search_server(server, clients: ClientPredicateSet,
                   hosts: tuple = (),
                   on_worker_loss: str = "fail",
                   max_worker_retries: int = 2,
+                  run_dir: str | None = None,
+                  checkpoint_interval: int = 1,
+                  resume: bool = False,
+                  checkpoint_hook=None,
                   ) -> tuple[AchillesReport, ExplorationResult]:
     """Explore a server program under the incremental Trojan search.
 
@@ -381,6 +385,18 @@ def search_server(server, clients: ClientPredicateSet,
             ``recovery_seconds``.
         max_worker_retries: respawn attempts per lost worker before its
             slot is written off (``"recover"`` only).
+        run_dir: when set (sharded runs only), journal completed shard
+            assignments to ``run_dir/journal.wal``
+            (:class:`~repro.explore.checkpoint.RunJournal`) so a killed
+            coordinator can be resumed.
+        checkpoint_interval: completed assignments per durable journal
+            checkpoint.
+        resume: replay ``run_dir``'s journal and explore only the
+            outstanding regions; findings stay byte-identical to an
+            uninterrupted run.
+        checkpoint_hook: test seam — called with the checkpoint index
+            after each durable checkpoint (see
+            :class:`~repro.explore.faults.KillCoordinatorAt`).
 
     Returns:
         The (partially filled) report and the raw exploration result; the
@@ -411,7 +427,9 @@ def search_server(server, clients: ClientPredicateSet,
             shards=shards, engine=engine,
             transport=transport, hosts=hosts,
             on_worker_loss=on_worker_loss,
-            max_worker_retries=max_worker_retries)
+            max_worker_retries=max_worker_retries,
+            run_dir=run_dir, checkpoint_interval=checkpoint_interval,
+            resume=resume, checkpoint_hook=checkpoint_hook)
         sharded = scheduler.run()
         exploration = sharded.exploration
         observer = sharded.observer
@@ -423,6 +441,10 @@ def search_server(server, clients: ClientPredicateSet,
         observer.finalize()
     elapsed = time.perf_counter() - started
 
+    # New answers this search produced become durable before the report
+    # claims them — a crash after search_server returns loses nothing.
+    engine.query_cache.flush_store()
+    cache_stats = engine.query_cache.stats
     report = AchillesReport(
         findings=observer.findings,
         client_predicate_count=len(clients),
@@ -430,11 +452,14 @@ def search_server(server, clients: ClientPredicateSet,
         server_paths_explored=len(exploration.paths),
         server_paths_pruned=observer.paths_pruned,
         solver_queries=engine.solver.stats.queries,
-        cache_hits=engine.query_cache.stats.hits,
-        cache_misses=engine.query_cache.stats.misses,
+        cache_hits=cache_stats.hits,
+        cache_misses=cache_stats.misses,
         frames_reused=engine.solver.stats.frames_reused,
         propagation_seconds=engine.solver.stats.propagation_seconds,
         shards=shards,
+        disk_hits=cache_stats.disk_hits,
+        salvaged_records=cache_stats.salvaged_records,
+        dropped_records=cache_stats.dropped_records,
     )
     if shard_stats is not None:
         report.solver_queries += shard_stats.queries
@@ -443,6 +468,8 @@ def search_server(server, clients: ClientPredicateSet,
         report.worker_failures = sharded.worker_failures
         report.prefixes_reassigned = sharded.prefixes_reassigned
         report.recovery_seconds = sharded.recovery_seconds
+        report.checkpoints_written = sharded.journal_checkpoints
+        report.resumed_regions = sharded.resumed_regions
     if service_mark is not None:
         _merge_service_stats(report, service, service_mark)
     report.timings.server_analysis = elapsed

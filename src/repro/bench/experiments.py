@@ -76,7 +76,11 @@ def _fsp_achilles(optimizations: OptimizationFlags | None = None,
                   max_paths: int | None = None,
                   transport="local",
                   hosts: tuple = (),
-                  on_worker_loss: str = "fail") -> Achilles:
+                  on_worker_loss: str = "fail",
+                  cache_dir: str | None = None,
+                  run_dir: str | None = None,
+                  checkpoint_interval: int = 1,
+                  resume: bool = False) -> Achilles:
     config = AchillesConfig(layout=fsp.FSP_LAYOUT, mask=FSP_SESSION_MASK,
                             optimizations=optimizations or OptimizationFlags(),
                             client_engine=make_engine_config(search_order,
@@ -85,7 +89,10 @@ def _fsp_achilles(optimizations: OptimizationFlags | None = None,
                                                              max_paths),
                             workers=workers, shards=shards,
                             transport=transport, hosts=tuple(hosts),
-                            on_worker_loss=on_worker_loss)
+                            on_worker_loss=on_worker_loss,
+                            cache_dir=cache_dir, run_dir=run_dir,
+                            checkpoint_interval=checkpoint_interval,
+                            resume=resume)
     return Achilles(config)
 
 
@@ -95,7 +102,11 @@ def run_fsp_accuracy(optimizations: OptimizationFlags | None = None,
                      max_paths: int | None = None,
                      transport="local",
                      hosts: tuple = (),
-                     on_worker_loss: str = "fail") -> AccuracyOutcome:
+                     on_worker_loss: str = "fail",
+                     cache_dir: str | None = None,
+                     run_dir: str | None = None,
+                     checkpoint_interval: int = 1,
+                     resume: bool = False) -> AccuracyOutcome:
     """Table 1 (Achilles column) + Figures 10/11 raw data.
 
     ``workers`` > 1 dispatches the parallel batches (pre-processing and
@@ -106,10 +117,15 @@ def run_fsp_accuracy(optimizations: OptimizationFlags | None = None,
     default exploration policy for both phases. ``transport``/``hosts``
     choose where shard workers live (``"tcp"`` drives remote
     ``python -m repro worker`` daemons; findings stay byte-identical).
+    ``cache_dir`` persists the canonical query cache across runs (a warm
+    re-run only re-solves what changed); ``run_dir`` /
+    ``checkpoint_interval`` / ``resume`` checkpoint the sharded phase-2
+    search and continue it after a coordinator kill.
     """
     with _fsp_achilles(optimizations, workers, shards, search_order,
-                       max_paths, transport, hosts,
-                       on_worker_loss) as achilles:
+                       max_paths, transport, hosts, on_worker_loss,
+                       cache_dir, run_dir, checkpoint_interval,
+                       resume) as achilles:
         predicates = achilles.extract_clients(fsp.literal_clients())
         report = achilles.search(fsp.fsp_server, predicates)
     score = fsp.GroundTruth.score(report.witnesses())
@@ -128,12 +144,19 @@ def run_fsp_wildcard(listing: tuple[str, ...] = ("f1", "f2", "doc"),
                      max_paths: int | None = None,
                      transport="local",
                      hosts: tuple = (),
-                     on_worker_loss: str = "fail") -> AchillesReport:
+                     on_worker_loss: str = "fail",
+                     cache_dir: str | None = None,
+                     run_dir: str | None = None,
+                     checkpoint_interval: int = 1,
+                     resume: bool = False) -> AchillesReport:
     """§6.3 wildcard experiment: globbing clients, same server."""
     with _fsp_achilles(workers=workers, shards=shards,
                        search_order=search_order,
                        max_paths=max_paths, transport=transport,
-                       hosts=hosts, on_worker_loss=on_worker_loss) as achilles:
+                       hosts=hosts, on_worker_loss=on_worker_loss,
+                       cache_dir=cache_dir, run_dir=run_dir,
+                       checkpoint_interval=checkpoint_interval,
+                       resume=resume) as achilles:
         predicates = achilles.extract_clients(fsp.globbing_clients(listing))
         return achilles.search(fsp.fsp_server, predicates)
 
@@ -261,7 +284,11 @@ def run_pbft_analysis(workers: int = 1, shards: int = 1,
                       max_paths: int | None = None,
                       transport="local",
                       hosts: tuple = (),
-                      on_worker_loss: str = "fail") -> AchillesReport:
+                      on_worker_loss: str = "fail",
+                      cache_dir: str | None = None,
+                      run_dir: str | None = None,
+                      checkpoint_interval: int = 1,
+                      resume: bool = False) -> AchillesReport:
     """§6.2 PBFT run: the MAC Trojan on every accepting path."""
     with Achilles(AchillesConfig(layout=REQUEST_LAYOUT,
                                  destination="replica0",
@@ -273,7 +300,11 @@ def run_pbft_analysis(workers: int = 1, shards: int = 1,
                                  shards=shards,
                                  transport=transport,
                                  hosts=tuple(hosts),
-                                 on_worker_loss=on_worker_loss)) as achilles:
+                                 on_worker_loss=on_worker_loss,
+                                 cache_dir=cache_dir,
+                                 run_dir=run_dir,
+                                 checkpoint_interval=checkpoint_interval,
+                                 resume=resume)) as achilles:
         predicates = achilles.extract_clients({"pbft-client": pbft_client})
         return achilles.search(pbft_replica, predicates)
 
@@ -283,12 +314,19 @@ def run_pbft_impact(requests: int = 40, workers: int = 1, shards: int = 1,
                     max_paths: int | None = None,
                     transport="local",
                     hosts: tuple = (),
-                    on_worker_loss: str = "fail") -> PbftOutcome:
+                    on_worker_loss: str = "fail",
+                    cache_dir: str | None = None,
+                    run_dir: str | None = None,
+                    checkpoint_interval: int = 1,
+                    resume: bool = False) -> PbftOutcome:
     """§6.3 MAC attack impact: throughput under increasing attack rates."""
     report = run_pbft_analysis(workers=workers, shards=shards,
                                search_order=search_order,
                                max_paths=max_paths, transport=transport,
-                               hosts=hosts, on_worker_loss=on_worker_loss)
+                               hosts=hosts, on_worker_loss=on_worker_loss,
+                               cache_dir=cache_dir, run_dir=run_dir,
+                               checkpoint_interval=checkpoint_interval,
+                               resume=resume)
     outcome = PbftOutcome(report=report, mac_stub=MAC_STUB)
     for label, every in {"clean": 0, "attack-10%": 10, "attack-50%": 2}.items():
         outcome.impact[label] = run_workload(requests, malicious_every=every)
@@ -302,7 +340,11 @@ def _scored_accuracy_run(layout, destination: str, clients, server,
                          max_paths: int | None,
                          transport="local",
                          hosts: tuple = (),
-                         on_worker_loss: str = "fail") -> AccuracyOutcome:
+                         on_worker_loss: str = "fail",
+                         cache_dir: str | None = None,
+                         run_dir: str | None = None,
+                         checkpoint_interval: int = 1,
+                         resume: bool = False) -> AccuracyOutcome:
     """Full pipeline + ground-truth scoring, shared by raft and tpc."""
     config = AchillesConfig(layout=layout, destination=destination,
                             client_engine=make_engine_config(search_order,
@@ -311,7 +353,10 @@ def _scored_accuracy_run(layout, destination: str, clients, server,
                                                              max_paths),
                             workers=workers, shards=shards,
                             transport=transport, hosts=tuple(hosts),
-                            on_worker_loss=on_worker_loss)
+                            on_worker_loss=on_worker_loss,
+                            cache_dir=cache_dir, run_dir=run_dir,
+                            checkpoint_interval=checkpoint_interval,
+                            resume=resume)
     with Achilles(config) as achilles:
         predicates = achilles.extract_clients(clients)
         report = achilles.search(server, predicates)
@@ -330,7 +375,11 @@ def run_raft_accuracy(workers: int = 1, shards: int = 1,
                       max_paths: int | None = None,
                       transport="local",
                       hosts: tuple = (),
-                      on_worker_loss: str = "fail") -> AccuracyOutcome:
+                      on_worker_loss: str = "fail",
+                      cache_dir: str | None = None,
+                      run_dir: str | None = None,
+                      checkpoint_interval: int = 1,
+                      resume: bool = False) -> AccuracyOutcome:
     """Raft follower ingress vs the 9 seeded Trojan classes.
 
     Scores Achilles against :mod:`repro.systems.raft.ground_truth`
@@ -344,7 +393,8 @@ def run_raft_accuracy(workers: int = 1, shards: int = 1,
         raft.RAFT_LAYOUT, "follower", raft.peer_clients(),
         raft.raft_follower, raft.GroundTruth,
         len(raft.all_trojan_classes()), workers, shards, search_order,
-        max_paths, transport, hosts, on_worker_loss)
+        max_paths, transport, hosts, on_worker_loss, cache_dir, run_dir,
+        checkpoint_interval, resume)
 
 
 def run_tpc_accuracy(workers: int = 1, shards: int = 1,
@@ -352,7 +402,11 @@ def run_tpc_accuracy(workers: int = 1, shards: int = 1,
                      max_paths: int | None = None,
                      transport="local",
                      hosts: tuple = (),
-                     on_worker_loss: str = "fail") -> AccuracyOutcome:
+                     on_worker_loss: str = "fail",
+                     cache_dir: str | None = None,
+                     run_dir: str | None = None,
+                     checkpoint_interval: int = 1,
+                     resume: bool = False) -> AccuracyOutcome:
     """Two-phase-commit participant vs the 2 seeded Trojan classes.
 
     Scores Achilles against :mod:`repro.systems.tpc.ground_truth`
@@ -365,4 +419,5 @@ def run_tpc_accuracy(workers: int = 1, shards: int = 1,
         tpc.TPC_LAYOUT, "participant", tpc.coordinator_clients(),
         tpc.tpc_participant, tpc.GroundTruth,
         len(tpc.all_trojan_classes()), workers, shards, search_order,
-        max_paths, transport, hosts, on_worker_loss)
+        max_paths, transport, hosts, on_worker_loss, cache_dir, run_dir,
+        checkpoint_interval, resume)

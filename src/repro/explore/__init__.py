@@ -62,14 +62,27 @@ worker`` daemons on arbitrary hosts over length-prefixed pickled frames.
 The deterministic merge makes findings byte-identical on either.
 """
 
+from repro.explore.checkpoint import (
+    JournalMeta,
+    JournalReplay,
+    RunJournal,
+    load_journal,
+    outstanding_regions,
+)
 from repro.explore.faults import (
+    CoordinatorKilled,
+    CorruptRecord,
     DelayResult,
     DropConnection,
     FaultPlan,
     FaultyTransport,
     GarbleResult,
+    KillCoordinatorAt,
     KillWorker,
     RefuseRespawn,
+    TornWrite,
+    TruncateSegment,
+    apply_disk_fault,
 )
 from repro.explore.merge import MergedExploration, merge_outcomes
 from repro.explore.scheduler import ShardedExploration, ShardScheduler
@@ -89,6 +102,8 @@ from repro.explore.transport import (
 
 __all__ = [
     "Assignment",
+    "CoordinatorKilled",
+    "CorruptRecord",
     "DelayResult",
     "DropConnection",
     "ExcludeControl",
@@ -96,16 +111,25 @@ __all__ = [
     "FaultyTransport",
     "FrontierControl",
     "GarbleResult",
+    "JournalMeta",
+    "JournalReplay",
+    "KillCoordinatorAt",
     "KillWorker",
     "LocalTransport",
     "MergedExploration",
     "RefuseRespawn",
+    "RunJournal",
     "ShardOutcome",
     "ShardScheduler",
     "ShardedExploration",
     "StealControl",
+    "TornWrite",
     "Transport",
+    "TruncateSegment",
     "WorkerSession",
+    "apply_disk_fault",
+    "load_journal",
     "merge_outcomes",
+    "outstanding_regions",
     "resolve_transport",
 ]

@@ -1,0 +1,306 @@
+"""Coordinator checkpoint/resume: a write-ahead run journal.
+
+PR 7 made *worker* loss survivable; this module covers the coordinator.
+During a sharded run the :class:`~repro.explore.scheduler.ShardScheduler`
+appends every completed assignment — the booking's decision-prefix roots,
+its exclusions at completion time, and the worker's full
+:class:`~repro.explore.shard.ShardOutcome` (merged ``ObserverDelta``
+included) — to a single :class:`RunJournal` file. Records buffer in
+memory and every ``checkpoint_interval`` completions they are written,
+flushed and fsync'd as one durable checkpoint.
+
+The journal shares the segment framing of
+:mod:`repro.solver.diskcache` (magic + version header, per-record CRC),
+and the same salvage rule: on resume the valid prefix is replayed, a
+torn tail is truncated away, and appending continues after it — a
+coordinator killed between checkpoints simply loses its unflushed
+buffer, exactly as if it had died an instant after the previous
+checkpoint.
+
+Resume soundness rests on the property PR 7 already established for
+reclaimed worker prefixes: re-running any *uncompleted* region of the
+decision tree is safe, because the canonical merge renumbers paths
+deterministically and rejects overlap. :func:`outstanding_regions`
+computes precisely the uncovered regions — frontier roots and donated
+subtrees minus every journaled completion — so a resumed run explores
+exactly what the killed run never finished and produces findings
+byte-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import SymexError
+from repro.explore.shard import Prefix, ShardOutcome, extends
+from repro.solver.diskcache import (
+    HEADER,
+    frame_record,
+    scan_frames,
+)
+
+#: The journal file inside a run directory.
+JOURNAL_NAME = "journal.wal"
+
+_REC_META = "meta"
+_REC_SEED = "seed"
+_REC_DONE = "done"
+
+
+@dataclass(frozen=True)
+class JournalMeta:
+    """Identity of the run a journal belongs to.
+
+    Enough to reject a ``--resume`` against the wrong journal with an
+    actionable error instead of a deep merge failure: the setup callable
+    (module-qualified) and the exploration-relevant engine knobs. Shard
+    count and transport are deliberately absent — a run may resume with
+    a different fleet, the partition never affects findings.
+    """
+
+    setup: str
+    engine_signature: tuple
+
+
+def engine_signature(config) -> tuple:
+    """Stable identity of an ``EngineConfig`` for journal validation.
+
+    ``repr(config)`` would embed the ``default_verdict`` function's
+    memory address, which differs every process; the qualname is the
+    process-stable part.
+    """
+    return (config.max_paths, config.max_branches_per_path,
+            config.search_order, config.incremental,
+            getattr(config.default_verdict, "__qualname__",
+                    repr(config.default_verdict)))
+
+
+@dataclass
+class JournalReplay:
+    """Everything a salvage pass recovered from a run journal."""
+
+    meta: JournalMeta
+    seed_outcome: ShardOutcome
+    frontier: tuple[Prefix, ...]
+    #: (roots, exclude) per journaled completed assignment.
+    regions: list[tuple[tuple[Prefix, ...], tuple[Prefix, ...]]]
+    outcomes: list[ShardOutcome]
+    #: Records refused (torn tail, bad CRC, undecodable payload).
+    dropped_records: int = 0
+    #: Offset just past the last intact record — where appends resume.
+    valid_end: int = 0
+    damaged: bool = False
+
+
+class RunJournal:
+    """Append-only, fsync'd, torn-tail-tolerant completion journal.
+
+    One instance serves either role: :meth:`begin` starts a fresh
+    journal (header, meta, the seed outcome and frontier — durable
+    before any worker starts), :meth:`load_for_resume` salvages an
+    existing one, truncates any torn tail, and reopens it for append so
+    a resumed run (which may itself be killed) keeps journaling into the
+    same file.
+
+    ``on_checkpoint(n)`` fires *after* the nth checkpoint of this
+    process is durable (written, flushed, fsync'd) — the hook the
+    scheduler uses to flush the disk query cache, and the seam
+    :class:`~repro.explore.faults.KillCoordinatorAt` injects coordinator
+    death through: an exception raised there models a crash immediately
+    after the fsync returned.
+    """
+
+    def __init__(self, run_dir: str | Path, checkpoint_interval: int = 1,
+                 on_checkpoint: Callable[[int], None] | None = None):
+        if checkpoint_interval < 1:
+            raise SymexError(
+                f"checkpoint_interval must be >= 1, "
+                f"got {checkpoint_interval}")
+        self.run_dir = Path(run_dir)
+        self.path = self.run_dir / JOURNAL_NAME
+        self.checkpoint_interval = checkpoint_interval
+        self.on_checkpoint = on_checkpoint
+        self.checkpoints_written = 0
+        self._file = None
+        self._buffer: list[bytes] = []
+
+    # -- writing -------------------------------------------------------------
+
+    def begin(self, meta: JournalMeta, seed_outcome: ShardOutcome,
+              frontier: tuple[Prefix, ...]) -> None:
+        """Start a fresh journal; overwrites any previous run's file."""
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "wb")
+        self._file.write(HEADER)
+        self._buffer.append(pickle.dumps(
+            (_REC_META, meta), protocol=pickle.HIGHEST_PROTOCOL))
+        self._buffer.append(pickle.dumps(
+            (_REC_SEED, seed_outcome, tuple(frontier)),
+            protocol=pickle.HIGHEST_PROTOCOL))
+        # The seed must be durable before any fan-out work it anchors:
+        # checkpoint #1 is the run's starting line.
+        self._checkpoint()
+
+    def note_outcome(self, roots, exclude, outcome: ShardOutcome) -> None:
+        """Record one completed assignment; checkpoint on the interval."""
+        self._buffer.append(pickle.dumps(
+            (_REC_DONE, tuple(roots), tuple(exclude), outcome),
+            protocol=pickle.HIGHEST_PROTOCOL))
+        if len(self._buffer) >= self.checkpoint_interval:
+            self._checkpoint()
+
+    def _checkpoint(self) -> None:
+        for payload in self._buffer:
+            self._file.write(frame_record(payload))
+        self._buffer.clear()
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self.checkpoints_written += 1
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(self.checkpoints_written)
+
+    def close(self) -> None:
+        """Flush any buffered completions and close cleanly."""
+        if self._file is None:
+            return
+        if self._buffer:
+            self._checkpoint()
+        self._file.close()
+        self._file = None
+
+    def abandon(self) -> None:
+        """Close without flushing — the run is aborting, and writing a
+        partial tail now would only manufacture the torn state the
+        salvage path exists to clean up."""
+        if self._file is None:
+            return
+        self._buffer.clear()
+        self._file.close()
+        self._file = None
+
+    # -- reading -------------------------------------------------------------
+
+    def load_for_resume(self, expected: JournalMeta | None = None,
+                        ) -> JournalReplay:
+        """Salvage the journal, validate it, reopen for append."""
+        replay = load_journal(self.path, expected)
+        # A torn tail is dead bytes: appending after it would corrupt
+        # the next salvage, so the file restarts at the last intact
+        # record (standard WAL recovery).
+        with open(self.path, "rb+") as handle:
+            handle.truncate(replay.valid_end)
+        self._file = open(self.path, "ab")
+        return replay
+
+
+def load_journal(path: str | Path,
+                 expected: JournalMeta | None = None) -> JournalReplay:
+    """Read a run journal, salvaging the valid prefix of its records.
+
+    Raises :class:`SymexError` (actionable, not a stack trace) when the
+    journal is missing, unrecognizable, lacks the meta/seed records a
+    resume needs, or was written by a different run setup.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SymexError(
+            f"no run journal at {path}: --resume needs a run directory "
+            "a previous checkpointed run wrote (start one with --run-dir)")
+    scan = scan_frames(path.read_bytes())
+    if scan.reason is not None and not scan.payloads and scan.valid_end == 0:
+        raise SymexError(
+            f"run journal {path} is unrecognizable ({scan.reason}); "
+            "it cannot anchor a resume — re-run without --resume")
+    meta = None
+    seed = None
+    frontier: tuple[Prefix, ...] = ()
+    regions: list[tuple[tuple[Prefix, ...], tuple[Prefix, ...]]] = []
+    outcomes: list[ShardOutcome] = []
+    dropped = 1 if scan.damaged else 0
+    for payload in scan.payloads:
+        try:
+            record = pickle.loads(payload)
+            kind = record[0]
+        except Exception:
+            dropped += 1
+            continue
+        if kind == _REC_META and meta is None:
+            meta = record[1]
+        elif kind == _REC_SEED and seed is None:
+            seed, frontier = record[1], tuple(record[2])
+        elif kind == _REC_DONE:
+            _, roots, exclude, outcome = record
+            regions.append((tuple(roots), tuple(exclude)))
+            outcomes.append(outcome)
+        else:
+            dropped += 1
+    if meta is None or seed is None:
+        raise SymexError(
+            f"run journal {path} has no seed checkpoint — the run died "
+            "before its first checkpoint, so there is nothing to resume; "
+            "re-run without --resume")
+    if expected is not None and (meta.setup != expected.setup
+                                 or meta.engine_signature
+                                 != expected.engine_signature):
+        raise SymexError(
+            f"run journal {path} belongs to a different run "
+            f"(journal: setup={meta.setup}, "
+            f"engine={meta.engine_signature}; "
+            f"this run: setup={expected.setup}, "
+            f"engine={expected.engine_signature}); resuming it here "
+            "would merge incompatible explorations")
+    return JournalReplay(meta=meta, seed_outcome=seed, frontier=frontier,
+                         regions=regions, outcomes=outcomes,
+                         dropped_records=dropped,
+                         valid_end=scan.valid_end, damaged=scan.damaged)
+
+
+def outstanding_regions(frontier, regions):
+    """The (root, exclude) work a resumed run must still explore.
+
+    ``regions`` are the journaled completions: each covered
+    ``roots - exclude``, where every exclusion is a subtree the holder
+    donated away before finishing (so it was completed — or is still
+    outstanding — under some *other* region). The candidates are
+    therefore the original frontier roots plus every donated subtree;
+    a candidate is done iff some region's root covers it without one of
+    that region's exclusions carving it back out. An outstanding
+    candidate re-runs minus the completed regions nested inside it —
+    exactly the reclaim rule recovery applies to a dead worker's
+    booking, so the same merge-determinism argument applies.
+    """
+    candidates: list[Prefix] = list(frontier)
+    for _roots, exclude in regions:
+        candidates.extend(exclude)
+    completed_roots = [root for roots, _exclude in regions for root in roots]
+
+    def covered(prefix: Prefix) -> bool:
+        for roots, exclude in regions:
+            for root in roots:
+                if extends(prefix, root) and not any(
+                        extends(prefix, donated) for donated in exclude):
+                    return True
+        return False
+
+    entries: list[tuple[Prefix, tuple[Prefix, ...]]] = []
+    seen: set[Prefix] = set()
+    for candidate in candidates:
+        if candidate in seen:
+            continue
+        seen.add(candidate)
+        if covered(candidate):
+            continue
+        inside = list(dict.fromkeys(
+            root for root in completed_roots
+            if extends(root, candidate) and root != candidate))
+        # Minimal exclusion set: a completed root nested inside another
+        # excluded one is already carved out by it.
+        exclude = tuple(root for root in inside
+                        if not any(extends(root, outer) and root != outer
+                                   for outer in inside))
+        entries.append((candidate, exclude))
+    return entries

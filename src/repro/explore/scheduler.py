@@ -33,6 +33,12 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.errors import SymexError
+from repro.explore.checkpoint import (
+    JournalMeta,
+    RunJournal,
+    engine_signature,
+    outstanding_regions,
+)
 from repro.explore.merge import merge_outcomes
 from repro.explore.shard import (
     MSG_DONATE,
@@ -94,6 +100,10 @@ class ShardedExploration:
             workers and re-run elsewhere.
         recovery_seconds: wall clock spent inside recovery (reclaiming,
             respawning, re-dispatching) — the overhead a fault cost.
+        journal_checkpoints: durable run-journal checkpoints this
+            process wrote (0 when the run was not journaled).
+        resumed_regions: completed assignments replayed from the journal
+            instead of re-explored (0 for a fresh run).
     """
 
     exploration: ExplorationResult
@@ -106,6 +116,8 @@ class ShardedExploration:
     worker_failures: int = 0
     prefixes_reassigned: int = 0
     recovery_seconds: float = 0.0
+    journal_checkpoints: int = 0
+    resumed_regions: int = 0
 
 
 @dataclass
@@ -168,6 +180,19 @@ class ShardScheduler:
         max_worker_retries: respawn attempts per worker slot across the
             run before that slot is written off and its work spread over
             the survivors. The run only fails when no worker is left.
+        run_dir: when set, journal completed assignments to a
+            write-ahead file in this directory
+            (:class:`~repro.explore.checkpoint.RunJournal`) so a killed
+            coordinator can be resumed.
+        checkpoint_interval: completed assignments per durable journal
+            checkpoint (1 = fsync every completion).
+        resume: replay the journal in ``run_dir`` instead of seeding
+            from scratch: journaled outcomes are merged as-is and only
+            the outstanding regions of the frontier are re-explored.
+            Findings are byte-identical to an uninterrupted run.
+        checkpoint_hook: test seam called as ``hook(n)`` after the nth
+            journal checkpoint of this process is durable (the fault
+            harness injects coordinator death here).
     """
 
     def __init__(self, setup: ShardSetup, setup_args: tuple = (), *,
@@ -178,7 +203,11 @@ class ShardScheduler:
                  hosts: tuple = (),
                  ship_cache: bool = True,
                  on_worker_loss: str = "fail",
-                 max_worker_retries: int = 2):
+                 max_worker_retries: int = 2,
+                 run_dir: str | None = None,
+                 checkpoint_interval: int = 1,
+                 resume: bool = False,
+                 checkpoint_hook=None):
         if shards < 1:
             raise SymexError(f"shard count must be >= 1, got {shards}")
         if on_worker_loss not in ("fail", "recover"):
@@ -188,6 +217,14 @@ class ShardScheduler:
         if max_worker_retries < 0:
             raise SymexError(
                 f"max_worker_retries must be >= 0, got {max_worker_retries}")
+        if checkpoint_interval < 1:
+            raise SymexError(
+                f"checkpoint_interval must be >= 1, "
+                f"got {checkpoint_interval}")
+        if resume and run_dir is None:
+            raise SymexError(
+                "resume=True needs run_dir: the journal of the killed "
+                "run is what a resume replays")
         self.setup = setup
         self.setup_args = tuple(setup_args)
         self.shards = shards
@@ -198,19 +235,70 @@ class ShardScheduler:
         self.ship_cache = ship_cache
         self.on_worker_loss = on_worker_loss
         self.max_worker_retries = max_worker_retries
+        self.run_dir = run_dir
+        self.checkpoint_interval = checkpoint_interval
+        self.resume = resume
+        self.checkpoint_hook = checkpoint_hook
+        self._journal: RunJournal | None = None
         self._worker_failures = 0
         self._prefixes_reassigned = 0
         self._recovery_seconds = 0.0
+        self._resumed_regions = 0
 
     # -- phases --------------------------------------------------------------
 
     def run(self) -> ShardedExploration:
-        """Seed, fan out, steal until drained, merge; see the class doc."""
+        """Seed (or replay), fan out, steal until drained, merge."""
         started = time.perf_counter()
         self._worker_failures = 0
         self._prefixes_reassigned = 0
         self._recovery_seconds = 0.0
+        self._resumed_regions = 0
+        self._journal = None
+        if self.run_dir is not None:
+            self._journal = RunJournal(
+                self.run_dir, self.checkpoint_interval,
+                on_checkpoint=self._on_checkpoint)
         program, observer = self.setup(self.engine, *self.setup_args)
+        try:
+            if self.resume:
+                outcomes, entries = self._replay_journal(observer)
+            else:
+                outcomes, entries = self._seed(program, observer)
+            steals = 0
+            shipped = 0
+            if entries:
+                shard_outcomes, steals, shipped = self._fan_out(entries)
+                outcomes.extend(shard_outcomes)
+        except BaseException:
+            # Aborting (including an injected coordinator kill): leave
+            # the journal exactly as durable as the last checkpoint —
+            # that is the state a resume must recover from.
+            if self._journal is not None:
+                self._journal.abandon()
+            raise
+        if self._journal is not None:
+            self._journal.close()
+
+        merged = merge_outcomes(outcomes)
+        merged.exploration.stats.elapsed_seconds = (
+            time.perf_counter() - started)
+        if observer is not None and merged.delta is not None:
+            observer.restore(merged.delta, merged.path_ids)
+        return ShardedExploration(
+            exploration=merged.exploration, observer=observer,
+            path_ids=merged.path_ids,
+            worker_solver_stats=merged.solver_stats, shards=self.shards,
+            steals=steals, cache_entries_shipped=shipped,
+            worker_failures=self._worker_failures,
+            prefixes_reassigned=self._prefixes_reassigned,
+            recovery_seconds=self._recovery_seconds,
+            journal_checkpoints=(self._journal.checkpoints_written
+                                 if self._journal is not None else 0),
+            resumed_regions=self._resumed_regions)
+
+    def _seed(self, program, observer):
+        """Fresh-run seed phase: explore the tree top, open the journal."""
         # Seed breadth-first regardless of the configured order: a DFS
         # worklist only ever holds one open sibling per level (too narrow
         # a frontier on deep trees), while BFS's worklist is the breadth
@@ -232,34 +320,50 @@ class ShardScheduler:
         # Coordinator solver work is already booked on self.engine's own
         # stats; the seed outcome ships an empty delta so it is not
         # double-counted by the merge.
-        outcomes = [ShardOutcome(executed=seed.executed, paths=seed.paths,
-                                 stats=seed.stats, delta=seed_delta)]
-        steals = 0
-        shipped = 0
+        seed_outcome = ShardOutcome(executed=seed.executed, paths=seed.paths,
+                                    stats=seed.stats, delta=seed_delta)
         frontier = sorted(seed.frontier, key=canonical_key)
-        if frontier:
-            shard_outcomes, steals, shipped = self._fan_out(frontier)
-            outcomes.extend(shard_outcomes)
+        if self._journal is not None:
+            self._journal.begin(self._journal_meta(), seed_outcome,
+                                tuple(frontier))
+        return [seed_outcome], [(prefix, ()) for prefix in frontier]
 
-        merged = merge_outcomes(outcomes)
-        merged.exploration.stats.elapsed_seconds = (
-            time.perf_counter() - started)
-        if observer is not None and merged.delta is not None:
-            observer.restore(merged.delta, merged.path_ids)
-        return ShardedExploration(
-            exploration=merged.exploration, observer=observer,
-            path_ids=merged.path_ids,
-            worker_solver_stats=merged.solver_stats, shards=self.shards,
-            steals=steals, cache_entries_shipped=shipped,
-            worker_failures=self._worker_failures,
-            prefixes_reassigned=self._prefixes_reassigned,
-            recovery_seconds=self._recovery_seconds)
+    def _replay_journal(self, observer):
+        """Resume: merge journaled outcomes, re-seed only what's left.
+
+        The setup has already run (the observer instance must exist for
+        the merged delta to restore into), but the seed exploration is
+        skipped — its outcome is replayed from the journal, as is every
+        assignment that completed before the coordinator died.
+        """
+        replay = self._journal.load_for_resume(self._journal_meta())
+        outcomes = [replay.seed_outcome]
+        outcomes.extend(replay.outcomes)
+        self._resumed_regions = len(replay.regions)
+        entries = outstanding_regions(replay.frontier, replay.regions)
+        entries.sort(key=lambda entry: canonical_key(entry[0]))
+        return outcomes, entries
+
+    def _journal_meta(self) -> JournalMeta:
+        setup_name = (f"{getattr(self.setup, '__module__', '?')}:"
+                      f"{getattr(self.setup, '__qualname__', repr(self.setup))}")
+        return JournalMeta(setup=setup_name,
+                           engine_signature=engine_signature(
+                               self.engine_config))
+
+    def _on_checkpoint(self, index: int) -> None:
+        # Checkpoint the durable query cache with the journal: a resumed
+        # coordinator then re-solves at most one checkpoint interval's
+        # worth of seed-phase queries.
+        self.engine.query_cache.flush_store()
+        if self.checkpoint_hook is not None:
+            self.checkpoint_hook(index)
 
     # -- worker fleet --------------------------------------------------------
 
-    def _fan_out(self, frontier: list[Prefix],
+    def _fan_out(self, entries: list[tuple[Prefix, tuple[Prefix, ...]]],
                  ) -> tuple[list[ShardOutcome], int, int]:
-        """Partition ``frontier`` across the fleet; broker steals."""
+        """Partition pending entries across the fleet; broker steals."""
         snapshot = (self.engine.query_cache.snapshot()
                     if self.ship_cache else None)
         session = WorkerSession(
@@ -267,18 +371,22 @@ class ShardScheduler:
             engine_config=self.engine_config, cache_snapshot=snapshot)
         self.transport.start(self.shards, session)
         try:
-            outcomes, steals = self._coordinate(frontier)
-        finally:
-            self.transport.stop()
+            outcomes, steals = self._coordinate(entries)
+        except BaseException:
+            # Aborting (coordinator crash, ^C, injected kill): every
+            # in-flight assignment is doomed anyway, so don't grant the
+            # graceful drain window — tear the fleet down immediately.
+            self.transport.abort()
+            raise
+        self.transport.stop()
         return outcomes, steals, len(snapshot or ())
 
-    def _coordinate(self, frontier) -> tuple[list[ShardOutcome], int]:
+    def _coordinate(self, entries) -> tuple[list[ShardOutcome], int]:
         transport = self.transport
         # Pending work is (root prefix, exclusions) — exclusions are
-        # non-empty only for work reclaimed from a dead worker that had
-        # donated parts of its region before dying.
-        pending: deque[tuple[Prefix, tuple[Prefix, ...]]] = deque(
-            (prefix, ()) for prefix in frontier)
+        # non-empty for work reclaimed from a dead worker (or replayed
+        # from a journal) whose region had donated subtrees carved out.
+        pending: deque[tuple[Prefix, tuple[Prefix, ...]]] = deque(entries)
         active = set(range(self.shards))
         idle = set(active)
         steal_pending: set[int] = set()
@@ -334,9 +442,14 @@ class ShardScheduler:
             if kind == MSG_DONE:
                 outcomes.append(payload)
                 idle.add(wid)
-                assigned.pop(wid, None)
+                booking = assigned.pop(wid, None)
                 steal_pending.discard(wid)
                 transport.acknowledge_done(wid)
+                if self._journal is not None and booking is not None:
+                    # The booking at completion time is the completed
+                    # region: roots minus everything donated meanwhile.
+                    self._journal.note_outcome(booking.roots,
+                                               booking.exclude, payload)
                 if pending:
                     self._dispatch(pending, idle, active, assigned,
                                    steal_pending, retries)

@@ -141,6 +141,12 @@ class Transport:
         """Shut every worker down; idempotent, never raises."""
         raise NotImplementedError
 
+    def abort(self) -> None:
+        """Tear every worker down *now* — the run is aborting and any
+        in-flight assignment is doomed, so there is nothing worth
+        draining. Defaults to the graceful :meth:`stop`."""
+        self.stop()
+
 
 class LocalTransport(Transport):
     """Shard workers as local ``multiprocessing`` processes.
@@ -264,6 +270,20 @@ class LocalTransport(Transport):
             if worker.is_alive():  # pragma: no cover - hang safety net
                 worker.terminate()
                 worker.join()
+        self._forget_workers()
+
+    def abort(self) -> None:
+        # A worker mid-assignment would keep exploring until it next
+        # polls its task queue — up to SHUTDOWN_GRACE of doomed work on
+        # the graceful path. The run is being thrown away; kill instead.
+        for worker in self._workers:
+            if worker.is_alive():
+                worker.terminate()
+        for worker in self._workers:
+            worker.join(timeout=self.SHUTDOWN_GRACE)
+        self._forget_workers()
+
+    def _forget_workers(self) -> None:
         self._workers = []
         self._task_queues = []
         self._steal_flags = []

@@ -1,0 +1,441 @@
+"""Durable, corruption-tolerant disk layer under the canonical query cache.
+
+:class:`DiskCacheStore` persists the :class:`~repro.solver.cache.QueryCache`
+across runs (and hosts): feasibility and model answers are keyed on the
+canonical frozen constraint set, whose structural sha256 fingerprint
+(:func:`repro.solver.simplify.structural_fingerprint`) is a pure function
+of the expression DAG — identical in every process — so a record written
+by one run is addressable by any later one.
+
+The on-disk format is a directory of immutable *segment* files. Each
+segment starts with an 8-byte magic + format-version header and then
+frames records as ``u32 length | u32 crc32(payload) | payload``; the
+payload pickles ``(kind, key_fingerprint, constraints, value)``. A
+segment is only ever produced whole — records buffer in memory and
+:meth:`DiskCacheStore.flush` writes them to a temp file, fsyncs, and
+atomically renames — so the store on disk is always a sequence of
+atomic appends and two processes can never interleave within one file.
+
+Corruption tolerance is the design center, not an afterthought. On load,
+every segment is scanned frame by frame and the valid *prefix* is
+salvaged: a truncated tail, a torn final write, or a flipped byte stops
+the scan at the damage (the CRC catches it) and everything before it is
+kept; an unreadable or version-mismatched header drops that one segment.
+A salvaged record is only trusted if its stored key fingerprint matches
+the fingerprint recomputed over the unpickled (re-interned) constraints —
+defense in depth above the CRC. The outcome is always a (partially) cold
+cache plus a :class:`LoadReport` and a warning, never a crash and never a
+wrong answer.
+
+Models are persisted alongside feasibility bits. That is sound for the
+same reason the in-memory cache serves models across canonically-equal
+variants within a run: the solver is deterministic, the canonical form is
+process-stable, and callers default variables missing from a variant's
+model to 0 — so a warm re-run of the same inputs reproduces the cold
+run's witnesses byte for byte (the first query to populate a key is the
+same query both times). The same framing helpers back the coordinator's
+run journal (:mod:`repro.explore.checkpoint`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+import warnings
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.solver.cache import _KEY_MEMO_LIMIT, QueryCache, QueryKey
+from repro.solver.simplify import structural_fingerprint
+
+#: Segment/journal header: magic, one format-version byte, newline.
+MAGIC = b"ACHSEG"
+FORMAT_VERSION = 1
+HEADER = MAGIC + bytes([FORMAT_VERSION]) + b"\n"
+HEADER_SIZE = len(HEADER)
+
+#: Frame header: payload length, crc32 of the payload.
+_FRAME = struct.Struct("<II")
+FRAME_HEADER_SIZE = _FRAME.size
+
+#: Segment-count threshold past which :meth:`DiskCacheStore.flush`
+#: triggers an automatic compaction, bounding directory growth.
+AUTO_COMPACT_SEGMENTS = 64
+
+#: Domain separation for key fingerprints, versioned with the format.
+_KEY_SALT = b"achilles-query-key-v1:"
+
+_FEASIBLE = "f"
+_MODEL = "m"
+
+
+def key_fingerprint(key: QueryKey) -> bytes:
+    """Content address of a canonical query key.
+
+    Order-independent (the key is a frozenset): the sorted per-conjunct
+    structural fingerprints are folded into one sha256. Stable across
+    processes and hosts because :func:`structural_fingerprint` is.
+    """
+    digest = hashlib.sha256(_KEY_SALT)
+    for conjunct_digest in sorted(structural_fingerprint(c) for c in key):
+        digest.update(conjunct_digest)
+    return digest.digest()
+
+
+# -- framing (shared with the run journal) ------------------------------------
+
+
+def frame_record(payload: bytes) -> bytes:
+    """One framed record: length, crc32, payload."""
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+@dataclass
+class SegmentScan:
+    """Result of scanning one segment (or journal) file's bytes.
+
+    ``valid_end`` is the offset just past the last intact frame — what a
+    resuming writer truncates to before appending. ``damaged`` is True
+    whenever anything after that offset had to be abandoned.
+    """
+
+    payloads: list[bytes] = field(default_factory=list)
+    spans: list[tuple[int, int]] = field(default_factory=list)
+    valid_end: int = 0
+    damaged: bool = False
+    reason: str | None = None
+
+
+def scan_frames(data: bytes) -> SegmentScan:
+    """Salvage the valid prefix of a framed file.
+
+    Stops at the first bad frame (short header, length past EOF, CRC
+    mismatch) — the length field of a corrupted frame cannot be trusted,
+    so nothing after the damage can be re-framed reliably. A bad or
+    version-mismatched file header salvages nothing.
+    """
+    scan = SegmentScan()
+    if len(data) < HEADER_SIZE or data[:len(MAGIC)] != MAGIC:
+        scan.damaged = True
+        scan.reason = "unrecognized header"
+        return scan
+    if data[:HEADER_SIZE] != HEADER:
+        scan.damaged = True
+        scan.reason = (f"format version {data[len(MAGIC)]} "
+                       f"(this build reads {FORMAT_VERSION})")
+        return scan
+    offset = HEADER_SIZE
+    scan.valid_end = offset
+    total = len(data)
+    while offset < total:
+        if offset + FRAME_HEADER_SIZE > total:
+            scan.damaged = True
+            scan.reason = "truncated frame header"
+            return scan
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + FRAME_HEADER_SIZE
+        end = start + length
+        if end > total:
+            scan.damaged = True
+            scan.reason = "torn final record"
+            return scan
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            scan.damaged = True
+            scan.reason = "checksum mismatch"
+            return scan
+        scan.payloads.append(payload)
+        scan.spans.append((offset, FRAME_HEADER_SIZE + length))
+        offset = end
+        scan.valid_end = offset
+    return scan
+
+
+def record_spans(path: str | Path) -> list[tuple[int, int]]:
+    """(offset, byte length) of every intact frame in ``path`` — the
+    coordinates the deterministic disk faults aim at."""
+    return scan_frames(Path(path).read_bytes()).spans
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Make a rename durable; best-effort where dirs can't be opened."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def write_segment(path: Path, payloads: list[bytes]) -> None:
+    """Write a whole segment atomically: temp file, fsync, rename."""
+    tmp = path.with_name(f".tmp-{path.name}.{os.getpid()}")
+    with open(tmp, "wb") as handle:
+        handle.write(HEADER)
+        for payload in payloads:
+            handle.write(frame_record(payload))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_directory(path.parent)
+
+
+# -- the store ----------------------------------------------------------------
+
+
+@dataclass
+class LoadReport:
+    """What one load (or verify) pass found on disk.
+
+    ``loaded_records`` came from clean segments, ``salvaged_records``
+    are the valid-prefix records recovered from damaged ones, and
+    ``dropped_records`` counts what could not be trusted: the damaged
+    frame itself, any record whose fingerprint failed to re-verify, and
+    one opaque entry per segment whose header was unreadable (its
+    record count is unknowable). ``truncated`` is set when loading
+    stopped at the in-memory cache bound.
+    """
+
+    segments_scanned: int = 0
+    segments_damaged: int = 0
+    loaded_records: int = 0
+    salvaged_records: int = 0
+    dropped_records: int = 0
+    truncated: bool = False
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def records_applied(self) -> int:
+        return self.loaded_records + self.salvaged_records
+
+
+class DiskCacheStore:
+    """Disk persistence for one :class:`QueryCache`.
+
+    Attach with :meth:`load_into`; afterwards every *new* answer the
+    cache stores is buffered here and :meth:`flush` (called by the run
+    orchestration at checkpoint and phase boundaries) writes one atomic
+    segment. Already-persisted keys are never rewritten, so repeated
+    warm runs add nothing and segment rotation stays bounded by the
+    auto-compaction threshold.
+    """
+
+    def __init__(self, directory: str | Path,
+                 max_load_entries: int = _KEY_MEMO_LIMIT,
+                 auto_compact_segments: int = AUTO_COMPACT_SEGMENTS):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_load_entries = max_load_entries
+        self.auto_compact_segments = auto_compact_segments
+        self.last_load: LoadReport | None = None
+        # (kind, key, value) pending the next flush; keys dedupe so one
+        # answer is recorded at most once per kind across the store's
+        # lifetime (loaded keys count as recorded).
+        self._buffer: list[tuple[str, QueryKey, object]] = []
+        self._persisted: set[QueryKey] = set()
+        self._model_persisted: set[QueryKey] = set()
+
+    # -- segments ------------------------------------------------------------
+
+    def segment_paths(self) -> list[Path]:
+        """Segments in load order (lexicographic == creation order)."""
+        return sorted(self.directory.glob("seg-*.qc"))
+
+    def _next_segment_path(self) -> Path:
+        indices = [0]
+        for path in self.segment_paths():
+            try:
+                indices.append(int(path.name.split("-")[1]))
+            except (IndexError, ValueError):  # pragma: no cover - foreign file
+                continue
+        return self.directory / (
+            f"seg-{max(indices) + 1:08d}-{os.getpid():06d}.qc")
+
+    # -- recording -----------------------------------------------------------
+
+    def record_feasible(self, key: QueryKey, feasible: bool) -> None:
+        if key in self._persisted:
+            return
+        self._persisted.add(key)
+        self._buffer.append((_FEASIBLE, key, feasible))
+
+    def record_model(self, key: QueryKey, model) -> None:
+        if key in self._model_persisted:
+            return
+        self._model_persisted.add(key)
+        self._persisted.add(key)
+        self._buffer.append((_MODEL, key, model))
+
+    def flush(self) -> Path | None:
+        """Write buffered records as one atomic segment; None when empty."""
+        if not self._buffer:
+            return None
+        payloads = [self._encode(kind, key, value)
+                    for kind, key, value in self._buffer]
+        path = self._next_segment_path()
+        write_segment(path, payloads)
+        self._buffer.clear()
+        if len(self.segment_paths()) > self.auto_compact_segments:
+            self.compact()
+        return path
+
+    @staticmethod
+    def _encode(kind: str, key: QueryKey, value) -> bytes:
+        # Conjuncts are serialized in fingerprint order so identical
+        # caches produce identical segment bytes on any host.
+        constraints = tuple(sorted(key, key=structural_fingerprint))
+        return pickle.dumps((kind, key_fingerprint(key), constraints, value),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+
+    # -- loading -------------------------------------------------------------
+
+    def load_into(self, cache: QueryCache) -> LoadReport:
+        """Replay every segment into ``cache`` and attach this store.
+
+        Locally absent entries only (an entry already in the cache
+        wins), capped at ``max_load_entries`` total cache entries so a
+        long-lived cache dir cannot blow up a fresh process. Loaded keys
+        are marked disk-loaded on the cache, which is what the engine's
+        ``disk_hits`` counter is built on. Never raises on bad data —
+        see the module docstring for the salvage rules.
+        """
+        report = self._replay(cache)
+        cache.attach_store(self)
+        cache.stats.salvaged_records += report.salvaged_records
+        cache.stats.dropped_records += report.dropped_records
+        self.last_load = report
+        for message in report.warnings:
+            warnings.warn(message, RuntimeWarning, stacklevel=2)
+        return report
+
+    def verify(self) -> LoadReport:
+        """Integrity pass: full load into a throwaway cache, no attach."""
+        return self._replay(QueryCache())
+
+    def _replay(self, cache: QueryCache) -> LoadReport:
+        report = LoadReport()
+        for path in self.segment_paths():
+            report.segments_scanned += 1
+            try:
+                data = path.read_bytes()
+            except OSError as exc:  # pragma: no cover - races with cleanup
+                report.segments_damaged += 1
+                report.dropped_records += 1
+                report.warnings.append(
+                    f"query cache segment {path.name}: unreadable ({exc})")
+                continue
+            scan = scan_frames(data)
+            segment_bad = scan.damaged
+            if segment_bad:
+                report.segments_damaged += 1
+                # The damage itself: one opaque drop for an unreadable
+                # header (record count unknowable), one for the frame
+                # the scan stopped at otherwise.
+                report.dropped_records += 1
+            applied = 0
+            for payload in scan.payloads:
+                if len(cache) >= self.max_load_entries:
+                    report.truncated = True
+                    break
+                outcome = self._apply(cache, payload)
+                if outcome is None:
+                    segment_bad = True
+                    report.dropped_records += 1
+                    continue
+                applied += 1
+                if scan.damaged:
+                    report.salvaged_records += 1
+                else:
+                    report.loaded_records += 1
+            if scan.damaged:
+                report.warnings.append(
+                    f"query cache segment {path.name}: {scan.reason}; "
+                    f"salvaged {applied} record(s), rest dropped")
+            if report.truncated:
+                report.warnings.append(
+                    f"query cache load stopped at {self.max_load_entries} "
+                    "entries (in-memory bound); compact the cache dir to "
+                    "keep the hottest answers")
+                break
+        return report
+
+    def _apply(self, cache: QueryCache, payload: bytes):
+        """Decode + verify one record into ``cache``; None when untrusted."""
+        try:
+            kind, fingerprint, constraints, value = pickle.loads(payload)
+            key = frozenset(constraints)
+        except Exception:
+            return None
+        if kind not in (_FEASIBLE, _MODEL):
+            return None
+        if key_fingerprint(key) != fingerprint:
+            return None
+        self._persisted.add(key)
+        if kind == _MODEL:
+            self._model_persisted.add(key)
+            cache.preload_model(key, value)
+        else:
+            cache.preload_feasible(key, bool(value))
+        return key
+
+    # -- maintenance ---------------------------------------------------------
+
+    def compact(self) -> tuple[int, int]:
+        """Rewrite every trusted record into one fresh segment.
+
+        Deduplicates across segments (a model record subsumes the same
+        key's feasibility record) and drops anything damaged, bounding
+        the directory at the in-memory entry limit. Returns (segments
+        before, records kept). Atomic: the replacement segment lands via
+        rename before the old segments are unlinked, so a crash mid-way
+        leaves at worst duplicate records, never lost ones.
+        """
+        old = self.segment_paths()
+        keeper = QueryCache()
+        self._replay(keeper)
+        payloads = []
+        for key, model in keeper._models.items():
+            payloads.append(self._encode(_MODEL, key, model))
+        for key, feasible in keeper._feasible.items():
+            if key not in keeper._models:
+                payloads.append(self._encode(_FEASIBLE, key, feasible))
+        path = self._next_segment_path()
+        write_segment(path, payloads)
+        for stale in old:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - races with cleanup
+                pass
+        _fsync_directory(self.directory)
+        return len(old), len(payloads)
+
+    def clear(self) -> int:
+        """Delete every segment; returns how many were removed."""
+        removed = 0
+        for path in self.segment_paths():
+            path.unlink()
+            removed += 1
+        _fsync_directory(self.directory)
+        self._buffer.clear()
+        self._persisted.clear()
+        self._model_persisted.clear()
+        return removed
+
+    def stats(self) -> dict:
+        """Directory summary for the ``repro cache stats`` subcommand."""
+        segments = self.segment_paths()
+        report = self.verify()
+        return {
+            "directory": str(self.directory),
+            "segments": len(segments),
+            "bytes": sum(path.stat().st_size for path in segments),
+            "records": report.records_applied,
+            "salvaged_records": report.salvaged_records,
+            "dropped_records": report.dropped_records,
+            "segments_damaged": report.segments_damaged,
+        }

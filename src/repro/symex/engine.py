@@ -229,13 +229,25 @@ class Engine:
             return self.solver.check(constraints)
         return self.incremental.check(constraints)
 
+    def _note_cache_hit(self, key) -> None:
+        """Mirror a canonical-cache hit onto this engine's solver stats.
+
+        Reports read ``SolverStats``, not the (possibly shared) cache's
+        own counters; warm hits against entries a disk store loaded from
+        a previous run are additionally booked as ``disk_hits``.
+        """
+        stats = self.solver.stats
+        stats.cache_hits += 1
+        if self.query_cache.is_disk_loaded(key):
+            stats.disk_hits += 1
+
     def is_feasible(self, constraints: tuple[Expr, ...]) -> bool:
         """Satisfiability of a path condition, memoized canonically."""
         cache = self.query_cache
         key = cache.key(constraints)
         cached = cache.get_feasible(key)
         if cached is not None:
-            self.solver.stats.cache_hits += 1
+            self._note_cache_hit(key)
             return cached
         self.solver.stats.cache_misses += 1
         if cache.is_trivially_unsat(key):
@@ -267,7 +279,7 @@ class Engine:
             key = cache.key(prefix + probe)
             cached = cache.get_feasible(key)
             if cached is not None:
-                self.solver.stats.cache_hits += 1
+                self._note_cache_hit(key)
                 results[idx] = cached
                 continue
             self.solver.stats.cache_misses += 1
@@ -315,7 +327,7 @@ class Engine:
         key = cache.key(constraints)
         hit, model = cache.get_model(key)
         if hit:
-            self.solver.stats.cache_hits += 1
+            self._note_cache_hit(key)
             # The entry may come from a canonically-equal variant whose
             # simplification dropped some of this query's variables; they
             # are unconstrained, so 0 completes the (copied) model.
@@ -360,7 +372,7 @@ class Engine:
             key = cache.key(query)
             hit, model = cache.get_model(key)
             if hit:
-                self.solver.stats.cache_hits += 1
+                self._note_cache_hit(key)
                 results[idx] = self._complete_model(model, query)
                 continue
             self.solver.stats.cache_misses += 1
@@ -410,7 +422,7 @@ class Engine:
         key = cache.key(constraints)
         hit, model = cache.get_model(key)
         if hit:
-            self.solver.stats.cache_hits += 1
+            self._note_cache_hit(key)
             return DeferredModel(engine=self, query=constraints,
                                  value=self._complete_model(model, constraints))
         self.solver.stats.cache_misses += 1

@@ -65,6 +65,54 @@ class TestParallelismValidation:
             AchillesConfig(layout=TOY_LAYOUT, transport=LocalTransport(),
                            hosts=("127.0.0.1:9100",))
 
+    def test_persistence_knobs_accepted(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        from repro.explore.checkpoint import JOURNAL_NAME
+        from repro.solver.diskcache import HEADER
+
+        (run_dir / JOURNAL_NAME).write_bytes(HEADER)
+        config = AchillesConfig(layout=TOY_LAYOUT, shards=2,
+                                cache_dir=str(tmp_path / "cache"),
+                                run_dir=str(run_dir),
+                                checkpoint_interval=5, resume=True)
+        assert config.checkpoint_interval == 5
+        assert config.resume
+
+    def test_cache_dir_pointing_at_file_rejected(self, tmp_path):
+        not_a_dir = tmp_path / "segments"
+        not_a_dir.write_text("plain file")
+        with pytest.raises(AchillesError, match="cache_dir points at a"):
+            AchillesConfig(layout=TOY_LAYOUT, cache_dir=str(not_a_dir))
+
+    def test_run_dir_pointing_at_file_rejected(self, tmp_path):
+        not_a_dir = tmp_path / "run"
+        not_a_dir.write_text("plain file")
+        with pytest.raises(AchillesError, match="run_dir points at a"):
+            AchillesConfig(layout=TOY_LAYOUT, shards=2,
+                           run_dir=str(not_a_dir))
+
+    def test_run_dir_without_shards_rejected(self, tmp_path):
+        with pytest.raises(AchillesError, match="no coordinator to"):
+            AchillesConfig(layout=TOY_LAYOUT,
+                           run_dir=str(tmp_path / "run"))
+
+    def test_bad_checkpoint_interval_rejected(self):
+        with pytest.raises(AchillesError,
+                           match="checkpoint_interval must be >= 1"):
+            AchillesConfig(layout=TOY_LAYOUT, checkpoint_interval=0)
+
+    def test_resume_without_run_dir_rejected(self):
+        with pytest.raises(AchillesError, match="resume=True needs run_dir"):
+            AchillesConfig(layout=TOY_LAYOUT, shards=2, resume=True)
+
+    def test_resume_without_journal_rejected(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        with pytest.raises(AchillesError, match="does not.*exist"):
+            AchillesConfig(layout=TOY_LAYOUT, shards=2,
+                           run_dir=str(run_dir), resume=True)
+
     def test_sharded_bfs_rejected(self):
         """Sharded merge order == DFS completion order; a BFS serial run
         orders findings differently, so the combination fails loudly."""

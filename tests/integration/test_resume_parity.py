@@ -1,0 +1,180 @@
+"""Crash-safe coordinator: kill/resume byte-parity on real systems.
+
+``tests/explore/test_checkpoint.py`` pins the journal mechanics on toy
+trees; this suite closes the acceptance criterion on the real analyses:
+the coordinator is killed at *every* checkpoint boundary of an FSP
+(reduced command set, as in the transport-parity suite) and a Raft hunt,
+the run is resumed from the journal, and the findings — path ids,
+witnesses, live-predicate sets, labels — plus the exploration and
+sampling counters must be byte-identical to an uninterrupted run. Both
+transports are covered: local ``multiprocessing`` workers and
+``python -m repro worker`` daemons over TCP.
+
+The kill is injected through the ``checkpoint_hook`` test seam of
+:func:`search_server` (:class:`KillCoordinatorAt` fires *after* the
+journal checkpoint is durable, exactly where a real crash is
+survivable). Checkpoint counts are scheduling-dependent, so the loop
+walks the kill target upward until a run completes before reaching it —
+that run closes the loop, and the harness asserts at least one kill
+actually fired along the way.
+"""
+
+import itertools
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.achilles import Achilles, AchillesConfig
+from repro.achilles.server_analysis import search_server
+from repro.bench.experiments import FSP_SESSION_MASK
+from repro.explore import CoordinatorKilled, KillCoordinatorAt
+from repro.systems import fsp, raft
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _spawn_daemons(count: int):
+    """Start ``count`` worker daemons on ephemeral ports; return
+    (processes, hosts) once every daemon has printed its READY line."""
+    env = dict(os.environ)
+    path_entries = [str(_REPO_ROOT / "src")]
+    if env.get("PYTHONPATH"):
+        path_entries.append(env["PYTHONPATH"])
+    env["PYTHONPATH"] = os.pathsep.join(path_entries)
+    daemons, hosts = [], []
+    for _ in range(count):
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker",
+             "--listen", "127.0.0.1:0"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        daemons.append(daemon)
+        line = daemon.stdout.readline().strip()
+        ready, host, port = line.split()
+        assert ready == "READY", f"unexpected daemon banner: {line!r}"
+        hosts.append(f"{host}:{port}")
+    return daemons, tuple(hosts)
+
+
+@pytest.fixture(scope="module")
+def tcp_hosts():
+    daemons, hosts = _spawn_daemons(2)
+    try:
+        yield hosts
+    finally:
+        for daemon in daemons:
+            daemon.terminate()
+        for daemon in daemons:
+            try:
+                daemon.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                daemon.kill()
+                daemon.wait()
+
+
+def _finding_signature(report):
+    """Everything observable about the findings, in discovery order."""
+    return [
+        (f.server_path_id, f.decisions, f.path_condition, f.negation,
+         f.witness, f.live_predicates, f.labels)
+        for f in report.findings
+    ]
+
+
+_SYSTEMS = {
+    "fsp": dict(
+        config=dict(layout=fsp.FSP_LAYOUT, mask=FSP_SESSION_MASK),
+        clients=lambda: fsp.literal_clients(
+            dict(itertools.islice(fsp.COMMANDS.items(), 4))),
+        server=fsp.fsp_server),
+    "raft": dict(
+        config=dict(layout=raft.RAFT_LAYOUT, destination="follower"),
+        clients=raft.peer_clients,
+        server=raft.raft_follower),
+}
+
+
+def _search(system, run_dir, *, resume=False, hook=None, hosts=None):
+    """One full pipeline run, phase 2 journaled under ``run_dir``.
+
+    ``run_dir=None`` runs unjournaled (the uninterrupted baseline)."""
+    spec = _SYSTEMS[system]
+    transport = ({} if hosts is None
+                 else {"transport": "tcp", "hosts": tuple(hosts)})
+    config = AchillesConfig(shards=2, **spec["config"], **transport)
+    with Achilles(config) as achilles:
+        predicates = achilles.extract_clients(spec["clients"]())
+        report, _ = search_server(
+            spec["server"], predicates, achilles.server_msg,
+            config.server_engine, config.optimizations, config.msg_name,
+            query_cache=achilles.query_cache, service=achilles.service,
+            shards=config.shards, transport=config.transport,
+            hosts=config.hosts,
+            run_dir=None if run_dir is None else str(run_dir),
+            checkpoint_interval=1, resume=resume, checkpoint_hook=hook)
+        return report
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    """Uninterrupted (local, unjournaled) report per system."""
+    reports = {name: _search(name, None) for name in _SYSTEMS}
+    for name, report in reports.items():
+        assert report.findings, f"{name}: baseline run found nothing"
+    return reports
+
+
+def _assert_parity(report, baseline, context):
+    assert _finding_signature(report) == _finding_signature(baseline), (
+        f"findings diverged {context}")
+    assert report.server_paths_explored == baseline.server_paths_explored
+    assert report.server_paths_pruned == baseline.server_paths_pruned
+    assert report.predicate_samples == baseline.predicate_samples
+
+
+def _kill_at_every_checkpoint(system, baseline, tmp_path, hosts=None):
+    """Walk the kill target across every checkpoint boundary."""
+    kills_fired = 0
+    target = 1
+    while True:
+        run_dir = tmp_path / f"{system}-kill-{target}"
+        try:
+            report = _search(system, run_dir,
+                             hook=KillCoordinatorAt(target), hosts=hosts)
+        except CoordinatorKilled:
+            kills_fired += 1
+            report = _search(system, run_dir, resume=True, hosts=hosts)
+            assert report.resumed_regions >= 0
+            completed = False
+        else:
+            completed = True
+        _assert_parity(report, baseline, f"for {system} killed@{target}")
+        if completed:
+            break
+        target += 1
+    assert kills_fired >= 1, f"{system}: no kill ever fired"
+
+
+class TestLocalResumeParity:
+    @pytest.mark.parametrize("system", sorted(_SYSTEMS))
+    def test_kill_at_every_checkpoint(self, system, baselines, tmp_path):
+        _kill_at_every_checkpoint(system, baselines[system], tmp_path)
+
+    def test_uninterrupted_journaled_run_matches(self, baselines, tmp_path):
+        """Journaling alone (no kill, no resume) must not perturb the
+        analysis."""
+        report = _search("fsp", tmp_path / "run")
+        _assert_parity(report, baselines["fsp"], "for journaled fsp")
+        assert report.checkpoints_written >= 1
+        assert report.resumed_regions == 0
+
+
+class TestTcpResumeParity:
+    @pytest.mark.parametrize("system", sorted(_SYSTEMS))
+    def test_kill_at_every_checkpoint(self, system, baselines, tmp_path,
+                                      tcp_hosts):
+        _kill_at_every_checkpoint(system, baselines[system], tmp_path,
+                                  hosts=tcp_hosts)

@@ -1,0 +1,278 @@
+"""The durable query cache: round trips, salvage, maintenance.
+
+The corruption matrix is the heart: every damage position the salvage
+code distinguishes (file header, mid-record payload, truncated tail,
+torn final write) is applied via the deterministic disk faults and the
+load must still succeed with exactly the predicted loaded/salvaged/
+dropped counts — never a crash, never an untrusted record.
+"""
+
+import pickle
+import warnings
+
+import pytest
+
+from repro.explore.faults import (
+    CorruptRecord,
+    TornWrite,
+    TruncateSegment,
+    apply_disk_fault,
+)
+from repro.solver.ast import bv_const, bv_var, eq, ult
+from repro.solver.cache import QueryCache
+from repro.solver.diskcache import (
+    FORMAT_VERSION,
+    HEADER,
+    MAGIC,
+    DiskCacheStore,
+    key_fingerprint,
+    record_spans,
+    scan_frames,
+    write_segment,
+)
+
+X = bv_var("x", 8)
+Y = bv_var("y", 8)
+
+
+def _keys(count):
+    """Distinct canonical keys with deterministic content."""
+    cache = QueryCache()
+    return [cache.key((ult(X, bv_const(i + 1, 8)), eq(Y, bv_const(i, 8))))
+            for i in range(count)]
+
+
+def _store_with(tmp_path, feasible=(), models=()):
+    store = DiskCacheStore(tmp_path / "cache")
+    for key, value in feasible:
+        store.record_feasible(key, value)
+    for key, model in models:
+        store.record_model(key, model)
+    store.flush()
+    return store
+
+
+class TestRoundTrip:
+    def test_feasibility_and_models_round_trip(self, tmp_path):
+        keys = _keys(3)
+        model = {X: 7, Y: 2}
+        store = _store_with(tmp_path,
+                            feasible=[(keys[0], True), (keys[1], False)],
+                            models=[(keys[2], model)])
+        fresh = QueryCache()
+        report = DiskCacheStore(tmp_path / "cache").load_into(fresh)
+        assert report.loaded_records == 3
+        assert report.salvaged_records == report.dropped_records == 0
+        assert fresh.get_feasible(keys[0]) is True
+        assert fresh.get_feasible(keys[1]) is False
+        assert fresh.get_model(keys[2]) == (True, model)
+        assert all(fresh.is_disk_loaded(k) for k in keys)
+        assert fresh.stats.disk_hits == 3
+
+    def test_second_flush_is_empty(self, tmp_path):
+        keys = _keys(2)
+        store = _store_with(tmp_path, feasible=[(keys[0], True)])
+        assert store.flush() is None  # nothing new buffered
+        store.record_feasible(keys[0], True)  # already persisted: deduped
+        assert store.flush() is None
+        store.record_feasible(keys[1], False)
+        assert store.flush() is not None
+        assert len(store.segment_paths()) == 2
+
+    def test_loaded_keys_are_not_repersisted(self, tmp_path):
+        keys = _keys(1)
+        _store_with(tmp_path, feasible=[(keys[0], True)])
+        warm = DiskCacheStore(tmp_path / "cache")
+        cache = QueryCache()
+        warm.load_into(cache)
+        cache.put_feasible(keys[0], True)
+        assert warm.flush() is None
+
+    def test_local_entries_win_over_disk(self, tmp_path):
+        keys = _keys(1)
+        _store_with(tmp_path, models=[(keys[0], {X: 5})])
+        cache = QueryCache()
+        cache.put_model(keys[0], {X: 9})
+        DiskCacheStore(tmp_path / "cache").load_into(cache)
+        assert cache.get_model(keys[0]) == (True, {X: 9})
+
+    def test_segment_bytes_are_deterministic(self, tmp_path):
+        keys = _keys(4)
+        a = _store_with(tmp_path / "a", feasible=[(k, True) for k in keys])
+        b = _store_with(tmp_path / "b", feasible=[(k, True) for k in keys])
+        assert (a.segment_paths()[0].read_bytes()
+                == b.segment_paths()[0].read_bytes())
+
+
+class TestCorruptionMatrix:
+    """Damage at every distinguished position still opens the cache."""
+
+    def _populated(self, tmp_path, records=4):
+        keys = _keys(records)
+        store = _store_with(tmp_path, feasible=[(k, bool(i % 2))
+                                                for i, k in enumerate(keys)])
+        return store.segment_paths()[0], keys
+
+    def _load(self, tmp_path):
+        cache = QueryCache()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            report = DiskCacheStore(tmp_path / "cache").load_into(cache)
+        return cache, report
+
+    def test_header_corruption_drops_the_segment(self, tmp_path):
+        segment, _keys_ = self._populated(tmp_path)
+        apply_disk_fault(segment, CorruptRecord(record=-1))
+        cache, report = self._load(tmp_path)
+        assert report.segments_damaged == 1
+        assert report.records_applied == 0
+        assert report.dropped_records == 1  # opaque: count unknowable
+        assert len(cache) == 0
+
+    def test_mid_record_corruption_salvages_the_prefix(self, tmp_path):
+        segment, keys = self._populated(tmp_path, records=4)
+        apply_disk_fault(segment, CorruptRecord(record=2))
+        cache, report = self._load(tmp_path)
+        # Records 0-1 precede the damage; 2 fails its CRC; 3 is behind
+        # an untrustworthy length field and is abandoned with it.
+        assert report.salvaged_records == 2
+        assert report.dropped_records == 1
+        assert cache.get_feasible(keys[0]) is False
+        assert cache.get_feasible(keys[1]) is True
+        assert cache.get_feasible(keys[2]) is None
+
+    def test_first_record_corruption_salvages_nothing(self, tmp_path):
+        segment, _ = self._populated(tmp_path)
+        apply_disk_fault(segment, CorruptRecord(record=0))
+        _, report = self._load(tmp_path)
+        assert report.salvaged_records == 0
+        assert report.dropped_records == 1
+
+    def test_truncated_tail_salvages_the_prefix(self, tmp_path):
+        segment, keys = self._populated(tmp_path, records=3)
+        apply_disk_fault(segment, TruncateSegment(drop_bytes=1))
+        cache, report = self._load(tmp_path)
+        assert report.salvaged_records == 2
+        assert cache.get_feasible(keys[1]) is True
+
+    def test_torn_final_write_salvages_the_prefix(self, tmp_path):
+        segment, keys = self._populated(tmp_path, records=3)
+        apply_disk_fault(segment, TornWrite())
+        cache, report = self._load(tmp_path)
+        assert report.salvaged_records == 2
+        assert report.dropped_records == 1
+        assert cache.get_feasible(keys[0]) is False
+
+    def test_version_mismatch_drops_the_segment(self, tmp_path):
+        segment, _ = self._populated(tmp_path)
+        data = bytearray(segment.read_bytes())
+        data[len(MAGIC)] = FORMAT_VERSION + 1
+        segment.write_bytes(bytes(data))
+        _, report = self._load(tmp_path)
+        assert report.segments_damaged == 1
+        assert report.records_applied == 0
+
+    def test_fingerprint_mismatch_drops_the_record(self, tmp_path):
+        """A record whose pickle decodes but whose stored fingerprint
+        disagrees with the recomputed one is never trusted."""
+        keys = _keys(1)
+        directory = tmp_path / "cache"
+        directory.mkdir()
+        payload = pickle.dumps(
+            ("f", key_fingerprint(keys[0]), tuple(_keys(2)[1]), True))
+        write_segment(directory / "seg-00000001-000001.qc", [payload])
+        cache, report = self._load(tmp_path)
+        assert report.dropped_records == 1
+        assert report.records_applied == 0
+        assert len(cache) == 0
+
+    def test_damage_never_warps_answers(self, tmp_path):
+        """Whatever survives a corrupted load answers exactly as the
+        clean cache would; everything else is a miss."""
+        segment, keys = self._populated(tmp_path, records=6)
+        clean = QueryCache()
+        DiskCacheStore(tmp_path / "cache").load_into(clean)
+        apply_disk_fault(segment, CorruptRecord(record=3, offset=2))
+        damaged, _ = self._load(tmp_path)
+        for key in keys:
+            expected = clean._feasible.get(key)
+            got = damaged._feasible.get(key)
+            assert got is None or got == expected
+
+    def test_damaged_load_warns(self, tmp_path):
+        segment, _ = self._populated(tmp_path)
+        apply_disk_fault(segment, TruncateSegment(drop_bytes=3))
+        with pytest.warns(RuntimeWarning, match="salvaged"):
+            DiskCacheStore(tmp_path / "cache").load_into(QueryCache())
+
+
+class TestMaintenance:
+    def test_compact_merges_segments(self, tmp_path):
+        keys = _keys(4)
+        store = DiskCacheStore(tmp_path / "cache")
+        for key in keys[:2]:
+            store.record_feasible(key, True)
+        store.flush()
+        store.record_model(keys[0], {X: 1})  # subsumes its feasibility bit
+        for key in keys[2:]:
+            store.record_feasible(key, False)
+        store.flush()
+        segments, kept = store.compact()
+        assert segments == 2
+        assert kept == 4  # 1 model + 3 feasibility-only
+        assert len(store.segment_paths()) == 1
+        cache = QueryCache()
+        DiskCacheStore(tmp_path / "cache").load_into(cache)
+        assert cache.get_model(keys[0]) == (True, {X: 1})
+        assert cache.get_feasible(keys[3]) is False
+
+    def test_auto_compaction_bounds_segment_count(self, tmp_path):
+        store = DiskCacheStore(tmp_path / "cache", auto_compact_segments=3)
+        for i, key in enumerate(_keys(6)):
+            store.record_feasible(key, True)
+            store.flush()
+        assert len(store.segment_paths()) <= 4
+
+    def test_clear_removes_everything(self, tmp_path):
+        keys = _keys(2)
+        store = _store_with(tmp_path, feasible=[(k, True) for k in keys])
+        assert store.clear() == 1
+        assert store.segment_paths() == []
+        report = DiskCacheStore(tmp_path / "cache").load_into(QueryCache())
+        assert report.records_applied == 0
+
+    def test_load_respects_entry_bound(self, tmp_path):
+        keys = _keys(8)
+        _store_with(tmp_path, feasible=[(k, True) for k in keys])
+        cache = QueryCache()
+        with pytest.warns(RuntimeWarning, match="in-memory bound"):
+            report = DiskCacheStore(tmp_path / "cache",
+                                    max_load_entries=5).load_into(cache)
+        assert report.truncated
+        assert report.records_applied == 5
+        assert len(cache) == 5
+
+    def test_verify_reports_without_attaching(self, tmp_path):
+        keys = _keys(3)
+        store = _store_with(tmp_path, feasible=[(k, True) for k in keys])
+        report = store.verify()
+        assert report.loaded_records == 3
+        assert report.dropped_records == 0
+
+
+class TestFraming:
+    def test_scan_frames_empty_file(self):
+        scan = scan_frames(b"")
+        assert scan.damaged and scan.payloads == []
+
+    def test_scan_frames_header_only(self):
+        scan = scan_frames(HEADER)
+        assert not scan.damaged
+        assert scan.valid_end == len(HEADER)
+
+    def test_record_spans_match_scan(self, tmp_path):
+        keys = _keys(3)
+        store = _store_with(tmp_path, feasible=[(k, True) for k in keys])
+        spans = record_spans(store.segment_paths()[0])
+        assert len(spans) == 3
+        assert spans[0][0] == len(HEADER)

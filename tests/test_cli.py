@@ -26,3 +26,80 @@ class TestCli:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["nonsense"])
+
+
+class TestPersistenceFlags:
+    def test_toy_run_populates_cache_dir(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main(["toy", "--cache-dir", str(cache_dir)]) == 0
+        assert list(cache_dir.glob("*.qc")), "no segment was written"
+
+    def test_resume_conflicting_run_dir_rejected(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["toy", "--shards", "2",
+                  "--run-dir", str(tmp_path / "a"),
+                  "--resume", str(tmp_path / "b")])
+        assert "conflicting" in capsys.readouterr().err
+
+    def test_run_then_resume_prints_identical_findings(self, capsys,
+                                                       tmp_path):
+        """--resume on an already *completed* journal re-runs nothing
+        new but must still print the same findings table."""
+        run_dir = tmp_path / "run"
+        assert main(["toy", "--shards", "2", "--run-dir",
+                     str(run_dir)]) == 0
+        first = capsys.readouterr().out
+        assert main(["toy", "--shards", "2", "--resume", str(run_dir)]) == 0
+        second = capsys.readouterr().out
+        # The title line embeds a wall-clock timing; compare the rest.
+        rows = lambda s: [l for l in s.splitlines()
+                          if "Trojan finding(s) in" not in l]
+        assert rows(second) == rows(first)
+        assert any("witness" in l for l in rows(first))
+
+
+class TestCacheSubcommand:
+    def _populate(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main(["toy", "--cache-dir", str(cache_dir)]) == 0
+        return cache_dir
+
+    def test_stats_reports_segments_and_records(self, capsys, tmp_path):
+        cache_dir = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "segments" in out
+        assert "records" in out
+
+    def test_verify_clean_cache_exits_zero(self, capsys, tmp_path):
+        cache_dir = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "records dropped    0" in out
+
+    def test_verify_corrupted_cache_exits_one(self, capsys, tmp_path):
+        from repro.explore.faults import CorruptRecord, apply_disk_fault
+        from repro.solver.diskcache import DiskCacheStore
+
+        cache_dir = self._populate(tmp_path)
+        segment = DiskCacheStore(cache_dir).segment_paths()[0]
+        apply_disk_fault(segment, CorruptRecord(record=0))
+        capsys.readouterr()
+        assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "segments damaged   1" in out
+
+    def test_compact_then_clear(self, capsys, tmp_path):
+        cache_dir = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "compact", "--cache-dir", str(cache_dir)]) == 0
+        assert "compacted" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert not list(cache_dir.glob("*.qc"))
+
+    def test_cache_listed_in_experiment_list(self, capsys):
+        assert main(["list"]) == 0
+        assert "cache" in capsys.readouterr().out
