@@ -27,6 +27,14 @@ onto TCP worker daemons (shards round-robin across the listed hosts).
 All knobs compose, and the findings are byte-identical to the serial
 run either way. ``--search-order`` and ``--max-paths`` override the
 exploration policy.
+
+Watch it live with ``--progress`` (one fleet-status line per second on
+stderr), or record a full trace with ``--trace-dir DIR`` and inspect it
+afterwards::
+
+    python examples/fsp_trojan_hunt.py --shards 4 --trace-dir run
+    python -m repro trace summarize run
+    python -m repro trace export run -o fsp.chrome.json  # open in Perfetto
 """
 
 import argparse
@@ -59,6 +67,13 @@ def main() -> None:
                         help="recover reassigns a dead worker's prefixes "
                              "instead of aborting the run; findings are "
                              "byte-identical either way")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="record structured spans for the whole hunt "
+                             "and write DIR/trace.jsonl (inspect with "
+                             "`python -m repro trace summarize DIR`)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print a live one-line fleet status to "
+                             "stderr while the hunt runs")
     args = parser.parse_args()
     hosts = tuple(h.strip() for h in (args.hosts or "").split(",") if h.strip())
     transport = "tcp" if hosts else "local"
@@ -69,7 +84,9 @@ def main() -> None:
                                search_order=args.search_order,
                                max_paths=args.max_paths,
                                transport=transport, hosts=hosts,
-                               on_worker_loss=args.on_worker_loss)
+                               on_worker_loss=args.on_worker_loss,
+                               trace_dir=args.trace_dir,
+                               progress=args.progress)
     report = outcome.report
 
     print(format_table(

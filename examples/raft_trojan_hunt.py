@@ -55,6 +55,13 @@ def main() -> None:
                         help="recover reassigns a dead worker's prefixes "
                              "instead of aborting the run; findings are "
                              "byte-identical either way")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="record structured spans for the whole hunt "
+                             "and write DIR/trace.jsonl (inspect with "
+                             "`python -m repro trace summarize DIR`)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print a live one-line fleet status to "
+                             "stderr while the hunt runs")
     args = parser.parse_args()
     hosts = tuple(h.strip() for h in (args.hosts or "").split(",") if h.strip())
     transport = "tcp" if hosts else "local"
@@ -65,7 +72,9 @@ def main() -> None:
                                 search_order=args.search_order,
                                 max_paths=args.max_paths,
                                 transport=transport, hosts=hosts,
-                                on_worker_loss=args.on_worker_loss)
+                                on_worker_loss=args.on_worker_loss,
+                                trace_dir=args.trace_dir,
+                                progress=args.progress)
     report = outcome.report
 
     print(format_table(

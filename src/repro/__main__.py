@@ -12,6 +12,7 @@ Usage::
 
     python -m repro worker --listen 0.0.0.0:9100   # shard worker daemon
     python -m repro cache stats --cache-dir CACHE  # inspect a disk cache
+    python -m repro trace summarize RUN/trace.jsonl  # inspect a trace
 
 Every experiment accepts ``--workers/--shards`` (parallel throughput
 knobs; findings are byte-identical at any count) and
@@ -33,6 +34,16 @@ merge keeps findings byte-identical to the local run. With
 ``--on-worker-loss recover`` a killed daemon session (or local worker)
 no longer aborts the run: its prefixes are reassigned and the findings
 stay byte-identical.
+
+Observability: ``--trace-dir DIR`` records structured spans across the
+coordinator, the shard workers and every solver layer, writing the
+merged trace to ``DIR/trace.jsonl`` (``trace summarize`` prints span
+statistics, ``trace export`` converts to Chrome trace-event JSON for
+Perfetto). ``--progress`` prints a live one-line fleet status to stderr
+while the search runs. ``--verbose``/``--quiet`` move the ``repro``
+logger's threshold (recovery notices, cache salvage warnings). All of
+it is observational: findings are byte-identical with everything on or
+off.
 """
 
 from __future__ import annotations
@@ -51,7 +62,9 @@ def _run_toy(workers: int = 1, shards: int = 1,
              cache_dir: str | None = None,
              run_dir: str | None = None,
              checkpoint_interval: int = 1,
-             resume: bool = False) -> int:
+             resume: bool = False,
+             trace_dir: str | None = None,
+             progress: bool = False) -> int:
     from repro.achilles import Achilles, AchillesConfig
     from repro.bench.experiments import make_engine_config
     from repro.systems.toy import TOY_LAYOUT, toy_client, toy_server
@@ -69,7 +82,9 @@ def _run_toy(workers: int = 1, shards: int = 1,
                                  cache_dir=cache_dir,
                                  run_dir=run_dir,
                                  checkpoint_interval=checkpoint_interval,
-                                 resume=resume)) as achilles:
+                                 resume=resume,
+                                 trace_dir=trace_dir,
+                                 progress=progress)) as achilles:
         predicates = achilles.extract_clients({"toy": toy_client})
         report = achilles.search(toy_server, predicates)
     rows = [[f.server_path_id, f.witness.hex(),
@@ -77,6 +92,7 @@ def _run_toy(workers: int = 1, shards: int = 1,
     print(format_table(["path", "witness", "fields"], rows,
                        title=f"{report.trojan_count} Trojan finding(s) "
                              f"in {report.timings.total:.2f}s"))
+    _report_health(report)
     return 0
 
 
@@ -88,7 +104,9 @@ def _run_fsp(workers: int = 1, shards: int = 1,
              cache_dir: str | None = None,
              run_dir: str | None = None,
              checkpoint_interval: int = 1,
-             resume: bool = False) -> int:
+             resume: bool = False,
+             trace_dir: str | None = None,
+             progress: bool = False) -> int:
     from repro.bench.experiments import run_fsp_accuracy
 
     outcome = run_fsp_accuracy(workers=workers, shards=shards,
@@ -98,7 +116,8 @@ def _run_fsp(workers: int = 1, shards: int = 1,
                                on_worker_loss=on_worker_loss,
                                cache_dir=cache_dir, run_dir=run_dir,
                                checkpoint_interval=checkpoint_interval,
-                               resume=resume)
+                               resume=resume, trace_dir=trace_dir,
+                               progress=progress)
     print(format_table(
         ["metric", "paper", "here"],
         [["true positives", 80, outcome.true_positives],
@@ -107,6 +126,7 @@ def _run_fsp(workers: int = 1, shards: int = 1,
           f"{outcome.classes_found}/{outcome.classes_total}"],
          ["time", "1h03", f"{outcome.report.timings.total:.1f}s"]],
         title="FSP accuracy (Table 1, Achilles column)"))
+    _report_health(outcome.report)
     return 0 if outcome.false_positives == 0 else 1
 
 
@@ -118,7 +138,9 @@ def _run_fsp_wildcard(workers: int = 1, shards: int = 1,
                       cache_dir: str | None = None,
                       run_dir: str | None = None,
                       checkpoint_interval: int = 1,
-                      resume: bool = False) -> int:
+                      resume: bool = False,
+             trace_dir: str | None = None,
+             progress: bool = False) -> int:
     from repro.bench.experiments import run_fsp_wildcard
     from repro.systems.fsp import FSP_LAYOUT
 
@@ -128,7 +150,8 @@ def _run_fsp_wildcard(workers: int = 1, shards: int = 1,
                               on_worker_loss=on_worker_loss,
                               cache_dir=cache_dir, run_dir=run_dir,
                               checkpoint_interval=checkpoint_interval,
-                              resume=resume)
+                              resume=resume, trace_dir=trace_dir,
+                              progress=progress)
     buf = FSP_LAYOUT.view("buf")
     wildcard = [w for w in report.witnesses()
                 if any(b in (42, 63) for b in w[buf.offset:buf.end])]
@@ -137,6 +160,7 @@ def _run_fsp_wildcard(workers: int = 1, shards: int = 1,
     for witness in wildcard[:5]:
         path = bytes(witness[buf.offset:buf.end]).split(b"\x00")[0]
         print(f"  Trojan path: {path!r}")
+    _report_health(report)
     return 0 if wildcard else 1
 
 
@@ -148,7 +172,9 @@ def _run_pbft(workers: int = 1, shards: int = 1,
               cache_dir: str | None = None,
               run_dir: str | None = None,
               checkpoint_interval: int = 1,
-              resume: bool = False) -> int:
+              resume: bool = False,
+             trace_dir: str | None = None,
+             progress: bool = False) -> int:
     from repro.bench.experiments import run_pbft_impact
 
     outcome = run_pbft_impact(workers=workers, shards=shards,
@@ -157,7 +183,8 @@ def _run_pbft(workers: int = 1, shards: int = 1,
                               on_worker_loss=on_worker_loss,
                               cache_dir=cache_dir, run_dir=run_dir,
                               checkpoint_interval=checkpoint_interval,
-                              resume=resume)
+                              resume=resume, trace_dir=trace_dir,
+                              progress=progress)
     print(f"findings: {outcome.report.trojan_count} "
           f"(MAC != {outcome.mac_stub.hex()}) in "
           f"{outcome.report.timings.total:.2f}s")
@@ -166,6 +193,7 @@ def _run_pbft(workers: int = 1, shards: int = 1,
             for label, stats in outcome.impact.items()]
     print(format_table(["workload", "committed", "view changes",
                         "throughput"], rows, title="MAC attack impact"))
+    _report_health(outcome.report)
     return 0
 
 
@@ -190,7 +218,9 @@ def _run_raft(workers: int = 1, shards: int = 1,
               cache_dir: str | None = None,
               run_dir: str | None = None,
               checkpoint_interval: int = 1,
-              resume: bool = False) -> int:
+              resume: bool = False,
+             trace_dir: str | None = None,
+             progress: bool = False) -> int:
     from repro.bench.experiments import run_raft_accuracy
     from repro.systems.raft import all_trojan_classes, classify_message
 
@@ -201,9 +231,11 @@ def _run_raft(workers: int = 1, shards: int = 1,
                                 on_worker_loss=on_worker_loss,
                                 cache_dir=cache_dir, run_dir=run_dir,
                                 checkpoint_interval=checkpoint_interval,
-                                resume=resume)
+                                resume=resume, trace_dir=trace_dir,
+                                progress=progress)
     _accuracy_table("Raft follower ingress vs seeded ground truth",
                     outcome, len(all_trojan_classes()))
+    _report_health(outcome.report)
     for finding in outcome.report.findings:
         print(f"  {classify_message(finding.witness)}  "
               f"wire={finding.witness.hex()}")
@@ -218,7 +250,9 @@ def _run_tpc(workers: int = 1, shards: int = 1,
              cache_dir: str | None = None,
              run_dir: str | None = None,
              checkpoint_interval: int = 1,
-             resume: bool = False) -> int:
+             resume: bool = False,
+             trace_dir: str | None = None,
+             progress: bool = False) -> int:
     from repro.bench.experiments import run_tpc_accuracy
     from repro.systems.tpc import all_trojan_classes, classify_message
 
@@ -229,13 +263,38 @@ def _run_tpc(workers: int = 1, shards: int = 1,
                                on_worker_loss=on_worker_loss,
                                cache_dir=cache_dir, run_dir=run_dir,
                                checkpoint_interval=checkpoint_interval,
-                               resume=resume)
+                               resume=resume, trace_dir=trace_dir,
+                               progress=progress)
     _accuracy_table("Two-phase-commit participant vs seeded ground truth",
                     outcome, len(all_trojan_classes()))
+    _report_health(outcome.report)
     for finding in outcome.report.findings:
         print(f"  {classify_message(finding.witness)}  "
               f"wire={finding.witness.hex()}")
     return 0 if outcome.precision == 1.0 and outcome.recall == 1.0 else 1
+
+
+def _report_health(report) -> None:
+    """Robustness/observability counters after the experiment tables.
+
+    Surfaces what the run survived (worker deaths, reclaimed prefixes,
+    salvaged cache records) and what it leaned on (disk cache, journal
+    checkpoints) in one scannable block.
+    """
+    queries = report.cache_hits + report.cache_misses
+    hit_rate = f"{report.cache_hits / queries:.1%}" if queries else "n/a"
+    rows = [("solver queries", report.solver_queries),
+            ("cache hit rate", hit_rate),
+            ("disk cache hits", report.disk_hits),
+            ("salvaged records", report.salvaged_records),
+            ("worker failures", report.worker_failures),
+            ("prefixes reassigned", report.prefixes_reassigned),
+            ("recovery seconds", f"{report.recovery_seconds:.2f}"),
+            ("journal checkpoints", report.checkpoints_written),
+            ("resumed regions", report.resumed_regions)]
+    print("run health:")
+    for name, value in rows:
+        print(f"  {name:20} {value}")
 
 
 _EXPERIMENTS = {
@@ -319,6 +378,58 @@ def _run_cache(argv: list[str]) -> int:
     return 0
 
 
+def _run_trace(argv: list[str]) -> int:
+    """The ``trace`` subcommand: inspect/convert a recorded trace."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Inspect a trace recorded with --trace-dir. "
+                    "'summarize' prints per-span statistics and the "
+                    "metrics trailer; 'export' converts the trace to "
+                    "Chrome trace-event JSON (open in Perfetto or "
+                    "chrome://tracing). A damaged trace file salvages "
+                    "its valid prefix, like a damaged cache segment.")
+    parser.add_argument("action", choices=["summarize", "export"],
+                        help="print span statistics, or convert to "
+                             "Chrome trace-event JSON")
+    parser.add_argument("path", metavar="TRACE",
+                        help="the trace.jsonl a run wrote under "
+                             "--trace-dir (the directory itself also "
+                             "works)")
+    parser.add_argument("-o", "--output", default=None, metavar="FILE",
+                        help="output file for 'export' (default: the "
+                             "trace path with a .chrome.json suffix)")
+    args = parser.parse_args(argv)
+    import json
+    from pathlib import Path
+
+    from repro.obs.trace import (
+        TRACE_FILE_NAME,
+        format_summary,
+        read_trace,
+        summarize,
+        to_chrome_trace,
+    )
+
+    path = Path(args.path)
+    if path.is_dir():
+        path = path / TRACE_FILE_NAME
+    try:
+        trace = read_trace(path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {path}: {exc}", file=sys.stderr)
+        return 1
+    if args.action == "summarize":
+        print(format_summary(summarize(trace.records),
+                             damaged=trace.damaged, reason=trace.reason))
+        return 0
+    chrome = to_chrome_trace(trace.records)
+    out = Path(args.output) if args.output else path.with_suffix(
+        ".chrome.json")
+    out.write_text(json.dumps(chrome))
+    print(f"wrote {len(chrome['traceEvents'])} event(s) to {out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     # The worker daemon has its own flag set (and runs forever), so it
@@ -327,18 +438,22 @@ def main(argv: list[str] | None = None) -> int:
         return _run_worker(argv[1:])
     if argv[:1] == ["cache"]:
         return _run_cache(argv[1:])
+    if argv[:1] == ["trace"]:
+        return _run_trace(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run Achilles reproduction experiments "
                     "('python -m repro worker --help' for the shard "
                     "worker daemon, 'python -m repro cache --help' for "
-                    "the disk-cache maintenance tool).")
+                    "the disk-cache maintenance tool, 'python -m repro "
+                    "trace --help' for the trace inspector).")
     parser.add_argument("experiment",
                         choices=sorted(_EXPERIMENTS) + ["list", "worker",
-                                                        "cache"],
+                                                        "cache", "trace"],
                         help="experiment to run, 'list', 'worker' (shard "
-                             "worker daemon), or 'cache' (disk-cache "
-                             "maintenance)")
+                             "worker daemon), 'cache' (disk-cache "
+                             "maintenance), or 'trace' (trace "
+                             "inspector)")
     parser.add_argument("--workers", type=int, default=1,
                         help="solver-service worker processes (default: 1, "
                              "fully serial; findings are identical at any "
@@ -387,7 +502,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="continue the interrupted run journaled in "
                              "RUN_DIR from its last checkpoint; findings "
                              "are byte-identical to an uninterrupted run")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="record structured spans (coordinator, "
+                             "workers, every solver layer) and write the "
+                             "merged trace to DIR/trace.jsonl; inspect "
+                             "with 'python -m repro trace'")
+    parser.add_argument("--progress", action="store_true",
+                        help="print a live one-line fleet status to "
+                             "stderr while the search runs")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="raise repro logger verbosity (repeatable: "
+                             "-v info, -vv debug)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="only log errors (hides recovery and cache "
+                             "salvage warnings)")
     args = parser.parse_args(argv)
+    from repro.obs.log import configure
+
+    configure(verbosity=-1 if args.quiet else args.verbose)
     if args.experiment == "list":
         for name, (_, description) in sorted(_EXPERIMENTS.items()):
             print(f"{name:14} {description}")
@@ -395,6 +527,8 @@ def main(argv: list[str] | None = None) -> int:
               "(python -m repro worker --help)")
         print("cache          disk-cache maintenance "
               "(python -m repro cache --help)")
+        print("trace          trace inspector/exporter "
+              "(python -m repro trace --help)")
         return 0
     run_dir = args.run_dir
     resume = False
@@ -412,7 +546,8 @@ def main(argv: list[str] | None = None) -> int:
                   on_worker_loss=args.on_worker_loss,
                   cache_dir=args.cache_dir, run_dir=run_dir,
                   checkpoint_interval=args.checkpoint_interval,
-                  resume=resume)
+                  resume=resume, trace_dir=args.trace_dir,
+                  progress=args.progress)
 
 
 if __name__ == "__main__":

@@ -132,6 +132,16 @@ class AchillesConfig:
             phase-2 search from scratch: journaled outcomes merge as-is
             and only the outstanding frontier is re-explored. Findings
             are byte-identical to an uninterrupted run.
+        trace_dir: when set, record structured spans across the whole
+            phase-2 search — coordinator phases, per-worker exploration
+            and every solver layer — and write the merged trace to
+            ``trace_dir/trace.jsonl`` (inspect with ``python -m repro
+            trace summarize``, convert with ``trace export``). Purely
+            observational: findings are byte-identical with tracing on
+            or off.
+        progress: emit a periodic one-line fleet status to stderr while
+            the phase-2 search runs (paths/sec, busy workers, worklist
+            depth, cache hit rate).
     """
 
     layout: MessageLayout
@@ -151,6 +161,8 @@ class AchillesConfig:
     run_dir: str | None = None
     checkpoint_interval: int = 1
     resume: bool = False
+    trace_dir: str | None = None
+    progress: bool = False
 
     def __post_init__(self) -> None:
         # Validate here, not at pool start: a bad count otherwise
@@ -217,6 +229,13 @@ class AchillesConfig:
                     f"phase-2 search, but shards={self.shards}; set "
                     "shards >= 2 (a serial walk has no coordinator to "
                     "checkpoint)")
+        if self.trace_dir is not None:
+            trace_path = Path(self.trace_dir)
+            if trace_path.exists() and not trace_path.is_dir():
+                raise AchillesError(
+                    f"AchillesConfig.trace_dir points at a file "
+                    f"({trace_path}); it must name a directory for the "
+                    "trace (it is created if missing)")
         if self.resume:
             if self.run_dir is None:
                 raise AchillesError(
@@ -319,7 +338,9 @@ class Achilles:
             max_worker_retries=self.config.max_worker_retries,
             run_dir=self.config.run_dir,
             checkpoint_interval=self.config.checkpoint_interval,
-            resume=self.config.resume)
+            resume=self.config.resume,
+            trace_dir=self.config.trace_dir,
+            progress=self.config.progress)
         report.workers = self.config.workers
         report.timings.client_extraction = clients.stats.extraction_seconds
         report.timings.preprocessing = clients.stats.preprocess_seconds

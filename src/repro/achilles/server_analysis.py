@@ -27,12 +27,21 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Callable
 
 from repro.achilles.client_analysis import ClientPredicateSet
 from repro.achilles.negate import single_field_of
 from repro.achilles.report import AchillesReport, TrojanFinding
 from repro.errors import AchillesError
+from repro.obs import trace as obs_trace
+from repro.obs.progress import ProgressMeter
+from repro.obs.trace import (
+    TRACE_FILE_NAME,
+    merge_traces,
+    metrics_record,
+    write_trace,
+)
 from repro.solver.ast import Expr
 from repro.solver.cache import QueryCache
 from repro.symex.context import ExecutionContext
@@ -340,6 +349,8 @@ def search_server(server, clients: ClientPredicateSet,
                   run_dir: str | None = None,
                   checkpoint_interval: int = 1,
                   resume: bool = False,
+                  trace_dir: str | None = None,
+                  progress: bool = False,
                   checkpoint_hook=None,
                   ) -> tuple[AchillesReport, ExplorationResult]:
     """Explore a server program under the incremental Trojan search.
@@ -394,6 +405,15 @@ def search_server(server, clients: ClientPredicateSet,
         resume: replay ``run_dir``'s journal and explore only the
             outstanding regions; findings stay byte-identical to an
             uninterrupted run.
+        trace_dir: when set, activate the structured tracer
+            (:mod:`repro.obs.trace`) for the whole search and write the
+            merged trace — coordinator spans, per-worker assignment
+            deltas and the metrics trailer — to
+            ``trace_dir/trace.jsonl``. Observational only: findings are
+            byte-identical with tracing on or off.
+        progress: print a periodic one-line fleet status to stderr
+            (:class:`~repro.obs.progress.ProgressMeter`) while the
+            search runs.
         checkpoint_hook: test seam — called with the checkpoint index
             after each durable checkpoint (see
             :class:`~repro.explore.faults.KillCoordinatorAt`).
@@ -415,30 +435,53 @@ def search_server(server, clients: ClientPredicateSet,
             f"order (got {engine.config.search_order!r}): findings are "
             "only byte-identical across shard counts for DFS runs")
 
+    tracer = None
+    if trace_dir is not None:
+        # Clear any tracer a failed earlier run left behind, then own a
+        # fresh coordinator-sourced one for exactly this search.
+        obs_trace.deactivate()
+        tracer = obs_trace.activate(source="coordinator")
+    meter = ProgressMeter() if progress else None
+
     service_mark = service.stats.copy() if service is not None else None
     started = time.perf_counter()
     shard_stats = None
-    if shards > 1:
-        from repro.explore import ShardScheduler
+    sharded = None
+    try:
+        if shards > 1:
+            from repro.explore import ShardScheduler
 
-        scheduler = ShardScheduler(
-            _shard_setup,
-            (server, clients, server_msg, flags, msg_name, True),
-            shards=shards, engine=engine,
-            transport=transport, hosts=hosts,
-            on_worker_loss=on_worker_loss,
-            max_worker_retries=max_worker_retries,
-            run_dir=run_dir, checkpoint_interval=checkpoint_interval,
-            resume=resume, checkpoint_hook=checkpoint_hook)
-        sharded = scheduler.run()
-        exploration = sharded.exploration
-        observer = sharded.observer
-        shard_stats = sharded.worker_solver_stats
-    else:
-        program, observer = _shard_setup(engine, server, clients, server_msg,
-                                         flags, msg_name)
-        exploration = engine.explore(program, observer)
-        observer.finalize()
+            scheduler = ShardScheduler(
+                _shard_setup,
+                (server, clients, server_msg, flags, msg_name, True),
+                shards=shards, engine=engine,
+                transport=transport, hosts=hosts,
+                on_worker_loss=on_worker_loss,
+                max_worker_retries=max_worker_retries,
+                run_dir=run_dir, checkpoint_interval=checkpoint_interval,
+                resume=resume, checkpoint_hook=checkpoint_hook,
+                trace=trace_dir is not None, progress=meter)
+            sharded = scheduler.run()
+            exploration = sharded.exploration
+            observer = sharded.observer
+            shard_stats = sharded.worker_solver_stats
+        else:
+            program, observer = _shard_setup(engine, server, clients,
+                                             server_msg, flags, msg_name)
+            control = (meter.serial_control(engine)
+                       if meter is not None else None)
+            if tracer is None:
+                exploration = engine.explore(program, observer,
+                                             control=control)
+            else:
+                with tracer.span("coordinator.explore", shards=1):
+                    exploration = engine.explore(program, observer,
+                                                 control=control)
+            observer.finalize()
+    except BaseException:
+        if tracer is not None:
+            obs_trace.deactivate()
+        raise
     elapsed = time.perf_counter() - started
 
     # New answers this search produced become durable before the report
@@ -473,7 +516,48 @@ def search_server(server, clients: ClientPredicateSet,
     if service_mark is not None:
         _merge_service_stats(report, service, service_mark)
     report.timings.server_analysis = elapsed
+    if meter is not None:
+        if sharded is not None:
+            meter.note(steals=sharded.steals,
+                       failures=report.worker_failures)
+        meter.close()
+    if tracer is not None:
+        obs_trace.deactivate()
+        worker_deltas = sharded.worker_traces if sharded is not None else None
+        _write_run_trace(tracer, trace_dir, worker_deltas, report)
     return report, exploration
+
+
+def _write_run_trace(tracer, trace_dir, worker_deltas, report) -> None:
+    """Finalize one search's trace: fold worker metrics and run-level
+    counters into the coordinator registry, merge coordinator records
+    with the per-worker deltas deterministically, and write the framed
+    JSONL file with a metrics trailer record."""
+    registry = tracer.metrics
+    for deltas in (worker_deltas or {}).values():
+        for delta in deltas:
+            if delta.metrics:
+                registry.absorb(delta.metrics)
+    run_counters = {
+        "cache.hits": report.cache_hits,
+        "cache.misses": report.cache_misses,
+        "cache.disk_hits": report.disk_hits,
+        "cache.salvaged_records": report.salvaged_records,
+        "solver.queries": report.solver_queries,
+        "solver.frames_reused": report.frames_reused,
+        "run.worker_failures": report.worker_failures,
+        "run.prefixes_reassigned": report.prefixes_reassigned,
+        "run.journal_checkpoints": report.checkpoints_written,
+    }
+    for name, value in run_counters.items():
+        if value:
+            registry.add(name, value)
+    if report.recovery_seconds:
+        registry.gauge("run.recovery_seconds").set(report.recovery_seconds)
+    tracer.flush_aggregates()
+    merged = merge_traces(tracer.records, worker_deltas)
+    merged.append(metrics_record(registry.snapshot()))
+    write_trace(Path(trace_dir) / TRACE_FILE_NAME, merged)
 
 
 def _merge_service_stats(report: AchillesReport, service,

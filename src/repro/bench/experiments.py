@@ -80,7 +80,9 @@ def _fsp_achilles(optimizations: OptimizationFlags | None = None,
                   cache_dir: str | None = None,
                   run_dir: str | None = None,
                   checkpoint_interval: int = 1,
-                  resume: bool = False) -> Achilles:
+                  resume: bool = False,
+                  trace_dir: str | None = None,
+                  progress: bool = False) -> Achilles:
     config = AchillesConfig(layout=fsp.FSP_LAYOUT, mask=FSP_SESSION_MASK,
                             optimizations=optimizations or OptimizationFlags(),
                             client_engine=make_engine_config(search_order,
@@ -92,7 +94,8 @@ def _fsp_achilles(optimizations: OptimizationFlags | None = None,
                             on_worker_loss=on_worker_loss,
                             cache_dir=cache_dir, run_dir=run_dir,
                             checkpoint_interval=checkpoint_interval,
-                            resume=resume)
+                            resume=resume, trace_dir=trace_dir,
+                            progress=progress)
     return Achilles(config)
 
 
@@ -106,7 +109,9 @@ def run_fsp_accuracy(optimizations: OptimizationFlags | None = None,
                      cache_dir: str | None = None,
                      run_dir: str | None = None,
                      checkpoint_interval: int = 1,
-                     resume: bool = False) -> AccuracyOutcome:
+                     resume: bool = False,
+                     trace_dir: str | None = None,
+                     progress: bool = False) -> AccuracyOutcome:
     """Table 1 (Achilles column) + Figures 10/11 raw data.
 
     ``workers`` > 1 dispatches the parallel batches (pre-processing and
@@ -125,7 +130,7 @@ def run_fsp_accuracy(optimizations: OptimizationFlags | None = None,
     with _fsp_achilles(optimizations, workers, shards, search_order,
                        max_paths, transport, hosts, on_worker_loss,
                        cache_dir, run_dir, checkpoint_interval,
-                       resume) as achilles:
+                       resume, trace_dir, progress) as achilles:
         predicates = achilles.extract_clients(fsp.literal_clients())
         report = achilles.search(fsp.fsp_server, predicates)
     score = fsp.GroundTruth.score(report.witnesses())
@@ -148,7 +153,9 @@ def run_fsp_wildcard(listing: tuple[str, ...] = ("f1", "f2", "doc"),
                      cache_dir: str | None = None,
                      run_dir: str | None = None,
                      checkpoint_interval: int = 1,
-                     resume: bool = False) -> AchillesReport:
+                     resume: bool = False,
+                     trace_dir: str | None = None,
+                     progress: bool = False) -> AchillesReport:
     """§6.3 wildcard experiment: globbing clients, same server."""
     with _fsp_achilles(workers=workers, shards=shards,
                        search_order=search_order,
@@ -156,7 +163,8 @@ def run_fsp_wildcard(listing: tuple[str, ...] = ("f1", "f2", "doc"),
                        hosts=hosts, on_worker_loss=on_worker_loss,
                        cache_dir=cache_dir, run_dir=run_dir,
                        checkpoint_interval=checkpoint_interval,
-                       resume=resume) as achilles:
+                       resume=resume, trace_dir=trace_dir,
+                       progress=progress) as achilles:
         predicates = achilles.extract_clients(fsp.globbing_clients(listing))
         return achilles.search(fsp.fsp_server, predicates)
 
@@ -288,7 +296,9 @@ def run_pbft_analysis(workers: int = 1, shards: int = 1,
                       cache_dir: str | None = None,
                       run_dir: str | None = None,
                       checkpoint_interval: int = 1,
-                      resume: bool = False) -> AchillesReport:
+                      resume: bool = False,
+                      trace_dir: str | None = None,
+                      progress: bool = False) -> AchillesReport:
     """§6.2 PBFT run: the MAC Trojan on every accepting path."""
     with Achilles(AchillesConfig(layout=REQUEST_LAYOUT,
                                  destination="replica0",
@@ -304,7 +314,9 @@ def run_pbft_analysis(workers: int = 1, shards: int = 1,
                                  cache_dir=cache_dir,
                                  run_dir=run_dir,
                                  checkpoint_interval=checkpoint_interval,
-                                 resume=resume)) as achilles:
+                                 resume=resume,
+                                 trace_dir=trace_dir,
+                                 progress=progress)) as achilles:
         predicates = achilles.extract_clients({"pbft-client": pbft_client})
         return achilles.search(pbft_replica, predicates)
 
@@ -318,7 +330,9 @@ def run_pbft_impact(requests: int = 40, workers: int = 1, shards: int = 1,
                     cache_dir: str | None = None,
                     run_dir: str | None = None,
                     checkpoint_interval: int = 1,
-                    resume: bool = False) -> PbftOutcome:
+                    resume: bool = False,
+                    trace_dir: str | None = None,
+                    progress: bool = False) -> PbftOutcome:
     """§6.3 MAC attack impact: throughput under increasing attack rates."""
     report = run_pbft_analysis(workers=workers, shards=shards,
                                search_order=search_order,
@@ -326,7 +340,8 @@ def run_pbft_impact(requests: int = 40, workers: int = 1, shards: int = 1,
                                hosts=hosts, on_worker_loss=on_worker_loss,
                                cache_dir=cache_dir, run_dir=run_dir,
                                checkpoint_interval=checkpoint_interval,
-                               resume=resume)
+                               resume=resume, trace_dir=trace_dir,
+                               progress=progress)
     outcome = PbftOutcome(report=report, mac_stub=MAC_STUB)
     for label, every in {"clean": 0, "attack-10%": 10, "attack-50%": 2}.items():
         outcome.impact[label] = run_workload(requests, malicious_every=every)
@@ -344,7 +359,9 @@ def _scored_accuracy_run(layout, destination: str, clients, server,
                          cache_dir: str | None = None,
                          run_dir: str | None = None,
                          checkpoint_interval: int = 1,
-                         resume: bool = False) -> AccuracyOutcome:
+                         resume: bool = False,
+                         trace_dir: str | None = None,
+                         progress: bool = False) -> AccuracyOutcome:
     """Full pipeline + ground-truth scoring, shared by raft and tpc."""
     config = AchillesConfig(layout=layout, destination=destination,
                             client_engine=make_engine_config(search_order,
@@ -356,7 +373,8 @@ def _scored_accuracy_run(layout, destination: str, clients, server,
                             on_worker_loss=on_worker_loss,
                             cache_dir=cache_dir, run_dir=run_dir,
                             checkpoint_interval=checkpoint_interval,
-                            resume=resume)
+                            resume=resume, trace_dir=trace_dir,
+                            progress=progress)
     with Achilles(config) as achilles:
         predicates = achilles.extract_clients(clients)
         report = achilles.search(server, predicates)
@@ -379,7 +397,9 @@ def run_raft_accuracy(workers: int = 1, shards: int = 1,
                       cache_dir: str | None = None,
                       run_dir: str | None = None,
                       checkpoint_interval: int = 1,
-                      resume: bool = False) -> AccuracyOutcome:
+                      resume: bool = False,
+                      trace_dir: str | None = None,
+                      progress: bool = False) -> AccuracyOutcome:
     """Raft follower ingress vs the 9 seeded Trojan classes.
 
     Scores Achilles against :mod:`repro.systems.raft.ground_truth`
@@ -394,7 +414,7 @@ def run_raft_accuracy(workers: int = 1, shards: int = 1,
         raft.raft_follower, raft.GroundTruth,
         len(raft.all_trojan_classes()), workers, shards, search_order,
         max_paths, transport, hosts, on_worker_loss, cache_dir, run_dir,
-        checkpoint_interval, resume)
+        checkpoint_interval, resume, trace_dir, progress)
 
 
 def run_tpc_accuracy(workers: int = 1, shards: int = 1,
@@ -406,7 +426,9 @@ def run_tpc_accuracy(workers: int = 1, shards: int = 1,
                      cache_dir: str | None = None,
                      run_dir: str | None = None,
                      checkpoint_interval: int = 1,
-                     resume: bool = False) -> AccuracyOutcome:
+                     resume: bool = False,
+                     trace_dir: str | None = None,
+                     progress: bool = False) -> AccuracyOutcome:
     """Two-phase-commit participant vs the 2 seeded Trojan classes.
 
     Scores Achilles against :mod:`repro.systems.tpc.ground_truth`
@@ -420,4 +442,4 @@ def run_tpc_accuracy(workers: int = 1, shards: int = 1,
         tpc.tpc_participant, tpc.GroundTruth,
         len(tpc.all_trojan_classes()), workers, shards, search_order,
         max_paths, transport, hosts, on_worker_loss, cache_dir, run_dir,
-        checkpoint_interval, resume)
+        checkpoint_interval, resume, trace_dir, progress)

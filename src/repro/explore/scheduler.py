@@ -28,8 +28,10 @@ byte-identical findings — recovery costs wall clock, never correctness.
 
 from __future__ import annotations
 
+import logging
 import time
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.errors import SymexError
@@ -44,6 +46,7 @@ from repro.explore.shard import (
     MSG_DONATE,
     MSG_DONE,
     MSG_ERROR,
+    MSG_HEARTBEAT,
     Assignment,
     FrontierControl,
     Prefix,
@@ -51,6 +54,8 @@ from repro.explore.shard import (
     ShardSetup,
     extends,
 )
+from repro.obs import trace as obs_trace
+from repro.obs.log import get_logger, log_event
 from repro.explore.transport import Transport, WorkerSession, resolve_transport
 from repro.solver.solver import SolverStats
 from repro.symex.engine import BFS, Engine, EngineConfig, ExplorationResult
@@ -67,6 +72,12 @@ _POLL_SECONDS = 0.02
 #: Consecutive empty polls with a non-responding worker before the death
 #: verdict — grace for a just-dead worker's last in-flight message.
 _DEATH_GRACE_POLLS = 5
+
+#: Seconds between worker liveness-gauge heartbeats when tracing or
+#: ``--progress`` turns them on.
+DEFAULT_HEARTBEAT_SECONDS = 0.25
+
+_log = get_logger("explore")
 
 
 @dataclass
@@ -104,6 +115,10 @@ class ShardedExploration:
             process wrote (0 when the run was not journaled).
         resumed_regions: completed assignments replayed from the journal
             instead of re-explored (0 for a fresh run).
+        worker_traces: per-worker :class:`~repro.obs.trace.TraceDelta`
+            lists (in per-worker arrival order) collected from traced
+            result frames — empty unless the run traced. Observational
+            only; stripped from outcomes before the deterministic merge.
     """
 
     exploration: ExplorationResult
@@ -118,6 +133,7 @@ class ShardedExploration:
     recovery_seconds: float = 0.0
     journal_checkpoints: int = 0
     resumed_regions: int = 0
+    worker_traces: dict[int, list] = field(default_factory=dict)
 
 
 @dataclass
@@ -193,6 +209,16 @@ class ShardScheduler:
         checkpoint_hook: test seam called as ``hook(n)`` after the nth
             journal checkpoint of this process is durable (the fault
             harness injects coordinator death here).
+        trace: ship tracing-enabled sessions to the workers; their span
+            deltas come home on result frames and land in
+            :attr:`ShardedExploration.worker_traces`. Purely
+            observational — findings are byte-identical either way.
+        heartbeat_interval: seconds between worker liveness-gauge
+            heartbeats; 0 disables them. Tracing or an attached progress
+            meter defaults this to :data:`DEFAULT_HEARTBEAT_SECONDS`.
+        progress: an optional :class:`~repro.obs.progress.ProgressMeter`
+            fed from heartbeats and coordinator state (the ``--progress``
+            status line).
     """
 
     def __init__(self, setup: ShardSetup, setup_args: tuple = (), *,
@@ -207,7 +233,10 @@ class ShardScheduler:
                  run_dir: str | None = None,
                  checkpoint_interval: int = 1,
                  resume: bool = False,
-                 checkpoint_hook=None):
+                 checkpoint_hook=None,
+                 trace: bool = False,
+                 heartbeat_interval: float | None = None,
+                 progress=None):
         if shards < 1:
             raise SymexError(f"shard count must be >= 1, got {shards}")
         if on_worker_loss not in ("fail", "recover"):
@@ -239,11 +268,34 @@ class ShardScheduler:
         self.checkpoint_interval = checkpoint_interval
         self.resume = resume
         self.checkpoint_hook = checkpoint_hook
+        self.trace = trace
+        if heartbeat_interval is None:
+            heartbeat_interval = (DEFAULT_HEARTBEAT_SECONDS
+                                  if (trace or progress is not None) else 0.0)
+        self.heartbeat_interval = heartbeat_interval
+        self.progress = progress
         self._journal: RunJournal | None = None
         self._worker_failures = 0
         self._prefixes_reassigned = 0
         self._recovery_seconds = 0.0
         self._resumed_regions = 0
+        self._worker_traces: dict[int, list] = {}
+        self._fleet_gauges: dict[int, dict] = {}
+
+    # -- observability seams -------------------------------------------------
+
+    @staticmethod
+    def _span(name: str, **attrs):
+        tracer = obs_trace.active
+        if tracer is None:
+            return nullcontext()
+        return tracer.span(name, **attrs)
+
+    @staticmethod
+    def _event(name: str, **attrs) -> None:
+        tracer = obs_trace.active
+        if tracer is not None:
+            tracer.event(name, **attrs)
 
     # -- phases --------------------------------------------------------------
 
@@ -254,6 +306,8 @@ class ShardScheduler:
         self._prefixes_reassigned = 0
         self._recovery_seconds = 0.0
         self._resumed_regions = 0
+        self._worker_traces = {}
+        self._fleet_gauges = {}
         self._journal = None
         if self.run_dir is not None:
             self._journal = RunJournal(
@@ -280,7 +334,8 @@ class ShardScheduler:
         if self._journal is not None:
             self._journal.close()
 
-        merged = merge_outcomes(outcomes)
+        with self._span("coordinator.merge", outcomes=len(outcomes)):
+            merged = merge_outcomes(outcomes)
         merged.exploration.stats.elapsed_seconds = (
             time.perf_counter() - started)
         if observer is not None and merged.delta is not None:
@@ -295,7 +350,8 @@ class ShardScheduler:
             recovery_seconds=self._recovery_seconds,
             journal_checkpoints=(self._journal.checkpoints_written
                                  if self._journal is not None else 0),
-            resumed_regions=self._resumed_regions)
+            resumed_regions=self._resumed_regions,
+            worker_traces=self._worker_traces)
 
     def _seed(self, program, observer):
         """Fresh-run seed phase: explore the tree top, open the journal."""
@@ -304,10 +360,12 @@ class ShardScheduler:
         # a frontier on deep trees), while BFS's worklist is the breadth
         # frontier itself. The explored tree is order-invariant, so the
         # canonical merge still reproduces the configured-order output.
-        seed = self.engine.explore(
-            program, observer,
-            control=FrontierControl(self.shards * self.seed_factor),
-            order=BFS)
+        with self._span("coordinator.seed",
+                        target=self.shards * self.seed_factor):
+            seed = self.engine.explore(
+                program, observer,
+                control=FrontierControl(self.shards * self.seed_factor),
+                order=BFS)
         seed_delta = None
         if observer is not None:
             observer.finalize()
@@ -355,7 +413,8 @@ class ShardScheduler:
         # Checkpoint the durable query cache with the journal: a resumed
         # coordinator then re-solves at most one checkpoint interval's
         # worth of seed-phase queries.
-        self.engine.query_cache.flush_store()
+        with self._span("coordinator.checkpoint", index=index):
+            self.engine.query_cache.flush_store()
         if self.checkpoint_hook is not None:
             self.checkpoint_hook(index)
 
@@ -368,7 +427,9 @@ class ShardScheduler:
                     if self.ship_cache else None)
         session = WorkerSession(
             setup=self.setup, setup_args=self.setup_args,
-            engine_config=self.engine_config, cache_snapshot=snapshot)
+            engine_config=self.engine_config, cache_snapshot=snapshot,
+            trace=self.trace,
+            heartbeat_interval=self.heartbeat_interval)
         self.transport.start(self.shards, session)
         try:
             outcomes, steals = self._coordinate(entries)
@@ -407,6 +468,11 @@ class ShardScheduler:
                     f"respawned within max_worker_retries="
                     f"{self.max_worker_retries}; sharded exploration "
                     "cannot complete")
+            if self.progress is not None:
+                self.progress.maybe_render(
+                    workers=len(active), busy=len(active) - len(idle),
+                    pending=len(pending), steals=steals,
+                    failures=self._worker_failures)
             message = transport.recv(_POLL_SECONDS)
             if message is None:
                 # Liveness: a worker that died without reporting (OOM
@@ -420,6 +486,11 @@ class ShardScheduler:
                     dead_polls += 1
                     if dead_polls >= _DEATH_GRACE_POLLS:
                         dead_polls = 0
+                        log_event(_log, logging.WARNING, "worker.lost",
+                                  workers=",".join(
+                                      self._describe_safe(w)
+                                      for w in dead),
+                                  policy=self.on_worker_loss)
                         if self.on_worker_loss == "fail":
                             raise SymexError(
                                 self._death_report(dead, assigned))
@@ -439,7 +510,21 @@ class ShardScheduler:
                 # runs elsewhere, so folding this message in too would
                 # double-count.
                 continue
+            if kind == MSG_HEARTBEAT:
+                # Live gauges only: consumed for progress/trace, never
+                # merged — losing or reordering heartbeats cannot change
+                # the run's output.
+                self._note_heartbeat(wid, payload)
+                continue
             if kind == MSG_DONE:
+                trace_delta = getattr(payload, "trace", None)
+                if trace_delta is not None:
+                    # Observational payload: collect per worker (arrival
+                    # order per worker is deterministic — result frames
+                    # are FIFO) and strip before journal/merge.
+                    self._worker_traces.setdefault(wid, []).append(
+                        trace_delta)
+                    payload.trace = None
                 outcomes.append(payload)
                 idle.add(wid)
                 booking = assigned.pop(wid, None)
@@ -481,6 +566,15 @@ class ShardScheduler:
                 raise SymexError(f"unknown shard message kind {kind!r}")
         return outcomes, steals
 
+    def _note_heartbeat(self, wid: int, payload) -> None:
+        """Fold a worker heartbeat into the live fleet gauges."""
+        if not isinstance(payload, dict):  # pragma: no cover - defensive
+            return
+        self._fleet_gauges[wid] = payload
+        if self.progress is not None:
+            self.progress.heartbeat(wid, payload)
+        self._event("worker.heartbeat", wid=wid, **payload)
+
     # -- recovery ------------------------------------------------------------
 
     def _recover(self, wid: int, pending: deque, idle: set[int],
@@ -493,6 +587,14 @@ class ShardScheduler:
         so discarding means simply re-running its booking — roots minus
         the subtrees it donated, which other workers own now.
         """
+        with self._span("coordinator.recover", wid=wid):
+            self._recover_inner(wid, pending, idle, active, assigned,
+                                steal_pending, retries)
+
+    def _recover_inner(self, wid: int, pending: deque, idle: set[int],
+                       active: set[int], assigned: dict[int, _Booking],
+                       steal_pending: set[int],
+                       retries: dict[int, int]) -> None:
         recovery_started = time.perf_counter()
         self._worker_failures += 1
         steal_pending.discard(wid)
@@ -523,7 +625,20 @@ class ShardScheduler:
             idle.add(wid)
         else:
             active.discard(wid)
-        self._recovery_seconds += time.perf_counter() - recovery_started
+        elapsed = time.perf_counter() - recovery_started
+        self._recovery_seconds += elapsed
+        log_event(_log, logging.WARNING, "worker.recovered",
+                  worker=self._describe_safe(wid),
+                  prefixes_reclaimed=len(booking.roots) if booking else 0,
+                  respawned=revived, recovery_seconds=elapsed)
+
+    def _describe_safe(self, wid: int) -> str:
+        """``transport.describe`` that cannot fail on a torn-down or
+        never-started worker slot (recovery logs race worker death)."""
+        try:
+            return self.transport.describe(wid)
+        except Exception:  # pragma: no cover - transport-specific races
+            return f"worker {wid}"
 
     def _death_report(self, dead: list[int],
                       assigned: dict[int, _Booking]) -> str:
@@ -585,9 +700,11 @@ class ShardScheduler:
                 idle.discard(wid)
                 assigned[wid] = booking
                 try:
-                    self.transport.assign(wid, Assignment(
-                        roots=tuple(booking.roots),
-                        exclude=tuple(booking.exclude)))
+                    with self._span("coordinator.assign", wid=wid,
+                                    roots=len(booking.roots)):
+                        self.transport.assign(wid, Assignment(
+                            roots=tuple(booking.roots),
+                            exclude=tuple(booking.exclude)))
                 except SymexError:
                     if self.on_worker_loss == "fail":
                         raise
@@ -655,4 +772,5 @@ class ShardScheduler:
         if busy:
             target = busy[0]
             steal_pending.add(target)
+            self._event("coordinator.steal", wid=target)
             self.transport.request_steal(target)

@@ -8,11 +8,14 @@ queues and a steal flag — see the package docstring for the protocol and
 
 from __future__ import annotations
 
+import time
 import traceback
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs import trace as obs_trace
+from repro.obs.trace import TraceDelta
 from repro.solver.solver import SolverStats
 from repro.symex.engine import Engine, ExploreControl
 from repro.symex.observers import ObserverDelta
@@ -31,6 +34,7 @@ Prefix = tuple[bool, ...]
 MSG_DONE = "done"
 MSG_DONATE = "donate"
 MSG_ERROR = "error"
+MSG_HEARTBEAT = "heartbeat"
 
 
 def extends(prefix: Prefix, ancestor: Prefix) -> bool:
@@ -75,6 +79,10 @@ class ShardOutcome:
             coordinator folds exact deltas).
         delta: the observer's findings snapshot, or None when the run
             had no observer.
+        trace: the worker tracer's span records for this assignment
+            (:class:`~repro.obs.trace.TraceDelta`), or None when tracing
+            was off. Purely observational — stripped by the coordinator
+            before merge, never part of the determinism contract.
     """
 
     executed: list[tuple[Prefix, str]] = field(default_factory=list)
@@ -82,6 +90,7 @@ class ShardOutcome:
     stats: object = None
     solver_stats: SolverStats = field(default_factory=SolverStats)
     delta: ObserverDelta | None = None
+    trace: TraceDelta | None = None
 
 
 class FrontierControl(ExploreControl):
@@ -157,6 +166,52 @@ class ExcludeControl(ExploreControl):
         return True
 
 
+class HeartbeatControl(ExploreControl):
+    """Emit periodic liveness gauges between paths (``--progress``).
+
+    At each between-paths checkpoint, once ``interval`` seconds have
+    elapsed since the last beat, ``emit`` receives a plain dict of
+    gauges: cumulative paths popped, current worklist depth, and (with
+    an engine attached) the private query cache's hit/miss counters —
+    enough for the coordinator to derive paths/sec and hit rates.
+    Purely observational: it never touches the worklist and always
+    returns True, so findings are unchanged by its presence.
+
+    Chains ``inner`` like :class:`ExcludeControl`, so one long-lived
+    heartbeat (its counters span assignments) wraps each assignment's
+    own steal/exclude controls.
+    """
+
+    def __init__(self, interval: float, emit: Callable[[dict], None],
+                 engine: Engine | None = None,
+                 inner: ExploreControl | None = None,
+                 clock=time.monotonic):
+        self.interval = interval
+        self.emit = emit
+        self.engine = engine
+        self.inner = inner
+        self.clock = clock
+        self.paths = 0
+        self.sent = 0
+        self._last = clock()
+
+    def checkpoint(self, worklist: deque) -> bool:
+        self.paths += 1
+        now = self.clock()
+        if now - self._last >= self.interval:
+            self._last = now
+            payload = {"paths": self.paths, "worklist": len(worklist)}
+            if self.engine is not None:
+                stats = self.engine.query_cache.stats
+                payload["cache_hits"] = stats.hits
+                payload["cache_misses"] = stats.misses
+            self.sent += 1
+            self.emit(payload)
+        if self.inner is not None:
+            return self.inner.checkpoint(worklist)
+        return True
+
+
 def run_assignment(engine: Engine, setup: ShardSetup, setup_args: tuple,
                    prefixes: list[Prefix],
                    control: ExploreControl | None = None) -> ShardOutcome:
@@ -203,6 +258,19 @@ def worker_loop(session, get_task: Callable, put_message: Callable,
         engine = Engine(session.engine_config)
         if session.cache_snapshot is not None:
             engine.query_cache.absorb(session.cache_snapshot)
+        tracer = None
+        if getattr(session, "trace", False):
+            # A forked worker inherits the coordinator's tracer binding;
+            # replace it with a fresh worker-sourced one.
+            obs_trace.deactivate()
+            tracer = obs_trace.activate(source="worker")
+        heartbeat = None
+        interval = getattr(session, "heartbeat_interval", 0.0)
+        if interval:
+            heartbeat = HeartbeatControl(
+                interval,
+                lambda payload: put_message(MSG_HEARTBEAT, payload),
+                engine=engine)
         steal = StealControl(
             steal_flag, lambda share: put_message(MSG_DONATE, share))
         while True:
@@ -219,8 +287,19 @@ def worker_loop(session, get_task: Callable, put_message: Callable,
                 roots = list(assignment)
                 exclude = ()
             control = (ExcludeControl(exclude, steal) if exclude else steal)
-            outcome = run_assignment(engine, session.setup,
-                                     session.setup_args, roots, control)
+            if heartbeat is not None:
+                heartbeat.inner = control
+                control = heartbeat
+            if tracer is None:
+                outcome = run_assignment(engine, session.setup,
+                                         session.setup_args, roots, control)
+            else:
+                with tracer.span("worker.assignment", roots=len(roots),
+                                 exclude=len(exclude)):
+                    outcome = run_assignment(engine, session.setup,
+                                             session.setup_args, roots,
+                                             control)
+                outcome.trace = tracer.take_delta()
             put_message(MSG_DONE, outcome)
     except Exception:  # pragma: no cover - exercised via scheduler tests
         put_message(MSG_ERROR, traceback.format_exc())

@@ -72,12 +72,21 @@ class WorkerSession:
             absorbed into the worker's cache at session start so shard
             workers do not re-solve what phase 1 and the seed phase
             already answered. None ships no warm-up.
+        trace: when True the worker activates a local tracer and ships
+            a :class:`~repro.obs.trace.TraceDelta` on every result
+            frame. Off by default — tracing must cost nothing unless a
+            run asks for it.
+        heartbeat_interval: seconds between liveness-gauge heartbeats
+            (:data:`~repro.explore.shard.MSG_HEARTBEAT` messages);
+            0 (the default) sends none.
     """
 
     setup: ShardSetup
     setup_args: tuple = ()
     engine_config: EngineConfig = field(default_factory=EngineConfig)
     cache_snapshot: dict | None = None
+    trace: bool = False
+    heartbeat_interval: float = 0.0
 
 
 class Transport:

@@ -1,0 +1,74 @@
+"""The ``repro`` logger: structured events for warnings and recovery.
+
+Library code logs through :func:`get_logger` / :func:`log_event`;
+nothing is printed unless the application configures handlers (the CLI
+calls :func:`configure`, mapping ``--verbose``/``--quiet`` onto
+levels). Events carry structured ``key=value`` fields rendered in
+sorted order so log lines are grep- and diff-stable.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+ROOT_NAME = "repro"
+
+_handler: logging.Handler | None = None
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (e.g. ``repro.solver``)."""
+    return logging.getLogger(ROOT_NAME if not name
+                             else f"{ROOT_NAME}.{name}")
+
+
+def kv(fields: dict) -> str:
+    """Render structured fields as stable, sorted ``key=value`` pairs."""
+    parts = []
+    for key in sorted(fields):
+        value = fields[key]
+        if isinstance(value, float):
+            value = f"{value:.3f}"
+        text = str(value)
+        if " " in text:
+            text = repr(text)
+        parts.append(f"{key}={text}")
+    return " ".join(parts)
+
+
+def log_event(logger: logging.Logger, level: int, event: str,
+              **fields) -> None:
+    """Log ``event key=value ...`` at ``level`` (lazy: formatting only
+    happens if the level is enabled)."""
+    if logger.isEnabledFor(level):
+        message = event if not fields else f"{event} {kv(fields)}"
+        logger.log(level, "%s", message)
+
+
+def configure(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Install one stderr handler on the ``repro`` root logger.
+
+    ``verbosity``: -1 (``--quiet``) shows only errors, 0 (default)
+    warnings, 1 (``--verbose``) info, 2+ debug. Idempotent — repeat
+    calls retune the existing handler instead of stacking new ones.
+    """
+    global _handler
+    root = logging.getLogger(ROOT_NAME)
+    if _handler is None or _handler not in root.handlers:
+        _handler = logging.StreamHandler(stream or sys.stderr)
+        _handler.setFormatter(logging.Formatter(
+            "[%(name)s] %(levelname)s %(message)s"))
+        root.addHandler(_handler)
+    elif stream is not None:
+        _handler.setStream(stream)
+    root.propagate = False
+    if verbosity <= -1:
+        root.setLevel(logging.ERROR)
+    elif verbosity == 0:
+        root.setLevel(logging.WARNING)
+    elif verbosity == 1:
+        root.setLevel(logging.INFO)
+    else:
+        root.setLevel(logging.DEBUG)
+    return root

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.obs import trace as obs_trace
 from repro.solver.ast import FALSE, Expr
 from repro.solver.simplify import canonical_constraint_set
 
@@ -98,7 +99,13 @@ class QueryCache:
         if cached is None:
             if len(self._key_memo) >= _KEY_MEMO_LIMIT:
                 self._key_memo.clear()
-            cached = canonical_constraint_set(constraints)
+            tracer = obs_trace.active
+            if tracer is None:
+                cached = canonical_constraint_set(constraints)
+            else:
+                with tracer.span("solver.canonicalize",
+                                 conjuncts=len(constraints)):
+                    cached = canonical_constraint_set(constraints)
             self._key_memo[constraints] = cached
         return cached
 

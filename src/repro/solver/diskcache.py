@@ -40,18 +40,21 @@ run journal (:mod:`repro.explore.checkpoint`).
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import struct
-import warnings
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs.log import get_logger, log_event
 from repro.solver.cache import _KEY_MEMO_LIMIT, QueryCache, QueryKey
 from repro.solver.simplify import structural_fingerprint
 
 #: Segment/journal header: magic, one format-version byte, newline.
+_log = get_logger("solver.diskcache")
+
 MAGIC = b"ACHSEG"
 FORMAT_VERSION = 1
 HEADER = MAGIC + bytes([FORMAT_VERSION]) + b"\n"
@@ -310,7 +313,8 @@ class DiskCacheStore:
         cache.stats.dropped_records += report.dropped_records
         self.last_load = report
         for message in report.warnings:
-            warnings.warn(message, RuntimeWarning, stacklevel=2)
+            log_event(_log, logging.WARNING, "diskcache.salvage",
+                      detail=message)
         return report
 
     def verify(self) -> LoadReport:

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.errors import SolverError
+from repro.obs import trace as obs_trace
 from repro.solver import interval as iv
 from repro.solver.ast import Expr
 from repro.solver.evalmodel import all_hold, evaluate
@@ -236,8 +237,14 @@ class IncrementalSolver:
 
     def check(self, constraints: Iterable[Expr]) -> SatResult:
         """Align the stack with ``constraints`` and decide satisfiability."""
-        self.align(tuple(constraints))
-        return self.check_current()
+        constraints = tuple(constraints)
+        tracer = obs_trace.active
+        if tracer is None:
+            self.align(constraints)
+            return self.check_current()
+        with tracer.span("solver.incremental", conjuncts=len(constraints)):
+            self.align(constraints)
+            return self.check_current()
 
     def is_satisfiable(self, constraints: Iterable[Expr]) -> bool:
         return self.check(constraints).is_sat

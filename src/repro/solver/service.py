@@ -60,6 +60,7 @@ import os
 from typing import Iterable, Sequence
 
 from repro.errors import SolverError
+from repro.obs import trace as obs_trace
 from repro.solver.ast import Expr
 from repro.solver.cache import QueryCache
 from repro.solver.enumerate import iter_models
@@ -252,6 +253,10 @@ class SolverService:
     # -- pool dispatch -------------------------------------------------------
 
     def _submit(self, kind: str, items: list, extra=None) -> "BatchFuture":
+        tracer = obs_trace.active
+        if tracer is not None:
+            tracer.event("solver.service.submit", kind=kind,
+                         items=len(items))
         pool = self._ensure_pool()
         chunks = _chunk(items, self.workers)
         handles = [pool.apply_async(_run_chunk, (kind, chunk, extra))
@@ -304,6 +309,13 @@ class BatchFuture:
             raise SolverError(
                 "batch future is stale: the service was closed after this "
                 "batch was submitted; re-submit it on the fresh pool")
+        tracer = obs_trace.active
+        if tracer is None:
+            return self._collect()
+        with tracer.span("solver.service.batch", chunks=len(self._handles)):
+            return self._collect()
+
+    def _collect(self) -> list:
         results: list = []
         deltas: list[SolverStats] = []
         for handle in self._handles:

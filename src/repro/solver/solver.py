@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.errors import SolverError, SolverTimeout
+from repro.obs import trace as obs_trace
 from repro.solver import ast
 from repro.solver.ast import Expr
 from repro.solver.evalmodel import all_hold, evaluate
@@ -187,6 +188,15 @@ class Solver:
                 is caught by the final model verification for SAT answers,
                 but an unjustified seed could turn SAT into UNSAT.
         """
+        tracer = obs_trace.active
+        if tracer is None:
+            return self._check(constraints, extra_vars, seed_domains)
+        with tracer.span("solver.scratch"):
+            return self._check(constraints, extra_vars, seed_domains)
+
+    def _check(self, constraints: Iterable[Expr],
+               extra_vars: Sequence[Expr] = (),
+               seed_domains: dict[Expr, Interval] | None = None) -> SatResult:
         self.stats.queries += 1
         flat = _flatten(constraints)
         for c in flat:

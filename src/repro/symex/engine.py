@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.errors import ExplorationLimit, PathDropped, PathInfeasible, SymexError
+from repro.obs import trace as obs_trace
 from repro.solver import ast
 from repro.solver.ast import Expr
 from repro.solver.cache import QueryCache
@@ -243,6 +244,13 @@ class Engine:
 
     def is_feasible(self, constraints: tuple[Expr, ...]) -> bool:
         """Satisfiability of a path condition, memoized canonically."""
+        tracer = obs_trace.active
+        if tracer is None:
+            return self._feasibility(constraints)
+        with tracer.span("solver.cache"):
+            return self._feasibility(constraints)
+
+    def _feasibility(self, constraints: tuple[Expr, ...]) -> bool:
         cache = self.query_cache
         key = cache.key(constraints)
         cached = cache.get_feasible(key)

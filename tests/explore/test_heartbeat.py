@@ -1,0 +1,93 @@
+"""HeartbeatControl: cadence, payload, chaining, observational purity."""
+
+from collections import deque
+
+from repro.explore.shard import HeartbeatControl
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class Recorder:
+    def __init__(self):
+        self.payloads = []
+
+    def __call__(self, payload):
+        self.payloads.append(payload)
+
+
+class CountingInner:
+    def __init__(self, verdict=True):
+        self.calls = 0
+        self.verdict = verdict
+
+    def checkpoint(self, worklist):
+        self.calls += 1
+        return self.verdict
+
+
+class FakeStats:
+    hits = 11
+    misses = 4
+
+
+class FakeCache:
+    stats = FakeStats()
+
+
+class FakeEngine:
+    query_cache = FakeCache()
+
+
+def test_emits_only_after_interval_elapses():
+    clock = FakeClock()
+    emit = Recorder()
+    control = HeartbeatControl(1.0, emit, clock=clock)
+    worklist = deque([(), ()])
+    assert control.checkpoint(worklist) is True
+    assert emit.payloads == []  # same instant as construction
+    clock.now = 0.5
+    control.checkpoint(worklist)
+    assert emit.payloads == []
+    clock.now = 1.0
+    control.checkpoint(worklist)
+    assert len(emit.payloads) == 1
+    assert emit.payloads[0] == {"paths": 3, "worklist": 2}
+    # the beat resets the window
+    clock.now = 1.5
+    control.checkpoint(worklist)
+    assert len(emit.payloads) == 1
+    assert control.sent == 1
+    assert control.paths == 4
+
+
+def test_engine_gauges_ride_the_payload():
+    clock = FakeClock()
+    emit = Recorder()
+    control = HeartbeatControl(1.0, emit, engine=FakeEngine(), clock=clock)
+    clock.now = 2.0
+    control.checkpoint(deque())
+    assert emit.payloads[0]["cache_hits"] == 11
+    assert emit.payloads[0]["cache_misses"] == 4
+
+
+def test_chains_inner_and_returns_its_verdict():
+    clock = FakeClock()
+    inner = CountingInner(verdict=False)
+    control = HeartbeatControl(10.0, Recorder(), inner=inner, clock=clock)
+    assert control.checkpoint(deque()) is False
+    assert inner.calls == 1
+
+
+def test_never_mutates_the_worklist():
+    clock = FakeClock()
+    control = HeartbeatControl(1.0, Recorder(), clock=clock)
+    worklist = deque([(True,), (False,)])
+    clock.now = 5.0
+    control.checkpoint(worklist)
+    assert list(worklist) == [(True,), (False,)]

@@ -112,9 +112,10 @@ def _transport_kwargs(shards, hosts):
     return {"shards": shards, "transport": "tcp", "hosts": tuple(hosts)}
 
 
-def _run_fsp(shards, hosts=None):
+def _run_fsp(shards, hosts=None, trace_dir=None):
     commands = dict(itertools.islice(fsp.COMMANDS.items(), 4))
     config = AchillesConfig(layout=fsp.FSP_LAYOUT, mask=FSP_SESSION_MASK,
+                            trace_dir=trace_dir,
                             **_transport_kwargs(shards, hosts))
     with Achilles(config) as achilles:
         predicates = achilles.extract_clients(fsp.literal_clients(commands))
@@ -176,6 +177,84 @@ class TestTcpParity:
         assert tcp.server_paths_explored == serial.server_paths_explored
         assert tcp.server_paths_pruned == serial.server_paths_pruned
         assert tcp.predicate_samples == serial.predicate_samples
+
+
+# -- tracing parity -----------------------------------------------------------
+
+
+SOLVER_LAYERS = {"solver.canonicalize", "solver.cache",
+                 "solver.incremental", "solver.scratch"}
+
+
+def _assert_canonical_trace_order(records):
+    """The merged trace's ordering invariant: one contiguous block per
+    source — coordinator first, workers in ascending id order — with
+    sequence numbers renumbered gaplessly inside each block. This is
+    what makes the merge independent of real-time delta arrival."""
+    body = [r for r in records if r["kind"] != "metrics"]
+    blocks = []
+    for record in body:
+        if not blocks or blocks[-1] != record["src"]:
+            blocks.append(record["src"])
+    assert blocks[0] == "coordinator"
+    workers = blocks[1:]
+    assert workers == sorted(workers, key=lambda s: int(s.split("-")[1]))
+    assert len(set(blocks)) == len(blocks), "source blocks not contiguous"
+    for source in set(blocks):
+        seqs = [r["seq"] for r in body if r["src"] == source]
+        assert seqs == list(range(len(seqs)))
+
+
+def _assert_trace_covers(records, shards):
+    names = {r["name"] for r in records if r["kind"] in ("span", "agg")}
+    assert SOLVER_LAYERS <= names, f"missing {SOLVER_LAYERS - names}"
+    sources = {r["src"] for r in records}
+    if shards == 1:
+        assert "coordinator.explore" in names
+    else:
+        assert {"coordinator.seed", "coordinator.assign",
+                "coordinator.merge", "worker.assignment"} <= names
+        assert sources == {"coordinator"} | {
+            f"worker-{w}" for w in range(shards)}
+    assert records[-1]["kind"] == "metrics"  # the trailer survived
+
+
+class TestTracingParity:
+    """Tracing is observational: findings must stay byte-identical with
+    it on, and the merged trace must cover every layer and obey the
+    canonical source ordering — at any shard count, on both transports."""
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_traced_local_run_is_byte_identical(self, shards, tmp_path,
+                                                local_baselines):
+        from repro.obs.trace import read_trace
+
+        report = _run_fsp(shards, trace_dir=str(tmp_path))
+        assert _finding_signature(report) == local_baselines["fsp"], (
+            f"tracing changed the findings at shards={shards}")
+        trace = read_trace(tmp_path / "trace.jsonl")
+        assert not trace.damaged
+        _assert_trace_covers(trace.records, shards)
+        _assert_canonical_trace_order(trace.records)
+
+    def test_traced_tcp_run_is_byte_identical(self, tmp_path, tcp_hosts,
+                                              local_baselines):
+        from repro.obs.trace import read_trace
+
+        report = _run_fsp(2, hosts=tcp_hosts, trace_dir=str(tmp_path))
+        assert _finding_signature(report) == local_baselines["fsp"]
+        trace = read_trace(tmp_path / "trace.jsonl")
+        assert not trace.damaged
+        _assert_trace_covers(trace.records, shards=2)
+        _assert_canonical_trace_order(trace.records)
+
+    def test_tracing_leaves_no_global_tracer_behind(self, tmp_path):
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import trace as obs_trace
+
+        _run_fsp(1, trace_dir=str(tmp_path))
+        assert obs_trace.active is None
+        assert obs_metrics.active is None
 
 
 # -- robustness: these spawn private daemons (see module docstring) -----------

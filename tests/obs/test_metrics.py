@@ -1,0 +1,71 @@
+"""The metrics registry: counters, histograms, mergeable snapshots."""
+
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    MetricsRegistry,
+    merge_snapshots,
+)
+
+
+class TestRegistry:
+    def test_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.add("hits", 2)
+        registry.add("hits")
+        registry.gauge("depth").set(7)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"hits": 3}
+        assert snap["gauges"] == {"depth": 7}
+
+    def test_histogram_tracks_count_total_min_max(self):
+        registry = MetricsRegistry()
+        for value in (0.001, 0.5, 0.002):
+            registry.observe("lat", value)
+        histo = registry.snapshot()["histograms"]["lat"]
+        assert histo["count"] == 3
+        assert abs(histo["total"] - 0.503) < 1e-12
+        assert histo["min"] == 0.001 and histo["max"] == 0.5
+        assert sum(histo["buckets"]) == 3
+
+    def test_histogram_bucket_placement(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", BUCKET_BOUNDS[0])        # first bucket
+        registry.observe("lat", BUCKET_BOUNDS[-1] * 10)  # open-ended tail
+        buckets = registry.snapshot()["histograms"]["lat"]["buckets"]
+        assert buckets[0] == 1 and buckets[-1] == 1
+
+    def test_drain_resets(self):
+        registry = MetricsRegistry()
+        registry.add("n")
+        first = registry.drain()
+        assert first["counters"] == {"n": 1}
+        assert registry.snapshot()["counters"] == {}
+
+    def test_absorb_folds_a_snapshot(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.add("n", 1)
+        a.observe("lat", 0.1)
+        b.add("n", 2)
+        b.observe("lat", 0.4)
+        a.absorb(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"]["n"] == 3
+        histo = snap["histograms"]["lat"]
+        assert histo["count"] == 2
+        assert histo["min"] == 0.1 and histo["max"] == 0.4
+
+
+class TestMergeSnapshots:
+    def test_pure_dict_merge(self):
+        a = MetricsRegistry()
+        a.add("x", 1)
+        b = MetricsRegistry()
+        b.add("x", 4)
+        b.gauge("g").set(2)
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        assert merged["counters"]["x"] == 5
+        assert merged["gauges"]["g"] == 2
+
+    def test_merge_tolerates_empty(self):
+        assert merge_snapshots({}, {})["counters"] == {}
+        assert merge_snapshots(None, {})["gauges"] == {}

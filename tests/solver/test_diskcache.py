@@ -7,6 +7,7 @@ load must still succeed with exactly the predicted loaded/salvaged/
 dropped counts — never a crash, never an untrusted record.
 """
 
+import logging
 import pickle
 import warnings
 
@@ -199,11 +200,13 @@ class TestCorruptionMatrix:
             got = damaged._feasible.get(key)
             assert got is None or got == expected
 
-    def test_damaged_load_warns(self, tmp_path):
+    def test_damaged_load_logs_warning(self, tmp_path, caplog):
         segment, _ = self._populated(tmp_path)
         apply_disk_fault(segment, TruncateSegment(drop_bytes=3))
-        with pytest.warns(RuntimeWarning, match="salvaged"):
+        with caplog.at_level(logging.WARNING, logger="repro.solver.diskcache"):
             DiskCacheStore(tmp_path / "cache").load_into(QueryCache())
+        assert any("salvaged" in record.getMessage()
+                   for record in caplog.records)
 
 
 class TestMaintenance:
@@ -241,13 +244,15 @@ class TestMaintenance:
         report = DiskCacheStore(tmp_path / "cache").load_into(QueryCache())
         assert report.records_applied == 0
 
-    def test_load_respects_entry_bound(self, tmp_path):
+    def test_load_respects_entry_bound(self, tmp_path, caplog):
         keys = _keys(8)
         _store_with(tmp_path, feasible=[(k, True) for k in keys])
         cache = QueryCache()
-        with pytest.warns(RuntimeWarning, match="in-memory bound"):
+        with caplog.at_level(logging.WARNING, logger="repro.solver.diskcache"):
             report = DiskCacheStore(tmp_path / "cache",
                                     max_load_entries=5).load_into(cache)
+        assert any("in-memory bound" in record.getMessage()
+                   for record in caplog.records)
         assert report.truncated
         assert report.records_applied == 5
         assert len(cache) == 5
