@@ -1,0 +1,73 @@
+"""Scenario-matrix corpus benchmark: bulk precision/recall at scale.
+
+The corpus generator synthesizes seeded-bug system variants from the
+registered templates (two-phase commit, Raft ingress, Bracha reliable
+broadcast) and derives an exact ground-truth oracle from the same
+parameter draw, so a full Achilles hunt on every variant is scorable
+to the digit. The gate: 12 variants of corpus seed 0 — four per
+template — must all reach precision == recall == 1.0, reproducibly.
+
+Wall clocks and per-variant scores land in ``BENCH_corpus.json`` for
+the CI corpus artifact; the byte-reproducibility of the JSON payload
+itself is asserted here by scoring the corpus twice.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_corpus
+from repro.bench.tables import format_table
+from repro.corpus import TEMPLATES, corpus_payload, dump_payload
+
+CORPUS_SEED = 0
+VARIANTS = 12
+
+
+@pytest.fixture(scope="module")
+def corpus_outcome():
+    return run_corpus(corpus_seed=CORPUS_SEED, variants=VARIANTS)
+
+
+def test_corpus_scores_perfectly(benchmark, corpus_outcome, artifact):
+    outcome = benchmark.pedantic(
+        run_corpus, kwargs=dict(corpus_seed=CORPUS_SEED, variants=VARIANTS),
+        rounds=1, iterations=1)
+    assert len(outcome.results) == VARIANTS
+    for result in outcome.results:
+        assert result.outcome.false_positives == 0, result.variant.token
+        assert result.outcome.precision == 1.0, result.variant.token
+        assert result.outcome.recall == 1.0, result.variant.token
+    assert outcome.perfect
+
+    rows = [[result.variant.token, ",".join(sorted(result.variant.bugs)),
+             f"{result.outcome.classes_found}"
+             f"/{result.outcome.classes_total}",
+             f"{result.outcome.precision:.2f}",
+             f"{result.outcome.recall:.2f}"]
+            for result in outcome.results]
+    artifact("corpus_accuracy", format_table(
+        ["variant", "seeded bugs", "classes", "precision", "recall"],
+        rows, title=f"Scenario-matrix corpus (seed {CORPUS_SEED}, "
+                    f"{VARIANTS} variants)"))
+
+
+def test_corpus_covers_every_template(corpus_outcome):
+    counts = {}
+    for result in corpus_outcome.results:
+        counts[result.variant.template] = \
+            counts.get(result.variant.template, 0) + 1
+    assert set(counts) == set(TEMPLATES)
+    assert all(count >= 3 for count in counts.values())
+
+
+def test_corpus_payload_is_byte_reproducible(corpus_outcome):
+    rerun = run_corpus(corpus_seed=CORPUS_SEED, variants=VARIANTS)
+    assert dump_payload(corpus_payload(rerun)) == \
+        dump_payload(corpus_payload(corpus_outcome))
+
+
+def test_emit_bench_json(corpus_outcome, json_artifact):
+    payload = corpus_payload(corpus_outcome)
+    payload["seconds"] = {
+        result.variant.token: result.outcome.report.timings.total
+        for result in corpus_outcome.results}
+    json_artifact("corpus", payload)

@@ -8,11 +8,13 @@ Usage::
     python -m repro pbft           # MAC-attack analysis + cluster impact
     python -m repro raft           # Raft follower ingress (9 seeded classes)
     python -m repro tpc            # two-phase commit (ack-without-WAL)
+    python -m repro broadcast      # Bracha broadcast (7 seeded classes)
     python -m repro list           # show available experiments
 
     python -m repro worker --listen 0.0.0.0:9100   # shard worker daemon
     python -m repro cache stats --cache-dir CACHE  # inspect a disk cache
     python -m repro trace summarize RUN/trace.jsonl  # inspect a trace
+    python -m repro corpus run --variants 12       # scenario-matrix corpus
 
 Every experiment accepts ``--workers/--shards`` (parallel throughput
 knobs; findings are byte-identical at any count) and
@@ -274,6 +276,46 @@ def _run_tpc(workers: int = 1, shards: int = 1,
     return 0 if outcome.precision == 1.0 and outcome.recall == 1.0 else 1
 
 
+def _run_broadcast(workers: int = 1, shards: int = 1,
+                   search_order: str | None = None,
+                   max_paths: int | None = None,
+                   transport: str = "local", hosts: tuple = (),
+                   on_worker_loss: str = "fail",
+                   cache_dir: str | None = None,
+                   run_dir: str | None = None,
+                   checkpoint_interval: int = 1,
+                   resume: bool = False,
+                   trace_dir: str | None = None,
+                   progress: bool = False) -> int:
+    from repro.bench.experiments import run_broadcast_accuracy
+    from repro.systems.broadcast import (
+        all_trojan_classes,
+        classify_message,
+        run_forged_delivery_demo,
+    )
+
+    outcome = run_broadcast_accuracy(workers=workers, shards=shards,
+                                     search_order=search_order,
+                                     max_paths=max_paths,
+                                     transport=transport, hosts=hosts,
+                                     on_worker_loss=on_worker_loss,
+                                     cache_dir=cache_dir, run_dir=run_dir,
+                                     checkpoint_interval=checkpoint_interval,
+                                     resume=resume, trace_dir=trace_dir,
+                                     progress=progress)
+    _accuracy_table("Bracha broadcast node vs seeded ground truth",
+                    outcome, len(all_trojan_classes()))
+    _report_health(outcome.report)
+    for finding in outcome.report.findings:
+        print(f"  {classify_message(finding.witness)}  "
+              f"wire={finding.witness.hex()}")
+    demo = run_forged_delivery_demo()
+    print(f"concrete impact: buggy node delivered "
+          f"{demo.delivered:#04x} from a forged slot; strict control "
+          f"node delivered {demo.control_delivered}")
+    return 0 if outcome.precision == 1.0 and outcome.recall == 1.0 else 1
+
+
 def _report_health(report) -> None:
     """Robustness/observability counters after the experiment tables.
 
@@ -304,6 +346,8 @@ _EXPERIMENTS = {
     "pbft": (_run_pbft, "MAC-attack analysis + cluster impact"),
     "raft": (_run_raft, "Raft follower ingress vs 9 seeded Trojan classes"),
     "tpc": (_run_tpc, "two-phase commit: ack-without-WAL + empty-op prepare"),
+    "broadcast": (_run_broadcast,
+                  "Bracha broadcast: forged-sender SEND + thin-quorum READY"),
 }
 
 
@@ -422,12 +466,123 @@ def _run_trace(argv: list[str]) -> int:
         print(format_summary(summarize(trace.records),
                              damaged=trace.damaged, reason=trace.reason))
         return 0
+    if trace.damaged:
+        # A torn tail (crashed run, interrupted copy) still leaves a
+        # usable prefix; export it rather than fail, but say so.
+        print(f"warning: trace {path} is damaged ({trace.reason}); "
+              f"exporting the salvaged prefix of "
+              f"{len(trace.records)} record(s)", file=sys.stderr)
     chrome = to_chrome_trace(trace.records)
     out = Path(args.output) if args.output else path.with_suffix(
         ".chrome.json")
     out.write_text(json.dumps(chrome))
     print(f"wrote {len(chrome['traceEvents'])} event(s) to {out}")
     return 0
+
+
+def _run_corpus(argv: list[str]) -> int:
+    """The ``corpus`` subcommand: scenario-matrix generation + scoring."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro corpus",
+        description="Generate a corpus of randomized seeded-bug system "
+                    "variants from the registered templates and score a "
+                    "full Achilles hunt on each against the variant's "
+                    "derived ground truth. 'run' generates and scores "
+                    "(exit 0 only when every variant reaches precision "
+                    "== recall == 1.0); 'report' re-renders a JSON file "
+                    "a previous run wrote with --out. Every variant is "
+                    "reproducible from its printed TEMPLATE:SEED token "
+                    "alone via --variant.")
+    parser.add_argument("action", choices=["run", "report"],
+                        help="run a corpus, or re-render a saved report")
+    parser.add_argument("path", nargs="?", metavar="REPORT",
+                        help="for 'report': the JSON file a run wrote "
+                             "with --out")
+    parser.add_argument("--variants", type=int, default=12, metavar="N",
+                        help="how many systems to generate (default: 12, "
+                             "round-robin across the templates)")
+    parser.add_argument("--corpus-seed", type=int, default=0, metavar="S",
+                        help="run-level seed every variant derives from "
+                             "(default: 0); recorded in the report so "
+                             "any row reproduces from print-out alone")
+    parser.add_argument("--templates", default="", metavar="NAME[,...]",
+                        help="template subset to draw from (default: "
+                             "all registered templates)")
+    parser.add_argument("--variant", action="append", default=[],
+                        metavar="TEMPLATE:SEED",
+                        help="skip generation and score exactly this "
+                             "variant token (repeatable) — the "
+                             "reproduce-one-failing-row path")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="also write the deterministic JSON report "
+                             "here (byte-identical across runs of the "
+                             "same seed)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="solver-service worker processes per hunt")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="exploration shard processes per hunt")
+    parser.add_argument("--transport", choices=["local", "tcp"],
+                        default="local",
+                        help="where shard workers live")
+    parser.add_argument("--hosts", default="", metavar="HOST:PORT[,...]",
+                        help="worker daemon addresses for --transport tcp")
+    parser.add_argument("--on-worker-loss", choices=["fail", "recover"],
+                        default="fail",
+                        help="policy when a shard worker dies mid-run")
+    parser.add_argument("--search-order", choices=["dfs", "bfs"],
+                        default=None, help="exploration worklist order")
+    parser.add_argument("--max-paths", type=int, default=None,
+                        help="cap on completed paths per exploration")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent query cache shared by all the "
+                             "corpus hunts")
+    parser.add_argument("--progress", action="store_true",
+                        help="live fleet status on stderr per hunt")
+    args = parser.parse_args(argv)
+    import json
+    from pathlib import Path
+
+    from repro.corpus import corpus_payload, dump_payload, render_payload
+
+    if args.action == "report":
+        if not args.path:
+            parser.error("'report' needs the JSON file a corpus run "
+                         "wrote with --out")
+        try:
+            payload = json.loads(Path(args.path).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"cannot read corpus report {args.path}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(render_payload(payload))
+        return 0 if payload.get("all_perfect") else 1
+
+    from repro.bench.experiments import run_corpus
+    from repro.errors import ReproError
+
+    templates = tuple(t.strip() for t in args.templates.split(",")
+                      if t.strip())
+    hosts = tuple(h.strip() for h in args.hosts.split(",") if h.strip())
+    try:
+        outcome = run_corpus(
+            corpus_seed=args.corpus_seed, variants=args.variants,
+            templates=templates or None, only=tuple(args.variant),
+            workers=args.workers, shards=args.shards,
+            search_order=args.search_order, max_paths=args.max_paths,
+            transport=args.transport, hosts=hosts,
+            on_worker_loss=args.on_worker_loss,
+            cache_dir=args.cache_dir, progress=args.progress)
+    except ReproError as exc:
+        print(f"corpus error: {exc}", file=sys.stderr)
+        return 2
+    payload = corpus_payload(outcome)
+    seconds = {result.variant.token: result.outcome.report.timings.total
+               for result in outcome.results}
+    print(render_payload(payload, seconds))
+    if args.out:
+        Path(args.out).write_text(dump_payload(payload))
+        print(f"wrote corpus report to {args.out}")
+    return 0 if outcome.perfect else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -440,20 +595,25 @@ def main(argv: list[str] | None = None) -> int:
         return _run_cache(argv[1:])
     if argv[:1] == ["trace"]:
         return _run_trace(argv[1:])
+    if argv[:1] == ["corpus"]:
+        return _run_corpus(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run Achilles reproduction experiments "
                     "('python -m repro worker --help' for the shard "
                     "worker daemon, 'python -m repro cache --help' for "
                     "the disk-cache maintenance tool, 'python -m repro "
-                    "trace --help' for the trace inspector).")
+                    "trace --help' for the trace inspector, 'python -m "
+                    "repro corpus --help' for the scenario-matrix "
+                    "corpus).")
     parser.add_argument("experiment",
                         choices=sorted(_EXPERIMENTS) + ["list", "worker",
-                                                        "cache", "trace"],
+                                                        "cache", "trace",
+                                                        "corpus"],
                         help="experiment to run, 'list', 'worker' (shard "
                              "worker daemon), 'cache' (disk-cache "
-                             "maintenance), or 'trace' (trace "
-                             "inspector)")
+                             "maintenance), 'trace' (trace inspector), "
+                             "or 'corpus' (scenario-matrix corpus)")
     parser.add_argument("--workers", type=int, default=1,
                         help="solver-service worker processes (default: 1, "
                              "fully serial; findings are identical at any "
@@ -529,6 +689,8 @@ def main(argv: list[str] | None = None) -> int:
               "(python -m repro cache --help)")
         print("trace          trace inspector/exporter "
               "(python -m repro trace --help)")
+        print("corpus         scenario-matrix corpus runner "
+              "(python -m repro corpus --help)")
         return 0
     run_dir = args.run_dir
     resume = False

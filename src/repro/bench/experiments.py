@@ -417,6 +417,82 @@ def run_raft_accuracy(workers: int = 1, shards: int = 1,
         checkpoint_interval, resume, trace_dir, progress)
 
 
+def run_broadcast_accuracy(workers: int = 1, shards: int = 1,
+                           search_order: str | None = None,
+                           max_paths: int | None = None,
+                           transport="local",
+                           hosts: tuple = (),
+                           on_worker_loss: str = "fail",
+                           cache_dir: str | None = None,
+                           run_dir: str | None = None,
+                           checkpoint_interval: int = 1,
+                           resume: bool = False,
+                           trace_dir: str | None = None,
+                           progress: bool = False) -> AccuracyOutcome:
+    """Bracha broadcast node ingress vs the 7 seeded Trojan classes.
+
+    Scores Achilles against :mod:`repro.systems.broadcast.ground_truth`
+    (1 forged-sender SEND class + 6 thin-quorum READY certificates); a
+    perfect run has ``precision == recall == 1.0``.
+    """
+    from repro.systems import broadcast
+
+    return _scored_accuracy_run(
+        broadcast.BROADCAST_LAYOUT, "node", broadcast.peer_clients(),
+        broadcast.broadcast_node, broadcast.GroundTruth,
+        len(broadcast.all_trojan_classes()), workers, shards,
+        search_order, max_paths, transport, hosts, on_worker_loss,
+        cache_dir, run_dir, checkpoint_interval, resume, trace_dir,
+        progress)
+
+
+def run_corpus(corpus_seed: int = 0, variants: int = 12,
+               templates: tuple[str, ...] | None = None,
+               only: tuple[str, ...] = (),
+               workers: int = 1, shards: int = 1,
+               search_order: str | None = None,
+               max_paths: int | None = None,
+               transport="local",
+               hosts: tuple = (),
+               on_worker_loss: str = "fail",
+               cache_dir: str | None = None,
+               progress: bool = False):
+    """Scenario-matrix corpus: generate, hunt and score system variants.
+
+    Generates ``variants`` randomized systems from the registered
+    templates (round-robin) under ``corpus_seed``, runs the full
+    Achilles pipeline on each and scores it against the variant's own
+    derived ground truth. ``only`` bypasses generation and rebuilds the
+    given ``template:seed`` tokens instead — the reproduce-one-row path.
+
+    Returns a :class:`repro.corpus.CorpusOutcome`; a healthy corpus has
+    ``precision == recall == 1.0`` on every row.
+    """
+    from repro.corpus import (
+        CorpusOutcome,
+        VariantOutcome,
+        bound_ground_truth,
+        generate_corpus,
+        parse_variant_token,
+    )
+
+    if only:
+        systems = [parse_variant_token(token) for token in only]
+    else:
+        systems = generate_corpus(corpus_seed, variants, templates)
+    results = []
+    for variant in systems:
+        outcome = _scored_accuracy_run(
+            variant.layout, variant.destination, variant.clients,
+            variant.server, bound_ground_truth(variant),
+            len(variant.classes), workers, shards, search_order,
+            max_paths, transport, hosts, on_worker_loss, cache_dir,
+            None, 1, False, None, progress)
+        results.append(VariantOutcome(variant=variant, outcome=outcome))
+    return CorpusOutcome(corpus_seed=None if only else corpus_seed,
+                         results=results)
+
+
 def run_tpc_accuracy(workers: int = 1, shards: int = 1,
                      search_order: str | None = None,
                      max_paths: int | None = None,

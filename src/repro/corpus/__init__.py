@@ -1,0 +1,59 @@
+"""Scenario-matrix corpus — randomized seeded-bug systems at scale.
+
+The accuracy workloads (:mod:`repro.systems.tpc`,
+:mod:`repro.systems.raft`, :mod:`repro.systems.broadcast`) each pin one
+hand-built system with known seeded bugs. This package turns each into
+a *template*: a deterministic, seed-driven generator of system variants
+that perturbs the message layout (field order, widths, reserved
+fields), the protocol constants and the injected bug subset — and
+derives the exact ground-truth oracle from the same drawn parameters,
+so precision and recall stay exactly scorable across the whole matrix
+(``python -m repro corpus run``).
+"""
+
+from repro.corpus.generate import (
+    build_variant,
+    generate_corpus,
+    parse_variant_token,
+    variant_seed,
+)
+from repro.corpus.report import (
+    CorpusOutcome,
+    VariantOutcome,
+    corpus_payload,
+    dump_payload,
+    render_payload,
+    variant_row,
+)
+from repro.corpus.templates import (
+    TEMPLATES,
+    BroadcastParams,
+    RaftParams,
+    SystemVariant,
+    TpcParams,
+    bound_ground_truth,
+    build_broadcast_variant,
+    build_raft_variant,
+    build_tpc_variant,
+)
+
+__all__ = [
+    "BroadcastParams",
+    "CorpusOutcome",
+    "RaftParams",
+    "SystemVariant",
+    "TEMPLATES",
+    "TpcParams",
+    "VariantOutcome",
+    "bound_ground_truth",
+    "build_broadcast_variant",
+    "build_raft_variant",
+    "build_tpc_variant",
+    "build_variant",
+    "corpus_payload",
+    "dump_payload",
+    "generate_corpus",
+    "parse_variant_token",
+    "render_payload",
+    "variant_row",
+]

@@ -1,0 +1,96 @@
+"""Bracha reliable broadcast — byzantine dissemination under test.
+
+A four-node (``n = 3f + 1``) witnessed Bracha broadcast, analyzed at one
+node's message ingress for a pinned slot. Two Trojan families are
+seeded:
+
+* **Forged-sender SEND** — the broadcaster-identity check is weakened
+  to cluster membership, so any member can initiate a slot it does not
+  own and trigger the node's echo (1 class);
+* **Thin-quorum READY** — the echo-certificate quorum test is off by
+  one (``2f`` instead of ``2f + 1``), so a ``READY`` one echo short of
+  a valid quorum is counted toward delivery (6 classes, one per thin
+  certificate).
+
+As for the other systems, the symbolic node programs (for Achilles) and
+the concrete node (for the simulated network) are built from the same
+protocol constants, so findings transfer between the two.
+"""
+
+from repro.systems.broadcast.protocol import (
+    ACCEPTED_CERTS,
+    BROADCASTER,
+    BROADCAST_LAYOUT,
+    BROADCAST_VALUE,
+    BUGGY_ECHO_THRESHOLD,
+    ECHO_THRESHOLD,
+    FAULTY,
+    FULL_CERTS,
+    MSG_ECHO,
+    MSG_READY,
+    MSG_SEND,
+    N_NODES,
+    NODE_IDS,
+    NODE_MASK,
+    NO_CERT,
+    READY_THRESHOLD,
+    THIN_CERTS,
+)
+from repro.systems.broadcast.nodes import (
+    BroadcastNode,
+    ForgedDeliveryOutcome,
+    broadcast_echoer,
+    broadcast_message,
+    broadcast_node,
+    broadcast_readier,
+    broadcast_sender,
+    peer_clients,
+    run_forged_delivery_demo,
+)
+from repro.systems.broadcast.ground_truth import (
+    FORGED_SENDER,
+    THIN_QUORUM,
+    BroadcastTrojanClass,
+    GroundTruth,
+    all_trojan_classes,
+    classify_message,
+    is_node_accepted,
+    is_peer_generable,
+)
+
+__all__ = [
+    "ACCEPTED_CERTS",
+    "BROADCASTER",
+    "BROADCAST_LAYOUT",
+    "BROADCAST_VALUE",
+    "BUGGY_ECHO_THRESHOLD",
+    "BroadcastNode",
+    "BroadcastTrojanClass",
+    "ECHO_THRESHOLD",
+    "FAULTY",
+    "FORGED_SENDER",
+    "FULL_CERTS",
+    "ForgedDeliveryOutcome",
+    "GroundTruth",
+    "MSG_ECHO",
+    "MSG_READY",
+    "MSG_SEND",
+    "N_NODES",
+    "NODE_IDS",
+    "NODE_MASK",
+    "NO_CERT",
+    "READY_THRESHOLD",
+    "THIN_CERTS",
+    "THIN_QUORUM",
+    "all_trojan_classes",
+    "broadcast_echoer",
+    "broadcast_message",
+    "broadcast_node",
+    "broadcast_readier",
+    "broadcast_sender",
+    "classify_message",
+    "is_node_accepted",
+    "is_peer_generable",
+    "peer_clients",
+    "run_forged_delivery_demo",
+]

@@ -1,0 +1,124 @@
+"""Mathematical ground truth for the broadcast accuracy experiment.
+
+With the slot history pinned (:mod:`repro.systems.broadcast.protocol`)
+the node's accept predicate and the correct peers' generable set differ
+in exactly two places:
+
+* **forged-sender** — a ``SEND`` from a member other than the
+  broadcaster (the membership check that should have been an identity
+  check): 1 class;
+* **thin-quorum** — a ``READY`` justified by an echo certificate of
+  exactly ``2f`` member bits (one echo short of the ``2f + 1`` quorum):
+  one class per thin certificate, ``C(n, 2f) = 6`` classes.
+
+The oracles classify arbitrary concrete messages, so Achilles (and any
+baseline) can be scored for precision/recall against the same reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.messages.concrete import decode_ints
+from repro.systems.broadcast.protocol import (
+    BROADCASTER,
+    BROADCAST_LAYOUT,
+    BROADCAST_VALUE,
+    BUGGY_ECHO_THRESHOLD,
+    FULL_CERTS,
+    MSG_ECHO,
+    MSG_READY,
+    MSG_SEND,
+    NODE_IDS,
+    NO_CERT,
+    THIN_CERTS,
+)
+from repro.systems.scoring import TrojanScore
+
+#: Class kinds.
+FORGED_SENDER = "forged-sender"
+THIN_QUORUM = "thin-quorum"
+
+
+@dataclass(frozen=True, order=True)
+class BroadcastTrojanClass:
+    """One seeded Trojan class.
+
+    Attributes:
+        kind: :data:`FORGED_SENDER` or :data:`THIN_QUORUM`.
+        cert: the thin echo certificate, or :data:`NO_CERT` for the
+            forged-sender class (SENDs carry no certificate).
+    """
+
+    kind: str
+    cert: int
+
+    def __str__(self) -> str:
+        if self.kind == FORGED_SENDER:
+            return "send:forged-sender"
+        return f"ready:thin-quorum(cert=0b{self.cert:04b})"
+
+
+def all_trojan_classes() -> list[BroadcastTrojanClass]:
+    """The complete seeded ground-truth set — 7 classes."""
+    classes = [BroadcastTrojanClass(FORGED_SENDER, NO_CERT)]
+    classes.extend(BroadcastTrojanClass(THIN_QUORUM, cert)
+                   for cert in THIN_CERTS)
+    return classes
+
+
+def is_node_accepted(message: bytes) -> bool:
+    """Reference model of the node's accept predicate ``PS``."""
+    if len(message) != BROADCAST_LAYOUT.total_size:
+        return False
+    fields = decode_ints(BROADCAST_LAYOUT, message)
+    if fields["value"] != BROADCAST_VALUE:
+        return False  # every path validates against the recorded SEND
+    if fields["sender"] not in NODE_IDS:
+        return False
+    if fields["kind"] in (MSG_SEND, MSG_ECHO):
+        # The SEND identity check is the seeded membership weakening.
+        return fields["cert"] == NO_CERT
+    if fields["kind"] == MSG_READY:
+        cert = fields["cert"]
+        if cert not in FULL_CERTS and cert not in THIN_CERTS:
+            return False
+        return bin(cert).count("1") >= BUGGY_ECHO_THRESHOLD
+    return False
+
+
+def is_peer_generable(message: bytes) -> bool:
+    """Reference model of the correct peers' predicate ``PC``."""
+    if len(message) != BROADCAST_LAYOUT.total_size:
+        return False
+    fields = decode_ints(BROADCAST_LAYOUT, message)
+    if fields["value"] != BROADCAST_VALUE:
+        return False
+    if fields["sender"] not in NODE_IDS:
+        return False
+    if fields["kind"] == MSG_SEND:
+        # Only the broadcaster initiates its slot.
+        return fields["sender"] == BROADCASTER and \
+            fields["cert"] == NO_CERT
+    if fields["kind"] == MSG_ECHO:
+        return fields["cert"] == NO_CERT
+    if fields["kind"] == MSG_READY:
+        return fields["cert"] in FULL_CERTS
+    return False
+
+
+def classify_message(message: bytes) -> BroadcastTrojanClass | None:
+    """Map an accepted-but-ungenerable message to its Trojan class."""
+    if not is_node_accepted(message) or is_peer_generable(message):
+        return None
+    fields = decode_ints(BROADCAST_LAYOUT, message)
+    if fields["kind"] == MSG_SEND:
+        return BroadcastTrojanClass(FORGED_SENDER, NO_CERT)
+    return BroadcastTrojanClass(THIN_QUORUM, fields["cert"])
+
+
+class GroundTruth(TrojanScore):
+    """Scoring of a set of concrete messages against the seeded classes."""
+
+    classify = staticmethod(classify_message)
+    universe = staticmethod(all_trojan_classes)

@@ -1,0 +1,335 @@
+"""Symbolic broadcast node programs: correct peers and the vulnerable node.
+
+The Achilles *clients* are the three messages a correct peer can send
+for the pinned slot — the broadcaster's (re-)``SEND``, a peer's
+``ECHO``, and a peer's ``READY`` backed by a full echo certificate
+(:func:`peer_clients`). The *server* is one node's message ingress
+(:func:`broadcast_node`) carrying the two seeded vulnerabilities
+described in :mod:`repro.systems.broadcast.protocol`. A concrete node
+(:class:`BroadcastNode`) built from the same constants demonstrates the
+damage: a forged-sender ``SEND`` plus a flood of thin-certificate
+``READY``\\ s delivers a value the real broadcaster never sent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.messages.concrete import decode_ints, encode
+from repro.messages.symbolic import MessageBuilder, field_expr
+from repro.net.network import Network, Node
+from repro.solver import ast
+from repro.solver.ast import Expr
+from repro.symex.context import ExecutionContext
+from repro.symex.engine import NodeProgram
+from repro.systems.broadcast.protocol import (
+    ACCEPTED_CERTS,
+    BROADCASTER,
+    BROADCAST_LAYOUT,
+    BROADCAST_VALUE,
+    ECHO_THRESHOLD,
+    FULL_CERTS,
+    MSG_ECHO,
+    MSG_READY,
+    MSG_SEND,
+    NODE_IDS,
+    NODE_MASK,
+    NO_CERT,
+    READY_THRESHOLD,
+)
+
+
+def _member(sender: Expr) -> Expr:
+    return ast.any_of([ast.eq(sender, ast.bv_const(node, 8))
+                       for node in NODE_IDS])
+
+
+def broadcast_sender(ctx: ExecutionContext, node: str = "node") -> None:
+    """The slot's broadcaster (re-)transmitting its ``SEND``.
+
+    Everything is pinned by the slot history: only :data:`BROADCASTER`
+    initiates this slot, and it disseminates :data:`BROADCAST_VALUE`.
+    """
+    _send(ctx, node, MSG_SEND, BROADCASTER, BROADCAST_VALUE, NO_CERT)
+
+
+def broadcast_echoer(ctx: ExecutionContext, node: str = "node") -> None:
+    """A correct peer echoing the broadcaster's value."""
+    peer = ctx.fresh_byte("peer")
+    if not ctx.branch(_member(peer)):
+        return  # only cluster members speak the protocol
+    _send(ctx, node, MSG_ECHO, peer, BROADCAST_VALUE, NO_CERT)
+
+
+def broadcast_readier(ctx: ExecutionContext, node: str = "node") -> None:
+    """A correct peer's ``READY``: backed by a full echo certificate.
+
+    The certificate is the peer's local echo tally — over-approximated
+    as symbolic state (§3.4) constrained to the certificates a correct
+    peer can actually hold: at least ``2f + 1`` member bits.
+    """
+    peer = ctx.fresh_byte("peer")
+    if not ctx.branch(_member(peer)):
+        return
+    cert = ctx.fresh_byte("state:echo_certificate")
+    for mask in FULL_CERTS:
+        if ctx.branch(ast.eq(cert, ast.bv_const(mask, 8))):
+            _send(ctx, node, MSG_READY, peer, BROADCAST_VALUE, cert)
+            return
+    # A correct peer never asserts READY below the echo quorum: no
+    # message on this path.
+
+
+def peer_clients(node: str = "node") -> dict[str, NodeProgram]:
+    """All correct-peer programs, keyed for ``extract_clients``."""
+    return {
+        "sender": lambda ctx: broadcast_sender(ctx, node),
+        "echoer": lambda ctx: broadcast_echoer(ctx, node),
+        "readier": lambda ctx: broadcast_readier(ctx, node),
+    }
+
+
+def broadcast_node(ctx: ExecutionContext, msg: tuple[Expr, ...]) -> None:
+    """One node event-loop iteration (accept/reject classified)."""
+    field = lambda name: field_expr(msg, BROADCAST_LAYOUT.view(name))
+    if ctx.branch(ast.eq(field("kind"), ast.bv_const(MSG_SEND, 8))):
+        _handle_send(ctx, field)
+        return
+    if ctx.branch(ast.eq(field("kind"), ast.bv_const(MSG_ECHO, 8))):
+        _handle_echo(ctx, field)
+        return
+    if ctx.branch(ast.eq(field("kind"), ast.bv_const(MSG_READY, 8))):
+        _handle_ready(ctx, field)
+        return
+    ctx.reject("unknown-kind")
+
+
+def _handle_send(ctx: ExecutionContext, field) -> None:
+    """``SEND`` ingress — with the forged-sender vulnerability.
+
+    The identity check should be ``sender == BROADCASTER``; the node
+    only tests cluster membership, so any member can play the
+    broadcaster and trigger the echo.
+    """
+    if not ctx.branch(_member(field("sender"))):
+        ctx.reject("send:not-a-member")
+        return
+    if not ctx.branch(ast.eq(field("value"),
+                             ast.bv_const(BROADCAST_VALUE, 8))):
+        ctx.reject("send:equivocation")
+        return
+    if not ctx.branch(ast.eq(field("cert"), ast.bv_const(NO_CERT, 8))):
+        ctx.reject("send:unexpected-certificate")
+        return
+    ctx.send("peers", [MSG_ECHO])
+    ctx.accept("send:echo")
+
+
+def _handle_echo(ctx: ExecutionContext, field) -> None:
+    """``ECHO`` ingress: counted toward the ready threshold (clean path)."""
+    if not ctx.branch(_member(field("sender"))):
+        ctx.reject("echo:not-a-member")
+        return
+    if not ctx.branch(ast.eq(field("value"),
+                             ast.bv_const(BROADCAST_VALUE, 8))):
+        ctx.reject("echo:value-mismatch")
+        return
+    if not ctx.branch(ast.eq(field("cert"), ast.bv_const(NO_CERT, 8))):
+        ctx.reject("echo:unexpected-certificate")
+        return
+    ctx.accept("echo:counted")
+
+
+def _handle_ready(ctx: ExecutionContext, field) -> None:
+    """``READY`` ingress — with the thin-quorum off-by-one.
+
+    The certificate switch enumerates every bitmap of at least ``2f``
+    member bits: the ``popcount(cert) >= 2f + 1`` quorum test is off by
+    one, so the one-echo-short certificates reach the delivery tally.
+    """
+    if not ctx.branch(_member(field("sender"))):
+        ctx.reject("ready:not-a-member")
+        return
+    if not ctx.branch(ast.eq(field("value"),
+                             ast.bv_const(BROADCAST_VALUE, 8))):
+        ctx.reject("ready:value-mismatch")
+        return
+    cert = field("cert")
+    for mask in ACCEPTED_CERTS:
+        if ctx.branch(ast.eq(cert, ast.bv_const(mask, 8))):
+            if bin(mask).count("1") < ECHO_THRESHOLD:
+                ctx.label("thin-certificate")
+            ctx.accept(f"ready:cert-{mask:04b}")
+            return
+    ctx.reject("ready:bad-certificate")
+
+
+def _send(ctx: ExecutionContext, node: str, kind: int, sender, value,
+          cert) -> None:
+    builder = MessageBuilder(BROADCAST_LAYOUT)
+    builder.set("kind", kind)
+    builder.set("sender", sender)
+    builder.set("value", value)
+    builder.set("cert", cert)
+    ctx.send(node, builder.wire())
+
+
+# -- concrete node ------------------------------------------------------------
+
+
+def broadcast_message(kind: int, sender: int, value: int,
+                      cert: int = NO_CERT) -> bytes:
+    """Encode one broadcast wire message."""
+    return encode(BROADCAST_LAYOUT, {"kind": kind, "sender": sender,
+                                     "value": value, "cert": cert})
+
+
+class BroadcastNode(Node):
+    """Concrete broadcast node with the same two bugs as the symbolic one.
+
+    ``strict=True`` builds the *correct* node instead (broadcaster-only
+    ``SEND``, full-quorum certificates) — the control in the demo. The
+    node tallies echoes and readies per distinct sender, emits its own
+    ``ECHO``/``READY`` to ``observer`` when thresholds trip, and
+    delivers at :data:`READY_THRESHOLD` distinct ``READY`` senders.
+    """
+
+    def __init__(self, name: str = "node", node_id: int = 3,
+                 strict: bool = False, recorded: int | None = None,
+                 observer: str | None = None):
+        super().__init__(name)
+        self.node_id = node_id
+        self.strict = strict
+        self.recorded = recorded
+        self.observer = observer
+        self.echoes: set[int] = set()
+        self.readies: set[int] = set()
+        self.echoed = False
+        self.readied = False
+        self.delivered: int | None = None
+        self.accepted = 0
+
+    def handle(self, source: str, payload: bytes, network: Network) -> None:
+        if len(payload) != BROADCAST_LAYOUT.total_size:
+            return
+        fields = decode_ints(BROADCAST_LAYOUT, payload)
+        kind = fields["kind"]
+        if kind == MSG_SEND:
+            self._handle_send(fields, network)
+        elif kind == MSG_ECHO:
+            self._handle_echo(fields, network)
+        elif kind == MSG_READY:
+            self._handle_ready(fields)
+
+    def _handle_send(self, fields: dict, network: Network) -> None:
+        sender = fields["sender"]
+        if self.strict:
+            if sender != BROADCASTER:  # the check the buggy node lost
+                return
+        elif sender not in NODE_IDS:
+            return
+        if self.recorded is not None and fields["value"] != self.recorded:
+            return  # equivocation against the recorded SEND
+        if fields["cert"] != NO_CERT:
+            return
+        self.accepted += 1
+        if self.recorded is None:
+            self.recorded = fields["value"]
+        if not self.echoed:
+            self.echoed = True
+            self._emit(network, MSG_ECHO, self.recorded, NO_CERT)
+
+    def _handle_echo(self, fields: dict, network: Network) -> None:
+        if fields["sender"] not in NODE_IDS:
+            return
+        if self.recorded is None or fields["value"] != self.recorded:
+            return
+        if fields["cert"] != NO_CERT:
+            return
+        self.accepted += 1
+        self.echoes.add(fields["sender"])
+        if len(self.echoes) >= ECHO_THRESHOLD and not self.readied:
+            self.readied = True
+            cert = sum(1 << peer for peer in self.echoes)
+            self._emit(network, MSG_READY, self.recorded, cert)
+
+    def _handle_ready(self, fields: dict) -> None:
+        if fields["sender"] not in NODE_IDS:
+            return
+        if self.recorded is None or fields["value"] != self.recorded:
+            return
+        cert = fields["cert"]
+        threshold = ECHO_THRESHOLD if self.strict else \
+            ECHO_THRESHOLD - 1  # the seeded off-by-one (2f)
+        if cert & ~NODE_MASK or bin(cert).count("1") < threshold:
+            return
+        self.accepted += 1
+        self.readies.add(fields["sender"])
+        if len(self.readies) >= READY_THRESHOLD and self.delivered is None:
+            self.delivered = self.recorded
+
+    def _emit(self, network: Network, kind: int, value: int,
+              cert: int) -> None:
+        if self.observer is not None:
+            network.send(self.name, self.observer,
+                         broadcast_message(kind, self.node_id, value, cert))
+
+
+class _Sink(Node):
+    """Collects whatever the nodes emit so the network can deliver it."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.received: list[bytes] = []
+
+    def handle(self, source: str, payload: bytes,
+               network: Network) -> None:
+        self.received.append(payload)
+
+
+@dataclass
+class ForgedDeliveryOutcome:
+    """Evidence of both seeded bugs on a live node, with a control."""
+
+    forged_echoed: bool = False
+    delivered: int | None = None
+    control_echoed: bool = True
+    control_delivered: int | None = None
+
+
+def run_forged_delivery_demo() -> ForgedDeliveryOutcome:
+    """Both Trojans end to end: forged SEND, thin READYs, delivery.
+
+    A non-broadcaster member forges the slot's ``SEND`` with its own
+    value, then floods ``READY``\\ s (forged member senders, one-short
+    echo certificates). The buggy node echoes the stolen slot and
+    *delivers* the forged value; the strict control node ignores the
+    whole exchange.
+    """
+    network = Network()
+    buggy = BroadcastNode("node")
+    control = BroadcastNode("control", strict=True)
+    observer = _Sink("observer")
+    buggy.observer = control.observer = "observer"
+    network.attach(buggy)
+    network.attach(control)
+    network.attach(observer)
+
+    attacker, forged_value = 2, 0x66
+    assert attacker != BROADCASTER
+    thin_cert = (1 << 1) | (1 << attacker)  # only 2f echoers named
+    for target in ("node", "control"):
+        network.send("attacker", target,
+                     broadcast_message(MSG_SEND, attacker, forged_value))
+        for forged_peer in (0, 1, 3):
+            network.send("attacker", target,
+                         broadcast_message(MSG_READY, forged_peer,
+                                           forged_value, thin_cert))
+    network.run()
+
+    return ForgedDeliveryOutcome(
+        forged_echoed=buggy.echoed,
+        delivered=buggy.delivered,
+        control_echoed=control.echoed,
+        control_delivered=control.delivered,
+    )

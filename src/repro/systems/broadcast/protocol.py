@@ -1,0 +1,104 @@
+"""Bracha reliable-broadcast wire protocol constants and layout.
+
+A four-node (``n = 3f + 1``, ``f = 1``) Bracha-style reliable broadcast,
+modelled at the point the paper's analysis needs: one node's message
+ingress for a single broadcast slot. The variant is the *witnessed* one
+common in implementations: a ``READY`` carries the certificate of peers
+whose ``ECHO``s justify it (a bitmap, since ids are small), so a node
+can validate the echo quorum directly from the message instead of
+trusting the sender's local count. All three message kinds share one
+fixed-size layout::
+
+    kind(1) | sender(1) | value(1) | cert(1)
+
+* ``SEND`` — the slot's broadcaster disseminating its value; no
+  certificate (``cert == NO_CERT``).
+* ``ECHO`` — a peer echoing the value it received from the broadcaster;
+  justified by the ``SEND`` itself, so again ``cert == NO_CERT``.
+* ``READY`` — a peer asserting the value is safe to deliver, justified
+  by an echo certificate: the bitmap (bit ``i`` = node ``i``) of the
+  ``2f + 1`` distinct peers whose ``ECHO``s it collected.
+
+Following the paper's annotation-stub approach (§6.1), the slot history
+is pinned to constants both sides agree on: the node under analysis has
+already recorded the broadcaster's ``SEND`` for this slot, carrying
+:data:`BROADCAST_VALUE` — which is why every path can validate the
+value field (a second ``SEND`` is checked against the recorded one, the
+standard equivocation test).
+
+Two vulnerabilities are seeded in the node
+(:func:`repro.systems.broadcast.nodes.broadcast_node`):
+
+* **forged-sender SEND** — the identity check on the ``SEND`` path is
+  weakened from ``sender == BROADCASTER`` to cluster *membership*, so
+  any member can (re-)initiate the slot and trigger the node's echo —
+  identity theft of the broadcaster;
+* **thin-quorum READY** — the echo-certificate threshold is off by one,
+  ``popcount(cert) >= 2f`` instead of ``2f + 1``, so a ``READY``
+  justified by one echo too few is counted toward delivery: with ``f``
+  byzantine echoers inside a ``2f`` certificate, only ``f`` honest nodes
+  ever echoed the value, and delivery no longer implies an honest
+  quorum saw it.
+"""
+
+from __future__ import annotations
+
+from repro.messages.layout import Field, MessageLayout
+
+#: Message kinds (the ``kind`` byte).
+MSG_SEND = 0x53
+MSG_ECHO = 0x45
+MSG_READY = 0x52
+
+#: Cluster size and fault budget: the classic minimal ``n = 3f + 1``.
+N_NODES = 4
+FAULTY = 1
+
+#: The four cluster members; node ``i`` is bit ``i`` of a certificate.
+NODE_IDS = (0, 1, 2, 3)
+
+#: Bitmap with every member's bit set.
+NODE_MASK = 0b1111
+
+#: The slot's broadcaster (history stub: whose slot this is).
+BROADCASTER = 0
+
+#: The value the broadcaster disseminated for this slot (history stub:
+#: the node under analysis recorded it from the original ``SEND``).
+BROADCAST_VALUE = 0x42
+
+#: ``SEND``/``ECHO`` carry no certificate.
+NO_CERT = 0x00
+
+#: Echo certificate threshold for a valid ``READY``: ``2f + 1``.
+ECHO_THRESHOLD = 2 * FAULTY + 1
+
+#: The seeded off-by-one: the node accepts certificates of ``2f``.
+BUGGY_ECHO_THRESHOLD = 2 * FAULTY
+
+#: Distinct ``READY`` senders needed to deliver: ``2f + 1``.
+READY_THRESHOLD = 2 * FAULTY + 1
+
+
+def _masks(predicate) -> tuple[int, ...]:
+    return tuple(mask for mask in range(NODE_MASK + 1)
+                 if predicate(bin(mask).count("1")))
+
+
+#: Certificates a correct peer can hold: ``>= 2f + 1`` member bits.
+FULL_CERTS = _masks(lambda bits: bits >= ECHO_THRESHOLD)
+
+#: The seeded thin certificates: exactly ``2f`` member bits — one echo
+#: short of a valid quorum, accepted only because of the off-by-one.
+THIN_CERTS = _masks(lambda bits: bits == BUGGY_ECHO_THRESHOLD)
+
+#: Everything the *buggy* node accepts on the ``READY`` path, in
+#: ascending order (the symbolic program enumerates these).
+ACCEPTED_CERTS = _masks(lambda bits: bits >= BUGGY_ECHO_THRESHOLD)
+
+BROADCAST_LAYOUT = MessageLayout("broadcast", [
+    Field("kind", 1),
+    Field("sender", 1),
+    Field("value", 1),
+    Field("cert", 1),
+])

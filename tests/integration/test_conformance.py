@@ -12,6 +12,9 @@ same answer (and a genuinely satisfying model) for
 * ``IncrementalSolver`` at every push depth, including after pops,
 * ``QueryCache``-fronted ``Engine.is_feasible`` calls (miss, replay hit,
   and the canonically-equal reordered variant),
+* an engine fronted by an *absorbed* cache snapshot
+  (``QueryCache.snapshot()`` → ``absorb()``), which must answer every
+  prefix depth identically — and entirely from cache hits,
 * ``SolverService.check_batch`` / ``probe_batch`` /
   ``iter_models_batch`` on the serial backend and on a worker pool,
 * the async ``submit_*`` twins of each batch surface, which must agree
@@ -135,6 +138,47 @@ def test_query_cache_fronted_engine_agrees(workload):
     hits_before = cache.stats.hits
     assert Engine(query_cache=cache).is_feasible(variant) == reference.is_sat
     assert cache.stats.hits == hits_before + 1
+
+
+@CONFORMANCE
+@given(workload=workloads())
+def test_absorbed_snapshot_fronted_engine_agrees(workload):
+    """The snapshot/absorb leg of the oracle: answers served out of an
+    *absorbed* cache snapshot must agree with from-scratch at every
+    prefix depth.
+
+    A source engine warms a cache at every prefix of the workload, the
+    snapshot crosses into a fresh cache via ``absorb``, and a fresh
+    engine fronted by the absorbed cache must (a) answer every prefix
+    identically to the scratch reference and (b) answer them all as
+    cache *hits* — the engine records every prefix feasibility it
+    decides, so the snapshot covers them."""
+    _, constraints = workload
+    reference = _reference_answers(constraints)
+    prefixes = [tuple(constraints[:depth + 1])
+                for depth in range(len(constraints))]
+    source_cache = QueryCache()
+    source_engine = Engine(query_cache=source_cache)
+    for prefix, expected in zip(prefixes, reference):
+        assert source_engine.is_feasible(prefix) == expected.is_sat
+    snapshot = source_cache.snapshot()
+    absorbed = QueryCache()
+    assert absorbed.absorb(snapshot) == len(snapshot)
+    assert absorbed.absorb(snapshot) == 0  # idempotent: local wins
+    fronted = Engine(query_cache=absorbed)
+    for depth, (prefix, expected) in enumerate(zip(prefixes, reference)):
+        hits_before = absorbed.stats.hits
+        assert fronted.is_feasible(prefix) == expected.is_sat, \
+            f"depth {depth}"
+        assert absorbed.stats.hits == hits_before + 1, \
+            f"depth {depth} missed the absorbed snapshot"
+    # Canonical equality crosses the snapshot boundary too: reordered
+    # conjuncts still hit the absorbed entries.
+    variant = tuple(reversed(constraints))
+    hits_before = absorbed.stats.hits
+    assert Engine(query_cache=absorbed).is_feasible(variant) == \
+        reference[-1].is_sat
+    assert absorbed.stats.hits == hits_before + 1
 
 
 @CONFORMANCE

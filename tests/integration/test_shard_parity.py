@@ -15,7 +15,7 @@ import pytest
 
 from repro.achilles import Achilles, AchillesConfig
 from repro.bench.experiments import FSP_SESSION_MASK
-from repro.systems import fsp, raft, tpc
+from repro.systems import broadcast, fsp, raft, tpc
 from repro.systems.pbft import REQUEST_LAYOUT, pbft_client, pbft_replica
 
 SHARD_COUNTS = (1, 2, 4)
@@ -64,6 +64,16 @@ def _run_tpc(shards: int, workers: int = 1):
     with Achilles(config) as achilles:
         predicates = achilles.extract_clients(tpc.coordinator_clients())
         report = achilles.search(tpc.tpc_participant, predicates)
+    return report
+
+
+def _run_broadcast(shards: int, workers: int = 1):
+    config = AchillesConfig(layout=broadcast.BROADCAST_LAYOUT,
+                            destination="node",
+                            workers=workers, shards=shards)
+    with Achilles(config) as achilles:
+        predicates = achilles.extract_clients(broadcast.peer_clients())
+        report = achilles.search(broadcast.broadcast_node, predicates)
     return report
 
 
@@ -159,6 +169,39 @@ class TestTpcShardParity:
     def test_shards_compose_with_workers(self):
         baseline = _finding_signature(_run_tpc(1))
         combined = _run_tpc(2, workers=2)
+        assert _finding_signature(combined) == baseline
+
+
+@pytest.fixture(scope="module")
+def broadcast_runs():
+    return {shards: _run_broadcast(shards) for shards in SHARD_COUNTS}
+
+
+class TestBroadcastShardParity:
+    def test_findings_identical_at_every_shard_count(self, broadcast_runs):
+        baseline = _finding_signature(broadcast_runs[1])
+        assert len(baseline) == 7  # forged sender + 6 thin certificates
+        for shards in SHARD_COUNTS[1:]:
+            assert _finding_signature(broadcast_runs[shards]) == baseline, (
+                f"shards={shards} diverged from serial")
+
+    def test_exploration_counters_identical(self, broadcast_runs):
+        baseline = broadcast_runs[1]
+        for shards in SHARD_COUNTS[1:]:
+            report = broadcast_runs[shards]
+            assert report.server_paths_explored == \
+                baseline.server_paths_explored
+            assert report.server_paths_pruned == baseline.server_paths_pruned
+
+    def test_witnesses_stay_trojan(self, broadcast_runs):
+        for shards in SHARD_COUNTS:
+            for finding in broadcast_runs[shards].findings:
+                assert broadcast.classify_message(finding.witness) \
+                    is not None
+
+    def test_shards_compose_with_workers(self):
+        baseline = _finding_signature(_run_broadcast(1))
+        combined = _run_broadcast(2, workers=2)
         assert _finding_signature(combined) == baseline
 
 

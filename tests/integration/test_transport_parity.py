@@ -34,7 +34,7 @@ from repro.achilles import Achilles, AchillesConfig
 from repro.bench.experiments import FSP_SESSION_MASK
 from repro.errors import SymexError
 from repro.explore import ShardScheduler
-from repro.systems import fsp, raft, tpc
+from repro.systems import broadcast, fsp, raft, tpc
 from repro.systems.pbft import REQUEST_LAYOUT, pbft_client, pbft_replica
 
 SHARD_COUNTS = (1, 2, 4)
@@ -146,8 +146,17 @@ def _run_tpc(shards, hosts=None):
         return achilles.search(tpc.tpc_participant, predicates)
 
 
-_RUNNERS = {"fsp": _run_fsp, "pbft": _run_pbft, "raft": _run_raft,
-            "tpc": _run_tpc}
+def _run_broadcast(shards, hosts=None):
+    config = AchillesConfig(layout=broadcast.BROADCAST_LAYOUT,
+                            destination="node",
+                            **_transport_kwargs(shards, hosts))
+    with Achilles(config) as achilles:
+        predicates = achilles.extract_clients(broadcast.peer_clients())
+        return achilles.search(broadcast.broadcast_node, predicates)
+
+
+_RUNNERS = {"broadcast": _run_broadcast, "fsp": _run_fsp,
+            "pbft": _run_pbft, "raft": _run_raft, "tpc": _run_tpc}
 
 
 @pytest.fixture(scope="module")

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -110,3 +112,104 @@ class TestCacheSubcommand:
     def test_cache_listed_in_experiment_list(self, capsys):
         assert main(["list"]) == 0
         assert "cache" in capsys.readouterr().out
+
+
+class TestBroadcastExperiment:
+    def test_broadcast_scores_perfectly_and_shows_the_demo(self, capsys):
+        assert main(["broadcast"]) == 0
+        out = capsys.readouterr().out
+        assert "Bracha broadcast node" in out
+        assert "7/7" in out
+        assert "concrete impact" in out
+        assert "strict control node delivered None" in out
+
+
+class TestCorpusSubcommand:
+    def test_run_scores_and_writes_the_report(self, capsys, tmp_path):
+        out_file = tmp_path / "corpus.json"
+        assert main(["corpus", "run", "--variants", "3",
+                     "--corpus-seed", "0", "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario-matrix corpus vs derived ground truth" in out
+        assert "corpus seed          0" in out
+        assert "reproduce any row" in out
+        payload = json.loads(out_file.read_text())
+        assert payload["all_perfect"] is True
+        assert payload["variants"] == 3
+        assert payload["templates"] == ["broadcast", "raft", "tpc"]
+
+    def test_variant_token_reruns_a_single_row(self, capsys, tmp_path):
+        out_file = tmp_path / "corpus.json"
+        assert main(["corpus", "run", "--variants", "1",
+                     "--corpus-seed", "0", "--out", str(out_file)]) == 0
+        token = json.loads(out_file.read_text())["results"][0]["token"]
+        capsys.readouterr()
+        assert main(["corpus", "run", "--variant", token]) == 0
+        out = capsys.readouterr().out
+        assert token in out
+        # a token rerun is not a generated corpus: no seed to print
+        assert "corpus seed          -" in out
+
+    def test_report_rerenders_a_saved_run(self, capsys, tmp_path):
+        out_file = tmp_path / "corpus.json"
+        assert main(["corpus", "run", "--variants", "1",
+                     "--corpus-seed", "0", "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        assert main(["corpus", "report", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario-matrix corpus vs derived ground truth" in out
+        # re-rendered reports have no wall clocks, only '-' time cells
+        assert " -" in out
+
+    def test_malformed_token_exits_two(self, capsys):
+        assert main(["corpus", "run", "--variant", "tpc"]) == 2
+        assert "TEMPLATE:SEED" in capsys.readouterr().err
+
+    def test_unknown_template_exits_two(self, capsys):
+        assert main(["corpus", "run", "--templates", "paxos"]) == 2
+        assert "paxos" in capsys.readouterr().err
+
+    def test_corpus_listed_in_experiment_list(self, capsys):
+        assert main(["list"]) == 0
+        assert "corpus" in capsys.readouterr().out
+
+
+class TestTraceExportSalvage:
+    """Satellite regression: ``trace export`` on a torn trace.jsonl must
+    export the salvaged prefix with a warning instead of failing."""
+
+    def _torn_trace(self, tmp_path):
+        from repro.explore.faults import TruncateSegment, apply_disk_fault
+        from repro.obs.trace import write_trace
+
+        records = [{"seq": i, "kind": "event", "name": name,
+                    "ts": float(i), "depth": 0, "src": "coordinator"}
+                   for i, name in enumerate(["a", "b", "c"])]
+        path = write_trace(tmp_path / "trace.jsonl", records)
+        apply_disk_fault(path, TruncateSegment(drop_bytes=2))
+        return path
+
+    def test_export_salvages_the_valid_prefix(self, capsys, tmp_path):
+        path = self._torn_trace(tmp_path)
+        assert main(["trace", "export", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "warning: trace" in captured.err
+        assert "salvaged prefix" in captured.err
+        out_path = path.with_suffix(".chrome.json")
+        assert out_path.exists()
+        chrome = json.loads(out_path.read_text())
+        names = {e["name"] for e in chrome["traceEvents"]}
+        # the torn record 'c' is gone; the prefix survives
+        assert {"a", "b"} <= names
+        assert "c" not in names
+
+    def test_intact_trace_exports_without_warning(self, capsys, tmp_path):
+        from repro.obs.trace import write_trace
+
+        records = [{"seq": 0, "kind": "event", "name": "a", "ts": 0.0,
+                    "depth": 0, "src": "coordinator"}]
+        path = write_trace(tmp_path / "trace.jsonl", records)
+        assert main(["trace", "export", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "warning" not in captured.err
+        assert path.with_suffix(".chrome.json").exists()
